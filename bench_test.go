@@ -1,0 +1,256 @@
+package qed2
+
+// One testing.B benchmark per evaluation artifact (Tables 1–4, Figures
+// 1–4; see DESIGN.md §5) plus micro-benchmarks for the pipeline stages.
+// Each artifact benchmark regenerates the table/figure from scratch and
+// logs it, so `go test -bench . -v` doubles as a reproduction run; the
+// cmd/qed2bench command produces the same artifacts for interactive use.
+
+import (
+	"testing"
+	"time"
+
+	"qed2/internal/bench"
+	"qed2/internal/core"
+	"qed2/internal/smt"
+
+	"math/big"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+// benchConfig is the evaluation configuration shared by the artifact
+// benchmarks (tighter than the CLI defaults to keep `go test -bench .`
+// tractable; the shape of every result is unaffected).
+func benchConfig() core.Config {
+	return core.Config{
+		QuerySteps:  20_000,
+		GlobalSteps: 250_000,
+		Timeout:     2 * time.Second,
+		Seed:        1,
+	}
+}
+
+func runSuite(b *testing.B, cfg core.Config) []bench.Result {
+	b.Helper()
+	return bench.Run(bench.Suite(), &bench.RunOptions{Config: cfg})
+}
+
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Table 1 needs only compilation; analysis budgets are irrelevant.
+		cfg := benchConfig()
+		cfg.GlobalSteps = 1 // compile-dominated run
+		results := runSuite(b, cfg)
+		if i == b.N-1 {
+			b.Log("\n" + bench.Table1(results))
+		}
+	}
+}
+
+func BenchmarkTable2Main(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := runSuite(b, benchConfig())
+		if i == b.N-1 {
+			b.Log("\n" + bench.Table2(results))
+		}
+	}
+}
+
+func BenchmarkTable3Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := runSuite(b, benchConfig())
+		propCfg := benchConfig()
+		propCfg.Mode = core.ModePropagationOnly
+		smtCfg := benchConfig()
+		smtCfg.Mode = core.ModeSMTOnly
+		smtCfg.Timeout = time.Second // the monolithic baseline mostly times out
+		byMode := map[string][]bench.Result{
+			"qed2":             full,
+			"propagation-only": runSuite(b, propCfg),
+			"smt-only":         runSuite(b, smtCfg),
+		}
+		if i == b.N-1 {
+			b.Log("\n" + bench.Table3(byMode, []string{"qed2", "propagation-only", "smt-only"}))
+		}
+	}
+}
+
+func BenchmarkTable4Vulns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := runSuite(b, benchConfig())
+		if i == b.N-1 {
+			b.Log("\n" + bench.Table4(results))
+		}
+	}
+}
+
+func BenchmarkFigure1Cactus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := runSuite(b, benchConfig())
+		propCfg := benchConfig()
+		propCfg.Mode = core.ModePropagationOnly
+		smtCfg := benchConfig()
+		smtCfg.Mode = core.ModeSMTOnly
+		smtCfg.Timeout = time.Second
+		byMode := map[string][]bench.Result{
+			"qed2":             full,
+			"propagation-only": runSuite(b, propCfg),
+			"smt-only":         runSuite(b, smtCfg),
+		}
+		if i == b.N-1 {
+			b.Log("\n" + bench.Figure1(byMode, []string{"qed2", "propagation-only", "smt-only"}))
+		}
+	}
+}
+
+func BenchmarkFigure2Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		byRadius := map[int][]bench.Result{}
+		for _, k := range []int{1, 2, 3} {
+			cfg := benchConfig()
+			cfg.SliceRadius = k
+			byRadius[k] = runSuite(b, cfg)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + bench.Figure2(byRadius))
+		}
+	}
+}
+
+func BenchmarkFigure3Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := runSuite(b, benchConfig())
+		if i == b.N-1 {
+			b.Log("\n" + bench.Figure3(results))
+		}
+	}
+}
+
+// --- micro-benchmarks --------------------------------------------------------
+
+func BenchmarkCompileMiMC91(b *testing.B) {
+	inst, ok := bench.ByName(bench.Suite(), "MiMC7(91)")
+	if !ok {
+		b.Fatal("instance missing")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Compile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeIsZero(b *testing.B) {
+	prog, err := Compile(`
+pragma circom 2.0.0;
+include "comparators.circom";
+component main = IsZero();
+`, &CompileOptions{Library: CircomLib()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Analyze(prog, &Config{Seed: int64(i)})
+		if r.Verdict != Safe {
+			b.Fatalf("verdict %v", r.Verdict)
+		}
+	}
+}
+
+func BenchmarkAnalyzeNum2Bits64(b *testing.B) {
+	prog, err := Compile(`
+pragma circom 2.0.0;
+include "bitify.circom";
+component main = Num2Bits(64);
+`, &CompileOptions{Library: CircomLib()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := Analyze(prog, &Config{Seed: int64(i)})
+		if r.Verdict != Safe {
+			b.Fatalf("verdict %v", r.Verdict)
+		}
+	}
+}
+
+func BenchmarkAnalyzeDecoder16(b *testing.B) {
+	prog, err := Compile(`
+pragma circom 2.0.0;
+include "multiplexer.circom";
+component main = Decoder(16);
+`, &CompileOptions{Library: CircomLib()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := Analyze(prog, &Config{Seed: int64(i)})
+		if r.Verdict != Unsafe {
+			b.Fatalf("verdict %v", r.Verdict)
+		}
+	}
+}
+
+func BenchmarkSolverBooleanChain(b *testing.B) {
+	f := ff.BN254()
+	p := smt.NewProblem(f)
+	// 12 booleans + super-increasing sum pinned to a constant, plus a
+	// disequality forcing search.
+	sum := poly.ConstInt(f, -1000)
+	for v := 0; v < 12; v++ {
+		x := poly.Var(f, v)
+		p.AddEq(x, x.AddConst(big.NewInt(-1)), poly.NewLinComb(f))
+		sum = sum.AddTerm(v, new(big.Int).Lsh(big.NewInt(1), uint(v)))
+	}
+	p.AddLinearEq(sum)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := smt.Solve(p, &smt.Options{Seed: int64(i)})
+		if out.Status != smt.StatusSat {
+			b.Fatalf("status %v", out.Status)
+		}
+	}
+}
+
+func BenchmarkWitnessGeneration(b *testing.B) {
+	prog, err := Compile(`
+pragma circom 2.0.0;
+include "mimc.circom";
+component main = MiMC7(91);
+`, &CompileOptions{Library: CircomLib()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]*big.Int{"x_in": big.NewInt(123), "k": big.NewInt(456)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.GenerateWitness(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4RuleAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		full := runSuite(b, benchConfig())
+		noBits := benchConfig()
+		noBits.DisableBitsRule = true
+		noBits.Timeout = time.Second
+		noRules := benchConfig()
+		noRules.DisableBitsRule = true
+		noRules.DisableSolveRule = true
+		noRules.Timeout = time.Second
+		byConfig := map[string][]bench.Result{
+			"full rule set":  full,
+			"without R-Bits": runSuite(b, noBits),
+			"no rules (SMT)": runSuite(b, noRules),
+		}
+		if i == b.N-1 {
+			b.Log("\n" + bench.Figure4(byConfig, []string{"full rule set", "without R-Bits", "no rules (SMT)"}))
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Command qed2 analyzes a Circom circuit for under-constrained signals.
+//
+// Usage:
+//
+//	qed2 [flags] circuit.circom
+//
+// The circuit must declare a main component. Includes are resolved against
+// the files in the circuit's directory and against the bundled circomlib
+// subset (so `include "comparators.circom"` works out of the box).
+//
+// Exit status: 0 safe, 1 unsafe, 2 unknown, 3 usage/compile error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"qed2/internal/bench"
+	"qed2/internal/circom"
+	"qed2/internal/core"
+	"qed2/internal/r1cs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit arguments and output streams so tests
+// can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qed2", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mode        = fs.String("mode", "qed2", "analysis mode: qed2 | propagation | smt")
+		radius      = fs.Int("radius", 2, "slice radius for local uniqueness queries")
+		querySteps  = fs.Int64("query-steps", 50_000, "solver step budget per SMT query")
+		globalSteps = fs.Int64("global-steps", 5_000_000, "total solver step budget")
+		timeout     = fs.Duration("timeout", 0, "wall-clock analysis timeout (0 = none)")
+		seed        = fs.Int64("seed", 0, "deterministic solver seed")
+		dumpR1CS    = fs.Bool("r1cs", false, "dump the compiled constraint system and exit")
+		statsOnly   = fs.Bool("stats", false, "print circuit statistics and exit")
+		quiet       = fs.Bool("q", false, "print only the verdict")
+		jsonOut     = fs.Bool("json", false, "emit the analysis report as JSON")
+		witness     = fs.String("witness", "", `generate and check a witness for the given inputs, e.g. "a=3,in[0]=7", then exit`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return 3
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: qed2 [flags] circuit.circom")
+		fs.PrintDefaults()
+		return 3
+	}
+	path := fs.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "qed2:", err)
+		return 3
+	}
+	// A pre-compiled constraint system (as produced by -r1cs) can be
+	// analyzed directly.
+	var prog *circom.Program
+	if strings.HasSuffix(path, ".r1cs") {
+		sys, err := r1cs.ParseString(string(src))
+		if err != nil {
+			fmt.Fprintln(stderr, "qed2:", err)
+			return 3
+		}
+		prog = &circom.Program{System: sys, InputNames: map[string]int{}, OutputNames: map[string]int{}}
+		for _, id := range sys.Inputs() {
+			prog.InputNames[sys.Name(id)] = id
+		}
+		for _, id := range sys.Outputs() {
+			prog.OutputNames[sys.Name(id)] = id
+		}
+		prog.MainTemplate = "(from " + path + ")"
+	}
+	// Library: bundled circomlib subset + sibling files of the input.
+	lib := bench.Library()
+	dir := filepath.Dir(path)
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".circom" || e.Name() == filepath.Base(path) {
+			continue
+		}
+		if data, err := os.ReadFile(filepath.Join(dir, e.Name())); err == nil {
+			lib[e.Name()] = string(data)
+		}
+	}
+	if prog == nil {
+		prog, err = circom.Compile(string(src), &circom.CompileOptions{Library: lib})
+		if err != nil {
+			fmt.Fprintln(stderr, "qed2: compile error:", err)
+			return 3
+		}
+	}
+	sys := prog.System
+	if *witness != "" {
+		return runWitness(stdout, stderr, prog, *witness)
+	}
+	if *dumpR1CS {
+		if _, err := sys.WriteTo(stdout); err != nil {
+			fmt.Fprintln(stderr, "qed2:", err)
+			return 3
+		}
+		return 0
+	}
+	st := sys.Stats()
+	if !*quiet && !*jsonOut {
+		fmt.Fprintf(stdout, "circuit:      %s (main = %s)\n", path, prog.MainTemplate)
+		fmt.Fprintf(stdout, "field:        %s\n", sys.Field().Name())
+		fmt.Fprintf(stdout, "signals:      %d (%d inputs, %d outputs, %d internal)\n",
+			st.Signals, st.Inputs, st.Outputs, st.Internals)
+		fmt.Fprintf(stdout, "constraints:  %d (%d linear, %d nonlinear)\n", st.Constraints, st.Linear, st.Nonlinear)
+	}
+	if *statsOnly {
+		return 0
+	}
+
+	cfg := &core.Config{
+		SliceRadius: *radius,
+		QuerySteps:  *querySteps,
+		GlobalSteps: *globalSteps,
+		Timeout:     *timeout,
+		Seed:        *seed,
+	}
+	switch *mode {
+	case "qed2":
+		cfg.Mode = core.ModeFull
+	case "propagation":
+		cfg.Mode = core.ModePropagationOnly
+	case "smt":
+		cfg.Mode = core.ModeSMTOnly
+	default:
+		fmt.Fprintf(stderr, "qed2: unknown mode %q\n", *mode)
+		return 3
+	}
+	t0 := time.Now()
+	report := core.Analyze(sys, cfg)
+	if *jsonOut {
+		if err := writeJSONReport(stdout, path, prog, report); err != nil {
+			fmt.Fprintln(stderr, "qed2:", err)
+			return 3
+		}
+	} else if *quiet {
+		fmt.Fprintln(stdout, report.Verdict)
+	} else {
+		fmt.Fprintf(stdout, "\nverdict:      %s", report.Verdict)
+		if report.Reason != "" {
+			fmt.Fprintf(stdout, "  (%s)", report.Reason)
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "analysis:     %s, %d queries, %d solver steps\n",
+			time.Since(t0).Round(time.Millisecond), report.Stats.Queries, report.Stats.SolverSteps)
+		fmt.Fprintf(stdout, "uniqueness:   %d/%d signals proven unique (%d by propagation, %d by SMT)\n",
+			report.Stats.UniqueTotal, st.Signals, report.Stats.PropagationUnique, report.Stats.SMTUnique)
+		if ce := report.Counter; ce != nil {
+			printCounterexample(stdout, prog, ce)
+		}
+	}
+	switch report.Verdict {
+	case core.VerdictSafe:
+		return 0
+	case core.VerdictUnsafe:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// printCounterexample renders a checked witness pair compactly: the shared
+// inputs, then every signal on which the two witnesses differ.
+func printCounterexample(w io.Writer, prog *circom.Program, ce *core.CounterExample) {
+	sys := prog.System
+	f := sys.Field()
+	fmt.Fprintln(w, "\ncounterexample: two witnesses agree on all inputs but differ on output",
+		sys.Name(ce.Signal))
+	fmt.Fprintln(w, "  inputs:")
+	for _, name := range prog.SortedInputNames() {
+		id := prog.InputNames[name]
+		fmt.Fprintf(w, "    %-20s = %s\n", name, f.String(ce.W1[id]))
+	}
+	fmt.Fprintln(w, "  differing signals:")
+	for id := 1; id < sys.NumSignals(); id++ {
+		if ce.W1[id].Cmp(ce.W2[id]) != 0 {
+			fmt.Fprintf(w, "    %-20s = %s   vs   %s\n",
+				sys.Name(id), f.String(ce.W1[id]), f.String(ce.W2[id]))
+		}
+	}
+}
+
+// runWitness parses "name=value,..." inputs, generates a witness, checks it
+// against every constraint, and prints the outputs.
+func runWitness(stdout, stderr io.Writer, prog *circom.Program, spec string) int {
+	inputs := map[string]*big.Int{}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			fmt.Fprintf(stderr, "qed2: malformed input assignment %q (want name=value)\n", part)
+			return 3
+		}
+		v, parsed := new(big.Int).SetString(strings.TrimSpace(val), 0)
+		if !parsed {
+			fmt.Fprintf(stderr, "qed2: malformed value in %q\n", part)
+			return 3
+		}
+		inputs[strings.TrimSpace(name)] = v
+	}
+	w, err := prog.GenerateWitness(inputs)
+	if err != nil {
+		fmt.Fprintln(stderr, "qed2: witness generation failed:", err)
+		return 3
+	}
+	if err := prog.System.CheckWitness(w); err != nil {
+		fmt.Fprintln(stderr, "qed2: generated witness violates constraints (under-constrained hint logic?):", err)
+		return 3
+	}
+	f := prog.System.Field()
+	fmt.Fprintln(stdout, "witness satisfies all constraints")
+	for _, name := range prog.SortedOutputNames() {
+		fmt.Fprintf(stdout, "  %-20s = %s\n", name, f.String(w[prog.OutputNames[name]]))
+	}
+	return 0
+}
+
+// jsonReport is the machine-readable analysis summary.
+type jsonReport struct {
+	Circuit     string       `json:"circuit"`
+	Main        string       `json:"main_template"`
+	Verdict     string       `json:"verdict"`
+	Reason      string       `json:"reason,omitempty"`
+	Signals     int          `json:"signals"`
+	Constraints int          `json:"constraints"`
+	Stats       jsonStats    `json:"stats"`
+	Counter     *jsonCounter `json:"counterexample,omitempty"`
+}
+
+type jsonStats struct {
+	UniqueTotal       int   `json:"unique_signals"`
+	PropagationUnique int   `json:"by_propagation"`
+	BitsUnique        int   `json:"by_bits_rule"`
+	SMTUnique         int   `json:"by_smt"`
+	Queries           int   `json:"smt_queries"`
+	SolverSteps       int64 `json:"solver_steps"`
+	DurationMS        int64 `json:"duration_ms"`
+}
+
+type jsonCounter struct {
+	Output  string            `json:"output"`
+	Inputs  map[string]string `json:"inputs"`
+	Values  [2]string         `json:"values"`
+	Differs []string          `json:"differing_signals"`
+}
+
+func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *core.Report) error {
+	sys := prog.System
+	f := sys.Field()
+	out := jsonReport{
+		Circuit:     path,
+		Main:        prog.MainTemplate,
+		Verdict:     report.Verdict.String(),
+		Reason:      report.Reason,
+		Signals:     report.Stats.SignalsTotal,
+		Constraints: report.Stats.Constraints,
+		Stats: jsonStats{
+			UniqueTotal:       report.Stats.UniqueTotal,
+			PropagationUnique: report.Stats.PropagationUnique,
+			BitsUnique:        report.Stats.BitsUnique,
+			SMTUnique:         report.Stats.SMTUnique,
+			Queries:           report.Stats.Queries,
+			SolverSteps:       report.Stats.SolverSteps,
+			DurationMS:        report.Stats.Duration.Milliseconds(),
+		},
+	}
+	if ce := report.Counter; ce != nil {
+		jc := &jsonCounter{
+			Output: sys.Name(ce.Signal),
+			Inputs: map[string]string{},
+			Values: [2]string{f.String(ce.W1[ce.Signal]), f.String(ce.W2[ce.Signal])},
+		}
+		for name, id := range prog.InputNames {
+			jc.Inputs[name] = f.String(ce.W1[id])
+		}
+		for id := 1; id < sys.NumSignals(); id++ {
+			if ce.W1[id].Cmp(ce.W2[id]) != 0 {
+				jc.Differs = append(jc.Differs, sys.Name(id))
+			}
+		}
+		out.Counter = jc
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCircuit(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const safeSrc = `
+pragma circom 2.0.0;
+template Mul() {
+    signal input a;
+    signal input b;
+    signal output c;
+    c <== a*b;
+}
+component main = Mul();
+`
+
+const buggySrc = `
+pragma circom 2.0.0;
+template Bad() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+}
+component main = Bad();
+`
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestCLISafeCircuit(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, out, _ := runCLI(t, path)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict:      safe") {
+		t.Errorf("output missing safe verdict:\n%s", out)
+	}
+}
+
+func TestCLIUnsafeCircuitExitCodeAndCounterexample(t *testing.T) {
+	path := writeCircuit(t, "bad.circom", buggySrc)
+	code, out, _ := runCLI(t, "-seed", "1", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"unsafe", "counterexample", "differing signals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIQuiet(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, out, _ := runCLI(t, "-q", path)
+	if code != 0 || strings.TrimSpace(out) != "safe" {
+		t.Fatalf("quiet output = %q (exit %d)", out, code)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	path := writeCircuit(t, "bad.circom", buggySrc)
+	code, out, _ := runCLI(t, "-json", "-seed", "1", path)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Verdict != "unsafe" || rep.Counter == nil || rep.Counter.Output == "" {
+		t.Errorf("json report incomplete: %+v", rep)
+	}
+	if rep.Counter.Values[0] == rep.Counter.Values[1] {
+		t.Error("counterexample values equal")
+	}
+}
+
+func TestCLIWitness(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, out, _ := runCLI(t, "-witness", "a=6,b=7", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "c") || !strings.Contains(out, "42") {
+		t.Errorf("witness output wrong:\n%s", out)
+	}
+	// Malformed specs.
+	if code, _, _ := runCLI(t, "-witness", "a", path); code != 3 {
+		t.Error("malformed witness spec accepted")
+	}
+	if code, _, _ := runCLI(t, "-witness", "a=zebra", path); code != 3 {
+		t.Error("malformed witness value accepted")
+	}
+}
+
+func TestCLIR1CSDumpAndReanalyze(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, dump, _ := runCLI(t, "-r1cs", path)
+	if code != 0 || !strings.HasPrefix(dump, "r1cs v1") {
+		t.Fatalf("dump failed (exit %d):\n%s", code, dump)
+	}
+	r1csPath := filepath.Join(filepath.Dir(path), "mul.r1cs")
+	if err := os.WriteFile(r1csPath, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, r1csPath)
+	if code != 0 || !strings.Contains(out, "safe") {
+		t.Fatalf("re-analysis of .r1cs failed (exit %d):\n%s", code, out)
+	}
+}
+
+func TestCLIStatsOnly(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, out, _ := runCLI(t, "-stats", path)
+	if code != 0 || !strings.Contains(out, "constraints:") || strings.Contains(out, "verdict") {
+		t.Fatalf("stats output wrong (exit %d):\n%s", code, out)
+	}
+}
+
+func TestCLIModes(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	for _, mode := range []string{"qed2", "propagation", "smt"} {
+		code, _, _ := runCLI(t, "-mode", mode, "-q", path)
+		if code != 0 {
+			t.Errorf("mode %s exit = %d", mode, code)
+		}
+	}
+	if code, _, errw := runCLI(t, "-mode", "warp", path); code != 3 || !strings.Contains(errw, "unknown mode") {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 3 {
+		t.Error("missing file accepted")
+	}
+	if code, _, _ := runCLI(t, "/nonexistent/x.circom"); code != 3 {
+		t.Error("nonexistent file accepted")
+	}
+	bad := writeCircuit(t, "bad.circom", "template {")
+	if code, _, errw := runCLI(t, bad); code != 3 || !strings.Contains(errw, "compile error") {
+		t.Error("parse error not reported")
+	}
+	badR1CS := writeCircuit(t, "bad.r1cs", "nonsense")
+	if code, _, _ := runCLI(t, badR1CS); code != 3 {
+		t.Error("bad .r1cs accepted")
+	}
+}
+
+func TestCLISiblingIncludes(t *testing.T) {
+	dir := t.TempDir()
+	lib := filepath.Join(dir, "lib.circom")
+	if err := os.WriteFile(lib, []byte(`
+template Pass() { signal input a; signal output b; b <== a; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mainPath := filepath.Join(dir, "main.circom")
+	if err := os.WriteFile(mainPath, []byte(`
+include "lib.circom";
+component main = Pass();
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errw := runCLI(t, "-q", mainPath)
+	if code != 0 {
+		t.Fatalf("exit %d: %s%s", code, out, errw)
+	}
+}

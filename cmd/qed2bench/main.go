@@ -1,0 +1,139 @@
+// Command qed2bench regenerates every table and figure of the evaluation
+// (see DESIGN.md §5 for the experiment index) from the 163-instance
+// benchmark suite.
+//
+// Usage:
+//
+//	qed2bench -all                # everything (default)
+//	qed2bench -table 2            # one table (1..4)
+//	qed2bench -fig 1              # one figure (1..3)
+//	qed2bench -list               # list the suite instances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qed2/internal/bench"
+	"qed2/internal/core"
+)
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "regenerate one table (1..4)")
+		fig         = flag.Int("fig", 0, "regenerate one figure (1..4)")
+		all         = flag.Bool("all", false, "regenerate every table and figure")
+		list        = flag.Bool("list", false, "list suite instances and exit")
+		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		querySteps  = flag.Int64("query-steps", 20_000, "solver step budget per SMT query")
+		globalSteps = flag.Int64("global-steps", 400_000, "total solver step budget per instance")
+		timeout     = flag.Duration("timeout", 5*time.Second, "wall-clock budget per instance")
+		seed        = flag.Int64("seed", 1, "deterministic solver seed")
+		verbose     = flag.Bool("v", false, "print per-instance progress")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && *fig == 0 && !*list {
+		*all = true
+	}
+	insts := bench.Suite()
+	if *list {
+		for _, in := range insts {
+			fmt.Printf("%-26s %-12s expect=%s vuln=%v\n", in.Name, in.Category, in.Expect, in.Vuln)
+		}
+		return
+	}
+
+	baseCfg := core.Config{
+		QuerySteps:  *querySteps,
+		GlobalSteps: *globalSteps,
+		Timeout:     *timeout,
+		Seed:        *seed,
+	}
+	opts := func(cfg core.Config) *bench.RunOptions {
+		o := &bench.RunOptions{Config: cfg, Workers: *workers}
+		if *verbose {
+			o.Progress = func(done, total int, r bench.Result) {
+				v := "compile-error"
+				if r.Report != nil {
+					v = r.Report.Verdict.String()
+				}
+				fmt.Fprintf(os.Stderr, "[%3d/%3d] %-26s %-8s %s\n",
+					done, total, r.Instance.Name, v, r.AnalyzeTime.Round(time.Millisecond))
+			}
+		}
+		return o
+	}
+
+	runFull := func() []bench.Result {
+		fmt.Fprintf(os.Stderr, "running %d instances (qed2 full config)...\n", len(insts))
+		return bench.Run(insts, opts(baseCfg))
+	}
+	var full []bench.Result
+
+	need := func(want bool) bool { return *all || want }
+
+	if need(*table >= 1 && *table <= 4) || need(*fig == 1 || *fig == 3) {
+		full = runFull()
+	}
+	if *all || *table == 1 {
+		fmt.Println(bench.Table1(full))
+	}
+	if *all || *table == 2 {
+		fmt.Println(bench.Table2(full))
+	}
+	if *all || *table == 3 || *fig == 1 {
+		fmt.Fprintln(os.Stderr, "running baselines (propagation-only, smt-only)...")
+		propCfg := baseCfg
+		propCfg.Mode = core.ModePropagationOnly
+		smtCfg := baseCfg
+		smtCfg.Mode = core.ModeSMTOnly
+		byMode := map[string][]bench.Result{
+			"qed2":             full,
+			"propagation-only": bench.Run(insts, opts(propCfg)),
+			"smt-only":         bench.Run(insts, opts(smtCfg)),
+		}
+		order := []string{"qed2", "propagation-only", "smt-only"}
+		if *all || *table == 3 {
+			fmt.Println(bench.Table3(byMode, order))
+		}
+		if *all || *fig == 1 {
+			fmt.Println(bench.Figure1(byMode, order))
+		}
+	}
+	if *all || *table == 4 {
+		fmt.Println(bench.Table4(full))
+	}
+	if *all || *fig == 2 {
+		fmt.Fprintln(os.Stderr, "running slice-radius sweep (k = 1, 2, 3)...")
+		byRadius := map[int][]bench.Result{}
+		for _, k := range []int{1, 2, 3} {
+			cfg := baseCfg
+			cfg.SliceRadius = k
+			if k == 2 && full != nil {
+				byRadius[k] = full
+				continue
+			}
+			byRadius[k] = bench.Run(insts, opts(cfg))
+		}
+		fmt.Println(bench.Figure2(byRadius))
+	}
+	if *all || *fig == 3 {
+		fmt.Println(bench.Figure3(full))
+	}
+	if *all || *fig == 4 {
+		fmt.Fprintln(os.Stderr, "running rule ablation (full / -bits / -all-rules)...")
+		noBits := baseCfg
+		noBits.DisableBitsRule = true
+		noRules := baseCfg
+		noRules.DisableBitsRule = true
+		noRules.DisableSolveRule = true
+		byConfig := map[string][]bench.Result{
+			"full rule set":  full,
+			"without R-Bits": bench.Run(insts, opts(noBits)),
+			"no rules (SMT)": bench.Run(insts, opts(noRules)),
+		}
+		fmt.Println(bench.Figure4(byConfig, []string{"full rule set", "without R-Bits", "no rules (SMT)"}))
+	}
+}

@@ -1,0 +1,91 @@
+// circomlib-audit sweeps the bundled circomlib-subset templates the way an
+// auditor would: instantiate each widely-used template standalone, analyze
+// it, and report which ones admit forged witnesses.
+//
+// This reproduces the headline finding of the paper: several templates that
+// ship in the standard library (Decoder, the Montgomery/Edwards conversions
+// and Montgomery arithmetic) are under-constrained as standalone circuits.
+//
+// Run with:
+//
+//	go run ./examples/circomlib-audit
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"qed2"
+)
+
+// audit lists template instantiations an auditor would screen.
+var audit = []struct {
+	name string
+	main string
+}{
+	{"IsZero", "component main = IsZero();"},
+	{"IsEqual", "component main = IsEqual();"},
+	{"LessThan(32)", "component main = LessThan(32);"},
+	{"Num2Bits(32)", "component main = Num2Bits(32);"},
+	{"Bits2Num(16)", "component main = Bits2Num(16);"},
+	{"AND", "component main = AND();"},
+	{"MultiAND(16)", "component main = MultiAND(16);"},
+	{"Mux2", "component main = Mux2();"},
+	{"Switcher", "component main = Switcher();"},
+	{"Multiplexer(2,4)", "component main = Multiplexer(2, 4);"},
+	{"MiMC7(91)", "component main = MiMC7(91);"},
+	{"Decoder(8)", "component main = Decoder(8);"},
+	{"Edwards2Montgomery", "component main = Edwards2Montgomery();"},
+	{"Montgomery2Edwards", "component main = Montgomery2Edwards();"},
+	{"MontgomeryAdd", "component main = MontgomeryAdd();"},
+	{"MontgomeryDouble", "component main = MontgomeryDouble();"},
+	{"BabyAdd", "component main = BabyAdd();"},
+}
+
+// includes that cover every template above.
+const header = `
+pragma circom 2.0.0;
+include "comparators.circom";
+include "bitify.circom";
+include "gates.circom";
+include "mux2.circom";
+include "switcher.circom";
+include "multiplexer.circom";
+include "montgomery.circom";
+include "babyjub.circom";
+include "mimc.circom";
+`
+
+func main() {
+	fmt.Printf("%-22s %-9s %-28s %s\n", "TEMPLATE", "VERDICT", "DETAIL", "TIME")
+	var unsafeCount int
+	for _, a := range audit {
+		t0 := time.Now()
+		report, err := qed2.AnalyzeSource(header+a.main, nil, &qed2.Config{
+			Timeout: 5 * time.Second,
+			Seed:    1,
+		})
+		if err != nil {
+			fmt.Printf("%-22s %-9s %v\n", a.name, "ERROR", err)
+			continue
+		}
+		detail := ""
+		switch report.Verdict {
+		case qed2.Unsafe:
+			unsafeCount++
+			detail = "forgeable — witness pair found"
+		case qed2.Safe:
+			detail = fmt.Sprintf("unique outputs (%d facts)", report.Stats.UniqueTotal)
+		default:
+			detail = report.Reason
+			if len(detail) > 28 {
+				detail = detail[:28]
+			}
+		}
+		fmt.Printf("%-22s %-9s %-28s %s\n",
+			a.name, report.Verdict, detail, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\n%d of %d audited templates are under-constrained.\n", unsafeCount, len(audit))
+	fmt.Println("Decoder and the Montgomery templates are real circomlib code — the same")
+	fmt.Println("findings the paper reported as previously-unknown vulnerabilities.")
+}

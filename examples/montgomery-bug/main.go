@@ -1,0 +1,115 @@
+// montgomery-bug reproduces one of the paper's real findings end to end:
+// circomlib's MontgomeryDouble is under-constrained because its witness
+// hint divides by 2·B·y without a constraint excluding y = 0.
+//
+// The example (1) analyzes the template, (2) prints the forged witness pair
+// the analyzer constructed, (3) re-derives the attack by hand to show why
+// it works, and (4) shows that the obvious fix — constraining the
+// denominator to be invertible — makes the analyzer prove the template safe
+// for that input class.
+//
+// Run with:
+//
+//	go run ./examples/montgomery-bug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qed2"
+)
+
+const vulnerable = `
+pragma circom 2.0.0;
+include "montgomery.circom";
+component main = MontgomeryDouble();
+`
+
+// The repaired template adds an inverse witness for the denominator,
+// turning "denominator is zero" into an unsatisfiable input class instead
+// of a free output.
+const repaired = `
+pragma circom 2.0.0;
+
+template MontgomeryDoubleFixed() {
+    signal input in[2];
+    signal output out[2];
+
+    var a = 168700;
+    var d = 168696;
+    var A = (2 * (a + d)) / (a - d);
+    var B = 4 / (a - d);
+
+    signal lamda;
+    signal x1_2;
+    signal denomInv;
+
+    x1_2 <== in[0] * in[0];
+
+    // FIX: force the denominator 2*B*in[1] to be invertible.
+    denomInv <-- 1 / (2*B*in[1]);
+    denomInv * (2*B*in[1]) === 1;
+
+    lamda <== (3*x1_2 + 2*A*in[0] + 1) * denomInv;
+    lamda * (2*B*in[1]) === (3*x1_2 + 2*A*in[0] + 1);
+
+    out[0] <== B*lamda*lamda - A - 2*in[0];
+    out[1] <== lamda * (in[0] - out[0]) - in[1];
+}
+
+component main = MontgomeryDoubleFixed();
+`
+
+func main() {
+	fmt.Println("== 1. analyzing circomlib's MontgomeryDouble ==")
+	prog, err := qed2.Compile(vulnerable, &qed2.CompileOptions{Library: qed2.CircomLib()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := qed2.Analyze(prog, &qed2.Config{Seed: 1})
+	fmt.Printf("verdict: %s\n\n", report.Verdict)
+	if report.Verdict != qed2.Unsafe {
+		log.Fatalf("expected Unsafe, got %s (%s)", report.Verdict, report.Reason)
+	}
+
+	sys := prog.System
+	f := sys.Field()
+	ce := report.Counter
+	fmt.Println("== 2. the forged witness pair ==")
+	fmt.Println("shared inputs (an attacker-chosen point with y = 0):")
+	for _, name := range prog.SortedInputNames() {
+		id := prog.InputNames[name]
+		fmt.Printf("  %-8s = %s\n", name, f.String(ce.W1[id]))
+	}
+	fmt.Println("signals where the two accepted witnesses diverge:")
+	for id := 1; id < sys.NumSignals(); id++ {
+		if ce.W1[id].Cmp(ce.W2[id]) != 0 {
+			fmt.Printf("  %-8s = %-30.30s... vs %-30.30s...\n",
+				sys.Name(id), f.String(ce.W1[id]), f.String(ce.W2[id]))
+		}
+	}
+
+	fmt.Println("\n== 3. why the attack works ==")
+	fmt.Println("the only constraint mentioning lamda is")
+	fmt.Println("    lamda * (2*B*in[1]) === 3*x1_2 + 2*A*in[0] + 1")
+	fmt.Println("with in[1] = 0 the left side vanishes for ANY lamda; the input can be")
+	fmt.Println("chosen so the right side vanishes too (a root of 3x² + 2Ax + 1), after")
+	fmt.Println("which lamda — and through it both outputs — is entirely prover-chosen.")
+	in1 := prog.InputNames["in[1]"]
+	if ce.W1[in1].Sign() != 0 {
+		log.Fatal("unexpected: counterexample does not use the y=0 class")
+	}
+
+	fmt.Println("\n== 4. the repaired template ==")
+	fixedReport, err := qed2.AnalyzeSource(repaired, nil, &qed2.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdict after fix: %s\n", fixedReport.Verdict)
+	if fixedReport.Verdict != qed2.Safe {
+		log.Fatalf("expected Safe after fix, got %s (%s)", fixedReport.Verdict, fixedReport.Reason)
+	}
+	fmt.Println("constraining the denominator to be invertible removes the attack class:")
+	fmt.Println("every output is now provably unique for all accepted inputs")
+}

@@ -1,0 +1,133 @@
+// smallfield-fuzz cross-validates the analyzer against ground truth: it
+// generates random constraint systems over a tiny prime field, decides
+// output-uniqueness exactly by exhaustive enumeration, and checks that
+// every Safe/Unsafe verdict the analyzer produces agrees with reality.
+//
+// Over F_13 the whole witness space of a 4-signal circuit is only 13³
+// points, so the brute-force oracle is exact. This is the same methodology
+// the test suite uses for its soundness property tests, exposed as a
+// runnable tool so the guarantee is easy to reproduce at any scale.
+//
+// Run with:
+//
+//	go run ./examples/smallfield-fuzz            # 300 random circuits
+//	go run ./examples/smallfield-fuzz -n 2000    # more
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+
+	"qed2"
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+func main() {
+	n := flag.Int("n", 300, "number of random circuits")
+	seed := flag.Int64("seed", 2024, "generator seed")
+	flag.Parse()
+
+	f13 := ff.MustField(big.NewInt(13))
+	rng := rand.New(rand.NewSource(*seed))
+
+	var safe, unsafeN, unknown int
+	for iter := 0; iter < *n; iter++ {
+		sys := randomSystem(f13, rng)
+		gotUnique, gotPair := bruteForceUniqueness(sys)
+		report := qed2.AnalyzeSystem(sys, &qed2.Config{Seed: int64(iter)})
+		switch report.Verdict {
+		case qed2.Safe:
+			safe++
+			if !gotUnique {
+				log.Fatalf("UNSOUND Safe verdict on circuit %d:\n%s", iter, sys.MarshalText())
+			}
+		case qed2.Unsafe:
+			unsafeN++
+			if !gotPair {
+				log.Fatalf("UNSOUND Unsafe verdict on circuit %d:\n%s", iter, sys.MarshalText())
+			}
+		default:
+			unknown++
+		}
+	}
+	fmt.Printf("fuzzed %d random circuits over F_13\n", *n)
+	fmt.Printf("  safe:    %d (every one verified unique by exhaustive enumeration)\n", safe)
+	fmt.Printf("  unsafe:  %d (every one confirmed by a real witness pair)\n", unsafeN)
+	fmt.Printf("  unknown: %d (honestly undecided — never a wrong answer)\n", unknown)
+	fmt.Printf("decision rate: %.1f%%, zero unsound verdicts\n",
+		100*float64(safe+unsafeN)/float64(*n))
+}
+
+// randomSystem builds a small random R1CS over f.
+func randomSystem(f *ff.Field, rng *rand.Rand) *r1cs.System {
+	sys := r1cs.NewSystem(f)
+	sys.AddSignal("", r1cs.KindInput)
+	sys.AddSignal("", r1cs.KindInternal)
+	sys.AddSignal("", r1cs.KindOutput)
+	if rng.Intn(2) == 0 {
+		sys.AddSignal("", r1cs.KindOutput)
+	}
+	n := sys.NumSignals()
+	p := int64(f.SmallModulus())
+	randLC := func() *poly.LinComb {
+		out := poly.ConstInt(f, rng.Int63n(p))
+		for v := 1; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				out = out.AddTerm(v, big.NewInt(rng.Int63n(p)))
+			}
+		}
+		return out
+	}
+	for k := 1 + rng.Intn(3); k > 0; k-- {
+		sys.AddConstraint(randLC(), randLC(), randLC(), "")
+	}
+	return sys
+}
+
+// bruteForceUniqueness enumerates every assignment and reports whether all
+// outputs are unique per input class, and whether some witness pair agrees
+// on inputs but differs on an output.
+func bruteForceUniqueness(sys *r1cs.System) (allUnique, pairExists bool) {
+	f := sys.Field()
+	p := int64(f.SmallModulus())
+	n := sys.NumSignals()
+	total := int64(1)
+	for i := 1; i < n; i++ {
+		total *= p
+	}
+	byInput := map[string][]string{}
+	w := sys.NewWitness()
+	for enc := int64(0); enc < total; enc++ {
+		v := enc
+		for i := 1; i < n; i++ {
+			w[i] = big.NewInt(v % p)
+			v /= p
+		}
+		if sys.CheckWitness(w) != nil {
+			continue
+		}
+		var ik, ok []byte
+		for _, in := range sys.Inputs() {
+			ik = append(ik, byte('a'+w[in].Int64()))
+		}
+		for _, o := range sys.Outputs() {
+			ok = append(ok, byte('a'+w[o].Int64()))
+		}
+		byInput[string(ik)] = append(byInput[string(ik)], string(ok))
+	}
+	allUnique = true
+	for _, outs := range byInput {
+		for i := 1; i < len(outs); i++ {
+			if outs[i] != outs[0] {
+				allUnique = false
+				pairExists = true
+			}
+		}
+	}
+	return allUnique, pairExists
+}

@@ -1,0 +1,3 @@
+module qed2
+
+go 1.22

@@ -1,0 +1,997 @@
+// Package bench contains the evaluation corpus and harness: a faithful
+// re-implementation of the relevant circomlib templates (plus seeded-bug
+// variants) in the supported Circom subset, the 163-instance benchmark
+// suite mirroring the paper's evaluation population, a parallel runner, and
+// formatters that regenerate every table and figure of the evaluation.
+package bench
+
+// Library returns the circomlib-style source files, keyed by include name.
+// The genuinely under-constrained templates (Decoder and the Montgomery
+// conversions/operations) reproduce the real circomlib code including its
+// vulnerabilities; the *Buggy templates are seeded mutants of the classic
+// "<-- without ===" and "missing range constraint" bug classes.
+func Library() map[string]string {
+	return map[string]string{
+		"bitify.circom":        srcBitify,
+		"comparators.circom":   srcComparators,
+		"gates.circom":         srcGates,
+		"mux1.circom":          srcMux1,
+		"mux2.circom":          srcMux2,
+		"mux3.circom":          srcMux3,
+		"switcher.circom":      srcSwitcher,
+		"multiplexer.circom":   srcMultiplexer,
+		"montgomery.circom":    srcMontgomery,
+		"babyjub.circom":       srcBabyjub,
+		"mimc.circom":          srcMiMC,
+		"binsum.circom":        srcBinSum,
+		"bigintlite.circom":    srcBigIntLite,
+		"compconstant.circom":  srcCompConstant,
+		"aliascheck.circom":    srcAliasCheck,
+		"sign.circom":          srcSign,
+		"bitify_strict.circom": srcBitifyStrict,
+		"escalarmulany.circom": srcEscalarMulAny,
+		"edwards.circom":       srcEdwards,
+		"buggy.circom":         srcBuggy,
+	}
+}
+
+const srcBitify = `
+pragma circom 2.0.0;
+include "comparators.circom";
+
+template Num2Bits(n) {
+    signal input in;
+    signal output out[n];
+    var lc1 = 0;
+    var e2 = 1;
+    for (var i = 0; i < n; i++) {
+        out[i] <-- (in >> i) & 1;
+        out[i] * (out[i] - 1) === 0;
+        lc1 += out[i] * e2;
+        e2 = e2 + e2;
+    }
+    lc1 === in;
+}
+
+template Bits2Num(n) {
+    signal input in[n];
+    signal output out;
+    var lc1 = 0;
+    var e2 = 1;
+    for (var i = 0; i < n; i++) {
+        lc1 += in[i] * e2;
+        e2 = e2 + e2;
+    }
+    lc1 ==> out;
+}
+
+template Num2BitsNeg(n) {
+    signal input in;
+    signal output out[n];
+    var lc1 = 0;
+    component isZero;
+    isZero = IsZero();
+    var neg = n == 0 ? 0 : 2**n - in;
+    for (var i = 0; i < n; i++) {
+        out[i] <-- (neg >> i) & 1;
+        out[i] * (out[i] - 1) === 0;
+        lc1 += out[i] * 2**i;
+    }
+    in ==> isZero.in;
+    lc1 + isZero.out * 2**n === 2**n - in;
+}
+`
+
+const srcComparators = `
+pragma circom 2.0.0;
+include "bitify.circom";
+
+template IsZero() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    in*out === 0;
+}
+
+template IsEqual() {
+    signal input in[2];
+    signal output out;
+    component isz = IsZero();
+    in[1] - in[0] ==> isz.in;
+    isz.out ==> out;
+}
+
+template ForceEqualIfEnabled() {
+    signal input enabled;
+    signal input in[2];
+    component isz = IsZero();
+    in[1] - in[0] ==> isz.in;
+    (1 - isz.out)*enabled === 0;
+}
+
+template LessThan(n) {
+    assert(n <= 252);
+    signal input in[2];
+    signal output out;
+    component n2b = Num2Bits(n+1);
+    n2b.in <== in[0] + (1<<n) - in[1];
+    out <== 1 - n2b.out[n];
+}
+
+template LessEqThan(n) {
+    signal input in[2];
+    signal output out;
+    component lt = LessThan(n);
+    lt.in[0] <== in[0];
+    lt.in[1] <== in[1] + 1;
+    lt.out ==> out;
+}
+
+template GreaterThan(n) {
+    signal input in[2];
+    signal output out;
+    component lt = LessThan(n);
+    lt.in[0] <== in[1];
+    lt.in[1] <== in[0];
+    lt.out ==> out;
+}
+
+template GreaterEqThan(n) {
+    signal input in[2];
+    signal output out;
+    component lt = LessThan(n);
+    lt.in[0] <== in[1];
+    lt.in[1] <== in[0] + 1;
+    lt.out ==> out;
+}
+`
+
+const srcGates = `
+pragma circom 2.0.0;
+
+template XOR() {
+    signal input a;
+    signal input b;
+    signal output out;
+    out <== a + b - 2*a*b;
+}
+
+template AND() {
+    signal input a;
+    signal input b;
+    signal output out;
+    out <== a*b;
+}
+
+template OR() {
+    signal input a;
+    signal input b;
+    signal output out;
+    out <== a + b - a*b;
+}
+
+template NOT() {
+    signal input in;
+    signal output out;
+    out <== 1 + in - 2*in;
+}
+
+template NAND() {
+    signal input a;
+    signal input b;
+    signal output out;
+    out <== 1 - a*b;
+}
+
+template NOR() {
+    signal input a;
+    signal input b;
+    signal output out;
+    out <== a*b + 1 - a - b;
+}
+
+template MultiAND(n) {
+    signal input in[n];
+    signal output out;
+    component and1;
+    component and2;
+    component ands[2];
+    if (n == 1) {
+        out <== in[0];
+    } else if (n == 2) {
+        and1 = AND();
+        and1.a <== in[0];
+        and1.b <== in[1];
+        out <== and1.out;
+    } else {
+        and2 = AND();
+        var n1 = n \ 2;
+        var n2 = n - n \ 2;
+        ands[0] = MultiAND(n1);
+        ands[1] = MultiAND(n2);
+        for (var i = 0; i < n1; i++) ands[0].in[i] <== in[i];
+        for (var i = 0; i < n2; i++) ands[1].in[i] <== in[n1 + i];
+        and2.a <== ands[0].out;
+        and2.b <== ands[1].out;
+        out <== and2.out;
+    }
+}
+`
+
+const srcMux1 = `
+pragma circom 2.0.0;
+
+template MultiMux1(n) {
+    signal input c[n][2];
+    signal input s;
+    signal output out[n];
+    for (var i = 0; i < n; i++) {
+        out[i] <== (c[i][1] - c[i][0])*s + c[i][0];
+    }
+}
+
+template Mux1() {
+    var i;
+    signal input c[2];
+    signal input s;
+    signal output out;
+    component mux = MultiMux1(1);
+    for (i = 0; i < 2; i++) {
+        mux.c[0][i] <== c[i];
+    }
+    s ==> mux.s;
+    mux.out[0] ==> out;
+}
+`
+
+const srcMux2 = `
+pragma circom 2.0.0;
+
+template MultiMux2(n) {
+    signal input c[n][4];
+    signal input s[2];
+    signal output out[n];
+
+    signal a10[n];
+    signal a1[n];
+    signal a0[n];
+    signal a[n];
+
+    signal s10;
+    s10 <== s[1] * s[0];
+    for (var i = 0; i < n; i++) {
+        a10[i] <== (c[i][3] - c[i][2] - c[i][1] + c[i][0]) * s10;
+        a1[i]  <== (c[i][2] - c[i][0]) * s[1];
+        a0[i]  <== (c[i][1] - c[i][0]) * s[0];
+        a[i]   <== c[i][0];
+        out[i] <== a10[i] + a1[i] + a0[i] + a[i];
+    }
+}
+
+template Mux2() {
+    var i;
+    signal input c[4];
+    signal input s[2];
+    signal output out;
+    component mux = MultiMux2(1);
+    for (i = 0; i < 4; i++) {
+        mux.c[0][i] <== c[i];
+    }
+    for (i = 0; i < 2; i++) {
+        s[i] ==> mux.s[i];
+    }
+    mux.out[0] ==> out;
+}
+`
+
+const srcMux3 = `
+pragma circom 2.0.0;
+
+template MultiMux3(n) {
+    signal input c[n][8];
+    signal input s[3];
+    signal output out[n];
+
+    signal a210[n];
+    signal a21[n];
+    signal a20[n];
+    signal a2[n];
+    signal a10[n];
+    signal a1[n];
+    signal a0[n];
+    signal a[n];
+
+    signal s10;
+    s10 <== s[1] * s[0];
+    for (var i = 0; i < n; i++) {
+        a210[i] <== (c[i][7] - c[i][6] - c[i][5] + c[i][4] - c[i][3] + c[i][2] + c[i][1] - c[i][0]) * s10;
+        a21[i]  <== (c[i][6] - c[i][4] - c[i][2] + c[i][0]) * s[1];
+        a20[i]  <== (c[i][5] - c[i][4] - c[i][1] + c[i][0]) * s[0];
+        a2[i]   <== c[i][4] - c[i][0];
+        a10[i]  <== (c[i][3] - c[i][2] - c[i][1] + c[i][0]) * s10;
+        a1[i]   <== (c[i][2] - c[i][0]) * s[1];
+        a0[i]   <== (c[i][1] - c[i][0]) * s[0];
+        a[i]    <== c[i][0];
+        out[i]  <== (a210[i] + a21[i] + a20[i] + a2[i]) * s[2] + (a10[i] + a1[i] + a0[i] + a[i]);
+    }
+}
+
+template Mux3() {
+    var i;
+    signal input c[8];
+    signal input s[3];
+    signal output out;
+    component mux = MultiMux3(1);
+    for (i = 0; i < 8; i++) {
+        mux.c[0][i] <== c[i];
+    }
+    for (i = 0; i < 3; i++) {
+        s[i] ==> mux.s[i];
+    }
+    mux.out[0] ==> out;
+}
+`
+
+const srcSwitcher = `
+pragma circom 2.0.0;
+
+template Switcher() {
+    signal input sel;
+    signal input L;
+    signal input R;
+    signal output outL;
+    signal output outR;
+    signal aux;
+    aux <== (R - L)*sel;
+    outL <== aux + L;
+    outR <== -aux + R;
+}
+`
+
+const srcMultiplexer = `
+pragma circom 2.0.0;
+
+// Decoder is reproduced exactly as in circomlib; it is genuinely
+// under-constrained: the all-zero output vector with success = 0 satisfies
+// the constraints for every input.
+template Decoder(w) {
+    signal input inp;
+    signal output out[w];
+    signal output success;
+    var lc = 0;
+    for (var i = 0; i < w; i++) {
+        out[i] <-- (inp == i) ? 1 : 0;
+        out[i] * (inp - i) === 0;
+        lc = lc + out[i];
+    }
+    lc ==> success;
+    success * (success - 1) === 0;
+}
+
+template EscalarProduct(w) {
+    signal input in1[w];
+    signal input in2[w];
+    signal output out;
+    signal aux[w];
+    var lc = 0;
+    for (var i = 0; i < w; i++) {
+        aux[i] <== in1[i] * in2[i];
+        lc = lc + aux[i];
+    }
+    out <== lc;
+}
+
+template Multiplexer(wIn, nIn) {
+    signal input inp[nIn][wIn];
+    signal input sel;
+    signal output out[wIn];
+
+    component dec = Decoder(nIn);
+    component ep[wIn];
+    for (var k = 0; k < wIn; k++) {
+        ep[k] = EscalarProduct(nIn);
+    }
+    sel ==> dec.inp;
+    for (var j = 0; j < wIn; j++) {
+        for (var k = 0; k < nIn; k++) {
+            inp[k][j] ==> ep[j].in1[k];
+            dec.out[k] ==> ep[j].in2[k];
+        }
+        ep[j].out ==> out[j];
+    }
+    dec.success === 1;
+}
+`
+
+const srcMontgomery = `
+pragma circom 2.0.0;
+
+// The four Montgomery/Edwards conversion and arithmetic templates are
+// reproduced as in circomlib. All four are under-constrained: the witness
+// hints divide (<--) and the accompanying === constraints do not exclude a
+// zero denominator, leaving an output free on that input class. QED²
+// reported these as previously-unknown vulnerabilities.
+
+template Edwards2Montgomery() {
+    signal input in[2];
+    signal output out[2];
+
+    out[0] <-- (1 + in[1]) / (1 - in[1]);
+    out[1] <-- out[0] / in[0];
+
+    out[0] * (1 - in[1]) === (1 + in[1]);
+    out[1] * in[0] === out[0];
+}
+
+template Montgomery2Edwards() {
+    signal input in[2];
+    signal output out[2];
+
+    out[0] <-- in[0] / in[1];
+    out[1] <-- (in[0] - 1) / (in[0] + 1);
+
+    out[0] * in[1] === in[0];
+    out[1] * (in[0] + 1) === in[0] - 1;
+}
+
+template MontgomeryAdd() {
+    signal input in1[2];
+    signal input in2[2];
+    signal output out[2];
+
+    var a = 168700;
+    var d = 168696;
+    var A = (2 * (a + d)) / (a - d);
+    var B = 4 / (a - d);
+
+    signal lamda;
+    lamda <-- (in2[1] - in1[1]) / (in2[0] - in1[0]);
+    lamda * (in2[0] - in1[0]) === (in2[1] - in1[1]);
+
+    out[0] <== B*lamda*lamda - A - in1[0] - in2[0];
+    out[1] <== lamda * (in1[0] - out[0]) - in1[1];
+}
+
+template MontgomeryDouble() {
+    signal input in[2];
+    signal output out[2];
+
+    var a = 168700;
+    var d = 168696;
+    var A = (2 * (a + d)) / (a - d);
+    var B = 4 / (a - d);
+
+    signal lamda;
+    signal x1_2;
+
+    x1_2 <== in[0] * in[0];
+
+    lamda <-- (3*x1_2 + 2*A*in[0] + 1) / (2*B*in[1]);
+    lamda * (2*B*in[1]) === (3*x1_2 + 2*A*in[0] + 1);
+
+    out[0] <== B*lamda*lamda - A - 2*in[0];
+    out[1] <== lamda * (in[0] - out[0]) - in[1];
+}
+`
+
+const srcBabyjub = `
+pragma circom 2.0.0;
+
+template BabyAdd() {
+    signal input x1;
+    signal input y1;
+    signal input x2;
+    signal input y2;
+    signal output xout;
+    signal output yout;
+
+    signal beta;
+    signal gamma;
+    signal delta;
+    signal tau;
+
+    var a = 168700;
+    var d = 168696;
+
+    beta <== x1*y2;
+    gamma <== y1*x2;
+    delta <== (-a*x1 + y1) * (x2 + y2);
+    tau <== beta * gamma;
+
+    xout <-- (beta + gamma) / (1 + d*tau);
+    (1 + d*tau) * xout === (beta + gamma);
+
+    yout <-- (delta + a*beta - gamma) / (1 - d*tau);
+    (1 - d*tau) * yout === (delta + a*beta - gamma);
+}
+
+template BabyDbl() {
+    signal input x;
+    signal input y;
+    signal output xout;
+    signal output yout;
+
+    component adder = BabyAdd();
+    adder.x1 <== x;
+    adder.y1 <== y;
+    adder.x2 <== x;
+    adder.y2 <== y;
+
+    adder.xout ==> xout;
+    adder.yout ==> yout;
+}
+`
+
+const srcMiMC = `
+pragma circom 2.0.0;
+
+// MiMCConst synthesizes deterministic round constants. circomlib derives
+// its constants from Keccak; the exact values are irrelevant to the
+// constraint structure (see DESIGN.md, substitutions).
+function MiMCConst(i) {
+    return i*i*i + 7919*i + 91;
+}
+
+template MiMC7(nrounds) {
+    signal input x_in;
+    signal input k;
+    signal output out;
+
+    signal t2[nrounds];
+    signal t4[nrounds];
+    signal t6[nrounds];
+    signal t7[nrounds-1];
+
+    var t;
+    for (var i = 0; i < nrounds; i++) {
+        if (i == 0) {
+            t = k + x_in;
+        } else {
+            t = k + t7[i-1] + MiMCConst(i);
+        }
+        t2[i] <== t*t;
+        t4[i] <== t2[i]*t2[i];
+        t6[i] <== t4[i]*t2[i];
+        if (i < nrounds - 1) {
+            t7[i] <== t6[i]*t;
+        } else {
+            out <== t6[i]*t + k;
+        }
+    }
+}
+
+template MiMCFeistel(nrounds) {
+    signal input xL_in;
+    signal input xR_in;
+    signal input k;
+    signal output xL_out;
+    signal output xR_out;
+
+    var t;
+    signal t2[nrounds];
+    signal t4[nrounds];
+    signal t5[nrounds];
+    signal xL[nrounds-1];
+    signal xR[nrounds-1];
+    var c;
+    var aux;
+
+    for (var i = 0; i < nrounds; i++) {
+        if (i == 0) {
+            t = k + xL_in;
+        } else {
+            c = (i < nrounds - 1) ? MiMCConst(i) : 0;
+            t = k + xL[i-1] + c;
+        }
+        t2[i] <== t*t;
+        t4[i] <== t2[i]*t2[i];
+        t5[i] <== t4[i]*t;
+        if (i < nrounds - 1) {
+            aux = (i == 0) ? xR_in : xR[i-1];
+            xL[i] <== aux + t5[i];
+            xR[i] <== (i == 0) ? xL_in : xL[i-1];
+        } else {
+            xR_out <== xR[i-1] + t5[i];
+            xL_out <== xL[i-1];
+        }
+    }
+}
+
+template MiMCSponge(nInputs, nRounds, nOutputs) {
+    signal input ins[nInputs];
+    signal input k;
+    signal output outs[nOutputs];
+
+    component S[nInputs + nOutputs - 1];
+
+    for (var i = 0; i < nInputs; i++) {
+        S[i] = MiMCFeistel(nRounds);
+        S[i].k <== k;
+        if (i == 0) {
+            S[i].xL_in <== ins[0];
+            S[i].xR_in <== 0;
+        } else {
+            S[i].xL_in <== S[i-1].xL_out + ins[i];
+            S[i].xR_in <== S[i-1].xR_out;
+        }
+    }
+
+    outs[0] <== S[nInputs - 1].xL_out;
+
+    for (var i = 0; i < nOutputs - 1; i++) {
+        S[nInputs + i] = MiMCFeistel(nRounds);
+        S[nInputs + i].k <== k;
+        S[nInputs + i].xL_in <== S[nInputs + i - 1].xL_out;
+        S[nInputs + i].xR_in <== S[nInputs + i - 1].xR_out;
+        outs[i + 1] <== S[nInputs + i].xL_out;
+    }
+}
+`
+
+const srcBinSum = `
+pragma circom 2.0.0;
+
+function nbits(a) {
+    var n = 1;
+    var r = 0;
+    while (n - 1 < a) {
+        r++;
+        n *= 2;
+    }
+    return r;
+}
+
+template BinSum(n, ops) {
+    var nout = nbits((2**n - 1)*ops);
+    signal input in[ops][n];
+    signal output out[nout];
+
+    var lin = 0;
+    var lout = 0;
+    var e2 = 1;
+    for (var k = 0; k < n; k++) {
+        for (var j = 0; j < ops; j++) {
+            lin += in[j][k] * e2;
+        }
+        e2 = e2 + e2;
+    }
+    e2 = 1;
+    for (var k = 0; k < nout; k++) {
+        out[k] <-- (lin >> k) & 1;
+        out[k] * (out[k] - 1) === 0;
+        lout += out[k] * e2;
+        e2 = e2 + e2;
+    }
+    lin === lout;
+}
+`
+
+const srcBigIntLite = `
+pragma circom 2.0.0;
+include "bitify.circom";
+include "comparators.circom";
+
+// A compact long-arithmetic layer in the style of circom-ecdsa's bigint:
+// word-level modular add/sub/mul with explicit carry/borrow outputs.
+
+template ModSum(n) {
+    assert(n <= 250);
+    signal input a;
+    signal input b;
+    signal output sum;
+    signal output carry;
+    component n2b = Num2Bits(n + 1);
+    n2b.in <== a + b;
+    carry <== n2b.out[n];
+    sum <== a + b - carry * (1 << n);
+}
+
+template ModSub(n) {
+    assert(n <= 250);
+    signal input a;
+    signal input b;
+    signal output out;
+    signal output borrow;
+    component lt = LessThan(n);
+    lt.in[0] <== a;
+    lt.in[1] <== b;
+    borrow <== lt.out;
+    out <== borrow * (1 << n) + a - b;
+}
+
+template ModProd(n) {
+    assert(n <= 125);
+    signal input a;
+    signal input b;
+    signal output prod;
+    signal output carry;
+
+    component n2b = Num2Bits(2*n);
+    n2b.in <== a * b;
+
+    component b2nProd = Bits2Num(n);
+    component b2nCarry = Bits2Num(n);
+    for (var i = 0; i < n; i++) {
+        b2nProd.in[i] <== n2b.out[i];
+        b2nCarry.in[i] <== n2b.out[n + i];
+    }
+    prod <== b2nProd.out;
+    carry <== b2nCarry.out;
+}
+`
+
+const srcBuggy = `
+pragma circom 2.0.0;
+include "multiplexer.circom";
+
+// Seeded mutants of classic under-constrained bug classes: assigning with
+// <-- and forgetting the matching ===, and dropping range/booleanity
+// constraints.
+
+template IsZeroBuggy() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    // BUG: missing  in*out === 0;
+}
+
+template SwitcherBuggy() {
+    signal input sel;
+    signal input L;
+    signal input R;
+    signal output outL;
+    signal output outR;
+    signal aux;
+    aux <-- (R - L)*sel;   // BUG: <-- instead of <==
+    outL <== aux + L;
+    outR <== -aux + R;
+}
+
+template Num2BitsBuggy(n) {
+    signal input in;
+    signal output out[n];
+    var lc1 = 0;
+    var e2 = 1;
+    for (var i = 0; i < n; i++) {
+        out[i] <-- (in >> i) & 1;
+        if (i < n - 1) {
+            out[i] * (out[i] - 1) === 0;   // BUG: top bit never constrained
+        }
+        lc1 += out[i] * e2;
+        e2 = e2 + e2;
+    }
+    lc1 === in;
+}
+
+template ModSumBuggy(n) {
+    assert(n <= 250);
+    signal input a;
+    signal input b;
+    signal output sum;
+    signal output carry;
+    carry <-- (a + b) >> n;            // BUG: carry never constrained
+    sum <== a + b - carry * (1 << n);
+}
+
+template MultiplexerBuggy(wIn, nIn) {
+    signal input inp[nIn][wIn];
+    signal input sel;
+    signal output out[wIn];
+
+    component dec = Decoder(nIn);
+    component ep[wIn];
+    for (var k = 0; k < wIn; k++) {
+        ep[k] = EscalarProduct(nIn);
+    }
+    sel ==> dec.inp;
+    for (var j = 0; j < wIn; j++) {
+        for (var k = 0; k < nIn; k++) {
+            inp[k][j] ==> ep[j].in1[k];
+            dec.out[k] ==> ep[j].in2[k];
+        }
+        ep[j].out ==> out[j];
+    }
+    // BUG: missing  dec.success === 1;
+}
+`
+
+const srcCompConstant = `
+pragma circom 2.0.0;
+include "bitify.circom";
+
+// CompConstant returns 1 if the 254-bit input (LSB first) is greater than
+// the constant ct, processing the bits in 127 two-bit windows. This is the
+// circomlib implementation verbatim; it is a heavy consumer of symbolic
+// compile-time variables (slsb/smsb hold signals).
+template CompConstant(ct) {
+    signal input in[254];
+    signal output out;
+
+    signal parts[127];
+    signal sout;
+
+    var clsb;
+    var cmsb;
+    var slsb;
+    var smsb;
+
+    var sum = 0;
+
+    var b = (1 << 128) - 1;
+    var a = 1;
+    var e = 1;
+    var i;
+
+    for (i = 0; i < 127; i++) {
+        clsb = (ct >> (i*2)) & 1;
+        cmsb = (ct >> (i*2 + 1)) & 1;
+        slsb = in[i*2];
+        smsb = in[i*2 + 1];
+
+        if ((cmsb == 0) && (clsb == 0)) {
+            parts[i] <== -b*smsb*slsb + b*smsb + b*slsb;
+        } else if ((cmsb == 0) && (clsb == 1)) {
+            parts[i] <== a*smsb*slsb - a*slsb + b*smsb - a*smsb + a;
+        } else if ((cmsb == 1) && (clsb == 0)) {
+            parts[i] <== b*smsb*slsb - a*smsb + a;
+        } else {
+            parts[i] <== -a*smsb*slsb + a;
+        }
+
+        sum = sum + parts[i];
+
+        b = b - e;
+        a = a + e;
+        e = e * 2;
+    }
+
+    sout <== sum;
+
+    component num2bits = Num2Bits(135);
+    num2bits.in <== sout;
+    out <== num2bits.out[127];
+}
+`
+
+const srcAliasCheck = `
+pragma circom 2.0.0;
+include "compconstant.circom";
+
+// AliasCheck forces a 254-bit little-endian decomposition to denote a
+// value below the field modulus, ruling out the aliased second encoding.
+template AliasCheck() {
+    signal input in[254];
+    component compConstant = CompConstant(-1);
+    for (var i = 0; i < 254; i++) {
+        in[i] ==> compConstant.in[i];
+    }
+    compConstant.out === 0;
+}
+`
+
+const srcSign = `
+pragma circom 2.0.0;
+include "compconstant.circom";
+
+// Sign outputs 1 when the 254-bit input (taken below p) is larger than
+// (p-1)/2, i.e. "negative" in the signed reading.
+template Sign() {
+    signal input in[254];
+    signal output sign;
+    component comp = CompConstant(10944121435919637611123202872628637544274182200208017171849102093287904247808);
+    for (var i = 0; i < 254; i++) {
+        in[i] ==> comp.in[i];
+    }
+    sign <== comp.out;
+}
+`
+
+const srcBitifyStrict = `
+pragma circom 2.0.0;
+include "bitify.circom";
+include "aliascheck.circom";
+
+// Num2Bits_strict is the safe 254-bit decomposition: plain Num2Bits(254)
+// is under-constrained over BN254 (in and in+p share a 254-bit encoding),
+// so the alias check is required.
+template Num2Bits_strict() {
+    signal input in;
+    signal output out[254];
+
+    component aliasCheck = AliasCheck();
+    component n2b = Num2Bits(254);
+    in ==> n2b.in;
+
+    for (var i = 0; i < 254; i++) {
+        n2b.out[i] ==> out[i];
+        n2b.out[i] ==> aliasCheck.in[i];
+    }
+}
+
+template Bits2Num_strict() {
+    signal input in[254];
+    signal output out;
+
+    component aliasCheck = AliasCheck();
+    component b2n = Bits2Num(254);
+
+    for (var i = 0; i < 254; i++) {
+        in[i] ==> b2n.in[i];
+        in[i] ==> aliasCheck.in[i];
+    }
+    b2n.out ==> out;
+}
+`
+
+const srcEscalarMulAny = `
+pragma circom 2.0.0;
+include "montgomery.circom";
+
+template Multiplexor2() {
+    signal input sel;
+    signal input in[2][2];
+    signal output out[2];
+
+    out[0] <== (in[1][0] - in[0][0])*sel + in[0][0];
+    out[1] <== (in[1][1] - in[0][1])*sel + in[0][1];
+}
+
+// BitElementMulAny is one ladder step of circomlib's any-point scalar
+// multiplication. It composes MontgomeryDouble and MontgomeryAdd and
+// therefore inherits their under-constrained denominator classes.
+template BitElementMulAny() {
+    signal input sel;
+    signal input dblIn[2];
+    signal input addIn[2];
+    signal output dblOut[2];
+    signal output addOut[2];
+
+    component doubler = MontgomeryDouble();
+    component adder = MontgomeryAdd();
+    component selector = Multiplexor2();
+
+    sel ==> selector.sel;
+
+    dblIn[0] ==> doubler.in[0];
+    dblIn[1] ==> doubler.in[1];
+    doubler.out[0] ==> adder.in1[0];
+    doubler.out[1] ==> adder.in1[1];
+    addIn[0] ==> adder.in2[0];
+    addIn[1] ==> adder.in2[1];
+    addIn[0] ==> selector.in[0][0];
+    addIn[1] ==> selector.in[0][1];
+    adder.out[0] ==> selector.in[1][0];
+    adder.out[1] ==> selector.in[1][1];
+
+    doubler.out[0] ==> dblOut[0];
+    doubler.out[1] ==> dblOut[1];
+    selector.out[0] ==> addOut[0];
+    selector.out[1] ==> addOut[1];
+}
+`
+
+const srcEdwards = `
+pragma circom 2.0.0;
+
+// BabyCheck constrains (x, y) to lie on the BabyJubJub twisted Edwards
+// curve a·x² + y² = 1 + d·x²·y².
+template BabyCheck() {
+    signal input x;
+    signal input y;
+
+    signal x2;
+    signal y2;
+
+    var a = 168700;
+    var d = 168696;
+
+    x2 <== x*x;
+    y2 <== y*y;
+
+    a*x2 + y2 === 1 + d*x2*y2;
+}
+`

@@ -1,0 +1,24 @@
+package bench
+
+import "testing"
+
+// TestSuiteCompilesAll guarantees the whole corpus stays compilable: every
+// instance must pass the front-end, and every circuit must actually emit
+// constraints (an empty system would silently analyze as vacuously safe).
+func TestSuiteCompilesAll(t *testing.T) {
+	for _, inst := range Suite() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			p, err := inst.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if p.System.NumConstraints() == 0 {
+				t.Errorf("%s compiled to zero constraints", inst.Name)
+			}
+			if len(p.InputNames) == 0 {
+				t.Errorf("%s has no inputs", inst.Name)
+			}
+		})
+	}
+}

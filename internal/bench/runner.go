@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"qed2/internal/core"
+	"qed2/internal/r1cs"
+)
+
+// Result is the outcome of analyzing one instance.
+type Result struct {
+	Instance Instance
+	// CompileErr is set when the front-end rejected the instance (a harness
+	// bug, not an analysis outcome).
+	CompileErr error
+	// Stats describes the compiled system.
+	System r1cs.Stats
+	// Report is the analysis report (nil if compilation failed).
+	Report *core.Report
+	// CompileTime and AnalyzeTime split the wall clock.
+	CompileTime time.Duration
+	AnalyzeTime time.Duration
+	// CEOutput/CEVal1/CEVal2 summarize the counterexample (unsafe verdicts
+	// only): the differing output's name and its two witnessed values.
+	CEOutput string
+	CEVal1   string
+	CEVal2   string
+}
+
+// Solved reports whether the analysis reached a definite verdict.
+func (r Result) Solved() bool {
+	return r.Report != nil &&
+		(r.Report.Verdict == core.VerdictSafe || r.Report.Verdict == core.VerdictUnsafe)
+}
+
+// RunOptions configures a suite run.
+type RunOptions struct {
+	// Config is the analyzer configuration applied to every instance.
+	Config core.Config
+	// Workers is the degree of parallelism (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, is called after each instance completes.
+	Progress func(done, total int, r Result)
+}
+
+// Run compiles and analyzes every instance, preserving input order.
+func Run(insts []Instance, opts *RunOptions) []Result {
+	o := RunOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(insts))
+	var (
+		next int
+		done int
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(insts) {
+					return
+				}
+				results[i] = runOne(insts[i], o.Config)
+				mu.Lock()
+				done++
+				d := done
+				mu.Unlock()
+				if o.Progress != nil {
+					o.Progress(d, len(insts), results[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func runOne(inst Instance, cfg core.Config) Result {
+	res := Result{Instance: inst}
+	t0 := time.Now()
+	prog, err := inst.Compile()
+	res.CompileTime = time.Since(t0)
+	if err != nil {
+		res.CompileErr = fmt.Errorf("bench: %s: %w", inst.Name, err)
+		return res
+	}
+	res.System = prog.System.Stats()
+	t1 := time.Now()
+	res.Report = core.Analyze(prog.System, &cfg)
+	res.AnalyzeTime = time.Since(t1)
+	if ce := res.Report.Counter; ce != nil {
+		f := prog.System.Field()
+		res.CEOutput = prog.System.Name(ce.Signal)
+		res.CEVal1 = f.String(ce.W1[ce.Signal])
+		res.CEVal2 = f.String(ce.W2[ce.Signal])
+	}
+	return res
+}
+
+// Tally aggregates verdicts over a result set.
+type Tally struct {
+	Total, Safe, Unsafe, Unknown, CompileErrors int
+}
+
+// Add folds one result into the tally.
+func (t *Tally) Add(r Result) {
+	t.Total++
+	switch {
+	case r.CompileErr != nil:
+		t.CompileErrors++
+	case r.Report.Verdict == core.VerdictSafe:
+		t.Safe++
+	case r.Report.Verdict == core.VerdictUnsafe:
+		t.Unsafe++
+	default:
+		t.Unknown++
+	}
+}
+
+// Solved returns the number of definitely-decided instances.
+func (t Tally) Solved() int { return t.Safe + t.Unsafe }
+
+// SolvedPct returns the solved percentage.
+func (t Tally) SolvedPct() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return 100 * float64(t.Solved()) / float64(t.Total)
+}
+
+// TallyOf aggregates a result slice.
+func TallyOf(results []Result) Tally {
+	var t Tally
+	for _, r := range results {
+		t.Add(r)
+	}
+	return t
+}

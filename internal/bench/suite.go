@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+
+	"qed2/internal/circom"
+)
+
+// Expectation is the ground-truth label of a benchmark instance.
+type Expectation int
+
+// Expectations.
+const (
+	// ExpectSafe marks circuits known to be properly constrained.
+	ExpectSafe Expectation = iota
+	// ExpectUnsafe marks circuits known to be under-constrained.
+	ExpectUnsafe
+	// ExpectHard marks circuits whose ground truth is safe-or-unknown
+	// territory for the analysis (e.g. denominators that cannot vanish on
+	// the honest domain but can on arbitrary field inputs).
+	ExpectHard
+)
+
+// String implements fmt.Stringer.
+func (e Expectation) String() string {
+	switch e {
+	case ExpectSafe:
+		return "safe"
+	case ExpectUnsafe:
+		return "unsafe"
+	default:
+		return "hard"
+	}
+}
+
+// Instance is one benchmark circuit.
+type Instance struct {
+	// Name is the display name, e.g. "Num2Bits(16)".
+	Name string
+	// Category groups instances for per-category tables.
+	Category string
+	// Includes lists the library files the main source needs.
+	Includes []string
+	// Main is the main-component declaration.
+	Main string
+	// Expect is the ground-truth label.
+	Expect Expectation
+	// Vuln marks the previously-unknown-vulnerability set (Table 4).
+	Vuln bool
+}
+
+// Source assembles the full compilable source of the instance.
+func (in Instance) Source() string {
+	src := "pragma circom 2.0.0;\n"
+	for _, inc := range in.Includes {
+		src += fmt.Sprintf("include %q;\n", inc)
+	}
+	return src + in.Main + "\n"
+}
+
+// Compile compiles the instance against the bundled library.
+func (in Instance) Compile() (*circom.Program, error) {
+	return circom.Compile(in.Source(), &circom.CompileOptions{Library: Library()})
+}
+
+// SuiteSize is the number of instances in the evaluation suite, matching
+// the paper's 163 Circom circuits.
+const SuiteSize = 163
+
+// Suite builds the 163-instance evaluation corpus. The population mirrors
+// the paper's: overwhelmingly safe small/medium arithmetic templates from a
+// circomlib-style library across parameter sweeps, a tail of genuinely
+// vulnerable widely-used templates, and seeded mutants of the classic bug
+// classes.
+func Suite() []Instance {
+	var s []Instance
+	add := func(cat, name string, expect Expectation, vuln bool, includes []string, mainDecl string) {
+		s = append(s, Instance{
+			Name: name, Category: cat, Includes: includes,
+			Main: mainDecl, Expect: expect, Vuln: vuln,
+		})
+	}
+	tmpl := func(cat, tmplName string, expect Expectation, vuln bool, include string, params ...int) {
+		name := tmplName
+		args := ""
+		if len(params) > 0 {
+			args = fmt.Sprint(params[0])
+			for _, p := range params[1:] {
+				args += fmt.Sprintf(", %d", p)
+			}
+			name = fmt.Sprintf("%s(%s)", tmplName, args)
+		} else {
+			name += "()"
+		}
+		add(cat, name, expect, vuln, []string{include},
+			fmt.Sprintf("component main = %s(%s);", tmplName, args))
+	}
+
+	// --- Bitify (52) -----------------------------------------------------
+	for n := 1; n <= 26; n++ {
+		tmpl("Bitify", "Num2Bits", ExpectSafe, false, "bitify.circom", n)
+	}
+	// Num2Bits(254) is genuinely under-constrained over BN254: every value
+	// below 2^254 − p has a second, aliased decomposition. (Finding the
+	// pair needs range reasoning; Unknown is an acceptable outcome.)
+	tmpl("Bitify", "Num2Bits", ExpectUnsafe, false, "bitify.circom", 254)
+	for n := 1; n <= 16; n++ {
+		tmpl("Bitify", "Bits2Num", ExpectSafe, false, "bitify.circom", n)
+	}
+	for _, n := range []int{2, 4, 8, 16} {
+		tmpl("Bitify", "Num2BitsNeg", ExpectHard, false, "bitify.circom", n)
+	}
+	tmpl("Bitify", "CompConstant", ExpectSafe, false, "compconstant.circom", 7)
+	add("Bitify", "CompConstant(p\\2)", ExpectSafe, false, []string{"compconstant.circom"},
+		"component main = CompConstant(10944121435919637611123202872628637544274182200208017171849102093287904247808);")
+	tmpl("Bitify", "AliasCheck", ExpectSafe, false, "aliascheck.circom")
+	tmpl("Bitify", "Sign", ExpectSafe, false, "sign.circom")
+	// The strict decomposition is safe but requires reasoning about the
+	// alias-check range constraint; ExpectHard acknowledges the analysis
+	// may time out rather than prove it.
+	tmpl("Bitify", "Num2Bits_strict", ExpectHard, false, "bitify_strict.circom")
+
+	// --- Comparators (23) -------------------------------------------------
+	tmpl("Comparators", "IsZero", ExpectSafe, false, "comparators.circom")
+	tmpl("Comparators", "IsEqual", ExpectSafe, false, "comparators.circom")
+	tmpl("Comparators", "ForceEqualIfEnabled", ExpectSafe, false, "comparators.circom")
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 252} {
+		tmpl("Comparators", "LessThan", ExpectSafe, false, "comparators.circom", n)
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		tmpl("Comparators", "LessEqThan", ExpectSafe, false, "comparators.circom", n)
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		tmpl("Comparators", "GreaterThan", ExpectSafe, false, "comparators.circom", n)
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		tmpl("Comparators", "GreaterEqThan", ExpectSafe, false, "comparators.circom", n)
+	}
+
+	// --- Gates (12) --------------------------------------------------------
+	for _, g := range []string{"XOR", "AND", "OR", "NOT", "NAND", "NOR"} {
+		tmpl("Gates", g, ExpectSafe, false, "gates.circom")
+	}
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		tmpl("Gates", "MultiAND", ExpectSafe, false, "gates.circom", n)
+	}
+
+	// --- Mux (15) ----------------------------------------------------------
+	tmpl("Mux", "Mux1", ExpectSafe, false, "mux1.circom")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		tmpl("Mux", "MultiMux1", ExpectSafe, false, "mux1.circom", n)
+	}
+	tmpl("Mux", "Mux2", ExpectSafe, false, "mux2.circom")
+	for _, n := range []int{1, 2, 4, 8} {
+		tmpl("Mux", "MultiMux2", ExpectSafe, false, "mux2.circom", n)
+	}
+	tmpl("Mux", "Mux3", ExpectSafe, false, "mux3.circom")
+	for _, n := range []int{1, 2, 4} {
+		tmpl("Mux", "MultiMux3", ExpectSafe, false, "mux3.circom", n)
+	}
+
+	// --- Multiplexer (14) ---------------------------------------------------
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		tmpl("Multiplexer", "Decoder", ExpectUnsafe, w == 4, "multiplexer.circom", w)
+	}
+	for _, w := range []int{2, 4, 8, 16} {
+		tmpl("Multiplexer", "EscalarProduct", ExpectSafe, false, "multiplexer.circom", w)
+	}
+	for _, p := range [][2]int{{1, 2}, {2, 2}, {2, 4}, {4, 4}, {4, 8}} {
+		tmpl("Multiplexer", "Multiplexer", ExpectSafe, false, "multiplexer.circom", p[0], p[1])
+	}
+
+	// --- Curve operations (6) ------------------------------------------------
+	tmpl("Curve", "Edwards2Montgomery", ExpectUnsafe, true, "montgomery.circom")
+	tmpl("Curve", "Montgomery2Edwards", ExpectUnsafe, true, "montgomery.circom")
+	tmpl("Curve", "MontgomeryAdd", ExpectUnsafe, true, "montgomery.circom")
+	tmpl("Curve", "MontgomeryDouble", ExpectUnsafe, true, "montgomery.circom")
+	tmpl("Curve", "BabyAdd", ExpectHard, false, "babyjub.circom")
+	tmpl("Curve", "BabyDbl", ExpectHard, false, "babyjub.circom")
+
+	// --- Hash (7) ---------------------------------------------------------------
+	for _, r := range []int{2, 5, 10, 45, 91} {
+		tmpl("Hash", "MiMC7", ExpectSafe, false, "mimc.circom", r)
+	}
+	tmpl("Hash", "MiMCFeistel", ExpectSafe, false, "mimc.circom", 10)
+	tmpl("Hash", "MiMCSponge", ExpectSafe, false, "mimc.circom", 2, 10, 2)
+
+	// --- Binary arithmetic (11) ----------------------------------------------
+	for _, p := range [][2]int{{2, 2}, {4, 2}, {8, 2}, {16, 2}, {32, 2}, {8, 3}, {16, 3}, {32, 3}, {8, 4}, {16, 4}} {
+		tmpl("BinArith", "BinSum", ExpectSafe, false, "binsum.circom", p[0], p[1])
+	}
+	tmpl("BinArith", "Switcher", ExpectSafe, false, "switcher.circom")
+
+	// --- BigInt-lite (12) ---------------------------------------------------------
+	for _, n := range []int{8, 16, 32, 64} {
+		tmpl("BigInt", "ModSum", ExpectSafe, false, "bigintlite.circom", n)
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		tmpl("BigInt", "ModSub", ExpectSafe, false, "bigintlite.circom", n)
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		tmpl("BigInt", "ModProd", ExpectSafe, false, "bigintlite.circom", n)
+	}
+
+	// --- Seeded bugs (11) ------------------------------------------------------
+	tmpl("SeededBugs", "IsZeroBuggy", ExpectUnsafe, true, "buggy.circom")
+	tmpl("SeededBugs", "SwitcherBuggy", ExpectUnsafe, true, "buggy.circom")
+	for _, n := range []int{3, 4, 6, 8} {
+		tmpl("SeededBugs", "Num2BitsBuggy", ExpectUnsafe, n == 4, "buggy.circom", n)
+	}
+	for _, n := range []int{8, 16, 32} {
+		tmpl("SeededBugs", "ModSumBuggy", ExpectUnsafe, false, "buggy.circom", n)
+	}
+	for _, p := range [][2]int{{1, 2}, {2, 2}} {
+		tmpl("SeededBugs", "MultiplexerBuggy", ExpectUnsafe, false, "buggy.circom", p[0], p[1])
+	}
+
+	if len(s) != SuiteSize {
+		panic(fmt.Sprintf("bench: suite has %d instances, want %d", len(s), SuiteSize))
+	}
+	return s
+}
+
+// Categories returns the distinct categories in suite order.
+func Categories(insts []Instance) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, in := range insts {
+		if !seen[in.Category] {
+			seen[in.Category] = true
+			out = append(out, in.Category)
+		}
+	}
+	return out
+}
+
+// ByName finds an instance by display name.
+func ByName(insts []Instance, name string) (Instance, bool) {
+	for _, in := range insts {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Instance{}, false
+}

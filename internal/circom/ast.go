@@ -1,0 +1,260 @@
+package circom
+
+import "math/big"
+
+// File is a parsed Circom source file.
+type File struct {
+	Pragmas   []string
+	Includes  []string
+	Templates []*Template
+	Functions []*Function
+	Main      *MainDecl
+}
+
+// Template is a circuit template declaration.
+type Template struct {
+	Name     string
+	Params   []string
+	Body     *Block
+	Parallel bool
+	Pos      Pos
+}
+
+// Function is a compile-time function declaration.
+type Function struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Pos    Pos
+}
+
+// MainDecl is the `component main {public [...]} = T(...)` declaration.
+type MainDecl struct {
+	Public []string
+	Call   *CallExpr
+	Pos    Pos
+}
+
+// --- statements ---------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// Block is a brace-delimited statement list with its own variable scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// Declarator is one name in a var/signal/component declaration, with
+// optional array dimensions and initializer.
+type Declarator struct {
+	Name string
+	Dims []Expr // evaluated at compile time
+	Init Expr   // optional
+	Pos  Pos
+}
+
+// SignalClass distinguishes input/output/intermediate signals.
+type SignalClass int
+
+// Signal classes.
+const (
+	SignalIntermediate SignalClass = iota
+	SignalInput
+	SignalOutput
+)
+
+// String implements fmt.Stringer.
+func (c SignalClass) String() string {
+	switch c {
+	case SignalInput:
+		return "input"
+	case SignalOutput:
+		return "output"
+	default:
+		return "intermediate"
+	}
+}
+
+// VarDecl declares compile-time variables: `var x = 0, ys[n];`.
+type VarDecl struct {
+	Decls []Declarator
+	Pos   Pos
+}
+
+// SignalDecl declares signals: `signal input in[2];`.
+type SignalDecl struct {
+	Class SignalClass
+	Decls []Declarator
+	Pos   Pos
+}
+
+// ComponentDecl declares sub-components: `component c = T(1);` or
+// `component cs[4];`.
+type ComponentDecl struct {
+	Decls []Declarator
+	Pos   Pos
+}
+
+// AssignStmt covers var assignment (=, +=, …), component instantiation
+// (name = Template(args)), signal assignment (<--) and constraining
+// assignment (<==). Reversed forms (==> / -->) are normalized by the parser
+// so that LHS is always the target.
+type AssignStmt struct {
+	LHS Expr
+	Op  TokKind // TokAssign, TokPlusAssign, ..., TokAssignSig, TokAssignCon
+	RHS Expr
+	Pos Pos
+}
+
+// ConstraintStmt is the pure constraint `l === r`.
+type ConstraintStmt struct {
+	L, R Expr
+	Pos  Pos
+}
+
+// IncDecStmt is `x++` or `x--`.
+type IncDecStmt struct {
+	LHS Expr
+	Op  TokKind // TokInc or TokDec
+	Pos Pos
+}
+
+// ForStmt is a C-style for loop; Init/Post may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// IfStmt is a conditional with optional else branch (Else may be *Block or
+// *IfStmt for else-if chains).
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns a value from a function.
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// AssertStmt is `assert(cond);`.
+type AssertStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// LogStmt is `log(...);` — evaluated for side-effect-free diagnostics.
+type LogStmt struct {
+	Args []Expr
+	Pos  Pos
+}
+
+func (s *Block) stmtPos() Pos          { return s.Pos }
+func (s *VarDecl) stmtPos() Pos        { return s.Pos }
+func (s *SignalDecl) stmtPos() Pos     { return s.Pos }
+func (s *ComponentDecl) stmtPos() Pos  { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos     { return s.Pos }
+func (s *ConstraintStmt) stmtPos() Pos { return s.Pos }
+func (s *IncDecStmt) stmtPos() Pos     { return s.Pos }
+func (s *ForStmt) stmtPos() Pos        { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos      { return s.Pos }
+func (s *IfStmt) stmtPos() Pos         { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos     { return s.Pos }
+func (s *AssertStmt) stmtPos() Pos     { return s.Pos }
+func (s *LogStmt) stmtPos() Pos        { return s.Pos }
+
+// --- expressions -------------------------------------------------------------
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprPos() Pos }
+
+// NumberLit is an integer literal (decimal or hex).
+type NumberLit struct {
+	Val *big.Int
+	Pos Pos
+}
+
+// StringLit appears only inside log(...).
+type StringLit struct {
+	Val string
+	Pos Pos
+}
+
+// Ident is a bare name: variable, signal, component, or parameter.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// CallExpr is a function call or template instantiation `Name(args)`.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// IndexExpr is `x[i]`.
+type IndexExpr struct {
+	X   Expr
+	Idx Expr
+	Pos Pos
+}
+
+// MemberExpr is `comp.signal`.
+type MemberExpr struct {
+	X    Expr
+	Name string
+	Pos  Pos
+}
+
+// UnaryExpr is `-x`, `!x`, or `~x`.
+type UnaryExpr struct {
+	Op  TokKind
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+// CondExpr is the ternary `c ? t : f`.
+type CondExpr struct {
+	C, T, F Expr
+	Pos     Pos
+}
+
+// ArrayLit is `[a, b, c]`, usable as a var initializer.
+type ArrayLit struct {
+	Elems []Expr
+	Pos   Pos
+}
+
+func (e *NumberLit) exprPos() Pos  { return e.Pos }
+func (e *StringLit) exprPos() Pos  { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *MemberExpr) exprPos() Pos { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *CondExpr) exprPos() Pos   { return e.Pos }
+func (e *ArrayLit) exprPos() Pos   { return e.Pos }

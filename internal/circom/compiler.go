@@ -1,0 +1,1122 @@
+package circom
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+// CompileOptions configures compilation.
+type CompileOptions struct {
+	// Field is the constraint field; defaults to the BN254 scalar field,
+	// matching the circom compiler's default.
+	Field *ff.Field
+	// Library resolves include "name" directives to source text.
+	Library map[string]string
+	// MaxSignals bounds the number of signals (default 1 << 20).
+	MaxSignals int
+	// MaxConstraints bounds the number of constraints (default 1 << 21).
+	MaxConstraints int
+	// MaxSteps bounds compile-time statement executions (default 50M).
+	MaxSteps int64
+	// MaxDepth bounds template/function call nesting (default 128).
+	MaxDepth int
+}
+
+func (o *CompileOptions) withDefaults() CompileOptions {
+	out := CompileOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.Field == nil {
+		out.Field = ff.BN254()
+	}
+	if out.MaxSignals == 0 {
+		out.MaxSignals = 1 << 20
+	}
+	if out.MaxConstraints == 0 {
+		out.MaxConstraints = 1 << 21
+	}
+	if out.MaxSteps == 0 {
+		out.MaxSteps = 50_000_000
+	}
+	if out.MaxDepth == 0 {
+		out.MaxDepth = 128
+	}
+	return out
+}
+
+// Compile parses src (resolving includes through opts.Library), instantiates
+// the main component, and returns the compiled Program.
+func Compile(src string, opts *CompileOptions) (*Program, error) {
+	o := (&CompileOptions{}).withDefaults()
+	if opts != nil {
+		o = opts.withDefaults()
+	}
+	file, err := loadWithIncludes(src, o.Library)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(file, &o)
+}
+
+// loadWithIncludes parses src and, recursively, every included file from
+// the library, merging all templates and functions. Duplicate includes are
+// loaded once; include cycles are tolerated for the same reason.
+func loadWithIncludes(src string, library map[string]string) (*File, error) {
+	root, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	loaded := map[string]bool{}
+	queue := append([]string(nil), root.Includes...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if loaded[name] {
+			continue
+		}
+		loaded[name] = true
+		text, ok := library[name]
+		if !ok {
+			return nil, fmt.Errorf("circom: include %q not found in library", name)
+		}
+		inc, err := ParseFile(text)
+		if err != nil {
+			return nil, fmt.Errorf("circom: in included file %q: %w", name, err)
+		}
+		if inc.Main != nil {
+			return nil, fmt.Errorf("circom: included file %q declares a main component", name)
+		}
+		root.Templates = append(root.Templates, inc.Templates...)
+		root.Functions = append(root.Functions, inc.Functions...)
+		queue = append(queue, inc.Includes...)
+	}
+	return root, nil
+}
+
+// CompileFile compiles an already-parsed (and include-merged) file.
+func CompileFile(file *File, opts *CompileOptions) (*Program, error) {
+	o := opts.withDefaults()
+	if file.Main == nil {
+		return nil, errors.New("circom: no main component declared")
+	}
+	c := &compiler{
+		opts:      o,
+		f:         o.Field,
+		templates: map[string]*Template{},
+		functions: map[string]*Function{},
+		sys:       r1cs.NewSystem(o.Field),
+	}
+	for _, t := range file.Templates {
+		if _, dup := c.templates[t.Name]; dup {
+			return nil, errAt(t.Pos, "duplicate template %q", t.Name)
+		}
+		c.templates[t.Name] = t
+	}
+	for _, fn := range file.Functions {
+		if _, dup := c.functions[fn.Name]; dup {
+			return nil, errAt(fn.Pos, "duplicate function %q", fn.Name)
+		}
+		c.functions[fn.Name] = fn
+	}
+	c.prog = &Program{
+		System:      c.sys,
+		InputNames:  map[string]int{},
+		OutputNames: map[string]int{},
+	}
+	// Evaluate main arguments in a signal-free environment.
+	topEnv := &env{c: c, scopes: []map[string]any{{}}}
+	args := make([]cval, len(file.Main.Call.Args))
+	for i, a := range file.Main.Call.Args {
+		v, err := topEnv.evalConst(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	c.assignedSig = append(c.assignedSig, true) // the constant-one signal
+	inst, err := c.instantiate(file.Main.Call.Name, args, "", true, file.Main.Pos)
+	if err != nil {
+		return nil, err
+	}
+	c.prog.MainTemplate = file.Main.Call.Name
+	_ = inst
+	// Every non-input signal must have a witness-generation rule.
+	var unassigned []string
+	for id := 1; id < c.sys.NumSignals(); id++ {
+		if !c.assignedSig[id] && c.sys.Signal(id).Kind != r1cs.KindInput {
+			unassigned = append(unassigned, c.sys.Name(id))
+		}
+	}
+	if len(unassigned) > 0 {
+		return nil, fmt.Errorf("circom: signals with no assignment (<== or <--): %s", strings.Join(unassigned, ", "))
+	}
+	return c.prog, nil
+}
+
+// --- compiler state --------------------------------------------------------------
+
+type compiler struct {
+	opts      CompileOptions
+	f         *ff.Field
+	templates map[string]*Template
+	functions map[string]*Function
+	prog      *Program
+	sys       *r1cs.System
+	steps     int64
+	depth     int
+	// assignedSig[id] records that signal id has a witness assignment.
+	assignedSig []bool
+}
+
+func (c *compiler) step(pos Pos) error {
+	c.steps++
+	if c.steps > c.opts.MaxSteps {
+		return errAt(pos, "compilation step budget exceeded (%d steps): possible unbounded loop", c.opts.MaxSteps)
+	}
+	return nil
+}
+
+// cval is the compile-time value domain: *big.Int or *arrVal.
+type cval any
+
+// arrVal is a (possibly multi-dimensional) array of field elements, stored
+// flattened row-major.
+type arrVal struct {
+	dims  []int
+	elems []*big.Int
+}
+
+func newArr(f *ff.Field, dims []int) *arrVal {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	a := &arrVal{dims: dims, elems: make([]*big.Int, n)}
+	for i := range a.elems {
+		a.elems[i] = new(big.Int)
+	}
+	return a
+}
+
+func (a *arrVal) clone() *arrVal {
+	out := &arrVal{dims: append([]int(nil), a.dims...), elems: make([]*big.Int, len(a.elems))}
+	for i, e := range a.elems {
+		out.elems[i] = new(big.Int).Set(e)
+	}
+	return out
+}
+
+func cloneCval(v cval) cval {
+	switch x := v.(type) {
+	case *big.Int:
+		return new(big.Int).Set(x)
+	case *arrVal:
+		return x.clone()
+	case *symRes:
+		// symVal and WExpr values are treated as immutable; share them.
+		return &symRes{sym: x.sym, wx: x.wx}
+	default:
+		return v
+	}
+}
+
+// dimsProduct returns the flattened length of dims.
+func dimsProduct(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}
+
+// flattenIndex converts a full index list into a flat offset.
+func flattenIndex(dims, idx []int) int {
+	off := 0
+	for i, d := range dims {
+		off = off*d + idx[i]
+	}
+	return off
+}
+
+// --- bindings -----------------------------------------------------------------
+
+type varCell struct{ val cval }
+
+type sigGroup struct {
+	class SignalClass
+	dims  []int
+	ids   []int // flattened signal IDs
+	name  string
+}
+
+type subInstance struct {
+	tmplName string
+	signals  map[string]*sigGroup
+	// inputsTotal/inputsSet track subcomponent input wiring completeness.
+	inputsTotal int
+	inputsSet   int
+}
+
+type compGroup struct {
+	dims  []int
+	slots []*subInstance // nil until instantiated
+	name  string
+	pos   Pos
+}
+
+// env is a lexical environment for one template instantiation or function
+// call.
+type env struct {
+	c      *compiler
+	prefix string // signal name prefix, e.g. "c[2]." for subcomponents
+	scopes []map[string]any
+	inst   *subInstance // non-nil in template mode
+	isTop  bool         // instantiating the main component
+	isFn   bool         // executing a function body
+	retVal cval
+	done   bool // a return statement has executed
+}
+
+func (e *env) pushScope() { e.scopes = append(e.scopes, map[string]any{}) }
+func (e *env) popScope()  { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+func (e *env) lookup(name string) (any, bool) {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if b, ok := e.scopes[i][name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) declare(name string, b any, pos Pos) error {
+	top := e.scopes[len(e.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errAt(pos, "redeclaration of %q", name)
+	}
+	top[name] = b
+	return nil
+}
+
+// --- template instantiation ----------------------------------------------------
+
+func (c *compiler) instantiate(name string, args []cval, prefix string, top bool, pos Pos) (*subInstance, error) {
+	tmpl, ok := c.templates[name]
+	if !ok {
+		return nil, errAt(pos, "unknown template %q", name)
+	}
+	if len(args) != len(tmpl.Params) {
+		return nil, errAt(pos, "template %s expects %d parameters, got %d", name, len(tmpl.Params), len(args))
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+	if c.depth > c.opts.MaxDepth {
+		return nil, errAt(pos, "template nesting exceeds %d (recursive instantiation?)", c.opts.MaxDepth)
+	}
+	inst := &subInstance{tmplName: name, signals: map[string]*sigGroup{}}
+	e := &env{c: c, prefix: prefix, scopes: []map[string]any{{}}, inst: inst, isTop: top}
+	for i, p := range tmpl.Params {
+		if err := e.declare(p, &varCell{val: cloneCval(args[i])}, tmpl.Pos); err != nil {
+			return nil, err
+		}
+	}
+	e.pushScope() // body scope
+	if err := e.execBlock(tmpl.Body); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// --- statement execution --------------------------------------------------------
+
+func (e *env) execBlock(b *Block) error {
+	e.pushScope()
+	defer e.popScope()
+	for _, s := range b.Stmts {
+		if err := e.execStmt(s); err != nil {
+			return err
+		}
+		if e.done {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (e *env) execStmt(s Stmt) error {
+	if err := e.c.step(s.stmtPos()); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *Block:
+		return e.execBlock(st)
+	case *VarDecl:
+		return e.execVarDecl(st)
+	case *SignalDecl:
+		return e.execSignalDecl(st)
+	case *ComponentDecl:
+		return e.execComponentDecl(st)
+	case *AssignStmt:
+		return e.execAssign(st)
+	case *ConstraintStmt:
+		return e.execConstraint(st)
+	case *IncDecStmt:
+		op := TokPlusAssign
+		if st.Op == TokDec {
+			op = TokMinusAssign
+		}
+		return e.execAssign(&AssignStmt{
+			LHS: st.LHS, Op: op,
+			RHS: &NumberLit{Val: big.NewInt(1), Pos: st.Pos},
+			Pos: st.Pos,
+		})
+	case *ForStmt:
+		e.pushScope()
+		defer e.popScope()
+		if st.Init != nil {
+			if err := e.execStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				v, err := e.evalConstScalar(st.Cond)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					break
+				}
+			}
+			if err := e.execBlock(st.Body); err != nil {
+				return err
+			}
+			if e.done {
+				return nil
+			}
+			if st.Post != nil {
+				if err := e.execStmt(st.Post); err != nil {
+					return err
+				}
+			}
+			if err := e.c.step(st.Pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *WhileStmt:
+		for {
+			v, err := e.evalConstScalar(st.Cond)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				return nil
+			}
+			if err := e.execBlock(st.Body); err != nil {
+				return err
+			}
+			if e.done {
+				return nil
+			}
+			if err := e.c.step(st.Pos); err != nil {
+				return err
+			}
+		}
+	case *IfStmt:
+		v, err := e.evalConstScalar(st.Cond)
+		if err != nil {
+			return err
+		}
+		if truthy(v) {
+			return e.execBlock(st.Then)
+		}
+		if st.Else != nil {
+			return e.execStmt(st.Else)
+		}
+		return nil
+	case *ReturnStmt:
+		if !e.isFn {
+			return errAt(st.Pos, "return outside function")
+		}
+		v, err := e.evalConst(st.Value)
+		if err != nil {
+			return err
+		}
+		e.retVal = cloneCval(v)
+		e.done = true
+		return nil
+	case *AssertStmt:
+		return e.execAssert(st)
+	case *LogStmt:
+		return e.execLog(st)
+	default:
+		return errAt(s.stmtPos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (e *env) execVarDecl(st *VarDecl) error {
+	for _, d := range st.Decls {
+		dims, err := e.evalDims(d.Dims)
+		if err != nil {
+			return err
+		}
+		var val cval
+		if len(dims) == 0 {
+			val = new(big.Int)
+		} else {
+			val = newArr(e.c.f, dims)
+		}
+		if d.Init != nil {
+			iv, err := e.evalValue(d.Init)
+			if err != nil {
+				return err
+			}
+			val, err = coerceInit(iv, dims, d.Pos)
+			if err != nil {
+				return err
+			}
+		}
+		if err := e.declare(d.Name, &varCell{val: val}, d.Pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coerceInit checks that an initializer value matches the declared dims.
+func coerceInit(v cval, dims []int, pos Pos) (cval, error) {
+	switch x := v.(type) {
+	case *big.Int:
+		if len(dims) != 0 {
+			return nil, errAt(pos, "array variable initialized with scalar")
+		}
+		return cloneCval(x), nil
+	case *symRes:
+		if len(dims) != 0 {
+			return nil, errAt(pos, "array variable initialized with a signal-dependent scalar")
+		}
+		return x, nil
+	case *arrVal:
+		if len(dims) == 0 {
+			return nil, errAt(pos, "scalar variable initialized with array")
+		}
+		if dimsProduct(dims) != len(x.elems) {
+			return nil, errAt(pos, "array initializer size mismatch: declared %v, got %d elements", dims, len(x.elems))
+		}
+		out := x.clone()
+		out.dims = append([]int(nil), dims...)
+		return out, nil
+	default:
+		return nil, errAt(pos, "internal: bad initializer value %T", v)
+	}
+}
+
+func (e *env) execSignalDecl(st *SignalDecl) error {
+	if e.isFn {
+		return errAt(st.Pos, "signal declaration inside function")
+	}
+	for _, d := range st.Decls {
+		dims, err := e.evalDims(d.Dims)
+		if err != nil {
+			return err
+		}
+		if _, dup := e.inst.signals[d.Name]; dup {
+			return errAt(d.Pos, "redeclaration of signal %q", d.Name)
+		}
+		g := &sigGroup{class: st.Class, dims: dims, name: d.Name}
+		n := dimsProduct(dims)
+		for i := 0; i < n; i++ {
+			fullName := e.prefix + d.Name + indexSuffix(dims, i)
+			kind := r1cs.KindInternal
+			if e.isTop {
+				switch st.Class {
+				case SignalInput:
+					kind = r1cs.KindInput
+				case SignalOutput:
+					kind = r1cs.KindOutput
+				}
+			}
+			if e.c.sys.NumSignals() >= e.c.opts.MaxSignals {
+				return errAt(d.Pos, "signal budget exceeded (%d)", e.c.opts.MaxSignals)
+			}
+			id := e.c.sys.AddSignal(fullName, kind)
+			e.c.assignedSig = append(e.c.assignedSig, false)
+			g.ids = append(g.ids, id)
+			if e.isTop {
+				rel := d.Name + indexSuffix(dims, i)
+				switch st.Class {
+				case SignalInput:
+					e.c.prog.InputNames[rel] = id
+				case SignalOutput:
+					e.c.prog.OutputNames[rel] = id
+				}
+			}
+			if st.Class == SignalInput {
+				e.inst.inputsTotal++
+			}
+		}
+		e.inst.signals[d.Name] = g
+		if err := e.declare(d.Name, g, d.Pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexSuffix renders the multi-dimensional index of flat offset i, e.g.
+// "[2][0]"; empty for scalars.
+func indexSuffix(dims []int, flat int) string {
+	if len(dims) == 0 {
+		return ""
+	}
+	idx := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i] = flat % dims[i]
+		flat /= dims[i]
+	}
+	var b strings.Builder
+	for _, k := range idx {
+		fmt.Fprintf(&b, "[%d]", k)
+	}
+	return b.String()
+}
+
+func (e *env) execComponentDecl(st *ComponentDecl) error {
+	if e.isFn {
+		return errAt(st.Pos, "component declaration inside function")
+	}
+	for _, d := range st.Decls {
+		dims, err := e.evalDims(d.Dims)
+		if err != nil {
+			return err
+		}
+		g := &compGroup{dims: dims, slots: make([]*subInstance, dimsProduct(dims)), name: d.Name, pos: d.Pos}
+		if err := e.declare(d.Name, g, d.Pos); err != nil {
+			return err
+		}
+		if d.Init != nil {
+			if len(dims) != 0 {
+				return errAt(d.Pos, "component array cannot have a direct initializer")
+			}
+			if err := e.instantiateInto(g, 0, d.Init, d.Pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// instantiateInto fills slot flat of group g from a template call expression.
+func (e *env) instantiateInto(g *compGroup, flat int, call Expr, pos Pos) error {
+	ce, ok := call.(*CallExpr)
+	if !ok {
+		return errAt(pos, "component initializer must be a template instantiation")
+	}
+	if g.slots[flat] != nil {
+		return errAt(pos, "component %s%s instantiated twice", g.name, indexSuffix(g.dims, flat))
+	}
+	args := make([]cval, len(ce.Args))
+	for i, a := range ce.Args {
+		v, err := e.evalConst(a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	childPrefix := e.prefix + g.name + indexSuffix(g.dims, flat) + "."
+	inst, err := e.c.instantiate(ce.Name, args, childPrefix, false, pos)
+	if err != nil {
+		return err
+	}
+	g.slots[flat] = inst
+	return nil
+}
+
+// --- references -----------------------------------------------------------------
+
+// refKind tags resolved references.
+type refKind int
+
+const (
+	refVar refKind = iota
+	refSig
+	refComp
+)
+
+// ref is a resolved lvalue/rvalue path.
+type ref struct {
+	kind refKind
+	cell *varCell
+	sig  *sigGroup
+	comp *compGroup
+	// inst is set when the signal was reached through a component member.
+	inst *subInstance
+	// idx are the indices applied so far (len ≤ len(dims)).
+	idx []int
+	pos Pos
+}
+
+// dims returns the declared dimensions of the referenced object.
+func (r *ref) dims() []int {
+	switch r.kind {
+	case refSig:
+		return r.sig.dims
+	case refComp:
+		return r.comp.dims
+	default:
+		if a, ok := r.cell.val.(*arrVal); ok {
+			return a.dims
+		}
+		return nil
+	}
+}
+
+func (e *env) resolveRef(x Expr) (*ref, error) {
+	switch ex := x.(type) {
+	case *Ident:
+		b, ok := e.lookup(ex.Name)
+		if !ok {
+			return nil, errAt(ex.Pos, "undefined identifier %q", ex.Name)
+		}
+		switch bb := b.(type) {
+		case *varCell:
+			return &ref{kind: refVar, cell: bb, pos: ex.Pos}, nil
+		case *sigGroup:
+			return &ref{kind: refSig, sig: bb, pos: ex.Pos}, nil
+		case *compGroup:
+			return &ref{kind: refComp, comp: bb, pos: ex.Pos}, nil
+		default:
+			return nil, errAt(ex.Pos, "internal: unknown binding %T", b)
+		}
+	case *IndexExpr:
+		base, err := e.resolveRef(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		iv, err := e.evalConstScalar(ex.Idx)
+		if err != nil {
+			return nil, err
+		}
+		si := e.c.f.Signed(iv)
+		if !si.IsInt64() {
+			return nil, errAt(ex.Pos, "array index out of range: %v", si)
+		}
+		i := int(si.Int64())
+		dims := base.dims()
+		if len(base.idx) >= len(dims) {
+			return nil, errAt(ex.Pos, "too many indices")
+		}
+		if i < 0 || i >= dims[len(base.idx)] {
+			return nil, errAt(ex.Pos, "index %d out of bounds [0,%d)", i, dims[len(base.idx)])
+		}
+		base.idx = append(base.idx, i)
+		base.pos = ex.Pos
+		return base, nil
+	case *MemberExpr:
+		base, err := e.resolveRef(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if base.kind != refComp {
+			return nil, errAt(ex.Pos, "member access on non-component")
+		}
+		if len(base.idx) != len(base.comp.dims) {
+			return nil, errAt(ex.Pos, "component array %s must be fully indexed before member access", base.comp.name)
+		}
+		inst := base.comp.slots[flattenIndex(base.comp.dims, base.idx)]
+		if inst == nil {
+			return nil, errAt(ex.Pos, "component %s%s used before instantiation", base.comp.name, indexSuffix(base.comp.dims, flattenIndex(base.comp.dims, base.idx)))
+		}
+		g, ok := inst.signals[ex.Name]
+		if !ok {
+			return nil, errAt(ex.Pos, "template %s has no signal %q", inst.tmplName, ex.Name)
+		}
+		if g.class == SignalIntermediate {
+			return nil, errAt(ex.Pos, "intermediate signal %q of %s is not accessible from outside", ex.Name, inst.tmplName)
+		}
+		return &ref{kind: refSig, sig: g, inst: inst, pos: ex.Pos}, nil
+	default:
+		return nil, errAt(x.exprPos(), "expression is not addressable")
+	}
+}
+
+// scalarSignal resolves a reference to a single signal ID.
+func (r *ref) scalarSignal() (int, error) {
+	if r.kind != refSig {
+		return 0, errAt(r.pos, "expected a signal")
+	}
+	if len(r.idx) != len(r.sig.dims) {
+		return 0, errAt(r.pos, "signal array %s requires %d indices, got %d", r.sig.name, len(r.sig.dims), len(r.idx))
+	}
+	return r.sig.ids[flattenIndex(r.sig.dims, r.idx)], nil
+}
+
+// --- assignments and constraints --------------------------------------------------
+
+func (e *env) execAssign(st *AssignStmt) error {
+	switch st.Op {
+	case TokAssignCon, TokAssignSig:
+		return e.execSignalAssign(st)
+	}
+	// Variable or component assignment.
+	r, err := e.resolveRef(st.LHS)
+	if err != nil {
+		return err
+	}
+	switch r.kind {
+	case refComp:
+		if st.Op != TokAssign {
+			return errAt(st.Pos, "components only support plain '=' instantiation")
+		}
+		if len(r.idx) != len(r.comp.dims) {
+			return errAt(st.Pos, "component array must be fully indexed for instantiation")
+		}
+		return e.instantiateInto(r.comp, flattenIndex(r.comp.dims, r.idx), st.RHS, st.Pos)
+	case refSig:
+		return errAt(st.Pos, "signals must be assigned with <== or <-- (not %q)", st.Op.String())
+	}
+	// Variable.
+	rhs, err := e.evalValue(st.RHS)
+	if err != nil {
+		return err
+	}
+	if st.Op == TokAssign {
+		return e.storeVar(r, rhs, st.Pos)
+	}
+	binOp, ok := compoundOps[st.Op]
+	if !ok {
+		return errAt(st.Pos, "unsupported assignment operator %q", st.Op.String())
+	}
+	cur, err := e.readVarValue(r)
+	if err != nil {
+		return err
+	}
+	// Fast path: both sides constant.
+	cv, cok := cur.(*big.Int)
+	rv, rok := rhs.(*big.Int)
+	if cok && rok {
+		nv, err := applyBin(e.c.f, binOp, cv, e.c.f.Reduce(rv))
+		if err != nil {
+			return errAt(st.Pos, "%v", err)
+		}
+		return e.storeVar(r, nv, st.Pos)
+	}
+	// Symbolic path: combine the (symVal, WExpr) views of both sides.
+	nv, err := e.combineSymbolic(binOp, cur, rhs, st.Pos)
+	if err != nil {
+		return err
+	}
+	return e.storeVar(r, nv, st.Pos)
+}
+
+// combineSymbolic applies a binary operator where at least one operand is
+// signal-dependent, producing a symRes var value.
+func (e *env) combineSymbolic(op TokKind, l, r cval, pos Pos) (cval, error) {
+	ls, lw, err := e.liftScalar(l, pos)
+	if err != nil {
+		return nil, err
+	}
+	rs, rw, err := e.liftScalar(r, pos)
+	if err != nil {
+		return nil, err
+	}
+	var sym *symVal
+	if ls != nil && rs != nil {
+		var serr error
+		switch op {
+		case TokPlus:
+			sym, serr = symAdd(ls, rs)
+		case TokMinus:
+			sym, serr = symSub(ls, rs)
+		case TokStar:
+			sym, serr = symMul(ls, rs)
+		case TokSlash:
+			sym, serr = symDiv(ls, rs)
+		default:
+			serr = errors.New("non-arithmetic operator")
+		}
+		if serr != nil {
+			sym = nil // witness-only value from here on
+		}
+	}
+	var wx WExpr = &WBin{Op: op, L: lw, R: rw}
+	if lc, lok := lw.(*WConst); lok {
+		if rc, rok := rw.(*WConst); rok {
+			if v, err := applyBin(e.c.f, op, lc.V, rc.V); err == nil {
+				wx = &WConst{V: v}
+			}
+		}
+	}
+	return &symRes{sym: sym, wx: wx}, nil
+}
+
+// readVarValue reads a fully- or un-indexed variable reference.
+func (e *env) readVarValue(r *ref) (cval, error) {
+	if r.kind != refVar {
+		return nil, errAt(r.pos, "expected a variable")
+	}
+	switch v := r.cell.val.(type) {
+	case *big.Int, *symRes:
+		if len(r.idx) != 0 {
+			return nil, errAt(r.pos, "indexing a scalar variable")
+		}
+		return v, nil
+	case *arrVal:
+		if len(r.idx) != len(v.dims) {
+			return nil, errAt(r.pos, "partial array read where scalar expected")
+		}
+		return v.elems[flattenIndex(v.dims, r.idx)], nil
+	default:
+		return nil, errAt(r.pos, "internal: bad var value %T", r.cell.val)
+	}
+}
+
+var compoundOps = map[TokKind]TokKind{
+	TokPlusAssign:   TokPlus,
+	TokMinusAssign:  TokMinus,
+	TokStarAssign:   TokStar,
+	TokSlashAssign:  TokSlash,
+	TokIntDivAssign: TokIntDiv,
+	TokPctAssign:    TokPercent,
+	TokShlAssign:    TokShl,
+	TokShrAssign:    TokShr,
+	TokAndAssign:    TokBitAnd,
+	TokOrAssign:     TokBitOr,
+	TokXorAssign:    TokBitXor,
+}
+
+// storeVar writes a value through a variable reference.
+func (e *env) storeVar(r *ref, v cval, pos Pos) error {
+	if r.kind != refVar {
+		return errAt(pos, "left-hand side is not assignable")
+	}
+	switch cur := r.cell.val.(type) {
+	case *big.Int, *symRes:
+		if len(r.idx) != 0 {
+			return errAt(pos, "indexing a scalar variable")
+		}
+		switch nv := v.(type) {
+		case *big.Int:
+			r.cell.val = e.c.f.Reduce(nv)
+		case *symRes:
+			r.cell.val = nv
+		default:
+			return errAt(pos, "cannot assign array to scalar variable")
+		}
+		return nil
+	case *arrVal:
+		if len(r.idx) == len(cur.dims) {
+			nv, ok := v.(*big.Int)
+			if !ok {
+				if _, isSym := v.(*symRes); isSym {
+					return errAt(pos, "array variables cannot hold signal-dependent values; use a signal array")
+				}
+				return errAt(pos, "cannot assign array to array element")
+			}
+			cur.elems[flattenIndex(cur.dims, r.idx)] = e.c.f.Reduce(nv)
+			return nil
+		}
+		if len(r.idx) == 0 {
+			nv, ok := v.(*arrVal)
+			if !ok || dimsProduct(nv.dims) != dimsProduct(cur.dims) {
+				return errAt(pos, "array assignment shape mismatch")
+			}
+			cp := nv.clone()
+			cp.dims = append([]int(nil), cur.dims...)
+			r.cell.val = cp
+			return nil
+		}
+		return errAt(pos, "partial array assignment is not supported")
+	default:
+		return errAt(pos, "internal: bad var value %T", r.cell.val)
+	}
+}
+
+// execSignalAssign handles `target <== expr` and `target <-- expr`.
+func (e *env) execSignalAssign(st *AssignStmt) error {
+	if e.isFn {
+		return errAt(st.Pos, "signal assignment inside function")
+	}
+	r, err := e.resolveRef(st.LHS)
+	if err != nil {
+		return err
+	}
+	id, err := r.scalarSignal()
+	if err != nil {
+		return err
+	}
+	// Validate the target: local non-input signal, or sub-component input.
+	if r.inst != nil {
+		if r.sig.class != SignalInput {
+			return errAt(st.Pos, "cannot assign to %s signal %q of sub-component", r.sig.class, r.sig.name)
+		}
+		r.inst.inputsSet++
+	} else if r.sig.class == SignalInput {
+		return errAt(st.Pos, "cannot assign to input signal %q", r.sig.name)
+	}
+	if e.c.assignedSig[id] {
+		return errAt(st.Pos, "signal %s assigned twice", e.c.sys.Name(id))
+	}
+	e.c.assignedSig[id] = true
+
+	if st.Op == TokAssignCon {
+		// <== : constrain and assign.
+		sym, err := e.evalSym(st.RHS)
+		if err != nil {
+			return err
+		}
+		tag := fmt.Sprintf("%s <== @%s", e.c.sys.Name(id), st.Pos)
+		if sym.lin != nil {
+			e.emitConstraint(
+				poly.ConstInt(e.c.f, 1),
+				sym.lin,
+				poly.Var(e.c.f, id),
+				tag, st.Pos,
+			)
+			e.c.prog.Assignments = append(e.c.prog.Assignments, Assignment{
+				Target: id, Expr: &WLin{LC: sym.lin}, Constrained: true, Pos: st.Pos,
+			})
+		} else {
+			e.emitConstraint(
+				sym.qa,
+				sym.qb,
+				poly.Var(e.c.f, id).Sub(sym.qc),
+				tag, st.Pos,
+			)
+			e.c.prog.Assignments = append(e.c.prog.Assignments, Assignment{
+				Target: id, Expr: &WQuad{A: sym.qa, B: sym.qb, C: sym.qc}, Constrained: true, Pos: st.Pos,
+			})
+		}
+		return nil
+	}
+
+	// <-- : assign only. This is the dangerous operator: no constraint is
+	// emitted, so the prover is free to pick any value unless separate ===
+	// constraints pin it down.
+	wx, err := e.buildWExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	e.c.prog.Assignments = append(e.c.prog.Assignments, Assignment{
+		Target: id, Expr: wx, Constrained: false, Pos: st.Pos,
+	})
+	return nil
+}
+
+func (e *env) emitConstraint(a, b, c *poly.LinComb, tag string, pos Pos) {
+	if e.c.sys.NumConstraints() >= e.c.opts.MaxConstraints {
+		panic(errAt(pos, "constraint budget exceeded (%d)", e.c.opts.MaxConstraints))
+	}
+	e.c.sys.AddConstraint(a, b, c, tag)
+}
+
+func (e *env) execConstraint(st *ConstraintStmt) error {
+	if e.isFn {
+		return errAt(st.Pos, "constraint inside function")
+	}
+	l, err := e.evalSym(st.L)
+	if err != nil {
+		return err
+	}
+	r, err := e.evalSym(st.R)
+	if err != nil {
+		return err
+	}
+	d, err := symSub(l, r)
+	if err != nil {
+		return errAt(st.Pos, "constraint is not quadratic: %v", err)
+	}
+	if c, ok := d.isConst(); ok {
+		if c.Sign() != 0 {
+			return errAt(st.Pos, "constraint is constant-false: %v === 0 is unsatisfiable", e.c.f.String(c))
+		}
+		// Constant-true constraints are dropped, matching circom.
+		return nil
+	}
+	tag := fmt.Sprintf("=== @%s", st.Pos)
+	if d.lin != nil {
+		e.emitConstraint(poly.ConstInt(e.c.f, 1), d.lin, poly.NewLinComb(e.c.f), tag, st.Pos)
+	} else {
+		e.emitConstraint(d.qa, d.qb, d.qc.Neg(), tag, st.Pos)
+	}
+	return nil
+}
+
+func (e *env) execAssert(st *AssertStmt) error {
+	// Compile-time assert when the condition is signal-free; otherwise a
+	// witness-time check.
+	v, err := e.evalConst(st.Cond)
+	if err == nil {
+		sv, ok := v.(*big.Int)
+		if !ok {
+			return errAt(st.Pos, "assert on array value")
+		}
+		if !truthy(sv) {
+			return errAt(st.Pos, "assertion failed")
+		}
+		return nil
+	}
+	if !isSignalErr(err) {
+		return err
+	}
+	if e.isFn {
+		return err
+	}
+	wx, werr := e.buildWExpr(st.Cond)
+	if werr != nil {
+		return werr
+	}
+	e.c.prog.Checks = append(e.c.prog.Checks, Check{Expr: wx, Pos: st.Pos, Msg: "assert"})
+	return nil
+}
+
+func (e *env) execLog(st *LogStmt) error {
+	var parts []string
+	for _, a := range st.Args {
+		if s, ok := a.(*StringLit); ok {
+			parts = append(parts, s.Val)
+			continue
+		}
+		v, err := e.evalConst(a)
+		if err != nil {
+			if errors.Is(err, errSignalInConst) {
+				parts = append(parts, "<signal>")
+				continue
+			}
+			return err
+		}
+		switch x := v.(type) {
+		case *big.Int:
+			parts = append(parts, e.c.f.String(x))
+		case *arrVal:
+			parts = append(parts, fmt.Sprintf("<array[%d]>", len(x.elems)))
+		}
+	}
+	e.c.prog.Logs = append(e.c.prog.Logs, strings.Join(parts, " "))
+	return nil
+}
+
+// evalDims evaluates declaration dimensions to positive ints.
+func (e *env) evalDims(dims []Expr) ([]int, error) {
+	out := make([]int, 0, len(dims))
+	for _, d := range dims {
+		v, err := e.evalConstScalar(d)
+		if err != nil {
+			return nil, err
+		}
+		sv := e.c.f.Signed(v)
+		if !sv.IsInt64() || sv.Int64() < 0 || sv.Int64() > 1<<24 {
+			return nil, errAt(d.exprPos(), "array dimension out of range: %v", sv)
+		}
+		out = append(out, int(sv.Int64()))
+	}
+	return out, nil
+}

@@ -1,0 +1,593 @@
+package circom
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"testing"
+
+	"qed2/internal/ff"
+)
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src, nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func TestCompileMultiplier(t *testing.T) {
+	p := mustCompile(t, `
+template Multiplier() {
+    signal input a;
+    signal input b;
+    signal output c;
+    c <== a * b;
+}
+component main = Multiplier();
+`)
+	st := p.System.Stats()
+	if st.Inputs != 2 || st.Outputs != 1 || st.Constraints != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 6, "b": 7}))
+	out := p.OutputNames["c"]
+	if w[out].Int64() != 42 {
+		t.Errorf("c = %v", w[out])
+	}
+}
+
+func TestCompileIsZero(t *testing.T) {
+	p := mustCompile(t, `
+template IsZero() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    in*out === 0;
+}
+component main = IsZero();
+`)
+	if p.System.Stats().Constraints != 2 {
+		t.Fatalf("constraints = %d, want 2", p.System.Stats().Constraints)
+	}
+	// The inv assignment must be unconstrained (<--).
+	var unconstrained int
+	for _, a := range p.Assignments {
+		if !a.Constrained {
+			unconstrained++
+		}
+	}
+	if unconstrained != 1 {
+		t.Errorf("unconstrained assignments = %d, want 1", unconstrained)
+	}
+	out := p.OutputNames["out"]
+	w := p.MustWitness(InputsFromInts(map[string]int64{"in": 0}))
+	if w[out].Int64() != 1 {
+		t.Errorf("IsZero(0) = %v, want 1", w[out])
+	}
+	w = p.MustWitness(InputsFromInts(map[string]int64{"in": 5}))
+	if w[out].Int64() != 0 {
+		t.Errorf("IsZero(5) = %v, want 0", w[out])
+	}
+}
+
+func TestCompileNum2Bits(t *testing.T) {
+	p := mustCompile(t, `
+template Num2Bits(n) {
+    signal input in;
+    signal output out[n];
+    var lc1 = 0;
+    var e2 = 1;
+    for (var i = 0; i < n; i++) {
+        out[i] <-- (in >> i) & 1;
+        out[i] * (out[i] - 1) === 0;
+        lc1 += out[i] * e2;
+        e2 = e2 + e2;
+    }
+    lc1 === in;
+}
+component main = Num2Bits(8);
+`)
+	st := p.System.Stats()
+	if st.Outputs != 8 || st.Constraints != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+	w := p.MustWitness(InputsFromInts(map[string]int64{"in": 0b10110101}))
+	wantBits := []int64{1, 0, 1, 0, 1, 1, 0, 1}
+	for i, b := range wantBits {
+		id := p.OutputNames["out["+string(rune('0'+i))+"]"]
+		if w[id].Int64() != b {
+			t.Errorf("bit %d = %v, want %d", i, w[id], b)
+		}
+	}
+}
+
+func TestCompileComponents(t *testing.T) {
+	p := mustCompile(t, `
+template IsZero() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    in*out === 0;
+}
+template IsEqual() {
+    signal input in[2];
+    signal output out;
+    component isz = IsZero();
+    in[1] - in[0] ==> isz.in;
+    isz.out ==> out;
+}
+component main = IsEqual();
+`)
+	out := p.OutputNames["out"]
+	w := p.MustWitness(InputsFromInts(map[string]int64{"in[0]": 4, "in[1]": 4}))
+	if w[out].Int64() != 1 {
+		t.Errorf("IsEqual(4,4) = %v", w[out])
+	}
+	w = p.MustWitness(InputsFromInts(map[string]int64{"in[0]": 4, "in[1]": 5}))
+	if w[out].Int64() != 0 {
+		t.Errorf("IsEqual(4,5) = %v", w[out])
+	}
+	// Sub-component signals carry dotted names.
+	if _, ok := p.System.SignalByName("isz.inv"); !ok {
+		t.Error("missing dotted sub-component signal name isz.inv")
+	}
+}
+
+func TestCompileComponentArrays(t *testing.T) {
+	p := mustCompile(t, `
+template Square() {
+    signal input in;
+    signal output out;
+    out <== in * in;
+}
+template SumOfSquares(n) {
+    signal input in[n];
+    signal output out;
+    component sq[n];
+    var acc = 0;
+    signal partial[n];
+    for (var i = 0; i < n; i++) {
+        sq[i] = Square();
+        sq[i].in <== in[i];
+    }
+    partial[0] <== sq[0].out;
+    for (var i = 1; i < n; i++) {
+        partial[i] <== partial[i-1] + sq[i].out;
+    }
+    out <== partial[n-1];
+}
+component main = SumOfSquares(3);
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"in[0]": 1, "in[1]": 2, "in[2]": 3}))
+	if got := w[p.OutputNames["out"]].Int64(); got != 14 {
+		t.Errorf("sum of squares = %d, want 14", got)
+	}
+}
+
+func TestCompileFunctions(t *testing.T) {
+	p := mustCompile(t, `
+function nbits(a) {
+    var n = 1;
+    var r = 0;
+    while (n-1 < a) {
+        r++;
+        n *= 2;
+    }
+    return r;
+}
+template T() {
+    signal input in;
+    signal output out;
+    out <== in * nbits(7);
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"in": 2}))
+	if got := w[p.OutputNames["out"]].Int64(); got != 6 {
+		t.Errorf("out = %d, want 2*nbits(7)=6", got)
+	}
+}
+
+func TestCompileIncludes(t *testing.T) {
+	lib := map[string]string{
+		"mul.circom": `
+template Mul() {
+    signal input a;
+    signal input b;
+    signal output c;
+    c <== a*b;
+}
+`,
+	}
+	p, err := Compile(`
+include "mul.circom";
+component main = Mul();
+`, &CompileOptions{Library: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MainTemplate != "Mul" {
+		t.Errorf("main template = %q", p.MainTemplate)
+	}
+	// Missing include errors.
+	if _, err := Compile(`include "nope.circom"; component main = X();`, nil); err == nil {
+		t.Error("missing include accepted")
+	}
+}
+
+func TestCompileQuadraticRules(t *testing.T) {
+	// Cubic constraint must be rejected.
+	_, err := Compile(`
+template T() {
+    signal input a;
+    signal output out;
+    out <== a*a*a;
+}
+component main = T();
+`, nil)
+	if err == nil || !strings.Contains(err.Error(), "degree 2") {
+		t.Errorf("cubic <== err = %v", err)
+	}
+	// Division by a signal must be rejected in constraints...
+	_, err = Compile(`
+template T() {
+    signal input a;
+    signal output out;
+    out <== 1/a;
+}
+component main = T();
+`, nil)
+	if err == nil || !strings.Contains(err.Error(), "division") {
+		t.Errorf("signal division <== err = %v", err)
+	}
+	// ...but allowed in witness assignments.
+	p := mustCompile(t, `
+template T() {
+    signal input a;
+    signal output out;
+    out <-- 1/a;
+    out*a === 1;
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 3}))
+	f := p.System.Field()
+	if f.Mul(w[p.OutputNames["out"]], big.NewInt(3)).Cmp(f.One()) != 0 {
+		t.Error("witness division wrong")
+	}
+	// Division by zero at witness time errors.
+	if _, err := p.GenerateWitness(InputsFromInts(map[string]int64{"a": 0})); err == nil {
+		t.Error("1/0 witness generation succeeded")
+	}
+}
+
+func TestCompilePowUnfolding(t *testing.T) {
+	p := mustCompile(t, `
+template T() {
+    signal input a;
+    signal output out;
+    out <== a**2 + 2**3;
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 5}))
+	if got := w[p.OutputNames["out"]].Int64(); got != 33 {
+		t.Errorf("a^2+8 = %d, want 33", got)
+	}
+	if _, err := Compile(`
+template T() { signal input a; signal output o; o <== a**3; }
+component main = T();
+`, nil); err == nil {
+		t.Error("a**3 accepted in constraint")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no main", `template T() { signal input x; signal output o; o <== x; }`, "no main"},
+		{"unknown template", `component main = Nope();`, "unknown template"},
+		{"param count", `template T(n) { signal input x; signal output o; o <== x; } component main = T();`, "parameters"},
+		{"assign to input", `template T() { signal input x; signal output o; x <== 1; o <== x; } component main = T();`, "input"},
+		{"double assign", `template T() { signal input x; signal output o; o <== x; o <== x; } component main = T();`, "twice"},
+		{"unassigned signal", `template T() { signal input x; signal output o; signal m; o <== x; m*m === x; } component main = T();`, "no assignment"},
+		{"const false ===", `template T() { signal input x; signal output o; o <== x; 1 === 2; } component main = T();`, "constant-false"},
+		{"undefined ident", `template T() { signal output o; o <== y; } component main = T();`, "undefined"},
+		{"bad index", `template T() { signal input x[2]; signal output o; o <== x[5]; } component main = T();`, "out of bounds"},
+		{"intermediate access", `
+template U() { signal input a; signal output b; signal m; m <== a; b <== m; }
+template T() { signal input x; signal output o; component u = U(); u.in === 0; o <== x; }
+component main = T();`, "no signal"},
+		{"private sub access", `
+template U() { signal input a; signal output b; signal m; m <== a; b <== m; }
+template T() { signal input x; signal output o; component u = U(); u.a <== x; o <== u.m; }
+component main = T();`, "not accessible"},
+		{"assert fails", `template T(n) { signal input x; signal output o; assert(n > 4); o <== x; } component main = T(3);`, "assertion failed"},
+		{"duplicate template", `template T() {} template T() {} component main = T();`, "duplicate"},
+		{"fn no return", `function f(x) { var y = x; } template T() { signal input a; signal output o; o <== a * f(1); } component main = T();`, "without returning"},
+		{"sum of quads", `template T() { signal input a; signal input b; signal output o; o <== a*a + b*b; } component main = T();`, "not quadratic"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, nil)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestCompileStepBudget(t *testing.T) {
+	_, err := Compile(`
+template T() {
+    signal input x;
+    signal output o;
+    var i = 0;
+    while (1) { i++; }
+    o <== x;
+}
+component main = T();
+`, &CompileOptions{MaxSteps: 10000})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("infinite loop err = %v", err)
+	}
+}
+
+func TestCompileRecursionGuard(t *testing.T) {
+	_, err := Compile(`
+function f(x) { return f(x); }
+template T() { signal input a; signal output o; o <== a * f(1); }
+component main = T();
+`, &CompileOptions{MaxDepth: 16})
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("recursion err = %v", err)
+	}
+}
+
+func TestCompileSmallField(t *testing.T) {
+	f97 := ff.MustField(big.NewInt(97))
+	p, err := Compile(`
+template T() {
+    signal input a;
+    signal output o;
+    o <== a + 96;
+}
+component main = T();
+`, &CompileOptions{Field: f97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 5}))
+	if got := w[p.OutputNames["o"]].Int64(); got != 4 {
+		t.Errorf("5 + 96 mod 97 = %d, want 4", got)
+	}
+}
+
+func TestWitnessTimeAssert(t *testing.T) {
+	p := mustCompile(t, `
+template T() {
+    signal input a;
+    signal output o;
+    assert(a != 3);
+    o <== a;
+}
+component main = T();
+`)
+	if _, err := p.GenerateWitness(InputsFromInts(map[string]int64{"a": 5})); err != nil {
+		t.Errorf("a=5: %v", err)
+	}
+	if _, err := p.GenerateWitness(InputsFromInts(map[string]int64{"a": 3})); err == nil {
+		t.Error("a=3 passed the witness assert")
+	}
+}
+
+func TestWitnessUnknownInputRejected(t *testing.T) {
+	p := mustCompile(t, `
+template T() { signal input a; signal output o; o <== a; }
+component main = T();
+`)
+	if _, err := p.GenerateWitness(InputsFromInts(map[string]int64{"zzz": 1})); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestWitnessOrderIndependence(t *testing.T) {
+	// inter depends on a later-assigned subcomponent output; the ready
+	// queue must reorder.
+	p := mustCompile(t, `
+template Sq() { signal input in; signal output out; out <== in*in; }
+template T() {
+    signal input a;
+    signal output o;
+    signal inter;
+    component s = Sq();
+    inter <-- s.out + 1;
+    inter === s.out + 1;
+    s.in <== a;
+    o <== inter;
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 3}))
+	if got := w[p.OutputNames["o"]].Int64(); got != 10 {
+		t.Errorf("o = %d, want 10", got)
+	}
+}
+
+func TestConstraintTagsCarryProvenance(t *testing.T) {
+	p := mustCompile(t, `
+template T() { signal input a; signal output o; o <== a*a; }
+component main = T();
+`)
+	tag := p.System.Constraint(0).Tag
+	if !strings.Contains(tag, "o") || !strings.Contains(tag, "<==") {
+		t.Errorf("tag = %q", tag)
+	}
+}
+
+func TestLogCollection(t *testing.T) {
+	p := mustCompile(t, `
+template T(n) {
+    signal input a;
+    signal output o;
+    log("n is", n);
+    o <== a;
+}
+component main = T(7);
+`)
+	if len(p.Logs) != 1 || p.Logs[0] != "n is 7" {
+		t.Errorf("logs = %v", p.Logs)
+	}
+}
+
+func TestWitnessCircularDependencyDetected(t *testing.T) {
+	p := mustCompile(t, `
+template T() {
+    signal input x;
+    signal output a;
+    signal output b;
+    a <-- b + 1;
+    b <-- a + 1;
+    a - b === 1 - x;
+}
+component main = T();
+`)
+	_, err := p.GenerateWitness(InputsFromInts(map[string]int64{"x": 3}))
+	if err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("cyclic witness err = %v, want 'stuck'", err)
+	}
+}
+
+func TestMultiDimensionalSignals(t *testing.T) {
+	p := mustCompile(t, `
+template T(n, m) {
+    signal input in[n][m];
+    signal output out;
+    var acc = 0;
+    for (var i = 0; i < n; i++) {
+        for (var j = 0; j < m; j++) {
+            acc += in[i][j] * (i*m + j + 1);
+        }
+    }
+    out <== acc;
+}
+component main = T(2, 3);
+`)
+	// out = sum in[i][j] * (i*3+j+1) with in[i][j] = i*3+j+1 → sum of squares 1..6 = 91
+	inputs := map[string]int64{}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			inputs[fmt.Sprintf("in[%d][%d]", i, j)] = int64(i*3 + j + 1)
+		}
+	}
+	w := p.MustWitness(InputsFromInts(inputs))
+	if got := w[p.OutputNames["out"]].Int64(); got != 91 {
+		t.Errorf("out = %d, want 91", got)
+	}
+}
+
+func TestFunctionReturningArray(t *testing.T) {
+	p := mustCompile(t, `
+function firstN(n) {
+    var out[8];
+    for (var i = 0; i < n; i++) { out[i] = i + 1; }
+    return out;
+}
+template T() {
+    signal input x;
+    signal output o;
+    var arr[8] = firstN(3);
+    o <== x * arr[2];
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 5}))
+	if got := w[p.OutputNames["o"]].Int64(); got != 15 {
+		t.Errorf("o = %d, want 15", got)
+	}
+}
+
+func TestSignalDeclInsideIf(t *testing.T) {
+	// Compile-time conditional signal declaration (circom 2.1 style).
+	p := mustCompile(t, `
+template T(flag) {
+    signal input a;
+    signal output o;
+    if (flag == 1) {
+        signal extra;
+        extra <== a * a;
+        o <== extra;
+    } else {
+        o <== a;
+    }
+}
+component main = T(1);
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 4}))
+	if got := w[p.OutputNames["o"]].Int64(); got != 16 {
+		t.Errorf("o = %d, want 16", got)
+	}
+}
+
+func TestArrayLiterals(t *testing.T) {
+	p := mustCompile(t, `
+template T() {
+    signal input x;
+    signal output o;
+    var flat[3] = [10, 20, 30];
+    var nested[2][2] = [[1, 2], [3, 4]];
+    o <== x * (flat[1] + nested[1][0]);
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 2}))
+	if got := w[p.OutputNames["o"]].Int64(); got != 46 {
+		t.Errorf("o = %d, want 2*(20+3)=46", got)
+	}
+}
+
+func TestArrayLiteralErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"ragged", `template T() { signal input x; signal output o; var a[2][2] = [[1], [2, 3]]; o <== x; } component main = T();`},
+		{"mixed", `template T() { signal input x; signal output o; var a[2] = [1, [2]]; o <== x; } component main = T();`},
+		{"size mismatch", `template T() { signal input x; signal output o; var a[3] = [1, 2]; o <== x; } component main = T();`},
+		{"scalar from array", `template T() { signal input x; signal output o; var a = [1, 2]; o <== x; } component main = T();`},
+		{"array from scalar", `template T() { signal input x; signal output o; var a[2] = 5; o <== x; } component main = T();`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.src, nil); err == nil {
+				t.Errorf("compile succeeded")
+			}
+		})
+	}
+}
+
+func TestWholeArrayVarAssignment(t *testing.T) {
+	p := mustCompile(t, `
+template T() {
+    signal input x;
+    signal output o;
+    var a[3] = [1, 2, 3];
+    var b[3];
+    b = a;
+    b[0] = 9;
+    // a must be unaffected by mutating b (deep copy semantics)
+    o <== x * (a[0]*100 + b[0]);
+}
+component main = T();
+`)
+	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 1}))
+	if got := w[p.OutputNames["o"]].Int64(); got != 109 {
+		t.Errorf("o = %d, want 109", got)
+	}
+}

@@ -1,0 +1,250 @@
+package circom
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer tokenizes Circom source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token stream (terminated by
+// a TokEOF token) or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(k int) byte {
+	if lx.off+k >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+k]
+}
+
+func (lx *Lexer) advance(n int) {
+	for i := 0; i < n && lx.off < len(lx.src); i++ {
+		if lx.src[lx.off] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.off++
+	}
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance(1)
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			start := lx.pos()
+			lx.advance(2)
+			for {
+				if lx.off >= len(lx.src) {
+					return errAt(start, "unterminated block comment")
+				}
+				if lx.peekByte() == '*' && lx.peekAt(1) == '/' {
+					lx.advance(2)
+					break
+				}
+				lx.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+// multi-character operators, longest first.
+var multiOps = []struct {
+	text string
+	kind TokKind
+}{
+	{"<==", TokAssignCon},
+	{"==>", TokAssignConR},
+	{"<--", TokAssignSig},
+	{"-->", TokAssignSigR},
+	{"===", TokConstrainEq},
+	{"<<=", TokShlAssign},
+	{">>=", TokShrAssign},
+	{"**", TokPow},
+	{"==", TokEq},
+	{"!=", TokNeq},
+	{"<=", TokLeq},
+	{">=", TokGeq},
+	{"&&", TokAndAnd},
+	{"||", TokOrOr},
+	{"<<", TokShl},
+	{">>", TokShr},
+	{"+=", TokPlusAssign},
+	{"-=", TokMinusAssign},
+	{"*=", TokStarAssign},
+	{"/=", TokSlashAssign},
+	{"\\=", TokIntDivAssign},
+	{"%=", TokPctAssign},
+	{"&=", TokAndAssign},
+	{"|=", TokOrAssign},
+	{"^=", TokXorAssign},
+	{"++", TokInc},
+	{"--", TokDec},
+}
+
+var singleOps = map[byte]TokKind{
+	'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
+	'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+	'.': TokDot, '?': TokQuestion, ':': TokColon,
+	'=': TokAssign, '+': TokPlus, '-': TokMinus, '*': TokStar,
+	'/': TokSlash, '\\': TokIntDiv, '%': TokPercent,
+	'<': TokLt, '>': TokGt, '!': TokNot,
+	'&': TokBitAnd, '|': TokBitOr, '^': TokBitXor, '~': TokBitNot,
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peekByte()
+
+	// numbers: decimal or 0x hex
+	if c >= '0' && c <= '9' {
+		start := lx.off
+		if c == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+			lx.advance(2)
+			for isHexDigit(lx.peekByte()) {
+				lx.advance(1)
+			}
+			if lx.off == start+2 {
+				return Token{}, errAt(pos, "malformed hex literal")
+			}
+		} else {
+			for lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+				lx.advance(1)
+			}
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+
+	// identifiers / keywords
+	if r, _ := utf8.DecodeRuneInString(lx.src[lx.off:]); isIdentStart(r) {
+		start := lx.off
+		for lx.off < len(lx.src) {
+			r, sz := utf8.DecodeRuneInString(lx.src[lx.off:])
+			if !isIdentPart(r) {
+				break
+			}
+			lx.advance(sz)
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	}
+
+	// strings (used by log(); we keep them but most callers ignore them)
+	if c == '"' {
+		lx.advance(1)
+		var b strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, errAt(pos, "unterminated string literal")
+			}
+			ch := lx.peekByte()
+			if ch == '"' {
+				lx.advance(1)
+				break
+			}
+			if ch == '\\' {
+				lx.advance(1)
+				esc := lx.peekByte()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"', '\\':
+					b.WriteByte(esc)
+				default:
+					return Token{}, errAt(lx.pos(), "unknown escape \\%c", esc)
+				}
+				lx.advance(1)
+				continue
+			}
+			b.WriteByte(ch)
+			lx.advance(1)
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+	}
+
+	// multi-char operators
+	for _, op := range multiOps {
+		if strings.HasPrefix(lx.src[lx.off:], op.text) {
+			lx.advance(len(op.text))
+			return Token{Kind: op.kind, Text: op.text, Pos: pos}, nil
+		}
+	}
+
+	// single-char operators/punctuation
+	if kind, ok := singleOps[c]; ok {
+		lx.advance(1)
+		return Token{Kind: kind, Text: string(c), Pos: pos}, nil
+	}
+
+	return Token{}, errAt(pos, "unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

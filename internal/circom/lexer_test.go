@@ -1,0 +1,121 @@
+package circom
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("signal input in; out <== a*b + 0x1F;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokSignal, TokInput, TokIdent, TokSemi,
+		TokIdent, TokAssignCon, TokIdent, TokStar, TokIdent, TokPlus, TokNumber, TokSemi,
+		TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[10].Text != "0x1F" {
+		t.Errorf("hex literal text = %q", toks[10].Text)
+	}
+}
+
+func TestLexOperatorsMaximalMunch(t *testing.T) {
+	cases := map[string]TokKind{
+		"<==": TokAssignCon, "==>": TokAssignConR, "<--": TokAssignSig,
+		"-->": TokAssignSigR, "===": TokConstrainEq, "==": TokEq,
+		"!=": TokNeq, "<=": TokLeq, ">=": TokGeq, "&&": TokAndAnd,
+		"||": TokOrOr, "<<": TokShl, ">>": TokShr, "**": TokPow,
+		"++": TokInc, "--": TokDec, "+=": TokPlusAssign, "\\": TokIntDiv,
+		"\\=": TokIntDivAssign, "<<=": TokShlAssign, ">>=": TokShrAssign,
+		"<": TokLt, "=": TokAssign, "-": TokMinus,
+	}
+	for src, want := range cases {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", src, err)
+		}
+		if len(toks) != 2 || toks[0].Kind != want {
+			t.Errorf("Lex(%q) = %v, want single %v", src, toks, want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment <== not a token
+a /* block
+   comment */ b
+`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("tokens = %v", toks)
+	}
+	if toks[1].Pos.Line != 4 {
+		t.Errorf("b at line %d, want 4", toks[1].Pos.Line)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`log("hi\n\"x\"")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString || toks[2].Text != "hi\n\"x\"" {
+		t.Errorf("string token = %+v", toks[2])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "\"unterminated", "/* unterminated", "0x", `"bad \q esc"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("template templet foo signal signals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokTemplate, TokIdent, TokIdent, TokSignal, TokIdent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("positions = %v, %v", toks[0].Pos, toks[1].Pos)
+	}
+	if !strings.Contains(toks[1].Pos.String(), "2:3") {
+		t.Errorf("Pos.String = %q", toks[1].Pos.String())
+	}
+}

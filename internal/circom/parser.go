@@ -1,0 +1,830 @@
+package circom
+
+import (
+	"math/big"
+)
+
+// Parser is a recursive-descent parser for the Circom subset.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseFile parses a complete source file.
+func ParseFile(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+// ParseExpr parses a single expression (used by tests and the CLI).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, errAt(p.cur().Pos, "trailing input after expression")
+	}
+	return e, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokKind) (Token, bool) {
+	if p.cur().Kind == k {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.cur().Kind == k {
+		return p.next(), nil
+	}
+	return Token{}, errAt(p.cur().Pos, "expected %q, found %s", k.String(), p.cur())
+}
+
+// --- file level ----------------------------------------------------------------
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokPragma:
+			p.next()
+			// consume tokens until semicolon, e.g. `pragma circom 2.1.6;`
+			var text string
+			for p.cur().Kind != TokSemi && p.cur().Kind != TokEOF {
+				if text != "" {
+					text += " "
+				}
+				text += p.next().Text
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			f.Pragmas = append(f.Pragmas, text)
+		case TokInclude:
+			p.next()
+			tok, err := p.expect(TokString)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			f.Includes = append(f.Includes, tok.Text)
+		case TokTemplate:
+			t, err := p.parseTemplate()
+			if err != nil {
+				return nil, err
+			}
+			f.Templates = append(f.Templates, t)
+		case TokFunction:
+			fn, err := p.parseFunction()
+			if err != nil {
+				return nil, err
+			}
+			f.Functions = append(f.Functions, fn)
+		case TokComponent:
+			m, err := p.parseMainDecl()
+			if err != nil {
+				return nil, err
+			}
+			if f.Main != nil {
+				return nil, errAt(m.Pos, "duplicate main component")
+			}
+			f.Main = m
+		default:
+			return nil, errAt(p.cur().Pos, "expected template, function, include, pragma or main declaration, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) parseTemplate() (*Template, error) {
+	start, err := p.expect(TokTemplate)
+	if err != nil {
+		return nil, err
+	}
+	parallel := false
+	if _, ok := p.accept(TokParallel); ok {
+		parallel = true
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Template{Name: name.Text, Params: params, Body: body, Parallel: parallel, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseFunction() (*Function, error) {
+	start, err := p.expect(TokFunction)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Function{Name: name.Text, Params: params, Body: body, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseParamList() ([]string, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.cur().Kind != TokRParen {
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.Text)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// parseMainDecl parses `component main {public [a,b]} = T(args);`.
+func (p *Parser) parseMainDecl() (*MainDecl, error) {
+	start, err := p.expect(TokComponent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokMain); err != nil {
+		return nil, err
+	}
+	m := &MainDecl{Pos: start.Pos}
+	if _, ok := p.accept(TokLBrace); ok {
+		if _, err := p.expect(TokPublic); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLBracket); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			m.Public = append(m.Public, id.Text)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	// optional `parallel` keyword before the call
+	p.accept(TokParallel)
+	callTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: callTok.Text, Pos: callTok.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	m.Call = call
+	return m, nil
+}
+
+// --- statements ---------------------------------------------------------------
+
+func (p *Parser) parseBlock() (*Block, error) {
+	start, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: start.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errAt(start.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokVar:
+		s, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokSignal:
+		return p.parseSignalDecl()
+	case TokComponent:
+		return p.parseComponentDecl()
+	case TokFor:
+		return p.parseFor()
+	case TokWhile:
+		return p.parseWhile()
+	case TokIf:
+		return p.parseIf()
+	case TokReturn:
+		start := p.next()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: val, Pos: start.Pos}, nil
+	case TokAssert:
+		start := p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Cond: cond, Pos: start.Pos}, nil
+	case TokLog:
+		start := p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if p.cur().Kind != TokRParen {
+			for {
+				if p.cur().Kind == TokString {
+					tok := p.next()
+					args = append(args, &StringLit{Val: tok.Text, Pos: tok.Pos})
+				} else {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+				}
+				if _, ok := p.accept(TokComma); !ok {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &LogStmt{Args: args, Pos: start.Pos}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses an assignment / constraint / inc-dec statement
+// without its trailing semicolon (shared with for-loop headers).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	if p.cur().Kind == TokVar {
+		return p.parseVarDecl()
+	}
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	tok := p.cur()
+	switch tok.Kind {
+	case TokAssign, TokPlusAssign, TokMinusAssign, TokStarAssign,
+		TokSlashAssign, TokIntDivAssign, TokPctAssign, TokShlAssign,
+		TokShrAssign, TokAndAssign, TokOrAssign, TokXorAssign,
+		TokAssignSig, TokAssignCon:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, Op: tok.Kind, RHS: rhs, Pos: tok.Pos}, nil
+	case TokAssignSigR, TokAssignConR:
+		// expr --> target / expr ==> target: normalize so target is LHS.
+		p.next()
+		target, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := TokAssignSig
+		if tok.Kind == TokAssignConR {
+			op = TokAssignCon
+		}
+		return &AssignStmt{LHS: target, Op: op, RHS: lhs, Pos: tok.Pos}, nil
+	case TokConstrainEq:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ConstraintStmt{L: lhs, R: rhs, Pos: tok.Pos}, nil
+	case TokInc, TokDec:
+		p.next()
+		return &IncDecStmt{LHS: lhs, Op: tok.Kind, Pos: tok.Pos}, nil
+	default:
+		return nil, errAt(tok.Pos, "expected assignment or constraint operator, found %s", tok)
+	}
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	start, err := p.expect(TokVar)
+	if err != nil {
+		return nil, err
+	}
+	decls, err := p.parseDeclarators(true)
+	if err != nil {
+		return nil, err
+	}
+	return &VarDecl{Decls: decls, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseDeclarators(allowInit bool) ([]Declarator, error) {
+	var decls []Declarator
+	for {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d := Declarator{Name: id.Text, Pos: id.Pos}
+		for p.cur().Kind == TokLBracket {
+			p.next()
+			dim, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+		}
+		if allowInit {
+			if _, ok := p.accept(TokAssign); ok {
+				init, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Init = init
+			}
+		}
+		decls = append(decls, d)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	return decls, nil
+}
+
+func (p *Parser) parseSignalDecl() (Stmt, error) {
+	start, err := p.expect(TokSignal)
+	if err != nil {
+		return nil, err
+	}
+	class := SignalIntermediate
+	switch p.cur().Kind {
+	case TokInput:
+		class = SignalInput
+		p.next()
+	case TokOutput:
+		class = SignalOutput
+		p.next()
+	}
+	// Optional tag list `{binary}` after signal class — parsed and ignored.
+	if _, ok := p.accept(TokLBrace); ok {
+		for p.cur().Kind != TokRBrace && p.cur().Kind != TokEOF {
+			p.next()
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	decls, err := p.parseDeclarators(false)
+	if err != nil {
+		return nil, err
+	}
+	// Circom 2.1 allows `signal s <== expr;` — desugar into decl + assign.
+	if tok := p.cur(); tok.Kind == TokAssignCon || tok.Kind == TokAssignSig {
+		if len(decls) != 1 || len(decls[0].Dims) != 0 {
+			return nil, errAt(tok.Pos, "initialized signal declaration must declare a single scalar signal")
+		}
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		decl := &SignalDecl{Class: class, Decls: decls, Pos: start.Pos}
+		assign := &AssignStmt{
+			LHS: &Ident{Name: decls[0].Name, Pos: decls[0].Pos},
+			Op:  tok.Kind,
+			RHS: rhs,
+			Pos: tok.Pos,
+		}
+		return &Block{Stmts: []Stmt{decl, assign}, Pos: start.Pos}, nil
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &SignalDecl{Class: class, Decls: decls, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseComponentDecl() (Stmt, error) {
+	start, err := p.expect(TokComponent)
+	if err != nil {
+		return nil, err
+	}
+	decls, err := p.parseDeclarators(true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ComponentDecl{Decls: decls, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	start, err := p.expect(TokFor)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var init Stmt
+	if p.cur().Kind != TokSemi {
+		init, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	var cond Expr
+	if p.cur().Kind != TokSemi {
+		cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	var post Stmt
+	if p.cur().Kind != TokRParen {
+		post, err = p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseLoopBody()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	start, err := p.expect(TokWhile)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseLoopBody()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: start.Pos}, nil
+}
+
+// parseLoopBody accepts either a block or a single statement.
+func (p *Parser) parseLoopBody() (*Block, error) {
+	if p.cur().Kind == TokLBrace {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}, Pos: s.stmtPos()}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	start, err := p.expect(TokIf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseLoopBody()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: start.Pos}
+	if _, ok := p.accept(TokElse); ok {
+		if p.cur().Kind == TokIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseLoopBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// --- expressions ----------------------------------------------------------------
+
+// Binding powers, low to high, mirroring the Circom grammar.
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokBitOr:  3,
+	TokBitXor: 4,
+	TokBitAnd: 5,
+	TokEq:     6, TokNeq: 6,
+	TokLt: 7, TokGt: 7, TokLeq: 7, TokGeq: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokIntDiv: 10, TokPercent: 10,
+	TokPow: 11,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if tok, ok := p.accept(TokQuestion); ok {
+		thenE, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		elseE, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{C: cond, T: thenE, F: elseE, Pos: tok.Pos}, nil
+	}
+	return cond, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		// ** is right-associative; everything else left-associative.
+		nextMin := prec + 1
+		if op.Kind == TokPow {
+			nextMin = prec
+		}
+		right, err := p.parseBinary(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op.Kind, L: left, R: right, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokMinus, TokNot, TokBitNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: tok.Kind, X: x, Pos: tok.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			tok := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Idx: idx, Pos: tok.Pos}
+		case TokDot:
+			tok := p.next()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{X: x, Name: name.Text, Pos: tok.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokNumber:
+		p.next()
+		v, ok := new(big.Int).SetString(tok.Text, 0)
+		if !ok {
+			return nil, errAt(tok.Pos, "malformed number %q", tok.Text)
+		}
+		return &NumberLit{Val: v, Pos: tok.Pos}, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			p.next()
+			call := &CallExpr{Name: tok.Text, Pos: tok.Pos}
+			if p.cur().Kind != TokRParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if _, ok := p.accept(TokComma); !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBracket:
+		p.next()
+		lit := &ArrayLit{Pos: tok.Pos}
+		if p.cur().Kind != TokRBracket {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Elems = append(lit.Elems, e)
+				if _, ok := p.accept(TokComma); !ok {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	default:
+		return nil, errAt(tok.Pos, "expected expression, found %s", tok)
+	}
+}

@@ -1,0 +1,219 @@
+package circom
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	return f
+}
+
+func TestParseTemplateShape(t *testing.T) {
+	f := mustParse(t, `
+pragma circom 2.0.0;
+include "lib.circom";
+
+template Adder(n) {
+    signal input a[n];
+    signal input b[n];
+    signal output out[n];
+    for (var i = 0; i < n; i++) {
+        out[i] <== a[i] + b[i];
+    }
+}
+
+component main {public [a]} = Adder(4);
+`)
+	if len(f.Pragmas) != 1 || len(f.Includes) != 1 || f.Includes[0] != "lib.circom" {
+		t.Errorf("pragmas/includes: %v %v", f.Pragmas, f.Includes)
+	}
+	if len(f.Templates) != 1 {
+		t.Fatalf("templates = %d", len(f.Templates))
+	}
+	tpl := f.Templates[0]
+	if tpl.Name != "Adder" || len(tpl.Params) != 1 || tpl.Params[0] != "n" {
+		t.Errorf("template header = %q %v", tpl.Name, tpl.Params)
+	}
+	if f.Main == nil || f.Main.Call.Name != "Adder" || len(f.Main.Call.Args) != 1 {
+		t.Fatalf("main = %+v", f.Main)
+	}
+	if len(f.Main.Public) != 1 || f.Main.Public[0] != "a" {
+		t.Errorf("public = %v", f.Main.Public)
+	}
+}
+
+func TestParseReversedOperatorsNormalize(t *testing.T) {
+	f := mustParse(t, `
+template T() {
+    signal input a;
+    signal output b;
+    a ==> b;
+}
+component main = T();
+`)
+	body := f.Templates[0].Body.Stmts
+	as, ok := body[len(body)-1].(*AssignStmt)
+	if !ok {
+		t.Fatalf("last stmt = %T", body[len(body)-1])
+	}
+	if as.Op != TokAssignCon {
+		t.Errorf("op = %v, want <==", as.Op)
+	}
+	if id, ok := as.LHS.(*Ident); !ok || id.Name != "b" {
+		t.Errorf("LHS = %#v, want b", as.LHS)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 ** 2 ** 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect 1 + (2 * (3 ** (2 ** 2))): top is +.
+	top, ok := e.(*BinaryExpr)
+	if !ok || top.Op != TokPlus {
+		t.Fatalf("top = %#v", e)
+	}
+	mul, ok := top.R.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("rhs = %#v", top.R)
+	}
+	pow, ok := mul.R.(*BinaryExpr)
+	if !ok || pow.Op != TokPow {
+		t.Fatalf("pow = %#v", mul.R)
+	}
+	// ** is right-associative.
+	if _, ok := pow.R.(*BinaryExpr); !ok {
+		t.Errorf("pow not right-associative: %#v", pow.R)
+	}
+}
+
+func TestParseTernaryAndComparison(t *testing.T) {
+	e, err := ParseExpr("a != 0 ? 1/a : 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*CondExpr)
+	if !ok {
+		t.Fatalf("not ternary: %#v", e)
+	}
+	if cmp, ok := c.C.(*BinaryExpr); !ok || cmp.Op != TokNeq {
+		t.Errorf("cond = %#v", c.C)
+	}
+}
+
+func TestParsePostfixChains(t *testing.T) {
+	e, err := ParseExpr("c[i].out[2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := e.(*IndexExpr)
+	if !ok {
+		t.Fatalf("top = %#v", e)
+	}
+	mem, ok := idx.X.(*MemberExpr)
+	if !ok || mem.Name != "out" {
+		t.Fatalf("member = %#v", idx.X)
+	}
+	if _, ok := mem.X.(*IndexExpr); !ok {
+		t.Errorf("base = %#v", mem.X)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	f := mustParse(t, `
+function nbits(a) {
+    var n = 1;
+    var r = 0;
+    while (n-1 < a) {
+        r++;
+        n *= 2;
+    }
+    return r;
+}
+
+template T(n) {
+    signal input in;
+    signal output out;
+    var acc = 0;
+    if (n > 2) { acc = 1; } else if (n == 2) { acc = 2; } else acc = 3;
+    assert(n > 0);
+    log("value", acc);
+    var arr[3] = [1, 2, 3];
+    component cs[2];
+    out <== in * acc;
+}
+component main = T(3);
+`)
+	if len(f.Functions) != 1 || f.Functions[0].Name != "nbits" {
+		t.Fatalf("functions = %v", f.Functions)
+	}
+	if len(f.Templates) != 1 {
+		t.Fatalf("templates = %d", len(f.Templates))
+	}
+}
+
+func TestParseSignalInitSugar(t *testing.T) {
+	f := mustParse(t, `
+template T() {
+    signal input in;
+    signal output out;
+    signal mid <== in * in;
+    out <== mid;
+}
+component main = T();
+`)
+	// The sugar expands to a block containing decl + assign.
+	var found bool
+	for _, s := range f.Templates[0].Body.Stmts {
+		if b, ok := s.(*Block); ok && len(b.Stmts) == 2 {
+			if _, ok := b.Stmts[0].(*SignalDecl); ok {
+				if as, ok := b.Stmts[1].(*AssignStmt); ok && as.Op == TokAssignCon {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("signal-init sugar did not desugar to decl+assign")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"template {",
+		"template T( {",
+		"template T() { signal; }",
+		"template T() { var 1x; }",
+		"component main = ;",
+		"template T() { a + ; }",
+		"template T() { if a { } }",
+		"template T() { for (;;) }",
+		"template T() { x = 1 }", // missing semicolon
+		"template T() { } component main = T(); component main = T();",
+		"zebra",
+	}
+	for _, src := range cases {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("ParseFile(%q) succeeded, want error", src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("ParseFile(%q) error type %T", src, err)
+		}
+	}
+}
+
+func TestParseErrorMentionsPosition(t *testing.T) {
+	_, err := ParseFile("template T() {\n  wombat ^^;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}

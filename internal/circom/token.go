@@ -1,0 +1,204 @@
+// Package circom implements a compiler front-end for a faithful subset of
+// the Circom 2 hardware-description language for arithmetic circuits: lexer,
+// parser, compile-time evaluator, template instantiation, R1CS constraint
+// emission, and witness generation.
+//
+// The subset covers the constructs used by circomlib-style libraries:
+// templates with parameters, input/output/intermediate signals (including
+// multi-dimensional arrays), components and component arrays, compile-time
+// variables, functions, for/while/if, the constraint operators <== / ==> /
+// === and the witness-only assignment <-- / -->, plus the full Circom
+// expression grammar (field arithmetic, integer division, shifts, bitwise
+// and relational operators, ternary conditionals).
+//
+// Semantics follow Circom 2: `<==` both assigns and constrains and its
+// right-hand side must be at most quadratic; `<--` only assigns (this is the
+// operator whose misuse creates under-constrained circuits); `===` only
+// constrains. Relational and integer operators interpret field elements via
+// their signed representative in (−p/2, p/2], as the Circom compiler does.
+package circom
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// punctuation
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+	TokQuestion
+	TokColon
+
+	// operators
+	TokAssign       // =
+	TokConstrainEq  // ===
+	TokAssignSig    // <--
+	TokAssignSigR   // -->
+	TokAssignCon    // <==
+	TokAssignConR   // ==>
+	TokPlus         // +
+	TokMinus        // -
+	TokStar         // *
+	TokPow          // **
+	TokSlash        // /
+	TokIntDiv       // \
+	TokPercent      // %
+	TokPlusAssign   // +=
+	TokMinusAssign  // -=
+	TokStarAssign   // *=
+	TokSlashAssign  // /=
+	TokIntDivAssign // \=
+	TokPctAssign    // %=
+	TokShlAssign    // <<=
+	TokShrAssign    // >>=
+	TokAndAssign    // &=
+	TokOrAssign     // |=
+	TokXorAssign    // ^=
+	TokInc          // ++
+	TokDec          // --
+	TokEq           // ==
+	TokNeq          // !=
+	TokLt           // <
+	TokGt           // >
+	TokLeq          // <=
+	TokGeq          // >=
+	TokAndAnd       // &&
+	TokOrOr         // ||
+	TokNot          // !
+	TokBitAnd       // &
+	TokBitOr        // |
+	TokBitXor       // ^
+	TokBitNot       // ~
+	TokShl          // <<
+	TokShr          // >>
+
+	// keywords
+	TokPragma
+	TokInclude
+	TokTemplate
+	TokFunction
+	TokComponent
+	TokMain
+	TokPublic
+	TokSignal
+	TokInput
+	TokOutput
+	TokVar
+	TokFor
+	TokWhile
+	TokIf
+	TokElse
+	TokReturn
+	TokAssert
+	TokLog
+	TokParallel
+)
+
+var keywords = map[string]TokKind{
+	"pragma":    TokPragma,
+	"include":   TokInclude,
+	"template":  TokTemplate,
+	"function":  TokFunction,
+	"component": TokComponent,
+	"main":      TokMain,
+	"public":    TokPublic,
+	"signal":    TokSignal,
+	"input":     TokInput,
+	"output":    TokOutput,
+	"var":       TokVar,
+	"for":       TokFor,
+	"while":     TokWhile,
+	"if":        TokIf,
+	"else":      TokElse,
+	"return":    TokReturn,
+	"assert":    TokAssert,
+	"log":       TokLog,
+	"parallel":  TokParallel,
+}
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokNumber: "number", TokString: "string",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokDot: ".", TokQuestion: "?", TokColon: ":",
+	TokAssign: "=", TokConstrainEq: "===", TokAssignSig: "<--", TokAssignSigR: "-->",
+	TokAssignCon: "<==", TokAssignConR: "==>",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokPow: "**", TokSlash: "/",
+	TokIntDiv: "\\", TokPercent: "%",
+	TokPlusAssign: "+=", TokMinusAssign: "-=", TokStarAssign: "*=",
+	TokSlashAssign: "/=", TokIntDivAssign: "\\=", TokPctAssign: "%=",
+	TokShlAssign: "<<=", TokShrAssign: ">>=",
+	TokAndAssign: "&=", TokOrAssign: "|=", TokXorAssign: "^=",
+	TokInc: "++", TokDec: "--",
+	TokEq: "==", TokNeq: "!=", TokLt: "<", TokGt: ">", TokLeq: "<=", TokGeq: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokNot: "!",
+	TokBitAnd: "&", TokBitOr: "|", TokBitXor: "^", TokBitNot: "~",
+	TokShl: "<<", TokShr: ">>",
+	TokPragma: "pragma", TokInclude: "include", TokTemplate: "template",
+	TokFunction: "function", TokComponent: "component", TokMain: "main",
+	TokPublic: "public", TokSignal: "signal", TokInput: "input",
+	TokOutput: "output", TokVar: "var", TokFor: "for", TokWhile: "while",
+	TokIf: "if", TokElse: "else", TokReturn: "return", TokAssert: "assert",
+	TokLog: "log", TokParallel: "parallel",
+}
+
+// String implements fmt.Stringer.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source text and position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber, TokString:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+// Error is a front-end error (lexing, parsing, or compilation) carrying a
+// source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,376 @@
+package circom
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+// WExpr is a residual witness-time expression: the compile-time parts
+// (variables, parameters, constant folding) have been evaluated away and
+// only signal references remain. WExprs are produced for the right-hand
+// sides of <-- and <== and are executed by the witness generator.
+type WExpr interface {
+	// Eval evaluates the expression; at reads a signal value.
+	Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error)
+	// AddDeps inserts every referenced signal ID into deps.
+	AddDeps(deps map[int]bool)
+	// String renders the expression with x<i> signal names.
+	String() string
+}
+
+// WConst is a constant.
+type WConst struct{ V *big.Int }
+
+// WSig reads a signal.
+type WSig struct{ ID int }
+
+// WBin applies a binary operator.
+type WBin struct {
+	Op   TokKind
+	L, R WExpr
+}
+
+// WUn applies a unary operator.
+type WUn struct {
+	Op TokKind
+	X  WExpr
+}
+
+// WCond is a witness-time select c ? t : f.
+type WCond struct{ C, T, F WExpr }
+
+// WLin evaluates a linear combination of signals (fast path for <==).
+type WLin struct{ LC *poly.LinComb }
+
+// WQuad evaluates A·B + C (fast path for quadratic <==).
+type WQuad struct{ A, B, C *poly.LinComb }
+
+// Eval implements WExpr.
+func (w *WConst) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) { return w.V, nil }
+
+// AddDeps implements WExpr.
+func (w *WConst) AddDeps(map[int]bool) {}
+
+// String implements WExpr.
+func (w *WConst) String() string { return w.V.String() }
+
+// Eval implements WExpr.
+func (w *WSig) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) { return at(w.ID), nil }
+
+// AddDeps implements WExpr.
+func (w *WSig) AddDeps(deps map[int]bool) { deps[w.ID] = true }
+
+// String implements WExpr.
+func (w *WSig) String() string { return fmt.Sprintf("x%d", w.ID) }
+
+// Eval implements WExpr.
+func (w *WBin) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+	l, err := w.L.Eval(f, at)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit boolean operators.
+	switch w.Op {
+	case TokAndAnd:
+		if !truthy(l) {
+			return boolElt(false), nil
+		}
+		r, err := w.R.Eval(f, at)
+		if err != nil {
+			return nil, err
+		}
+		return boolElt(truthy(r)), nil
+	case TokOrOr:
+		if truthy(l) {
+			return boolElt(true), nil
+		}
+		r, err := w.R.Eval(f, at)
+		if err != nil {
+			return nil, err
+		}
+		return boolElt(truthy(r)), nil
+	}
+	r, err := w.R.Eval(f, at)
+	if err != nil {
+		return nil, err
+	}
+	return applyBin(f, w.Op, l, r)
+}
+
+// AddDeps implements WExpr.
+func (w *WBin) AddDeps(deps map[int]bool) {
+	w.L.AddDeps(deps)
+	w.R.AddDeps(deps)
+}
+
+// String implements WExpr.
+func (w *WBin) String() string {
+	return fmt.Sprintf("(%s %s %s)", w.L, w.Op, w.R)
+}
+
+// Eval implements WExpr.
+func (w *WUn) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+	x, err := w.X.Eval(f, at)
+	if err != nil {
+		return nil, err
+	}
+	return applyUn(f, w.Op, x)
+}
+
+// AddDeps implements WExpr.
+func (w *WUn) AddDeps(deps map[int]bool) { w.X.AddDeps(deps) }
+
+// String implements WExpr.
+func (w *WUn) String() string { return fmt.Sprintf("(%s%s)", w.Op, w.X) }
+
+// Eval implements WExpr.
+func (w *WCond) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+	c, err := w.C.Eval(f, at)
+	if err != nil {
+		return nil, err
+	}
+	if truthy(c) {
+		return w.T.Eval(f, at)
+	}
+	return w.F.Eval(f, at)
+}
+
+// AddDeps implements WExpr.
+func (w *WCond) AddDeps(deps map[int]bool) {
+	w.C.AddDeps(deps)
+	w.T.AddDeps(deps)
+	w.F.AddDeps(deps)
+}
+
+// String implements WExpr.
+func (w *WCond) String() string { return fmt.Sprintf("(%s ? %s : %s)", w.C, w.T, w.F) }
+
+// Eval implements WExpr.
+func (w *WLin) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+	return w.LC.Eval(at), nil
+}
+
+// AddDeps implements WExpr.
+func (w *WLin) AddDeps(deps map[int]bool) {
+	for _, v := range w.LC.Vars() {
+		deps[v] = true
+	}
+}
+
+// String implements WExpr.
+func (w *WLin) String() string { return w.LC.String() }
+
+// Eval implements WExpr.
+func (w *WQuad) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+	return f.Add(f.Mul(w.A.Eval(at), w.B.Eval(at)), w.C.Eval(at)), nil
+}
+
+// AddDeps implements WExpr.
+func (w *WQuad) AddDeps(deps map[int]bool) {
+	for _, lc := range []*poly.LinComb{w.A, w.B, w.C} {
+		for _, v := range lc.Vars() {
+			deps[v] = true
+		}
+	}
+}
+
+// String implements WExpr.
+func (w *WQuad) String() string {
+	return fmt.Sprintf("(%s)*(%s) + (%s)", w.A, w.B, w.C)
+}
+
+// Assignment computes one signal during witness generation.
+type Assignment struct {
+	Target int
+	Expr   WExpr
+	// Constrained records whether the assignment came from <== (true) or
+	// the unconstrained <-- (false). Unconstrained assignments are the
+	// canonical source of under-constrained bugs.
+	Constrained bool
+	Pos         Pos
+}
+
+// Check is a witness-time assertion: Expr must evaluate truthy.
+type Check struct {
+	Expr WExpr
+	Pos  Pos
+	Msg  string
+}
+
+// Program is the output of compiling a Circom file: the constraint system,
+// the witness-generation program, and the input/output name tables.
+type Program struct {
+	System      *r1cs.System
+	Assignments []Assignment
+	Checks      []Check
+	// InputNames maps a flattened main-input name (e.g. "in[2]") to its
+	// signal ID.
+	InputNames map[string]int
+	// OutputNames maps a flattened main-output name to its signal ID.
+	OutputNames map[string]int
+	// MainTemplate is the name of the instantiated main template.
+	MainTemplate string
+	// Logs collects output of log() statements during compilation.
+	Logs []string
+}
+
+// SortedInputNames returns the input names in deterministic order.
+func (p *Program) SortedInputNames() []string {
+	names := make([]string, 0, len(p.InputNames))
+	for n := range p.InputNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SortedOutputNames returns the output names in deterministic order.
+func (p *Program) SortedOutputNames() []string {
+	names := make([]string, 0, len(p.OutputNames))
+	for n := range p.OutputNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GenerateWitness runs the witness program on the given inputs (keyed by
+// flattened input name, e.g. "in" or "in[3]") and returns a full witness.
+// Missing inputs default to zero. The returned witness is NOT checked
+// against the constraints; use System.CheckWitness for that (the witness of
+// a correct circuit always satisfies them, but an under-constrained circuit
+// may also accept witnesses this generator would never produce).
+func (p *Program) GenerateWitness(inputs map[string]*big.Int) (r1cs.Witness, error) {
+	f := p.System.Field()
+	w := p.System.NewWitness()
+	assigned := make([]bool, p.System.NumSignals())
+	assigned[r1cs.OneID] = true
+
+	for name, id := range p.InputNames {
+		if v, ok := inputs[name]; ok {
+			w[id] = f.Reduce(v)
+		}
+		assigned[id] = true
+	}
+	for name := range inputs {
+		if _, ok := p.InputNames[name]; !ok {
+			return nil, fmt.Errorf("circom: unknown input %q (have: %s)", name, strings.Join(p.SortedInputNames(), ", "))
+		}
+	}
+
+	// Ready-queue topological execution: an assignment fires once all its
+	// dependencies are assigned. This reproduces circom's
+	// "component executes when its inputs arrive" scheduling.
+	type pendingAssign struct {
+		idx    int
+		deps   []int
+		queued bool
+	}
+	waiting := map[int][]*pendingAssign{} // signal → assignments blocked on it
+	var ready []*pendingAssign
+	for i := range p.Assignments {
+		a := &p.Assignments[i]
+		depSet := map[int]bool{}
+		a.Expr.AddDeps(depSet)
+		pa := &pendingAssign{idx: i}
+		for d := range depSet {
+			if !assigned[d] {
+				pa.deps = append(pa.deps, d)
+			}
+		}
+		if len(pa.deps) == 0 {
+			pa.queued = true
+			ready = append(ready, pa)
+		} else {
+			for _, d := range pa.deps {
+				waiting[d] = append(waiting[d], pa)
+			}
+		}
+	}
+	remaining := make([]int, 0)
+	executed := 0
+	at := func(x int) *big.Int { return w[x] }
+	for len(ready) > 0 {
+		pa := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		a := &p.Assignments[pa.idx]
+		if assigned[a.Target] {
+			return nil, fmt.Errorf("circom: signal %s assigned twice", p.System.Name(a.Target))
+		}
+		v, err := a.Expr.Eval(f, at)
+		if err != nil {
+			return nil, fmt.Errorf("circom: %s: computing %s: %v", a.Pos, p.System.Name(a.Target), err)
+		}
+		w[a.Target] = f.Reduce(v)
+		executed++
+		assigned[a.Target] = true
+		for _, blocked := range waiting[a.Target] {
+			if blocked.queued {
+				continue
+			}
+			done := true
+			for _, d := range blocked.deps {
+				if !assigned[d] {
+					done = false
+					break
+				}
+			}
+			if done {
+				blocked.queued = true
+				ready = append(ready, blocked)
+			}
+		}
+		delete(waiting, a.Target)
+	}
+	if executed < len(p.Assignments) {
+		for id := range w {
+			if !assigned[id] {
+				remaining = append(remaining, id)
+			}
+		}
+		names := make([]string, 0, len(remaining))
+		for _, id := range remaining {
+			names = append(names, p.System.Name(id))
+		}
+		return nil, fmt.Errorf("circom: witness generation stuck; unassigned signals: %s", strings.Join(names, ", "))
+	}
+
+	for _, c := range p.Checks {
+		v, err := c.Expr.Eval(f, at)
+		if err != nil {
+			return nil, fmt.Errorf("circom: %s: assert: %v", c.Pos, err)
+		}
+		if !truthy(v) {
+			return nil, fmt.Errorf("circom: %s: assertion failed: %s", c.Pos, c.Msg)
+		}
+	}
+	return w, nil
+}
+
+// MustWitness is GenerateWitness followed by a constraint check; it panics
+// on any failure. Intended for tests and examples with known-good inputs.
+func (p *Program) MustWitness(inputs map[string]*big.Int) r1cs.Witness {
+	w, err := p.GenerateWitness(inputs)
+	if err != nil {
+		panic(err)
+	}
+	if err := p.System.CheckWitness(w); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// InputsFromInts is a convenience for building input maps from int64s.
+func InputsFromInts(m map[string]int64) map[string]*big.Int {
+	out := make(map[string]*big.Int, len(m))
+	for k, v := range m {
+		out[k] = big.NewInt(v)
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+// Package core implements the QED² analysis for detecting under-constrained
+// arithmetic circuits: given a rank-1 constraint system, it decides for each
+// output signal whether the constraints determine it uniquely from the
+// inputs, combining lightweight uniqueness-constraint propagation
+// (internal/uniq) with local and global SMT queries over the finite field
+// (internal/smt).
+//
+// Verdicts:
+//
+//   - Safe     — every output signal is uniquely determined by the inputs;
+//   - Unsafe   — a checked pair of witnesses agrees on all inputs but
+//     differs on an output (the circuit is under-constrained);
+//   - Unknown  — neither could be established within budget.
+//
+// The package also exposes the two baselines the evaluation compares
+// against: propagation-only (an Ecne-style pure inference pass, which can
+// prove Safe but never produces counterexamples) and SMT-only (a monolithic
+// whole-circuit query per output, which is complete in principle but does
+// not scale).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"qed2/internal/r1cs"
+	"qed2/internal/smt"
+	"qed2/internal/uniq"
+)
+
+// Verdict classifies a circuit.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictUnknown means the analysis could not decide within budget.
+	VerdictUnknown Verdict = iota
+	// VerdictSafe means every output is uniquely determined by the inputs.
+	VerdictSafe
+	// VerdictUnsafe means a checked witness pair demonstrates
+	// non-uniqueness of an output.
+	VerdictUnsafe
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "safe"
+	case VerdictUnsafe:
+		return "unsafe"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Mode selects the analysis configuration.
+type Mode int
+
+// Modes.
+const (
+	// ModeFull is the QED² combination: propagation + sliced SMT queries +
+	// full-circuit confirmation.
+	ModeFull Mode = iota
+	// ModePropagationOnly runs only the inference rules (Ecne-style
+	// baseline): it can prove Safe but never Unsafe.
+	ModePropagationOnly
+	// ModeSMTOnly issues one monolithic two-copy query per output without
+	// any propagation (naive SMT encoding baseline).
+	ModeSMTOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "qed2"
+	case ModePropagationOnly:
+		return "propagation-only"
+	case ModeSMTOnly:
+		return "smt-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config tunes the analysis.
+type Config struct {
+	// Mode selects full QED² or one of the baselines. Default ModeFull.
+	Mode Mode
+	// SliceRadius is the constraint-graph radius of local queries.
+	// Default 2.
+	SliceRadius int
+	// MaxSliceConstraints caps the size of a local query. Default 64.
+	MaxSliceConstraints int
+	// QuerySteps is the solver budget per SMT query. Default 50000.
+	QuerySteps int64
+	// GlobalSteps bounds total solver steps across all queries.
+	// Default 5,000,000.
+	GlobalSteps int64
+	// Timeout bounds wall-clock time for the whole analysis (0 = none).
+	Timeout time.Duration
+	// Seed makes solver probing deterministic.
+	Seed int64
+	// DisableSolveRule / DisableBitsRule switch off individual propagation
+	// rules (rule-ablation experiments). With both set, the analysis still
+	// seeds inputs and issues sliced SMT queries.
+	DisableSolveRule bool
+	DisableBitsRule  bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := Config{}
+	if c != nil {
+		out = *c
+	}
+	if out.SliceRadius == 0 {
+		out.SliceRadius = 2
+	}
+	if out.MaxSliceConstraints == 0 {
+		out.MaxSliceConstraints = 64
+	}
+	if out.QuerySteps == 0 {
+		out.QuerySteps = 50_000
+	}
+	if out.GlobalSteps == 0 {
+		out.GlobalSteps = 5_000_000
+	}
+	return out
+}
+
+// CounterExample is a checked pair of witnesses demonstrating
+// non-uniqueness: both satisfy every constraint, they agree on all inputs,
+// and they differ on Signal (an output).
+type CounterExample struct {
+	W1, W2 r1cs.Witness
+	Signal int
+}
+
+// Stats aggregates analysis effort and attribution.
+type Stats struct {
+	// SignalsTotal and Outputs describe the circuit.
+	SignalsTotal int
+	Outputs      int
+	Constraints  int
+	// PropagationUnique counts signals proven by the syntactic rules
+	// (including re-propagation triggered by SMT facts), with BitsUnique
+	// the subset resolved by the binary-decomposition rule.
+	PropagationUnique int
+	BitsUnique        int
+	// SMTUnique counts signals proven by SMT queries.
+	SMTUnique int
+	// UniqueTotal counts all known-unique signals at the end (seeds
+	// included).
+	UniqueTotal int
+	// Queries and SolverSteps measure SMT effort.
+	Queries     int
+	SolverSteps int64
+	// Duration is wall-clock analysis time.
+	Duration time.Duration
+}
+
+// Report is the output of Analyze.
+type Report struct {
+	Verdict Verdict
+	// Counter is set iff Verdict == VerdictUnsafe.
+	Counter *CounterExample
+	// Reason explains Unknown verdicts.
+	Reason string
+	Stats  Stats
+}
+
+// analysis carries the mutable state of one Analyze call.
+type analysis struct {
+	sys      *r1cs.System
+	cfg      Config
+	prop     *uniq.Propagator
+	report   *Report
+	start    time.Time
+	stepsRem int64
+	querySeq int64
+}
+
+// Analyze runs the configured analysis on the system.
+func Analyze(sys *r1cs.System, cfg *Config) *Report {
+	c := cfg.withDefaults()
+	a := &analysis{
+		sys:      sys,
+		cfg:      c,
+		start:    time.Now(),
+		stepsRem: c.GlobalSteps,
+		report:   &Report{},
+	}
+	st := sys.Stats()
+	a.report.Stats.SignalsTotal = st.Signals
+	a.report.Stats.Outputs = st.Outputs
+	a.report.Stats.Constraints = st.Constraints
+
+	uopts := uniq.Options{DisableSolve: c.DisableSolveRule, DisableBits: c.DisableBitsRule}
+	switch c.Mode {
+	case ModePropagationOnly:
+		a.prop = uniq.NewWithOptions(sys, uopts)
+		a.finishPropagationOnly()
+	case ModeSMTOnly:
+		a.runSMTOnly()
+	default:
+		a.prop = uniq.NewWithOptions(sys, uopts)
+		a.runFull()
+	}
+	a.report.Stats.Duration = time.Since(a.start)
+	if a.prop != nil {
+		counts := a.prop.CountByRule()
+		a.report.Stats.PropagationUnique = counts[uniq.RuleSolve] + counts[uniq.RuleBits]
+		a.report.Stats.BitsUnique = counts[uniq.RuleBits]
+		a.report.Stats.SMTUnique = counts[uniq.RuleExternal]
+		a.report.Stats.UniqueTotal = a.prop.NumUnique()
+	}
+	return a.report
+}
+
+// outOfBudget reports whether the global budget is exhausted.
+func (a *analysis) outOfBudget() bool {
+	if a.stepsRem <= 0 {
+		return true
+	}
+	if a.cfg.Timeout > 0 && time.Since(a.start) > a.cfg.Timeout {
+		return true
+	}
+	return false
+}
+
+// solve runs one SMT query against the remaining budget.
+func (a *analysis) solve(p *smt.Problem) smt.Outcome {
+	budget := a.cfg.QuerySteps
+	if budget > a.stepsRem {
+		budget = a.stepsRem
+	}
+	if budget <= 0 {
+		return smt.Outcome{Status: smt.StatusUnknown, Reason: "global budget exhausted"}
+	}
+	a.querySeq++
+	out := smt.Solve(p, &smt.Options{
+		MaxSteps: budget,
+		Seed:     a.cfg.Seed + a.querySeq,
+	})
+	a.stepsRem -= out.Steps
+	a.report.Stats.Queries++
+	a.report.Stats.SolverSteps += out.Steps
+	return out
+}
+
+func (a *analysis) finishPropagationOnly() {
+	if a.prop.OutputsUnique() {
+		a.report.Verdict = VerdictSafe
+		return
+	}
+	a.report.Verdict = VerdictUnknown
+	a.report.Reason = "propagation rules left outputs unresolved (this mode cannot produce counterexamples)"
+}
+
+// runFull is the QED² loop: propagate, prove unknowns one slice at a time,
+// and confirm candidate counterexamples on the full circuit.
+func (a *analysis) runFull() {
+	lastTried := map[int]int{}
+	for {
+		if a.prop.OutputsUnique() {
+			a.report.Verdict = VerdictSafe
+			return
+		}
+		if a.outOfBudget() {
+			a.report.Verdict = VerdictUnknown
+			a.report.Reason = "analysis budget exhausted"
+			return
+		}
+		progress := false
+		for _, s := range a.prop.Unknown() {
+			if a.outOfBudget() {
+				break
+			}
+			if a.prop.IsUnique(s) {
+				continue // resolved by propagation triggered earlier this pass
+			}
+			if lastTried[s] == a.prop.NumUnique() {
+				continue // nothing new since the last attempt
+			}
+			lastTried[s] = a.prop.NumUnique()
+			out, full := a.sliceQuery(s)
+			if out.Status == smt.StatusUnsat {
+				a.prop.AddUniqueExternal(s)
+				progress = true
+				continue
+			}
+			// A SAT answer on the FULL constraint set is conclusive
+			// non-uniqueness of s; for outputs that ends the analysis.
+			if out.Status == smt.StatusSat && full {
+				if a.sys.Signal(s).Kind == r1cs.KindOutput {
+					if a.confirmCounterexample(s, out.Model) {
+						return
+					}
+				}
+			}
+		}
+		if progress {
+			continue
+		}
+		// Slices are exhausted: decide the remaining outputs globally.
+		a.finalOutputsStage()
+		return
+	}
+}
+
+// sliceQuery builds and solves the local uniqueness query for signal s.
+// full reports whether the slice covered the entire system.
+func (a *analysis) sliceQuery(s int) (smt.Outcome, bool) {
+	sl := a.sys.SliceAround(s, a.cfg.SliceRadius, a.cfg.MaxSliceConstraints)
+	p := a.uniquenessProblem(sl.Constraints, s)
+	return a.solve(p), len(sl.Constraints) == a.sys.NumConstraints()
+}
+
+// finalOutputsStage runs whole-circuit queries for every output still
+// unknown, confirming counterexamples or proving uniqueness outright.
+func (a *analysis) finalOutputsStage() {
+	allCons := make([]int, a.sys.NumConstraints())
+	for i := range allCons {
+		allCons[i] = i
+	}
+	var reason string
+	for _, o := range a.sys.Outputs() {
+		if a.prop.IsUnique(o) {
+			continue
+		}
+		if a.outOfBudget() {
+			a.report.Verdict = VerdictUnknown
+			a.report.Reason = "analysis budget exhausted before deciding all outputs"
+			return
+		}
+		p := a.uniquenessProblem(allCons, o)
+		out := a.solve(p)
+		switch out.Status {
+		case smt.StatusUnsat:
+			a.prop.AddUniqueExternal(o)
+		case smt.StatusSat:
+			if a.confirmCounterexample(o, out.Model) {
+				return
+			}
+			reason = "solver model failed confirmation (internal)"
+		default:
+			if reason == "" {
+				reason = fmt.Sprintf("output %s undecided: %s", a.sys.Name(o), out.Reason)
+			}
+		}
+	}
+	if a.prop.OutputsUnique() {
+		a.report.Verdict = VerdictSafe
+		return
+	}
+	a.report.Verdict = VerdictUnknown
+	a.report.Reason = reason
+}
+
+// runSMTOnly is the monolithic baseline: one full-circuit query per output,
+// sharing only the inputs between the two copies.
+func (a *analysis) runSMTOnly() {
+	shared := map[int]bool{r1cs.OneID: true}
+	for _, in := range a.sys.Inputs() {
+		shared[in] = true
+	}
+	allCons := make([]int, a.sys.NumConstraints())
+	for i := range allCons {
+		allCons[i] = i
+	}
+	undecided := ""
+	safe := true
+	for _, o := range a.sys.Outputs() {
+		if a.outOfBudget() {
+			safe = false
+			undecided = "analysis budget exhausted"
+			break
+		}
+		p := buildUniquenessProblem(a.sys, allCons, func(v int) bool { return shared[v] }, o)
+		out := a.solve(p)
+		switch out.Status {
+		case smt.StatusUnsat:
+			// output unique
+		case smt.StatusSat:
+			if a.confirmCounterexample(o, out.Model) {
+				return
+			}
+			safe = false
+			undecided = "solver model failed confirmation (internal)"
+		default:
+			safe = false
+			if undecided == "" {
+				undecided = fmt.Sprintf("output %s undecided: %s", a.sys.Name(o), out.Reason)
+			}
+		}
+	}
+	if safe {
+		a.report.Verdict = VerdictSafe
+		return
+	}
+	a.report.Verdict = VerdictUnknown
+	a.report.Reason = undecided
+}
+
+// uniquenessProblem builds the two-copy query for target over the given
+// constraints, sharing every signal currently known unique.
+func (a *analysis) uniquenessProblem(consIdx []int, target int) *smt.Problem {
+	return buildUniquenessProblem(a.sys, consIdx, a.prop.IsUnique, target)
+}
+
+// confirmCounterexample turns a SAT model of a full-circuit query into a
+// checked witness pair; it returns true (and finalizes the report) only if
+// both witnesses satisfy every constraint, agree on the inputs, and differ
+// on the target output.
+func (a *analysis) confirmCounterexample(target int, model smt.Model) bool {
+	n := a.sys.NumSignals()
+	w1 := a.sys.NewWitness()
+	w2 := a.sys.NewWitness()
+	sharedOf := func(v int) bool {
+		if a.prop != nil {
+			return a.prop.IsUnique(v)
+		}
+		return v == r1cs.OneID || a.sys.Signal(v).Kind == r1cs.KindInput
+	}
+	for id := 1; id < n; id++ {
+		w1[id] = model.Eval(id)
+		if sharedOf(id) {
+			w2[id] = model.Eval(id)
+		} else {
+			w2[id] = model.Eval(id + n)
+		}
+	}
+	if err := a.sys.CheckWitness(w1); err != nil {
+		return false
+	}
+	if err := a.sys.CheckWitness(w2); err != nil {
+		return false
+	}
+	if !r1cs.AgreeOn(w1, w2, a.sys.Inputs()) {
+		return false
+	}
+	if w1[target].Cmp(w2[target]) == 0 {
+		return false
+	}
+	a.report.Verdict = VerdictUnsafe
+	a.report.Counter = &CounterExample{W1: w1, W2: w2, Signal: target}
+	return true
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+// TestMutationNeverFlipsToUnsoundSafe is the failure-injection test from
+// DESIGN.md: start from small circuits the analyzer proves Safe, knock out
+// one constraint at a time, and verify that whenever the analyzer still
+// says Safe the mutated circuit really is output-unique (checked by
+// exhaustive enumeration over a tiny field). Dropping a constraint can
+// legitimately leave a circuit safe — what must never happen is a Safe
+// verdict on a circuit that now admits a forged witness.
+func TestMutationNeverFlipsToUnsoundSafe(t *testing.T) {
+	f5 := ff.MustField(big.NewInt(5))
+	rng := rand.New(rand.NewSource(99))
+
+	build := func() *r1cs.System {
+		sys := r1cs.NewSystem(f5)
+		sys.AddSignal("", r1cs.KindInput)
+		sys.AddSignal("", r1cs.KindInternal)
+		sys.AddSignal("", r1cs.KindOutput)
+		n := sys.NumSignals()
+		randLC := func() *poly.LinComb {
+			out := poly.ConstInt(f5, int64(rng.Intn(5)))
+			for v := 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					out = out.AddTerm(v, big.NewInt(int64(1+rng.Intn(4))))
+				}
+			}
+			return out
+		}
+		for k := 2 + rng.Intn(2); k > 0; k-- {
+			sys.AddConstraint(randLC(), randLC(), randLC(), "")
+		}
+		return sys
+	}
+
+	// dropConstraint rebuilds the system without constraint k.
+	dropConstraint := func(sys *r1cs.System, k int) *r1cs.System {
+		out := r1cs.NewSystem(sys.Field())
+		for _, sig := range sys.Signals()[1:] {
+			out.AddSignal(sig.Name, sig.Kind)
+		}
+		for i, c := range sys.Constraints() {
+			if i == k {
+				continue
+			}
+			out.AddConstraint(c.A, c.B, c.C, c.Tag)
+		}
+		return out
+	}
+
+	checked, mutants := 0, 0
+	for iter := 0; iter < 200 && checked < 25; iter++ {
+		sys := build()
+		base := Analyze(sys, &Config{Seed: int64(iter)})
+		if base.Verdict != VerdictSafe {
+			continue
+		}
+		checked++
+		for k := 0; k < sys.NumConstraints(); k++ {
+			mutants++
+			mut := dropConstraint(sys, k)
+			r := Analyze(mut, &Config{Seed: int64(iter*100 + k)})
+			gotUnique, _ := outputsUniqueBrute(mut)
+			switch r.Verdict {
+			case VerdictSafe:
+				if !gotUnique {
+					t.Fatalf("UNSOUND: dropping constraint %d kept Safe verdict on a forgeable circuit\n%s",
+						k, mut.MarshalText())
+				}
+			case VerdictUnsafe:
+				if gotUnique {
+					t.Fatalf("UNSOUND: mutant flagged Unsafe but outputs are unique\n%s", mut.MarshalText())
+				}
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d safe base circuits generated; mutation test too weak", checked)
+	}
+	t.Logf("mutation test: %d safe bases, %d mutants, all verdicts sound", checked, mutants)
+}

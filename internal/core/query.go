@@ -1,0 +1,41 @@
+package core
+
+import (
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+	"qed2/internal/smt"
+)
+
+// buildUniquenessProblem encodes the two-copy uniqueness query:
+//
+//	C(x) ∧ C(x′) ∧ (x_s = x′_s for every shared signal s) ∧ target ≠ target′
+//
+// over the given subset of constraints. Instead of explicit equalities,
+// shared signals simply keep their variable in both copies; every other
+// signal v gets a primed copy v + N (N = number of signals). A model is
+// therefore a pair of assignments agreeing on the shared signals with the
+// target taking two different values. UNSAT on the FULL constraint set
+// proves the target uniquely determined; UNSAT on a subset is still sound
+// for uniqueness (more constraints only remove solutions), while SAT on a
+// subset is only a candidate.
+func buildUniquenessProblem(sys *r1cs.System, consIdx []int, isShared func(int) bool, target int) *smt.Problem {
+	if isShared(target) {
+		panic("core: uniqueness query for a shared signal")
+	}
+	n := sys.NumSignals()
+	prime := func(v int) int {
+		if isShared(v) {
+			return v
+		}
+		return v + n
+	}
+	p := smt.NewProblem(sys.Field())
+	for _, ci := range consIdx {
+		c := sys.Constraint(ci)
+		p.AddEq(c.A, c.B, c.C)
+		p.AddEq(c.A.RenameVars(prime), c.B.RenameVars(prime), c.C.RenameVars(prime))
+	}
+	f := sys.Field()
+	p.AddNeq(poly.Var(f, target).Sub(poly.Var(f, prime(target))))
+	return p
+}

@@ -1,0 +1,443 @@
+// Package ff implements arithmetic over prime finite fields F_p.
+//
+// It is the numeric substrate of the whole system: circuit signals take
+// values in F_p, constraints are polynomial equations over F_p, and the
+// solver reasons about satisfiability of such equations. Elements are
+// represented as *big.Int values normalized into the half-open interval
+// [0, p); all operations go through a *Field, which owns the modulus and
+// never mutates its arguments.
+//
+// The package ships the BN254 scalar field (the default field of the Circom
+// toolchain) plus helpers to construct arbitrary prime fields, including
+// small ones used by the test suite for exhaustive cross-validation.
+package ff
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Field represents the prime field F_p for an odd prime p.
+// A Field is immutable after construction and safe for concurrent use.
+type Field struct {
+	p        *big.Int // the modulus
+	pMinus1  *big.Int // p - 1
+	pMinus2  *big.Int // p - 2, exponent for Fermat inversion
+	half     *big.Int // (p - 1) / 2, threshold for signed interpretation
+	bitLen   int
+	name     string
+	isSmall  bool   // p fits in int64 (enables exhaustive enumeration)
+	smallMod uint64 // p as uint64 when isSmall
+}
+
+// ErrNotPrime is returned by NewField when the modulus fails the primality test.
+var ErrNotPrime = errors.New("ff: modulus is not prime")
+
+// ErrDivByZero is returned when inverting or dividing by zero.
+var ErrDivByZero = errors.New("ff: division by zero")
+
+// NewField constructs the prime field F_p. It returns ErrNotPrime if p is
+// not (probably) prime, and an error if p < 3.
+func NewField(p *big.Int) (*Field, error) {
+	if p == nil || p.Sign() <= 0 || p.Cmp(big.NewInt(3)) < 0 {
+		return nil, fmt.Errorf("ff: modulus must be an odd prime >= 3, got %v", p)
+	}
+	if !p.ProbablyPrime(32) {
+		return nil, ErrNotPrime
+	}
+	f := &Field{p: new(big.Int).Set(p)}
+	f.pMinus1 = new(big.Int).Sub(f.p, big.NewInt(1))
+	f.pMinus2 = new(big.Int).Sub(f.p, big.NewInt(2))
+	f.half = new(big.Int).Rsh(f.pMinus1, 1)
+	f.bitLen = f.p.BitLen()
+	if f.p.IsUint64() {
+		f.isSmall = true
+		f.smallMod = f.p.Uint64()
+	}
+	f.name = fmt.Sprintf("F_%s", shortModulus(f.p))
+	return f, nil
+}
+
+// MustField is like NewField but panics on error. Intended for package-level
+// well-known fields and tests.
+func MustField(p *big.Int) *Field {
+	f, err := NewField(p)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MustFieldFromString parses a decimal (or 0x-prefixed hex) modulus and
+// constructs the field, panicking on error.
+func MustFieldFromString(s string) *Field {
+	p, ok := new(big.Int).SetString(s, 0)
+	if !ok {
+		panic(fmt.Sprintf("ff: cannot parse modulus %q", s))
+	}
+	return MustField(p)
+}
+
+// SmallField constructs F_p for a small prime given as an int64.
+func SmallField(p int64) (*Field, error) { return NewField(big.NewInt(p)) }
+
+// BN254 returns the scalar field of the BN254 curve, the default field used
+// by the Circom compiler and most deployed Circom circuits.
+func BN254() *Field { return bn254 }
+
+var bn254 = MustFieldFromString("21888242871839275222246405745257275088548364400416034343698204186575808495617")
+
+// Modulus returns a copy of the field modulus.
+func (f *Field) Modulus() *big.Int { return new(big.Int).Set(f.p) }
+
+// BitLen returns the bit length of the modulus.
+func (f *Field) BitLen() int { return f.bitLen }
+
+// Name returns a short human-readable name such as "F_97" or "F_2188…5617".
+func (f *Field) Name() string { return f.name }
+
+// IsSmall reports whether the modulus fits in a uint64, which enables
+// exhaustive enumeration strategies in the solver and test suite.
+func (f *Field) IsSmall() bool { return f.isSmall }
+
+// SmallModulus returns the modulus as a uint64. It panics if !IsSmall().
+func (f *Field) SmallModulus() uint64 {
+	if !f.isSmall {
+		panic("ff: SmallModulus on large field")
+	}
+	return f.smallMod
+}
+
+// SameField reports whether g is the same field (same modulus) as f.
+func (f *Field) SameField(g *Field) bool {
+	return f == g || (g != nil && f.p.Cmp(g.p) == 0)
+}
+
+// shortModulus renders a modulus compactly for field names.
+func shortModulus(p *big.Int) string {
+	s := p.String()
+	if len(s) <= 10 {
+		return s
+	}
+	return s[:4] + "…" + s[len(s)-4:]
+}
+
+// --- element construction -------------------------------------------------
+
+// Zero returns the additive identity.
+func (f *Field) Zero() *big.Int { return new(big.Int) }
+
+// One returns the multiplicative identity.
+func (f *Field) One() *big.Int { return big.NewInt(1) }
+
+// NewElement reduces the signed integer v into [0, p).
+func (f *Field) NewElement(v int64) *big.Int {
+	return f.Reduce(big.NewInt(v))
+}
+
+// Reduce returns v mod p in [0, p) without mutating v.
+func (f *Field) Reduce(v *big.Int) *big.Int {
+	r := new(big.Int).Mod(v, f.p)
+	return r
+}
+
+// FromString parses a decimal or 0x-hex literal (optionally negative) and
+// reduces it into the field.
+func (f *Field) FromString(s string) (*big.Int, error) {
+	v, ok := new(big.Int).SetString(s, 0)
+	if !ok {
+		return nil, fmt.Errorf("ff: cannot parse field element %q", s)
+	}
+	return f.Reduce(v), nil
+}
+
+// MustElement is FromString, panicking on parse failure.
+func (f *Field) MustElement(s string) *big.Int {
+	v, err := f.FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsValid reports whether v is already normalized into [0, p).
+func (f *Field) IsValid(v *big.Int) bool {
+	return v != nil && v.Sign() >= 0 && v.Cmp(f.p) < 0
+}
+
+// --- arithmetic -------------------------------------------------------------
+
+// Add returns a + b mod p.
+func (f *Field) Add(a, b *big.Int) *big.Int {
+	r := new(big.Int).Add(a, b)
+	if r.Cmp(f.p) >= 0 {
+		r.Sub(r, f.p)
+	}
+	return r
+}
+
+// Sub returns a - b mod p.
+func (f *Field) Sub(a, b *big.Int) *big.Int {
+	r := new(big.Int).Sub(a, b)
+	if r.Sign() < 0 {
+		r.Add(r, f.p)
+	}
+	return r
+}
+
+// Neg returns -a mod p.
+func (f *Field) Neg(a *big.Int) *big.Int {
+	if a.Sign() == 0 {
+		return new(big.Int)
+	}
+	return new(big.Int).Sub(f.p, a)
+}
+
+// Mul returns a * b mod p.
+func (f *Field) Mul(a, b *big.Int) *big.Int {
+	r := new(big.Int).Mul(a, b)
+	return r.Mod(r, f.p)
+}
+
+// Square returns a² mod p.
+func (f *Field) Square(a *big.Int) *big.Int { return f.Mul(a, a) }
+
+// Double returns 2a mod p.
+func (f *Field) Double(a *big.Int) *big.Int { return f.Add(a, a) }
+
+// Inv returns a⁻¹ mod p, or ErrDivByZero if a ≡ 0.
+func (f *Field) Inv(a *big.Int) (*big.Int, error) {
+	if new(big.Int).Mod(a, f.p).Sign() == 0 {
+		return nil, ErrDivByZero
+	}
+	// ModInverse via extended Euclid is faster than Fermat for big moduli.
+	r := new(big.Int).ModInverse(a, f.p)
+	if r == nil {
+		return nil, ErrDivByZero
+	}
+	return r, nil
+}
+
+// MustInv is Inv, panicking on division by zero.
+func (f *Field) MustInv(a *big.Int) *big.Int {
+	r, err := f.Inv(a)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Div returns a / b mod p, or ErrDivByZero if b ≡ 0.
+func (f *Field) Div(a, b *big.Int) (*big.Int, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return nil, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Exp returns a^e mod p for a non-negative exponent e.
+// A negative exponent is interpreted as (a⁻¹)^|e| and panics if a ≡ 0.
+func (f *Field) Exp(a, e *big.Int) *big.Int {
+	if e.Sign() < 0 {
+		inv := f.MustInv(a)
+		return new(big.Int).Exp(inv, new(big.Int).Neg(e), f.p)
+	}
+	return new(big.Int).Exp(a, e, f.p)
+}
+
+// ExpInt is Exp with an int64 exponent.
+func (f *Field) ExpInt(a *big.Int, e int64) *big.Int {
+	return f.Exp(a, big.NewInt(e))
+}
+
+// Equal reports a ≡ b (mod p) for already-normalized inputs.
+func (f *Field) Equal(a, b *big.Int) bool { return a.Cmp(b) == 0 }
+
+// IsZero reports a ≡ 0 for a normalized input.
+func (f *Field) IsZero(a *big.Int) bool { return a.Sign() == 0 }
+
+// IsOne reports a ≡ 1 for a normalized input.
+func (f *Field) IsOne(a *big.Int) bool { return a.Cmp(oneInt) == 0 }
+
+var oneInt = big.NewInt(1)
+
+// Signed returns the representative of a in (-(p-1)/2, (p-1)/2], which is the
+// conventional "signed" reading of field elements used in diagnostics
+// (e.g. printing -1 instead of p-1).
+func (f *Field) Signed(a *big.Int) *big.Int {
+	if a.Cmp(f.half) > 0 {
+		return new(big.Int).Sub(a, f.p)
+	}
+	return new(big.Int).Set(a)
+}
+
+// String renders a normalized element using the signed representative when
+// that is shorter, e.g. "-1" rather than the full modulus-minus-one literal.
+func (f *Field) String(a *big.Int) string {
+	s := f.Signed(a)
+	return s.String()
+}
+
+// --- batch / aggregate operations -------------------------------------------
+
+// Sum returns the field sum of all vs.
+func (f *Field) Sum(vs ...*big.Int) *big.Int {
+	r := new(big.Int)
+	for _, v := range vs {
+		r.Add(r, v)
+	}
+	return r.Mod(r, f.p)
+}
+
+// Prod returns the field product of all vs (1 for the empty product).
+func (f *Field) Prod(vs ...*big.Int) *big.Int {
+	r := big.NewInt(1)
+	for _, v := range vs {
+		r.Mul(r, v)
+		r.Mod(r, f.p)
+	}
+	return r
+}
+
+// BatchInv inverts every element of vs with a single field inversion
+// (Montgomery's trick). It returns ErrDivByZero if any element is zero.
+func (f *Field) BatchInv(vs []*big.Int) ([]*big.Int, error) {
+	n := len(vs)
+	if n == 0 {
+		return nil, nil
+	}
+	prefix := make([]*big.Int, n)
+	acc := big.NewInt(1)
+	for i, v := range vs {
+		if v.Sign() == 0 {
+			return nil, ErrDivByZero
+		}
+		prefix[i] = new(big.Int).Set(acc)
+		acc = f.Mul(acc, v)
+	}
+	accInv, err := f.Inv(acc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = f.Mul(accInv, prefix[i])
+		accInv = f.Mul(accInv, vs[i])
+	}
+	return out, nil
+}
+
+// --- randomness ---------------------------------------------------------------
+
+// Rand returns a uniformly random field element using crypto/rand.
+func (f *Field) Rand() *big.Int {
+	v, err := rand.Int(rand.Reader, f.p)
+	if err != nil {
+		panic(fmt.Sprintf("ff: crypto/rand failure: %v", err))
+	}
+	return v
+}
+
+// RandSource abstracts the subset of math/rand we need, so deterministic
+// test generators can be plugged in.
+type RandSource interface {
+	Uint64() uint64
+}
+
+// RandFrom returns a pseudo-random field element drawn from src. The
+// distribution is uniform up to negligible modulo bias for large fields and
+// exactly uniform via rejection for small fields.
+func (f *Field) RandFrom(src RandSource) *big.Int {
+	if f.isSmall {
+		// Rejection sampling for exact uniformity.
+		bound := f.smallMod
+		limit := (^uint64(0) / bound) * bound
+		for {
+			v := src.Uint64()
+			if v < limit {
+				return new(big.Int).SetUint64(v % bound)
+			}
+		}
+	}
+	nWords := (f.bitLen + 127) / 64 // 64 extra bits drown the modulo bias
+	v := new(big.Int)
+	word := new(big.Int)
+	for i := 0; i < nWords; i++ {
+		v.Lsh(v, 64)
+		v.Or(v, word.SetUint64(src.Uint64()))
+	}
+	return v.Mod(v, f.p)
+}
+
+// --- square roots & quadratic residues ------------------------------------
+
+// Legendre returns the Legendre symbol (a/p): 0 if a ≡ 0, 1 if a is a
+// nonzero quadratic residue, -1 otherwise.
+func (f *Field) Legendre(a *big.Int) int {
+	if new(big.Int).Mod(a, f.p).Sign() == 0 {
+		return 0
+	}
+	r := f.Exp(a, f.half)
+	if r.Cmp(oneInt) == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Sqrt returns a square root of a if one exists (Tonelli–Shanks), together
+// with true; otherwise nil, false. For a ≡ 0 it returns 0, true.
+func (f *Field) Sqrt(a *big.Int) (*big.Int, bool) {
+	a = f.Reduce(a)
+	if a.Sign() == 0 {
+		return new(big.Int), true
+	}
+	if f.Legendre(a) != 1 {
+		return nil, false
+	}
+	// p ≡ 3 (mod 4): direct exponentiation.
+	if f.p.Bit(0) == 1 && f.p.Bit(1) == 1 {
+		e := new(big.Int).Add(f.p, oneInt)
+		e.Rsh(e, 2)
+		return f.Exp(a, e), true
+	}
+	// Tonelli–Shanks. Write p-1 = q·2^s with q odd.
+	q := new(big.Int).Set(f.pMinus1)
+	s := 0
+	for q.Bit(0) == 0 {
+		q.Rsh(q, 1)
+		s++
+	}
+	// Find a quadratic non-residue z.
+	z := big.NewInt(2)
+	for f.Legendre(z) != -1 {
+		z.Add(z, oneInt)
+	}
+	m := s
+	c := f.Exp(z, q)
+	t := f.Exp(a, q)
+	r := f.Exp(a, new(big.Int).Rsh(new(big.Int).Add(q, oneInt), 1))
+	for t.Cmp(oneInt) != 0 {
+		// Find least i in (0, m) with t^(2^i) == 1.
+		i := 0
+		t2 := new(big.Int).Set(t)
+		for t2.Cmp(oneInt) != 0 {
+			t2 = f.Square(t2)
+			i++
+			if i == m {
+				return nil, false // unreachable for residues; defensive
+			}
+		}
+		b := new(big.Int).Set(c)
+		for j := 0; j < m-i-1; j++ {
+			b = f.Square(b)
+		}
+		m = i
+		c = f.Square(b)
+		t = f.Mul(t, c)
+		r = f.Mul(r, b)
+	}
+	return r, true
+}

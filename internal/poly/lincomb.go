@@ -1,0 +1,337 @@
+// Package poly implements the symbolic algebra used throughout the system:
+// sparse linear combinations over signal variables and canonical quadratic
+// forms, both with coefficients in a prime field F_p.
+//
+// Variables are identified by small non-negative integers; the mapping from
+// variable IDs to circuit signals is owned by the r1cs package. Linear
+// combinations are the building block of rank-1 constraints ⟨A,s⟩·⟨B,s⟩ =
+// ⟨C,s⟩, and — crucially for the solver — the R1CS form is closed under
+// substituting a linear combination for a variable, so the entire analysis
+// pipeline stays within this algebra.
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"qed2/internal/ff"
+)
+
+// LinComb is a sparse linear combination  c₀ + Σᵢ cᵢ·xᵢ  with coefficients
+// in F_p. The zero coefficient is never stored. LinComb values are mutable;
+// operations return new values and never mutate their receivers unless the
+// method name says so (the *InPlace variants).
+type LinComb struct {
+	f     *ff.Field
+	konst *big.Int         // constant term, normalized in [0,p)
+	terms map[int]*big.Int // var → nonzero normalized coefficient
+}
+
+// NewLinComb returns the zero linear combination over field f.
+func NewLinComb(f *ff.Field) *LinComb {
+	return &LinComb{f: f, konst: new(big.Int), terms: map[int]*big.Int{}}
+}
+
+// Const returns the constant linear combination v (reduced into the field).
+func Const(f *ff.Field, v *big.Int) *LinComb {
+	lc := NewLinComb(f)
+	lc.konst = f.Reduce(v)
+	return lc
+}
+
+// ConstInt returns the constant linear combination for a small integer.
+func ConstInt(f *ff.Field, v int64) *LinComb { return Const(f, big.NewInt(v)) }
+
+// Var returns the linear combination consisting of the single variable x
+// with coefficient 1.
+func Var(f *ff.Field, x int) *LinComb {
+	lc := NewLinComb(f)
+	lc.terms[x] = f.One()
+	return lc
+}
+
+// Term returns the linear combination coeff·x.
+func Term(f *ff.Field, x int, coeff *big.Int) *LinComb {
+	lc := NewLinComb(f)
+	c := f.Reduce(coeff)
+	if c.Sign() != 0 {
+		lc.terms[x] = c
+	}
+	return lc
+}
+
+// Field returns the coefficient field.
+func (lc *LinComb) Field() *ff.Field { return lc.f }
+
+// Clone returns a deep copy.
+func (lc *LinComb) Clone() *LinComb {
+	out := &LinComb{f: lc.f, konst: new(big.Int).Set(lc.konst), terms: make(map[int]*big.Int, len(lc.terms))}
+	for v, c := range lc.terms {
+		out.terms[v] = new(big.Int).Set(c)
+	}
+	return out
+}
+
+// Constant returns the constant term (do not mutate).
+func (lc *LinComb) Constant() *big.Int { return lc.konst }
+
+// Coeff returns the coefficient of variable x (zero if absent; do not mutate).
+func (lc *LinComb) Coeff(x int) *big.Int {
+	if c, ok := lc.terms[x]; ok {
+		return c
+	}
+	return zeroInt
+}
+
+var zeroInt = new(big.Int)
+
+// NumTerms returns the number of variables with nonzero coefficient.
+func (lc *LinComb) NumTerms() int { return len(lc.terms) }
+
+// Vars returns the variables with nonzero coefficients, in ascending order.
+func (lc *LinComb) Vars() []int {
+	vs := make([]int, 0, len(lc.terms))
+	for v := range lc.terms {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// VisitTerms calls fn for every (variable, coefficient) pair in ascending
+// variable order. The coefficient must not be mutated.
+func (lc *LinComb) VisitTerms(fn func(x int, coeff *big.Int)) {
+	for _, v := range lc.Vars() {
+		fn(v, lc.terms[v])
+	}
+}
+
+// IsZero reports whether the combination is identically zero.
+func (lc *LinComb) IsZero() bool { return lc.konst.Sign() == 0 && len(lc.terms) == 0 }
+
+// IsConst reports whether the combination has no variables.
+func (lc *LinComb) IsConst() bool { return len(lc.terms) == 0 }
+
+// IsSingleVar reports whether lc has exactly the form c·x + d with c ≠ 0,
+// returning x when so.
+func (lc *LinComb) IsSingleVar() (x int, ok bool) {
+	if len(lc.terms) != 1 {
+		return 0, false
+	}
+	for v := range lc.terms {
+		return v, true
+	}
+	return 0, false // unreachable
+}
+
+// setCoeff installs coeff (already reduced) for x, deleting the entry when zero.
+func (lc *LinComb) setCoeff(x int, coeff *big.Int) {
+	if coeff.Sign() == 0 {
+		delete(lc.terms, x)
+	} else {
+		lc.terms[x] = coeff
+	}
+}
+
+// Add returns lc + other.
+func (lc *LinComb) Add(other *LinComb) *LinComb {
+	out := lc.Clone()
+	out.konst = lc.f.Add(out.konst, other.konst)
+	for v, c := range other.terms {
+		out.setCoeff(v, lc.f.Add(out.Coeff(v), c))
+	}
+	return out
+}
+
+// Sub returns lc - other.
+func (lc *LinComb) Sub(other *LinComb) *LinComb {
+	out := lc.Clone()
+	out.konst = lc.f.Sub(out.konst, other.konst)
+	for v, c := range other.terms {
+		out.setCoeff(v, lc.f.Sub(out.Coeff(v), c))
+	}
+	return out
+}
+
+// Neg returns -lc.
+func (lc *LinComb) Neg() *LinComb {
+	out := NewLinComb(lc.f)
+	out.konst = lc.f.Neg(lc.konst)
+	for v, c := range lc.terms {
+		out.terms[v] = lc.f.Neg(c)
+	}
+	return out
+}
+
+// Scale returns k·lc for a field constant k.
+func (lc *LinComb) Scale(k *big.Int) *LinComb {
+	k = lc.f.Reduce(k)
+	out := NewLinComb(lc.f)
+	if k.Sign() == 0 {
+		return out
+	}
+	out.konst = lc.f.Mul(lc.konst, k)
+	for v, c := range lc.terms {
+		out.terms[v] = lc.f.Mul(c, k)
+	}
+	return out
+}
+
+// AddTerm returns lc + coeff·x.
+func (lc *LinComb) AddTerm(x int, coeff *big.Int) *LinComb {
+	out := lc.Clone()
+	out.setCoeff(x, lc.f.Add(out.Coeff(x), lc.f.Reduce(coeff)))
+	return out
+}
+
+// AddConst returns lc + v.
+func (lc *LinComb) AddConst(v *big.Int) *LinComb {
+	out := lc.Clone()
+	out.konst = lc.f.Add(out.konst, lc.f.Reduce(v))
+	return out
+}
+
+// Eval evaluates the combination under the assignment fn (variable → value).
+// fn must return a normalized field element for every variable of lc.
+func (lc *LinComb) Eval(fn func(x int) *big.Int) *big.Int {
+	acc := new(big.Int).Set(lc.konst)
+	tmp := new(big.Int)
+	for v, c := range lc.terms {
+		tmp.Mul(c, fn(v))
+		acc.Add(acc, tmp)
+	}
+	return acc.Mod(acc, lc.f.Modulus())
+}
+
+// EvalMap is Eval over a map assignment; variables absent from m evaluate
+// to zero.
+func (lc *LinComb) EvalMap(m map[int]*big.Int) *big.Int {
+	return lc.Eval(func(x int) *big.Int {
+		if v, ok := m[x]; ok {
+			return v
+		}
+		return zeroInt
+	})
+}
+
+// SubstituteValue returns lc with variable x replaced by the constant v.
+func (lc *LinComb) SubstituteValue(x int, v *big.Int) *LinComb {
+	c, ok := lc.terms[x]
+	if !ok {
+		return lc.Clone()
+	}
+	out := lc.Clone()
+	delete(out.terms, x)
+	out.konst = lc.f.Add(out.konst, lc.f.Mul(c, lc.f.Reduce(v)))
+	return out
+}
+
+// Substitute returns lc with variable x replaced by the linear combination
+// repl (which must not mention x).
+func (lc *LinComb) Substitute(x int, repl *LinComb) *LinComb {
+	c, ok := lc.terms[x]
+	if !ok {
+		return lc.Clone()
+	}
+	out := lc.Clone()
+	delete(out.terms, x)
+	return out.Add(repl.Scale(c))
+}
+
+// SolveFor rewrites the equation lc = 0 as x = expr when the coefficient of
+// x is nonzero, returning expr (which does not mention x). ok is false when
+// x does not occur in lc.
+func (lc *LinComb) SolveFor(x int) (expr *LinComb, ok bool) {
+	c, found := lc.terms[x]
+	if !found {
+		return nil, false
+	}
+	// c·x + rest = 0  ⇒  x = -rest / c
+	rest := lc.Clone()
+	delete(rest.terms, x)
+	scale := lc.f.Neg(lc.f.MustInv(c))
+	return rest.Scale(scale), true
+}
+
+// Equal reports structural equality (same field, same coefficients).
+func (lc *LinComb) Equal(other *LinComb) bool {
+	if !lc.f.SameField(other.f) || lc.konst.Cmp(other.konst) != 0 || len(lc.terms) != len(other.terms) {
+		return false
+	}
+	for v, c := range lc.terms {
+		oc, ok := other.terms[v]
+		if !ok || c.Cmp(oc) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for deduplication.
+func (lc *LinComb) Key() string {
+	var b strings.Builder
+	b.WriteString(lc.konst.String())
+	for _, v := range lc.Vars() {
+		fmt.Fprintf(&b, "|%d:%s", v, lc.terms[v].String())
+	}
+	return b.String()
+}
+
+// String renders the combination with signed coefficients, e.g.
+// "2*x3 - x7 + 1". Variables print as x<i>; use StringNamed for real names.
+func (lc *LinComb) String() string {
+	return lc.StringNamed(func(x int) string { return fmt.Sprintf("x%d", x) })
+}
+
+// StringNamed renders the combination using the provided variable namer.
+func (lc *LinComb) StringNamed(name func(x int) string) string {
+	var parts []string
+	for _, v := range lc.Vars() {
+		c := lc.f.Signed(lc.terms[v])
+		switch {
+		case c.Cmp(oneInt) == 0:
+			parts = append(parts, "+ "+name(v))
+		case c.Cmp(minusOneInt) == 0:
+			parts = append(parts, "- "+name(v))
+		case c.Sign() < 0:
+			parts = append(parts, fmt.Sprintf("- %v*%s", new(big.Int).Neg(c), name(v)))
+		default:
+			parts = append(parts, fmt.Sprintf("+ %v*%s", c, name(v)))
+		}
+	}
+	if lc.konst.Sign() != 0 || len(parts) == 0 {
+		c := lc.f.Signed(lc.konst)
+		if c.Sign() < 0 {
+			parts = append(parts, fmt.Sprintf("- %v", new(big.Int).Neg(c)))
+		} else {
+			parts = append(parts, fmt.Sprintf("+ %v", c))
+		}
+	}
+	s := strings.Join(parts, " ")
+	s = strings.TrimPrefix(s, "+ ")
+	if strings.HasPrefix(s, "- ") {
+		s = "-" + s[2:]
+	}
+	return s
+}
+
+var (
+	oneInt      = big.NewInt(1)
+	minusOneInt = big.NewInt(-1)
+)
+
+// RenameVars returns lc with every variable x replaced by rename(x).
+// rename must be injective on the variables of lc.
+func (lc *LinComb) RenameVars(rename func(x int) int) *LinComb {
+	out := NewLinComb(lc.f)
+	out.konst = new(big.Int).Set(lc.konst)
+	for v, c := range lc.terms {
+		out.terms[rename(v)] = new(big.Int).Set(c)
+	}
+	if len(out.terms) != len(lc.terms) {
+		panic("poly: RenameVars with non-injective renaming")
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qed2/internal/ff"
+)
+
+var f97 = ff.MustField(big.NewInt(97))
+
+// randLC builds a random linear combination over nVars variables.
+func randLC(f *ff.Field, rng *rand.Rand, nVars int) *LinComb {
+	lc := Const(f, f.RandFrom(rng))
+	for v := 0; v < nVars; v++ {
+		if rng.Intn(2) == 0 {
+			lc = lc.AddTerm(v, f.RandFrom(rng))
+		}
+	}
+	return lc
+}
+
+func randAssign(f *ff.Field, rng *rand.Rand, nVars int) map[int]*big.Int {
+	m := map[int]*big.Int{}
+	for v := 0; v < nVars; v++ {
+		m[v] = f.RandFrom(rng)
+	}
+	return m
+}
+
+func TestLinCombBasics(t *testing.T) {
+	f := f97
+	lc := Var(f, 3).Scale(big.NewInt(2)).AddTerm(7, big.NewInt(-1)).AddConst(big.NewInt(1))
+	if got := lc.String(); got != "2*x3 - x7 + 1" {
+		t.Errorf("String = %q", got)
+	}
+	if lc.NumTerms() != 2 || lc.IsConst() || lc.IsZero() {
+		t.Error("shape predicates wrong")
+	}
+	if got := lc.Coeff(3).Int64(); got != 2 {
+		t.Errorf("Coeff(3) = %d", got)
+	}
+	if got := lc.Coeff(99); got.Sign() != 0 {
+		t.Errorf("Coeff(99) = %v", got)
+	}
+	if vars := lc.Vars(); !reflect.DeepEqual(vars, []int{3, 7}) {
+		t.Errorf("Vars = %v", vars)
+	}
+	// 2*5 - 10 + 1 = 1
+	m := map[int]*big.Int{3: big.NewInt(5), 7: big.NewInt(10)}
+	if got := lc.EvalMap(m).Int64(); got != 1 {
+		t.Errorf("Eval = %d", got)
+	}
+}
+
+func TestLinCombCancellation(t *testing.T) {
+	f := f97
+	a := Var(f, 1)
+	b := Var(f, 1).Neg()
+	sum := a.Add(b)
+	if !sum.IsZero() {
+		t.Errorf("x1 - x1 = %v", sum)
+	}
+	if sum.NumTerms() != 0 {
+		t.Error("cancelled term still stored")
+	}
+}
+
+func TestLinCombAlgebraQuick(t *testing.T) {
+	f := f97
+	const nVars = 6
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randLC(f, r, nVars))
+			}
+		},
+	}
+	rng := rand.New(rand.NewSource(5))
+	// (a+b) evaluates as eval(a)+eval(b); similarly sub, neg, scale.
+	prop := func(a, b *LinComb) bool {
+		m := randAssign(f, rng, nVars)
+		k := f.RandFrom(rng)
+		if a.Add(b).EvalMap(m).Cmp(f.Add(a.EvalMap(m), b.EvalMap(m))) != 0 {
+			return false
+		}
+		if a.Sub(b).EvalMap(m).Cmp(f.Sub(a.EvalMap(m), b.EvalMap(m))) != 0 {
+			return false
+		}
+		if a.Neg().EvalMap(m).Cmp(f.Neg(a.EvalMap(m))) != 0 {
+			return false
+		}
+		if a.Scale(k).EvalMap(m).Cmp(f.Mul(k, a.EvalMap(m))) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+	// a - a == 0 structurally.
+	propZero := func(a *LinComb) bool { return a.Sub(a).IsZero() }
+	if err := quick.Check(propZero, cfg); err != nil {
+		t.Error(err)
+	}
+	// Key is stable under clone and add-zero.
+	propKey := func(a *LinComb) bool {
+		return a.Key() == a.Clone().Key() && a.Key() == a.Add(NewLinComb(f)).Key()
+	}
+	if err := quick.Check(propKey, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstituteValue(t *testing.T) {
+	f := f97
+	lc := Var(f, 0).Scale(big.NewInt(3)).AddTerm(1, big.NewInt(5))
+	got := lc.SubstituteValue(0, big.NewInt(2))
+	want := Term(f, 1, big.NewInt(5)).AddConst(big.NewInt(6))
+	if !got.Equal(want) {
+		t.Errorf("subst = %v, want %v", got, want)
+	}
+	// substituting an absent variable is a no-op clone
+	if !lc.SubstituteValue(42, big.NewInt(9)).Equal(lc) {
+		t.Error("substituting absent var changed lc")
+	}
+}
+
+func TestSubstituteLin(t *testing.T) {
+	f := f97
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		lc := randLC(f, rng, 5)
+		repl := randLC(f, rng, 5)
+		repl = repl.SubstituteValue(2, big.NewInt(0)) // repl must not mention x2
+		got := lc.Substitute(2, repl)
+		m := randAssign(f, rng, 5)
+		// Evaluate lc with x2 := repl(m).
+		m2 := map[int]*big.Int{}
+		for k, v := range m {
+			m2[k] = v
+		}
+		m2[2] = repl.EvalMap(m)
+		if got.EvalMap(m).Cmp(lc.EvalMap(m2)) != 0 {
+			t.Fatalf("iter %d: substitution not semantics-preserving", i)
+		}
+		if got.Coeff(2).Sign() != 0 {
+			t.Fatalf("iter %d: x2 still present after substitution", i)
+		}
+	}
+}
+
+func TestSolveFor(t *testing.T) {
+	f := f97
+	// 3*x0 + 5*x1 + 7 = 0  =>  x0 = (-5*x1 - 7)/3
+	lc := Term(f, 0, big.NewInt(3)).AddTerm(1, big.NewInt(5)).AddConst(big.NewInt(7))
+	expr, ok := lc.SolveFor(0)
+	if !ok {
+		t.Fatal("SolveFor failed")
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		x1 := f.RandFrom(rng)
+		x0 := expr.EvalMap(map[int]*big.Int{1: x1})
+		val := lc.EvalMap(map[int]*big.Int{0: x0, 1: x1})
+		if val.Sign() != 0 {
+			t.Fatalf("solved x0 does not satisfy equation (x1=%v)", x1)
+		}
+	}
+	if _, ok := lc.SolveFor(9); ok {
+		t.Error("SolveFor(absent) succeeded")
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	f := f97
+	lc := Var(f, 0).AddTerm(1, big.NewInt(2))
+	ren := lc.RenameVars(func(x int) int { return x + 100 })
+	if !reflect.DeepEqual(ren.Vars(), []int{100, 101}) {
+		t.Errorf("renamed vars = %v", ren.Vars())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-injective rename did not panic")
+		}
+	}()
+	lc.RenameVars(func(x int) int { return 0 })
+}
+
+func TestMulLinSemantics(t *testing.T) {
+	f := f97
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		a := randLC(f, rng, 5)
+		b := randLC(f, rng, 5)
+		q := MulLin(a, b)
+		m := randAssign(f, rng, 5)
+		want := f.Mul(a.EvalMap(m), b.EvalMap(m))
+		if got := q.EvalMap(m); got.Cmp(want) != 0 {
+			t.Fatalf("iter %d: MulLin eval mismatch: got %v want %v\n a=%v b=%v q=%v", i, got, want, a, b, q)
+		}
+	}
+}
+
+func TestQuadAlgebra(t *testing.T) {
+	f := f97
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		a := MulLin(randLC(f, rng, 4), randLC(f, rng, 4))
+		b := MulLin(randLC(f, rng, 4), randLC(f, rng, 4))
+		m := randAssign(f, rng, 4)
+		k := f.RandFrom(rng)
+		if a.Add(b).EvalMap(m).Cmp(f.Add(a.EvalMap(m), b.EvalMap(m))) != 0 {
+			t.Fatal("Quad.Add mismatch")
+		}
+		if a.Sub(b).EvalMap(m).Cmp(f.Sub(a.EvalMap(m), b.EvalMap(m))) != 0 {
+			t.Fatal("Quad.Sub mismatch")
+		}
+		if a.Neg().EvalMap(m).Cmp(f.Neg(a.EvalMap(m))) != 0 {
+			t.Fatal("Quad.Neg mismatch")
+		}
+		if a.Scale(k).EvalMap(m).Cmp(f.Mul(k, a.EvalMap(m))) != 0 {
+			t.Fatal("Quad.Scale mismatch")
+		}
+		if !a.Sub(a).IsZero() {
+			t.Fatal("a-a not structurally zero")
+		}
+	}
+}
+
+func TestQuadSubstituteValue(t *testing.T) {
+	f := f97
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 200; i++ {
+		q := MulLin(randLC(f, rng, 4), randLC(f, rng, 4))
+		v := f.RandFrom(rng)
+		got := q.SubstituteValue(1, v)
+		m := randAssign(f, rng, 4)
+		m2 := map[int]*big.Int{}
+		for k, val := range m {
+			m2[k] = val
+		}
+		m2[1] = v
+		if got.EvalMap(m).Cmp(q.EvalMap(m2)) != 0 {
+			t.Fatalf("iter %d: Quad substitution mismatch", i)
+		}
+		for _, x := range got.Vars() {
+			if x == 1 {
+				t.Fatalf("iter %d: x1 survived substitution", i)
+			}
+		}
+	}
+}
+
+func TestQuadSquareTerm(t *testing.T) {
+	f := f97
+	// (x0+1)*(x0-1) = x0² - 1
+	a := Var(f, 0).AddConst(big.NewInt(1))
+	b := Var(f, 0).AddConst(big.NewInt(-1))
+	q := MulLin(a, b)
+	if q.NumQuadTerms() != 1 || q.CoeffPair(0, 0).Int64() != 1 {
+		t.Errorf("x0² coefficient wrong: %v", q)
+	}
+	if got := q.String(); got != "x0² - 1" {
+		t.Errorf("String = %q", got)
+	}
+	// Substituting x0=5 gives 24.
+	if got := q.SubstituteValue(0, big.NewInt(5)); func() bool {
+		c, ok := got.IsConst()
+		return !ok || c.Int64() != 24
+	}() {
+		t.Errorf("subst gave %v", got)
+	}
+}
+
+func TestQuadEqualKeyNormalize(t *testing.T) {
+	f := f97
+	a := Var(f, 0)
+	b := Var(f, 1)
+	q1 := MulLin(a, b)                      // x0*x1
+	q2 := MulLin(b, a)                      // x1*x0
+	q3 := MulLin(a.Scale(big.NewInt(2)), b) // 2*x0*x1
+	if !q1.Equal(q2) || q1.Key() != q2.Key() {
+		t.Error("commuted products not canonical-equal")
+	}
+	if q1.Equal(q3) {
+		t.Error("distinct polys compare equal")
+	}
+	if !q3.NormalizeSign().Equal(q1) {
+		t.Error("NormalizeSign(2*x0*x1) != x0*x1")
+	}
+	z := NewQuad(f)
+	if !z.NormalizeSign().IsZero() {
+		t.Error("NormalizeSign(0) != 0")
+	}
+}
+
+func TestQuadDegreeAndShape(t *testing.T) {
+	f := f97
+	if d := NewQuad(f).Degree(); d != 0 {
+		t.Errorf("deg 0 poly = %d", d)
+	}
+	if d := QuadFromLin(Var(f, 2)).Degree(); d != 1 {
+		t.Errorf("deg 1 poly = %d", d)
+	}
+	q := MulLin(Var(f, 0), Var(f, 1))
+	if d := q.Degree(); d != 2 {
+		t.Errorf("deg 2 poly = %d", d)
+	}
+	if q.IsLinear() {
+		t.Error("product reported linear")
+	}
+	if _, ok := q.IsConst(); ok {
+		t.Error("product reported const")
+	}
+	if c, ok := ConstQuad(f, 7).IsConst(); !ok || c.Int64() != 7 {
+		t.Error("ConstQuad shape wrong")
+	}
+	if !reflect.DeepEqual(q.Vars(), []int{0, 1}) {
+		t.Errorf("Vars = %v", q.Vars())
+	}
+}
+
+func TestQuadStringForms(t *testing.T) {
+	f := f97
+	q := MulLin(Var(f, 0), Var(f, 1)).Neg()
+	if got := q.String(); got != "-x0*x1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewQuad(f).String(); got != "0" {
+		t.Errorf("zero String = %q", got)
+	}
+}

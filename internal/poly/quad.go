@@ -1,0 +1,357 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"qed2/internal/ff"
+)
+
+// VarPair identifies the bilinear monomial x·y with X ≤ Y.
+type VarPair struct{ X, Y int }
+
+func orderedPair(a, b int) VarPair {
+	if a > b {
+		a, b = b, a
+	}
+	return VarPair{a, b}
+}
+
+// Quad is a canonical multivariate polynomial of total degree ≤ 2:
+//
+//	Σ q_{ij}·xᵢ·xⱼ + Σ cᵢ·xᵢ + c₀
+//
+// The quadratic part is stored sparsely with ordered variable pairs. Quads
+// are the expanded, canonical view of rank-1 constraints ⟨A,s⟩·⟨B,s⟩−⟨C,s⟩:
+// two constraints are semantically identical iff their Quads are equal.
+type Quad struct {
+	f    *ff.Field
+	lin  *LinComb
+	quad map[VarPair]*big.Int // nonzero coefficients only
+}
+
+// NewQuad returns the zero quadratic polynomial.
+func NewQuad(f *ff.Field) *Quad {
+	return &Quad{f: f, lin: NewLinComb(f), quad: map[VarPair]*big.Int{}}
+}
+
+// ConstQuad returns the constant quadratic polynomial v.
+func ConstQuad(f *ff.Field, v int64) *Quad {
+	return QuadFromLin(ConstInt(f, v))
+}
+
+// QuadFromLin lifts a linear combination to a Quad.
+func QuadFromLin(lc *LinComb) *Quad {
+	q := NewQuad(lc.f)
+	q.lin = lc.Clone()
+	return q
+}
+
+// MulLin returns the product a·b of two linear combinations as a Quad.
+func MulLin(a, b *LinComb) *Quad {
+	if !a.f.SameField(b.f) {
+		panic("poly: MulLin across fields")
+	}
+	f := a.f
+	q := NewQuad(f)
+	// constant × everything
+	q.lin = b.Scale(a.konst).Add(a.Scale(b.konst))
+	// The product of the constants was added twice; remove one copy.
+	q.lin.konst = f.Sub(q.lin.konst, f.Mul(a.konst, b.konst))
+	for va, ca := range a.terms {
+		for vb, cb := range b.terms {
+			p := orderedPair(va, vb)
+			cur, ok := q.quad[p]
+			c := f.Mul(ca, cb)
+			if ok {
+				c = f.Add(cur, c)
+			}
+			if c.Sign() == 0 {
+				delete(q.quad, p)
+			} else {
+				q.quad[p] = c
+			}
+		}
+	}
+	return q
+}
+
+// Field returns the coefficient field.
+func (q *Quad) Field() *ff.Field { return q.f }
+
+// Clone returns a deep copy.
+func (q *Quad) Clone() *Quad {
+	out := NewQuad(q.f)
+	out.lin = q.lin.Clone()
+	for p, c := range q.quad {
+		out.quad[p] = new(big.Int).Set(c)
+	}
+	return out
+}
+
+// Lin returns the linear (plus constant) part. The result aliases internal
+// state and must not be mutated.
+func (q *Quad) Lin() *LinComb { return q.lin }
+
+// IsZero reports whether q is identically zero.
+func (q *Quad) IsZero() bool { return len(q.quad) == 0 && q.lin.IsZero() }
+
+// IsLinear reports whether the quadratic part is empty.
+func (q *Quad) IsLinear() bool { return len(q.quad) == 0 }
+
+// IsConst reports whether q is a constant, returning it when so.
+func (q *Quad) IsConst() (*big.Int, bool) {
+	if len(q.quad) == 0 && q.lin.IsConst() {
+		return q.lin.Constant(), true
+	}
+	return nil, false
+}
+
+// Degree returns 0, 1 or 2.
+func (q *Quad) Degree() int {
+	if len(q.quad) > 0 {
+		return 2
+	}
+	if !q.lin.IsConst() {
+		return 1
+	}
+	return 0
+}
+
+// Add returns q + other.
+func (q *Quad) Add(other *Quad) *Quad {
+	out := q.Clone()
+	out.lin = q.lin.Add(other.lin)
+	for p, c := range other.quad {
+		cur := new(big.Int)
+		if v, ok := out.quad[p]; ok {
+			cur = v
+		}
+		s := q.f.Add(cur, c)
+		if s.Sign() == 0 {
+			delete(out.quad, p)
+		} else {
+			out.quad[p] = s
+		}
+	}
+	return out
+}
+
+// Sub returns q - other.
+func (q *Quad) Sub(other *Quad) *Quad { return q.Add(other.Neg()) }
+
+// Neg returns -q.
+func (q *Quad) Neg() *Quad {
+	out := NewQuad(q.f)
+	out.lin = q.lin.Neg()
+	for p, c := range q.quad {
+		out.quad[p] = q.f.Neg(c)
+	}
+	return out
+}
+
+// Scale returns k·q.
+func (q *Quad) Scale(k *big.Int) *Quad {
+	k = q.f.Reduce(k)
+	out := NewQuad(q.f)
+	if k.Sign() == 0 {
+		return out
+	}
+	out.lin = q.lin.Scale(k)
+	for p, c := range q.quad {
+		out.quad[p] = q.f.Mul(c, k)
+	}
+	return out
+}
+
+// Vars returns the set of variables occurring in q, ascending.
+func (q *Quad) Vars() []int {
+	seen := map[int]bool{}
+	for _, v := range q.lin.Vars() {
+		seen[v] = true
+	}
+	for p := range q.quad {
+		seen[p.X] = true
+		seen[p.Y] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Eval evaluates q under the assignment fn.
+func (q *Quad) Eval(fn func(x int) *big.Int) *big.Int {
+	acc := q.lin.Eval(fn)
+	tmp := new(big.Int)
+	for p, c := range q.quad {
+		tmp.Mul(fn(p.X), fn(p.Y))
+		tmp.Mul(tmp, c)
+		acc.Add(acc, tmp)
+	}
+	return acc.Mod(acc, q.f.Modulus())
+}
+
+// EvalMap is Eval over a map; absent variables read as zero.
+func (q *Quad) EvalMap(m map[int]*big.Int) *big.Int {
+	return q.Eval(func(x int) *big.Int {
+		if v, ok := m[x]; ok {
+			return v
+		}
+		return zeroInt
+	})
+}
+
+// SubstituteValue returns q with variable x fixed to the constant v.
+func (q *Quad) SubstituteValue(x int, v *big.Int) *Quad {
+	v = q.f.Reduce(v)
+	out := NewQuad(q.f)
+	out.lin = q.lin.SubstituteValue(x, v)
+	for p, c := range q.quad {
+		switch {
+		case p.X == x && p.Y == x:
+			out.lin.konst = q.f.Add(out.lin.konst, q.f.Mul(c, q.f.Mul(v, v)))
+		case p.X == x:
+			out.lin = out.lin.AddTerm(p.Y, q.f.Mul(c, v))
+		case p.Y == x:
+			out.lin = out.lin.AddTerm(p.X, q.f.Mul(c, v))
+		default:
+			out.quad[p] = new(big.Int).Set(c)
+		}
+	}
+	return out
+}
+
+// CoeffPair returns the coefficient of the monomial xᵢ·xⱼ (do not mutate).
+func (q *Quad) CoeffPair(i, j int) *big.Int {
+	if c, ok := q.quad[orderedPair(i, j)]; ok {
+		return c
+	}
+	return zeroInt
+}
+
+// NumQuadTerms returns the number of distinct bilinear monomials.
+func (q *Quad) NumQuadTerms() int { return len(q.quad) }
+
+// Equal reports canonical equality of two quadratic polynomials.
+func (q *Quad) Equal(other *Quad) bool {
+	if !q.f.SameField(other.f) || !q.lin.Equal(other.lin) || len(q.quad) != len(other.quad) {
+		return false
+	}
+	for p, c := range q.quad {
+		oc, ok := other.quad[p]
+		if !ok || c.Cmp(oc) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for hashing/deduplication, unique up to
+// polynomial identity.
+func (q *Quad) Key() string {
+	pairs := make([]VarPair, 0, len(q.quad))
+	for p := range q.quad {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].X != pairs[j].X {
+			return pairs[i].X < pairs[j].X
+		}
+		return pairs[i].Y < pairs[j].Y
+	})
+	var b strings.Builder
+	b.WriteString("Q")
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "|%d,%d:%s", p.X, p.Y, q.quad[p].String())
+	}
+	b.WriteString("#")
+	b.WriteString(q.lin.Key())
+	return b.String()
+}
+
+// NormalizeSign returns q scaled so that its leading coefficient (first
+// bilinear monomial in pair order, else first linear coefficient, else the
+// constant) equals 1, yielding a canonical representative of the equation
+// q = 0 modulo nonzero scaling. The zero polynomial is returned unchanged.
+func (q *Quad) NormalizeSign() *Quad {
+	var lead *big.Int
+	pairs := make([]VarPair, 0, len(q.quad))
+	for p := range q.quad {
+		pairs = append(pairs, p)
+	}
+	if len(pairs) > 0 {
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].X != pairs[j].X {
+				return pairs[i].X < pairs[j].X
+			}
+			return pairs[i].Y < pairs[j].Y
+		})
+		lead = q.quad[pairs[0]]
+	} else if vs := q.lin.Vars(); len(vs) > 0 {
+		lead = q.lin.Coeff(vs[0])
+	} else if q.lin.konst.Sign() != 0 {
+		lead = q.lin.konst
+	} else {
+		return q.Clone()
+	}
+	return q.Scale(q.f.MustInv(lead))
+}
+
+// String renders the polynomial; variables print as x<i>.
+func (q *Quad) String() string {
+	return q.StringNamed(func(x int) string { return fmt.Sprintf("x%d", x) })
+}
+
+// StringNamed renders the polynomial with the given variable namer.
+func (q *Quad) StringNamed(name func(x int) string) string {
+	pairs := make([]VarPair, 0, len(q.quad))
+	for p := range q.quad {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].X != pairs[j].X {
+			return pairs[i].X < pairs[j].X
+		}
+		return pairs[i].Y < pairs[j].Y
+	})
+	var parts []string
+	for _, p := range pairs {
+		c := q.f.Signed(q.quad[p])
+		mono := name(p.X) + "*" + name(p.Y)
+		if p.X == p.Y {
+			mono = name(p.X) + "²"
+		}
+		switch {
+		case c.Cmp(oneInt) == 0:
+			parts = append(parts, "+ "+mono)
+		case c.Cmp(minusOneInt) == 0:
+			parts = append(parts, "- "+mono)
+		case c.Sign() < 0:
+			parts = append(parts, fmt.Sprintf("- %v*%s", new(big.Int).Neg(c), mono))
+		default:
+			parts = append(parts, fmt.Sprintf("+ %v*%s", c, mono))
+		}
+	}
+	linStr := q.lin.StringNamed(name)
+	if linStr != "0" {
+		if strings.HasPrefix(linStr, "-") {
+			parts = append(parts, "- "+linStr[1:])
+		} else {
+			parts = append(parts, "+ "+linStr)
+		}
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	s := strings.Join(parts, " ")
+	s = strings.TrimPrefix(s, "+ ")
+	if strings.HasPrefix(s, "- ") {
+		s = "-" + s[2:]
+	}
+	return s
+}

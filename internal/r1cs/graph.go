@@ -1,0 +1,152 @@
+package r1cs
+
+import "sort"
+
+// buildAdjacency constructs the signal → constraint-indices index.
+// The constant-one signal is deliberately excluded from adjacency: it occurs
+// in nearly every constraint and would otherwise collapse all slices into
+// the whole circuit.
+func (s *System) buildAdjacency() {
+	if s.sigToCons != nil {
+		return
+	}
+	adj := make([][]int, len(s.signals))
+	for ci := range s.constraints {
+		for _, v := range s.constraints[ci].Vars() {
+			if v == OneID {
+				continue
+			}
+			adj[v] = append(adj[v], ci)
+		}
+	}
+	s.sigToCons = adj
+}
+
+// ConstraintsOf returns the indices of constraints mentioning signal id
+// (excluding occurrences of the constant-one signal).
+func (s *System) ConstraintsOf(id int) []int {
+	s.buildAdjacency()
+	return s.sigToCons[id]
+}
+
+// Slice is a connected fragment of the system used for local uniqueness
+// queries: the constraints within a bounded graph distance of a target
+// signal, together with the signals they mention.
+type Slice struct {
+	// Target is the signal the slice was grown around.
+	Target int
+	// Constraints holds indices into the parent system, ascending.
+	Constraints []int
+	// Signals holds the IDs of all signals mentioned by those constraints
+	// (including the constant-one signal if it occurs), ascending.
+	Signals []int
+}
+
+// SliceAround grows a slice of the constraint–signal graph around the target
+// signal. Radius 1 takes the constraints directly mentioning the target;
+// radius k+1 additionally takes all constraints sharing a signal with the
+// radius-k slice. maxConstraints (if > 0) caps growth: expansion stops
+// before exceeding the cap, always keeping at least the radius-1 core.
+func (s *System) SliceAround(target, radius, maxConstraints int) Slice {
+	s.buildAdjacency()
+	inCons := map[int]bool{}
+	inSig := map[int]bool{target: true}
+	frontier := []int{target}
+	total := 0
+	for r := 0; r < radius && len(frontier) > 0; r++ {
+		var added []int
+		for _, sig := range frontier {
+			for _, ci := range s.sigToCons[sig] {
+				if inCons[ci] {
+					continue
+				}
+				if maxConstraints > 0 && total >= maxConstraints && r > 0 {
+					continue
+				}
+				inCons[ci] = true
+				total++
+				added = append(added, ci)
+			}
+		}
+		frontier = frontier[:0]
+		for _, ci := range added {
+			for _, v := range s.constraints[ci].Vars() {
+				if v == OneID {
+					continue
+				}
+				if !inSig[v] {
+					inSig[v] = true
+					frontier = append(frontier, v)
+				}
+			}
+		}
+	}
+	sl := Slice{Target: target}
+	for ci := range inCons {
+		sl.Constraints = append(sl.Constraints, ci)
+	}
+	sort.Ints(sl.Constraints)
+	sigSet := map[int]bool{target: true}
+	for _, ci := range sl.Constraints {
+		for _, v := range s.constraints[ci].Vars() {
+			sigSet[v] = true
+		}
+	}
+	for v := range sigSet {
+		sl.Signals = append(sl.Signals, v)
+	}
+	sort.Ints(sl.Signals)
+	return sl
+}
+
+// ConnectedComponents partitions the non-constant signals into groups that
+// are transitively connected through shared constraints. Isolated signals
+// (mentioned by no constraint) form singleton components.
+func (s *System) ConnectedComponents() [][]int {
+	s.buildAdjacency()
+	n := len(s.signals)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for ci := range s.constraints {
+		vars := s.constraints[ci].Vars()
+		var first = -1
+		for _, v := range vars {
+			if v == OneID {
+				continue
+			}
+			if first == -1 {
+				first = v
+			} else {
+				union(first, v)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for id := 1; id < n; id++ {
+		r := find(id)
+		groups[r] = append(groups[r], id)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,227 @@
+package r1cs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+// The text format is line oriented:
+//
+//	r1cs v1
+//	prime <decimal modulus>
+//	signal <id> <kind> <name>
+//	...
+//	constraint [<lc>] [<lc>] [<lc>] # optional tag
+//
+// where <lc> is "<const>|<var>:<coeff>,<var>:<coeff>,..." with all numbers
+// decimal and normalized. It exists so compiled circuits can be saved,
+// diffed in tests, and fed back to the analyzer without re-running the
+// front-end.
+
+// WriteTo serializes the system in the text format.
+func (s *System) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "r1cs v1\nprime %s\n", s.field.Modulus())); err != nil {
+		return n, err
+	}
+	for _, sig := range s.signals {
+		if err := count(fmt.Fprintf(bw, "signal %d %s %s\n", sig.ID, sig.Kind, sig.Name)); err != nil {
+			return n, err
+		}
+	}
+	for i := range s.constraints {
+		c := &s.constraints[i]
+		line := fmt.Sprintf("constraint [%s] [%s] [%s]", marshalLC(c.A), marshalLC(c.B), marshalLC(c.C))
+		if c.Tag != "" {
+			line += " # " + c.Tag
+		}
+		if err := count(fmt.Fprintln(bw, line)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// MarshalText renders the system as a string in the text format.
+func (s *System) MarshalText() string {
+	var b strings.Builder
+	if _, err := s.WriteTo(&b); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return b.String()
+}
+
+func marshalLC(lc *poly.LinComb) string {
+	var b strings.Builder
+	b.WriteString(lc.Constant().String())
+	b.WriteByte('|')
+	first := true
+	lc.VisitTerms(func(x int, coeff *big.Int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%s", x, coeff)
+	})
+	return b.String()
+}
+
+func parseLC(f *ff.Field, s string) (*poly.LinComb, error) {
+	konst, rest, ok := strings.Cut(s, "|")
+	if !ok {
+		return nil, fmt.Errorf("r1cs: malformed linear combination %q", s)
+	}
+	c, parsed := new(big.Int).SetString(konst, 10)
+	if !parsed {
+		return nil, fmt.Errorf("r1cs: bad constant in %q", s)
+	}
+	lc := poly.Const(f, c)
+	if rest == "" {
+		return lc, nil
+	}
+	for _, term := range strings.Split(rest, ",") {
+		vs, cs, ok := strings.Cut(term, ":")
+		if !ok {
+			return nil, fmt.Errorf("r1cs: malformed term %q", term)
+		}
+		var v int
+		if _, err := fmt.Sscanf(vs, "%d", &v); err != nil {
+			return nil, fmt.Errorf("r1cs: bad variable in term %q", term)
+		}
+		coeff, parsed := new(big.Int).SetString(cs, 10)
+		if !parsed {
+			return nil, fmt.Errorf("r1cs: bad coefficient in term %q", term)
+		}
+		lc = lc.AddTerm(v, coeff)
+	}
+	return lc, nil
+}
+
+// Parse reads a system from the text format.
+func Parse(r io.Reader) (*System, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "//") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok || header != "r1cs v1" {
+		return nil, fmt.Errorf("r1cs: line %d: missing 'r1cs v1' header", lineNo)
+	}
+	primeLine, ok := next()
+	if !ok || !strings.HasPrefix(primeLine, "prime ") {
+		return nil, fmt.Errorf("r1cs: line %d: missing prime", lineNo)
+	}
+	p, parsed := new(big.Int).SetString(strings.TrimPrefix(primeLine, "prime "), 10)
+	if !parsed {
+		return nil, fmt.Errorf("r1cs: line %d: bad prime", lineNo)
+	}
+	field, err := ff.NewField(p)
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
+	}
+	sys := NewSystem(field)
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "signal "):
+			var id int
+			var kind, name string
+			if _, err := fmt.Sscanf(line, "signal %d %s %s", &id, &kind, &name); err != nil {
+				return nil, fmt.Errorf("r1cs: line %d: bad signal: %v", lineNo, err)
+			}
+			if kind == "one" {
+				if id != OneID || name != "one" {
+					return nil, fmt.Errorf("r1cs: line %d: malformed one-signal", lineNo)
+				}
+				continue
+			}
+			var k SignalKind
+			switch kind {
+			case "input":
+				k = KindInput
+			case "output":
+				k = KindOutput
+			case "internal":
+				k = KindInternal
+			default:
+				return nil, fmt.Errorf("r1cs: line %d: unknown signal kind %q", lineNo, kind)
+			}
+			if got := sys.AddSignal(name, k); got != id {
+				return nil, fmt.Errorf("r1cs: line %d: signal IDs out of order (got %d want %d)", lineNo, got, id)
+			}
+		case strings.HasPrefix(line, "constraint "):
+			body := strings.TrimPrefix(line, "constraint ")
+			tag := ""
+			if i := strings.Index(body, " # "); i >= 0 {
+				tag = body[i+3:]
+				body = body[:i]
+			}
+			parts, err := splitBracketed(body)
+			if err != nil {
+				return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
+			}
+			lcs := make([]*poly.LinComb, 3)
+			for i, p := range parts {
+				lcs[i], err = parseLC(field, p)
+				if err != nil {
+					return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
+				}
+			}
+			sys.AddConstraint(lcs[0], lcs[1], lcs[2], tag)
+		default:
+			return nil, fmt.Errorf("r1cs: line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*System, error) { return Parse(strings.NewReader(s)) }
+
+// splitBracketed splits "[a] [b] [c]" into exactly three bracket bodies.
+func splitBracketed(s string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(s)
+	for len(rest) > 0 {
+		if rest[0] != '[' {
+			return nil, fmt.Errorf("expected '[' in %q", rest)
+		}
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated '[' in %q", rest)
+		}
+		out = append(out, rest[1:end])
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	if len(out) != 3 {
+		return nil, fmt.Errorf("constraint must have exactly 3 linear combinations, got %d", len(out))
+	}
+	return out, nil
+}

@@ -1,0 +1,4 @@
+package smt
+
+// SetDebugTrace installs a trace hook for diagnosis in tests.
+func SetDebugTrace(fn func(string, ...any)) { debugTrace = fn }

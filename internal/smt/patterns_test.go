@@ -1,0 +1,219 @@
+package smt
+
+import (
+	"math/big"
+	"testing"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+// --- proportional-factor detection -------------------------------------------------
+
+func TestProportionalDetection(t *testing.T) {
+	f := f97
+	x := poly.Var(f, 0)
+	y := poly.Var(f, 1)
+	cases := []struct {
+		a, b  *poly.LinComb
+		wantK int64
+		ok    bool
+	}{
+		{x, x, 1, true},
+		{x.Scale(big.NewInt(3)), x, 3, true},
+		{x.Neg(), x, 96, true},
+		{x.Add(y).Scale(big.NewInt(5)), x.Add(y), 5, true},
+		{x.Add(y), x.Sub(y), 0, false},
+		{x, y, 0, false},
+		{x.AddConst(big.NewInt(1)), x, 0, false},
+		{poly.ConstInt(f, 3), x, 0, false}, // const side
+		{x, poly.ConstInt(f, 3), 0, false},
+	}
+	for i, c := range cases {
+		k, ok := proportional(f, c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("case %d: ok=%v want %v", i, ok, c.ok)
+			continue
+		}
+		if ok && k.Int64() != c.wantK {
+			t.Errorf("case %d: k=%v want %d", i, k, c.wantK)
+		}
+	}
+}
+
+func TestProportionalSquareUnsat(t *testing.T) {
+	// (2x+2y)·(x+y) = 5 with 5·2⁻¹... i.e. (x+y)² = 5/2; check against a
+	// value with no square root. Over F_97, pick c so that c/2 is a QNR:
+	// 5 is a QNR mod 97 and 2⁻¹·10 = 5, so use C = 10.
+	f := f97
+	l := poly.Var(f, 0).Add(poly.Var(f, 1))
+	p := NewProblem(f)
+	p.AddEq(l.Scale(big.NewInt(2)), l, poly.ConstInt(f, 10))
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status != StatusUnsat {
+		t.Fatalf("status = %v, want unsat ((x+y)² = 5 has no solution mod 97)", out.Status)
+	}
+	// Same shape with a solvable RHS: (x+y)² = 9·2/2 → use C = 18 → square 9.
+	p2 := NewProblem(f)
+	p2.AddEq(l.Scale(big.NewInt(2)), l, poly.ConstInt(f, 18))
+	out = Solve(p2, &Options{Seed: 1})
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v, want sat", out.Status)
+	}
+	sum := f.Add(out.Model.Eval(0), out.Model.Eval(1))
+	if sq := f.Mul(sum, sum); sq.Int64() != 9 {
+		t.Errorf("(x+y)² = %v, want 9", sq)
+	}
+}
+
+// --- pairwise differencing ---------------------------------------------------------
+
+func TestDerivePairsDecidesSharedDenominator(t *testing.T) {
+	// x·k = 1 ∧ x′·k = 1 ∧ x ≠ x′ is UNSAT: either k = 0 (conflicts with
+	// the product being 1) or x = x′ (conflicts with the disequality).
+	// Without pair differencing this needs enumeration and would be
+	// Unknown over a big field.
+	f := ff.BN254()
+	x, xp, k := poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 2)
+	p := NewProblem(f)
+	p.AddEq(x, k, poly.ConstInt(f, 1))
+	p.AddEq(xp, k, poly.ConstInt(f, 1))
+	p.AddNeq(x.Sub(xp))
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status != StatusUnsat {
+		t.Fatalf("status = %v (reason %s), want unsat", out.Status, out.Reason)
+	}
+}
+
+func TestDerivePairsCrossSides(t *testing.T) {
+	// Factor shared across different sides: k·x = 5 ∧ y·k = 5 ∧ x ≠ y,
+	// k constrained nonzero via k·kinv = 1 → UNSAT.
+	f := ff.BN254()
+	x, y, k, kinv := poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 2), poly.Var(f, 3)
+	p := NewProblem(f)
+	p.AddEq(k, x, poly.ConstInt(f, 5))
+	p.AddEq(y, k, poly.ConstInt(f, 5))
+	p.AddEq(k, kinv, poly.ConstInt(f, 1))
+	p.AddNeq(x.Sub(y))
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status != StatusUnsat {
+		t.Fatalf("status = %v (reason %s), want unsat", out.Status, out.Reason)
+	}
+}
+
+func TestDerivePairsStillFindsSat(t *testing.T) {
+	// x·k = 1 ∧ x′·k = 1 ∧ x ≠ x′ becomes SAT once k may differ: use two
+	// separate ks.
+	f := ff.BN254()
+	x, xp, k1, k2 := poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 2), poly.Var(f, 3)
+	p := NewProblem(f)
+	p.AddEq(x, k1, poly.ConstInt(f, 1))
+	p.AddEq(xp, k2, poly.ConstInt(f, 1))
+	p.AddNeq(x.Sub(xp))
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v, want sat", out.Status)
+	}
+	if err := p.Check(out.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- quadratic-difference derivation ------------------------------------------------
+
+func TestQuadDiffLinearizes(t *testing.T) {
+	// x·y = 7 ∧ (x−3)·y = 7 − 3·5... i.e. x·y − 3y = 7 − 15 → subtracting
+	// gives 3y = 15 → y = 5, then x = 7/5. All over BN254 (no enumeration
+	// can stumble on this).
+	f := ff.BN254()
+	x, y := poly.Var(f, 0), poly.Var(f, 1)
+	p := NewProblem(f)
+	p.AddEq(x, y, poly.ConstInt(f, 7))
+	p.AddEq(x.AddConst(big.NewInt(-3)), y, poly.ConstInt(f, 7-15))
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v (%s), want sat", out.Status, out.Reason)
+	}
+	if out.Model.Eval(1).Int64() != 5 {
+		t.Errorf("y = %v, want 5", out.Model.Eval(1))
+	}
+	want := f.Mul(f.NewElement(7), f.MustInv(f.NewElement(5)))
+	if out.Model.Eval(0).Cmp(want) != 0 {
+		t.Errorf("x = %v, want 7/5", out.Model.Eval(0))
+	}
+}
+
+func TestQuadDiffDetectsContradiction(t *testing.T) {
+	// x·y = 1 ∧ x·y = 2: the difference is the constant 1 → UNSAT, over
+	// the big field where enumeration alone could not conclude.
+	f := ff.BN254()
+	x, y := poly.Var(f, 0), poly.Var(f, 1)
+	p := NewProblem(f)
+	p.AddEq(x, y, poly.ConstInt(f, 1))
+	p.AddEq(x.Clone(), y.Clone(), poly.ConstInt(f, 2))
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status != StatusUnsat {
+		t.Fatalf("status = %v (%s), want unsat", out.Status, out.Reason)
+	}
+}
+
+func TestQuadPartKeyBuckets(t *testing.T) {
+	f := f97
+	x, y := poly.Var(f, 0), poly.Var(f, 1)
+	q1 := poly.MulLin(x, y)                          // xy
+	q2 := poly.MulLin(x, y).Add(poly.QuadFromLin(x)) // xy + x
+	q3 := poly.MulLin(x.Scale(big.NewInt(2)), y)     // 2xy
+	if quadPartKey(q1) != quadPartKey(q2) {
+		t.Error("same quadratic part bucketed differently")
+	}
+	if quadPartKey(q1) == quadPartKey(q3) {
+		t.Error("different quadratic parts share a bucket")
+	}
+}
+
+// --- enumeration candidates ----------------------------------------------------------
+
+func TestEnumerationTriesAllFactorRoots(t *testing.T) {
+	// Regression test for the MontgomeryDouble search-ordering bug: the SAT
+	// assignment requires the roots of BOTH single-variable factors, not
+	// just the busiest variable's candidates. System:
+	//
+	//	(a−2)·b = c ∧ (b−3)·a = c′ ∧ c,c′ ∈ {0,1} ∧ c + c′ = 0 ∧ a,b ≠ 0
+	//
+	// forces c = c′ = 0, hence a = 2 (since b ≠ 0) and b = 3 (since a ≠ 0)
+	// — values only reachable through the factor-root candidates.
+	f := ff.BN254()
+	a, b, c, cp := poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 2), poly.Var(f, 3)
+	p := NewProblem(f)
+	p.AddEq(a.AddConst(big.NewInt(-2)), b, c)
+	p.AddEq(b.AddConst(big.NewInt(-3)), a, cp)
+	p.AddEq(c, c.AddConst(big.NewInt(-1)), poly.NewLinComb(f))   // c ∈ {0,1}
+	p.AddEq(cp, cp.AddConst(big.NewInt(-1)), poly.NewLinComb(f)) // c′ ∈ {0,1}
+	p.AddLinearEq(c.Add(cp))                                     // c + c′ = 0 → both zero
+	p.AddNeq(a)                                                  // a ≠ 0
+	p.AddNeq(b)                                                  // b ≠ 0
+	out := Solve(p, &Options{Seed: 3})
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v (%s), want sat via factor roots a=2, b=3", out.Status, out.Reason)
+	}
+	if out.Model.Eval(0).Int64() != 2 || out.Model.Eval(1).Int64() != 3 {
+		t.Errorf("model a=%v b=%v, want 2,3", out.Model.Eval(0), out.Model.Eval(1))
+	}
+}
+
+// --- budget interactions --------------------------------------------------------------
+
+func TestDeriveGuardsRespectSize(t *testing.T) {
+	// A system beyond maxDeriveEqs must still solve (without the derived
+	// lemmas) and never panic.
+	f := f97
+	p := NewProblem(f)
+	for i := 0; i < maxDeriveEqs+10; i++ {
+		// x_i + 1 = x_{i+1}
+		p.AddLinearEq(poly.Var(f, i).AddConst(big.NewInt(1)).Sub(poly.Var(f, i+1)))
+	}
+	out := Solve(p, &Options{MaxSteps: 10_000_000, Seed: 1})
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v", out.Status)
+	}
+}

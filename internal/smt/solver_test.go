@@ -1,0 +1,313 @@
+package smt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+var (
+	f97   = ff.MustField(big.NewInt(97))
+	f13   = ff.MustField(big.NewInt(13))
+	fbig  = ff.BN254()
+	one97 = func() *poly.LinComb { return poly.ConstInt(f97, 1) }
+)
+
+func lc(f *ff.Field, konst int64, terms ...int64) *poly.LinComb {
+	// terms come in (var, coeff) pairs
+	out := poly.ConstInt(f, konst)
+	for i := 0; i+1 < len(terms); i += 2 {
+		out = out.AddTerm(int(terms[i]), big.NewInt(terms[i+1]))
+	}
+	return out
+}
+
+func solve(t *testing.T, p *Problem) Outcome {
+	t.Helper()
+	out := Solve(p, &Options{Seed: 1})
+	if out.Status == StatusSat {
+		if err := p.Check(out.Model); err != nil {
+			t.Fatalf("solver returned bad model: %v", err)
+		}
+	}
+	return out
+}
+
+func TestLinearSystems(t *testing.T) {
+	// x + y = 10, x - y = 4  → x=7, y=3 (mod 97)
+	p := NewProblem(f97)
+	p.AddLinearEq(lc(f97, -10, 0, 1, 1, 1))
+	p.AddLinearEq(lc(f97, -4, 0, 1, 1, -1))
+	out := solve(t, p)
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v", out.Status)
+	}
+	if out.Model.Eval(0).Int64() != 7 || out.Model.Eval(1).Int64() != 3 {
+		t.Errorf("model = %v", out.Model)
+	}
+}
+
+func TestLinearInfeasible(t *testing.T) {
+	// x + y = 1, x + y = 2
+	p := NewProblem(f97)
+	p.AddLinearEq(lc(f97, -1, 0, 1, 1, 1))
+	p.AddLinearEq(lc(f97, -2, 0, 1, 1, 1))
+	if out := solve(t, p); out.Status != StatusUnsat {
+		t.Errorf("status = %v, want unsat", out.Status)
+	}
+}
+
+func TestUnderdeterminedLinear(t *testing.T) {
+	// Single equation, two vars: SAT with free choice.
+	p := NewProblem(f97)
+	p.AddLinearEq(lc(f97, -5, 0, 2, 1, 3))
+	if out := solve(t, p); out.Status != StatusSat {
+		t.Errorf("status = %v", out.Status)
+	}
+}
+
+func TestBooleanConstraint(t *testing.T) {
+	// x(x-1) = 0 ∧ x ≠ 0 → x = 1
+	p := NewProblem(f97)
+	p.AddEq(lc(f97, 0, 0, 1), lc(f97, -1, 0, 1), poly.NewLinComb(f97))
+	p.AddNeq(lc(f97, 0, 0, 1))
+	out := solve(t, p)
+	if out.Status != StatusSat || out.Model.Eval(0).Int64() != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	// Adding x ≠ 1 makes it unsat.
+	p.AddNeq(lc(f97, -1, 0, 1))
+	if out := solve(t, p); out.Status != StatusUnsat {
+		t.Errorf("status = %v, want unsat", out.Status)
+	}
+}
+
+func TestZeroProductChain(t *testing.T) {
+	// (x-2)(y-3) = 0, x ≠ 2 → y = 3
+	p := NewProblem(f97)
+	p.AddEq(lc(f97, -2, 0, 1), lc(f97, -3, 1, 1), poly.NewLinComb(f97))
+	p.AddNeq(lc(f97, -2, 0, 1))
+	out := solve(t, p)
+	if out.Status != StatusSat || out.Model.Eval(1).Int64() != 3 {
+		t.Fatalf("out = %+v model=%v", out.Status, out.Model)
+	}
+}
+
+func TestSquarePattern(t *testing.T) {
+	// x² = 9 → x ∈ {3, 94}; with x ≠ 3 forced to -3.
+	p := NewProblem(f97)
+	x := lc(f97, 0, 0, 1)
+	p.AddEq(x, x, poly.ConstInt(f97, 9))
+	p.AddNeq(lc(f97, -3, 0, 1))
+	out := solve(t, p)
+	if out.Status != StatusSat || out.Model.Eval(0).Int64() != 94 {
+		t.Fatalf("out = %v model=%v", out.Status, out.Model)
+	}
+	// x² = non-residue → unsat. 5 is a non-residue mod 97.
+	p2 := NewProblem(f97)
+	p2.AddEq(x, x, poly.ConstInt(f97, 5))
+	if out := solve(t, p2); out.Status != StatusUnsat {
+		t.Errorf("x²=5 status = %v, want unsat (5 is a QNR mod 97)", out.Status)
+	}
+}
+
+func TestSingleVarQuadratic(t *testing.T) {
+	// (x+1)(x+2) = 2 → x² + 3x = 0 → x ∈ {0, -3}; x ≠ 0 → x = 94
+	p := NewProblem(f97)
+	p.AddEq(lc(f97, 1, 0, 1), lc(f97, 2, 0, 1), poly.ConstInt(f97, 2))
+	p.AddNeq(lc(f97, 0, 0, 1))
+	out := solve(t, p)
+	if out.Status != StatusSat || out.Model.Eval(0).Int64() != 94 {
+		t.Fatalf("out = %v model=%v", out.Status, out.Model)
+	}
+}
+
+func TestMultiplicationCircuitUniqueness(t *testing.T) {
+	// The uniqueness query for out = a*b: two copies share a,b; outputs
+	// must differ. a·b = o ∧ a·b = o' ∧ o − o' ≠ 0 → unsat.
+	p := NewProblem(f97)
+	a, b, o, o2 := 0, 1, 2, 3
+	p.AddEq(lc(f97, 0, int64(a), 1), lc(f97, 0, int64(b), 1), lc(f97, 0, int64(o), 1))
+	p.AddEq(lc(f97, 0, int64(a), 1), lc(f97, 0, int64(b), 1), lc(f97, 0, int64(o2), 1))
+	p.AddNeq(lc(f97, 0, int64(o), 1, int64(o2), -1))
+	if out := solve(t, p); out.Status != StatusUnsat {
+		t.Errorf("status = %v, want unsat", out.Status)
+	}
+}
+
+func TestUnderconstrainedDetection(t *testing.T) {
+	// inv is unconstrained given in: in·inv = tmp, no constraint pinning
+	// inv. Query: two copies agreeing on in, differing on inv → SAT.
+	p := NewProblem(f97)
+	in, inv, inv2 := 0, 1, 2
+	// tmp constraints omitted: just ask if inv can take two values with no
+	// constraints at all — trivially SAT; then with one shared product.
+	p.AddNeq(lc(f97, 0, int64(inv), 1, int64(inv2), -1))
+	_ = in
+	out := solve(t, p)
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v", out.Status)
+	}
+	if out.Model.Eval(inv).Cmp(out.Model.Eval(inv2)) == 0 {
+		t.Error("model violates disequality")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A chain of boolean variables with 2^n cases and a contradiction at
+	// the end; a tiny budget must yield Unknown, never a wrong verdict.
+	p := NewProblem(fbig)
+	n := 24
+	for i := 0; i < n; i++ {
+		x := lc(fbig, 0, int64(i), 1)
+		p.AddEq(x, x.AddConst(big.NewInt(-1)), poly.NewLinComb(fbig))
+	}
+	// sum of all x_i = n+1 → impossible (each is 0/1, but that reasoning
+	// needs the full split).
+	sum := poly.ConstInt(fbig, int64(-(n + 1)))
+	for i := 0; i < n; i++ {
+		sum = sum.AddTerm(i, big.NewInt(1))
+	}
+	p.AddLinearEq(sum)
+	out := Solve(p, &Options{MaxSteps: 50})
+	if out.Status != StatusUnknown {
+		t.Errorf("status = %v, want unknown under tiny budget", out.Status)
+	}
+	if out.Reason == "" {
+		t.Error("unknown outcome lacks a reason")
+	}
+}
+
+func TestLargeFieldIncompletenessIsHonest(t *testing.T) {
+	// x·y = 1 ∧ x·y = 2 is unsat, provable by propagation? No: both
+	// quadratic. The solver must not claim SAT; UNSAT or Unknown are both
+	// acceptable, but a model would be a bug (checked by solve()).
+	p := NewProblem(fbig)
+	x, y := lc(fbig, 0, 0, 1), lc(fbig, 0, 1, 1)
+	p.AddEq(x, y, poly.ConstInt(fbig, 1))
+	p.AddEq(x, y, poly.ConstInt(fbig, 2))
+	out := solve(t, p)
+	if out.Status == StatusSat {
+		t.Fatalf("impossible SAT")
+	}
+}
+
+func TestDuplicateEquationsDeduped(t *testing.T) {
+	p := NewProblem(f97)
+	x, y := lc(f97, 0, 0, 1), lc(f97, 0, 1, 1)
+	p.AddEq(x, y, poly.ConstInt(f97, 6))
+	p.AddEq(y, x, poly.ConstInt(f97, 6)) // same equation, commuted
+	out := solve(t, p)
+	if out.Status != StatusSat {
+		t.Fatalf("status = %v", out.Status)
+	}
+}
+
+// --- brute-force cross-validation ------------------------------------------------
+
+// bruteForce decides a problem over a small field by full enumeration.
+func bruteForce(p *Problem) (bool, Model) {
+	f := p.Field
+	vars := p.Vars()
+	pMod := int64(f.SmallModulus())
+	assign := make(Model, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			return p.Check(assign) == nil
+		}
+		for v := int64(0); v < pMod; v++ {
+			assign[vars[i]] = big.NewInt(v)
+			if rec(i + 1) {
+				return true
+			}
+		}
+		delete(assign, vars[i])
+		return false
+	}
+	if rec(0) {
+		return true, assign
+	}
+	return false, nil
+}
+
+// randProblem builds a random system over f13 with nv vars.
+func randProblem(rng *rand.Rand, nv int) *Problem {
+	p := NewProblem(f13)
+	nEq := 1 + rng.Intn(4)
+	randLC := func() *poly.LinComb {
+		out := poly.ConstInt(f13, int64(rng.Intn(13)))
+		for v := 0; v < nv; v++ {
+			if rng.Intn(2) == 0 {
+				out = out.AddTerm(v, big.NewInt(int64(rng.Intn(13))))
+			}
+		}
+		return out
+	}
+	for i := 0; i < nEq; i++ {
+		p.AddEq(randLC(), randLC(), randLC())
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		n := randLC()
+		if !n.IsConst() {
+			p.AddNeq(n)
+		}
+	}
+	return p
+}
+
+func TestSolverAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	agree, unknown := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		p := randProblem(rng, 3)
+		want, _ := bruteForce(p)
+		out := Solve(p, &Options{Seed: int64(iter), MaxSteps: 500_000})
+		switch out.Status {
+		case StatusSat:
+			if !want {
+				t.Fatalf("iter %d: solver SAT but brute force UNSAT\n%+v", iter, p)
+			}
+			if err := p.Check(out.Model); err != nil {
+				t.Fatalf("iter %d: bad model: %v", iter, err)
+			}
+			agree++
+		case StatusUnsat:
+			if want {
+				t.Fatalf("iter %d: solver UNSAT but brute force SAT\n%+v", iter, p)
+			}
+			agree++
+		default:
+			unknown++
+		}
+	}
+	if agree < 380 {
+		t.Errorf("solver decided only %d/400 random small-field problems (%d unknown)", agree, unknown)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusSat.String() != "sat" || StatusUnsat.String() != "unsat" ||
+		StatusUnknown.String() != "unknown" || Status(9).String() == "" {
+		t.Error("Status.String broken")
+	}
+}
+
+func TestProblemVars(t *testing.T) {
+	p := NewProblem(f97)
+	p.AddEq(lc(f97, 0, 5, 1), one97(), lc(f97, 0, 2, 1))
+	p.AddNeq(lc(f97, 0, 9, 1))
+	got := p.Vars()
+	want := []int{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package smt
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"qed2/internal/poly"
+)
+
+// TestDebugTraceHook verifies the diagnostic trace hook emits search events
+// (equation dumps at enumeration nodes and candidate assignments).
+func TestDebugTraceHook(t *testing.T) {
+	var lines []string
+	SetDebugTrace(func(format string, args ...any) {
+		lines = append(lines, format)
+	})
+	defer SetDebugTrace(nil)
+
+	f := fbig
+	p := NewProblem(f)
+	// A hard 2-var core that must reach the enumeration fallback.
+	p.AddEq(poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 0).Add(poly.Var(f, 1)).AddConst(big.NewInt(1)))
+	Solve(p, &Options{MaxSteps: 2000, Seed: 1})
+	var sawEnum bool
+	for _, l := range lines {
+		if strings.Contains(l, "enum") {
+			sawEnum = true
+		}
+	}
+	if len(lines) == 0 || !sawEnum {
+		t.Errorf("trace hook produced %d lines, enum seen: %v", len(lines), sawEnum)
+	}
+}

@@ -1,0 +1,382 @@
+package uniq
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"qed2/internal/circom"
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+var f97 = ff.MustField(big.NewInt(97))
+
+func lcv(f *ff.Field, v int) *poly.LinComb { return poly.Var(f, v) }
+
+func TestSeeds(t *testing.T) {
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	o := sys.AddSignal("o", r1cs.KindOutput)
+	p := New(sys)
+	if !p.IsUnique(r1cs.OneID) || !p.IsUnique(a) {
+		t.Error("seeds missing")
+	}
+	if p.IsUnique(o) {
+		t.Error("unconstrained output claimed unique")
+	}
+	if src, _ := p.SourceOf(a); src.Rule != RuleSeed {
+		t.Errorf("source of input = %+v", src)
+	}
+}
+
+func TestSolveRuleChain(t *testing.T) {
+	// a (input) → b = 3a+1 → c = b·b? No: c = 2b - 5 → chain of linears.
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	b := sys.AddSignal("b", r1cs.KindInternal)
+	c := sys.AddSignal("c", r1cs.KindOutput)
+	// 1 * (3a + 1) = b
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, a).Scale(big.NewInt(3)).AddConst(big.NewInt(1)), lcv(f97, b), "")
+	// 1 * (2b - 5) = c
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, b).Scale(big.NewInt(2)).AddConst(big.NewInt(-5)), lcv(f97, c), "")
+	p := New(sys)
+	if !p.IsUnique(b) || !p.IsUnique(c) {
+		t.Fatalf("chain not resolved: unique=%v", p.Unique())
+	}
+	if !p.OutputsUnique() {
+		t.Error("OutputsUnique false")
+	}
+	if src, _ := p.SourceOf(c); src.Rule != RuleSolve || src.Constraint != 1 {
+		t.Errorf("source of c = %+v", src)
+	}
+	counts := p.CountByRule()
+	if counts[RuleSeed] != 2 || counts[RuleSolve] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestProductOfKnowns(t *testing.T) {
+	// out = a*b with a,b inputs: quad monomial a·b has both vars unique;
+	// out appears linearly with constant coefficient → unique.
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	b := sys.AddSignal("b", r1cs.KindInput)
+	o := sys.AddSignal("o", r1cs.KindOutput)
+	sys.AddConstraint(lcv(f97, a), lcv(f97, b), lcv(f97, o), "")
+	p := New(sys)
+	if !p.IsUnique(o) {
+		t.Error("o = a*b not resolved")
+	}
+}
+
+func TestVanishingCoefficientIsRejected(t *testing.T) {
+	// x·a = c with a an input: coefficient of x vanishes at a=0, so the
+	// rule must NOT fire (x free when a=0, c=0).
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	c := sys.AddSignal("c", r1cs.KindInput)
+	x := sys.AddSignal("x", r1cs.KindOutput)
+	sys.AddConstraint(lcv(f97, x), lcv(f97, a), lcv(f97, c), "")
+	p := New(sys)
+	if p.IsUnique(x) {
+		t.Error("unsound: x·a = c resolved x with vanishing coefficient")
+	}
+}
+
+func TestSquareIsRejected(t *testing.T) {
+	// x² = a: two roots; not unique.
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	x := sys.AddSignal("x", r1cs.KindOutput)
+	sys.AddConstraint(lcv(f97, x), lcv(f97, x), lcv(f97, a), "")
+	p := New(sys)
+	if p.IsUnique(x) {
+		t.Error("unsound: x² = a resolved x")
+	}
+}
+
+func TestTwoUnknownsBlockedThenUnlocked(t *testing.T) {
+	// x + y = a: two unknowns, blocked. After external fact y unique,
+	// x resolves incrementally.
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	x := sys.AddSignal("x", r1cs.KindOutput)
+	y := sys.AddSignal("y", r1cs.KindInternal)
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, x).Add(lcv(f97, y)), lcv(f97, a), "")
+	p := New(sys)
+	if p.IsUnique(x) || p.IsUnique(y) {
+		t.Fatal("premature uniqueness")
+	}
+	if !p.AddUniqueExternal(y) {
+		t.Fatal("AddUniqueExternal returned false")
+	}
+	if p.AddUniqueExternal(y) {
+		t.Error("duplicate AddUniqueExternal returned true")
+	}
+	if !p.IsUnique(x) {
+		t.Error("x not resolved after y became unique")
+	}
+	if src, _ := p.SourceOf(y); src.Rule != RuleExternal {
+		t.Errorf("source of y = %+v", src)
+	}
+}
+
+func TestUnknownList(t *testing.T) {
+	sys := r1cs.NewSystem(f97)
+	sys.AddSignal("a", r1cs.KindInput)
+	x := sys.AddSignal("x", r1cs.KindOutput)
+	p := New(sys)
+	unk := p.Unknown()
+	if len(unk) != 1 || unk[0] != x {
+		t.Errorf("Unknown = %v", unk)
+	}
+	if got := len(p.Order()); got != 2 {
+		t.Errorf("Order length = %d", got)
+	}
+}
+
+// --- soundness property test -----------------------------------------------------
+
+// TestPropagationSoundnessExhaustive builds random small systems over a
+// tiny field, runs propagation, and verifies by exhaustive enumeration
+// that every signal claimed unique really is uniquely determined by the
+// inputs in every satisfiable input class.
+func TestPropagationSoundnessExhaustive(t *testing.T) {
+	f5 := ff.MustField(big.NewInt(5))
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 150; iter++ {
+		sys := r1cs.NewSystem(f5)
+		nIn := 1 + rng.Intn(2)
+		nOther := 2 + rng.Intn(2)
+		for i := 0; i < nIn; i++ {
+			sys.AddSignal("", r1cs.KindInput)
+		}
+		for i := 0; i < nOther; i++ {
+			sys.AddSignal("", r1cs.KindInternal)
+		}
+		n := sys.NumSignals()
+		randLC := func() *poly.LinComb {
+			out := poly.ConstInt(f5, int64(rng.Intn(5)))
+			for v := 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					out = out.AddTerm(v, big.NewInt(int64(rng.Intn(5))))
+				}
+			}
+			return out
+		}
+		for k := 1 + rng.Intn(3); k > 0; k-- {
+			sys.AddConstraint(randLC(), randLC(), randLC(), "")
+		}
+		p := New(sys)
+
+		// Enumerate all witnesses; group by input values; check claimed
+		// signals take a single value within each group.
+		type key string
+		groups := map[key]map[int]map[string]bool{} // inputs -> sig -> values
+		total := 1
+		for i := 1; i < n; i++ {
+			total *= 5
+		}
+		w := sys.NewWitness()
+		for enc := 0; enc < total; enc++ {
+			v := enc
+			for i := 1; i < n; i++ {
+				w[i] = big.NewInt(int64(v % 5))
+				v /= 5
+			}
+			if sys.CheckWitness(w) != nil {
+				continue
+			}
+			var kb []byte
+			for _, in := range sys.Inputs() {
+				kb = append(kb, byte('0'+w[in].Int64()))
+			}
+			g := groups[key(kb)]
+			if g == nil {
+				g = map[int]map[string]bool{}
+				groups[key(kb)] = g
+			}
+			for i := 1; i < n; i++ {
+				if g[i] == nil {
+					g[i] = map[string]bool{}
+				}
+				g[i][w[i].String()] = true
+			}
+		}
+		for _, g := range groups {
+			for sig, vals := range g {
+				if p.IsUnique(sig) && len(vals) > 1 {
+					t.Fatalf("iter %d: propagation UNSOUND: signal %d claimed unique but takes %d values\n%s",
+						iter, sig, len(vals), sys.MarshalText())
+				}
+			}
+		}
+	}
+}
+
+// A circomlib-style integration check: IsZero's constraints resolve `out`
+// once `inv` is known, but `inv` itself stays unknown (it is genuinely not
+// uniquely determined... it IS determined? inv is only constrained by
+// out = -in*inv + 1 and in*out = 0; for in=0, inv is free → not unique).
+func TestIsZeroPartialResolution(t *testing.T) {
+	prog, err := circom.Compile(`
+template IsZero() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    in*out === 0;
+}
+component main = IsZero();
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(prog.System)
+	invSig, _ := prog.System.SignalByName("inv")
+	outSig, _ := prog.System.SignalByName("out")
+	if p.IsUnique(invSig.ID) {
+		t.Error("inv claimed unique (it is free when in=0)")
+	}
+	// out is NOT resolvable by propagation alone (its constraint couples it
+	// with the unknown inv through in·inv): the SMT stage must finish it.
+	if p.IsUnique(outSig.ID) {
+		t.Log("note: out resolved by propagation alone (stronger than expected)")
+	}
+}
+
+// --- binary-decomposition rule ---------------------------------------------------
+
+// buildBits builds the Num2Bits pattern: n boolean signals plus the sum
+// constraint Σ 2^i·b_i = in.
+func buildBits(t *testing.T, n int, coeffs []int64) (*r1cs.System, []int) {
+	t.Helper()
+	sys := r1cs.NewSystem(f97)
+	in := sys.AddSignal("in", r1cs.KindInput)
+	bits := make([]int, n)
+	for i := range bits {
+		bits[i] = sys.AddSignal("", r1cs.KindOutput)
+	}
+	for _, b := range bits {
+		// b * (b-1) = 0
+		sys.AddConstraint(lcv(f97, b), lcv(f97, b).AddConst(big.NewInt(-1)), poly.NewLinComb(f97), "bool")
+	}
+	sum := poly.NewLinComb(f97).AddTerm(in, big.NewInt(-1))
+	for i, b := range bits {
+		sum = sum.AddTerm(b, big.NewInt(coeffs[i]))
+	}
+	sys.AddConstraint(poly.ConstInt(f97, 1), sum, poly.NewLinComb(f97), "sum")
+	return sys, bits
+}
+
+func TestRuleBitsPowersOfTwo(t *testing.T) {
+	sys, bits := buildBits(t, 4, []int64{1, 2, 4, 8})
+	p := New(sys)
+	for _, b := range bits {
+		if !p.IsUnique(b) {
+			t.Fatalf("bit %d not resolved by RuleBits", b)
+		}
+		if src, _ := p.SourceOf(b); src.Rule != RuleBits {
+			t.Errorf("bit %d source = %v", b, src.Rule)
+		}
+	}
+}
+
+func TestRuleBitsRejectsAmbiguousCoefficients(t *testing.T) {
+	// {1,2,3}: 3 = 1+2 → two bit patterns give the same sum; must NOT fire.
+	sys, bits := buildBits(t, 3, []int64{1, 2, 3})
+	p := New(sys)
+	for _, b := range bits {
+		if p.IsUnique(b) {
+			t.Fatalf("UNSOUND: ambiguous coefficients resolved bit %d", b)
+		}
+	}
+	// {1,1}: equal coefficients also ambiguous.
+	sys2, bits2 := buildBits(t, 2, []int64{1, 1})
+	p2 := New(sys2)
+	for _, b := range bits2 {
+		if p2.IsUnique(b) {
+			t.Fatalf("UNSOUND: equal coefficients resolved bit %d", b)
+		}
+	}
+}
+
+func TestRuleBitsRejectsFieldOverflow(t *testing.T) {
+	// Over F_97: coefficients 1,2,4,...,64 sum to 127 > 97: two bit vectors
+	// can collide modulo 97 (e.g. 97 = 64+32+1 ≡ 0). Must NOT fire.
+	sys, bits := buildBits(t, 7, []int64{1, 2, 4, 8, 16, 32, 64})
+	p := New(sys)
+	for _, b := range bits {
+		if p.IsUnique(b) {
+			t.Fatalf("UNSOUND: overflowing decomposition resolved bit %d", b)
+		}
+	}
+	// 1,2,4,8,16,32 sums to 63 < 97: fine.
+	sys2, bits2 := buildBits(t, 6, []int64{1, 2, 4, 8, 16, 32})
+	p2 := New(sys2)
+	for _, b := range bits2 {
+		if !p2.IsUnique(b) {
+			t.Fatalf("bit %d not resolved", b)
+		}
+	}
+}
+
+func TestRuleBitsNegativeCoefficients(t *testing.T) {
+	// Signed magnitudes {1,-2,4} are super-increasing in absolute value.
+	sys, bits := buildBits(t, 3, []int64{1, -2, 4})
+	p := New(sys)
+	for _, b := range bits {
+		if !p.IsUnique(b) {
+			t.Fatalf("bit %d not resolved with negative coefficient", b)
+		}
+	}
+}
+
+func TestRuleBitsRequiresBooleanFacts(t *testing.T) {
+	// Same sum constraint but bits lack boolean constraints: must not fire.
+	sys := r1cs.NewSystem(f97)
+	in := sys.AddSignal("in", r1cs.KindInput)
+	b0 := sys.AddSignal("b0", r1cs.KindOutput)
+	b1 := sys.AddSignal("b1", r1cs.KindOutput)
+	sum := poly.NewLinComb(f97).
+		AddTerm(in, big.NewInt(-1)).
+		AddTerm(b0, big.NewInt(1)).
+		AddTerm(b1, big.NewInt(2))
+	sys.AddConstraint(poly.ConstInt(f97, 1), sum, poly.NewLinComb(f97), "sum")
+	p := New(sys)
+	if p.IsUnique(b0) || p.IsUnique(b1) {
+		t.Fatal("UNSOUND: non-boolean signals resolved by RuleBits")
+	}
+}
+
+func TestNum2BitsResolvedByPropagationAlone(t *testing.T) {
+	prog, err := circom.Compile(`
+template Num2Bits(n) {
+    signal input in;
+    signal output out[n];
+    var lc1 = 0;
+    var e2 = 1;
+    for (var i = 0; i < n; i++) {
+        out[i] <-- (in >> i) & 1;
+        out[i] * (out[i] - 1) === 0;
+        lc1 += out[i] * e2;
+        e2 = e2 + e2;
+    }
+    lc1 === in;
+}
+component main = Num2Bits(32);
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(prog.System)
+	if !p.OutputsUnique() {
+		t.Fatal("Num2Bits(32) not fully resolved by propagation")
+	}
+	if p.CountByRule()[RuleBits] != 32 {
+		t.Errorf("RuleBits count = %d, want 32", p.CountByRule()[RuleBits])
+	}
+}

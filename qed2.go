@@ -1,0 +1,156 @@
+// Package qed2 detects under-constrained arithmetic circuits in
+// zero-knowledge proof programs, implementing the analysis of
+//
+//	Pailoor, Chen, Wang, Rodríguez-Núñez, Van Geffen, Morton, Chu, Gu,
+//	Feng, Dillig. "Automated Detection of Under-Constrained Circuits in
+//	Zero-Knowledge Proofs." PLDI 2023 (DOI 10.1145/3591282).
+//
+// A circuit compiled from a DSL like Circom is a system of polynomial
+// equations over a prime field. It is under-constrained when two different
+// witnesses satisfy every constraint while agreeing on all inputs — a
+// malicious prover can then have a verifier accept a claim it should
+// reject. This package compiles a faithful Circom subset to rank-1
+// constraint systems and decides, per output signal, whether it is uniquely
+// determined by the inputs, combining lightweight uniqueness-constraint
+// propagation with SMT-style reasoning over the finite field.
+//
+// # Quick start
+//
+//	report, err := qed2.AnalyzeSource(src, nil, nil)
+//	if err != nil { ... }
+//	switch report.Verdict {
+//	case qed2.Safe:    // every output uniquely determined
+//	case qed2.Unsafe:  // report.Counter holds a checked witness pair
+//	case qed2.Unknown: // undecided within budget (report.Reason says why)
+//	}
+//
+// The cmd/qed2 command wraps this API for the command line, and
+// cmd/qed2bench regenerates the evaluation tables of the paper.
+package qed2
+
+import (
+	"fmt"
+	"math/big"
+
+	"qed2/internal/bench"
+	"qed2/internal/circom"
+	"qed2/internal/core"
+	"qed2/internal/ff"
+	"qed2/internal/r1cs"
+)
+
+// Verdict classifies a circuit: Safe, Unsafe or Unknown.
+type Verdict = core.Verdict
+
+// Verdicts.
+const (
+	// Safe: every output signal is uniquely determined by the inputs.
+	Safe = core.VerdictSafe
+	// Unsafe: a checked witness pair demonstrates non-uniqueness.
+	Unsafe = core.VerdictUnsafe
+	// Unknown: undecided within the configured budget.
+	Unknown = core.VerdictUnknown
+)
+
+// Mode selects the analysis configuration.
+type Mode = core.Mode
+
+// Analysis modes.
+const (
+	// ModeFull is the paper's combination of propagation and sliced SMT
+	// queries (the default).
+	ModeFull = core.ModeFull
+	// ModePropagationOnly runs only the inference rules (Ecne-style
+	// baseline).
+	ModePropagationOnly = core.ModePropagationOnly
+	// ModeSMTOnly issues monolithic whole-circuit queries (naive SMT
+	// baseline).
+	ModeSMTOnly = core.ModeSMTOnly
+)
+
+// Config tunes the analysis; the zero value (or nil) uses the defaults
+// documented on the fields of core.Config.
+type Config = core.Config
+
+// Report is the analysis result: verdict, effort statistics, and — for
+// Unsafe — a checked CounterExample.
+type Report = core.Report
+
+// CounterExample is a pair of witnesses that satisfy every constraint,
+// agree on all inputs, and differ on an output signal.
+type CounterExample = core.CounterExample
+
+// Program is a compiled circuit: its constraint system plus the
+// witness-generation program.
+type Program = circom.Program
+
+// CompileOptions configures circuit compilation (field, include library,
+// resource budgets).
+type CompileOptions = circom.CompileOptions
+
+// System is a rank-1 constraint system.
+type System = r1cs.System
+
+// Witness is a full assignment to every signal of a System.
+type Witness = r1cs.Witness
+
+// Field is a prime field F_p.
+type Field = ff.Field
+
+// BN254 returns the scalar field of the BN254 curve — the default field of
+// the Circom toolchain.
+func BN254() *Field { return ff.BN254() }
+
+// NewField constructs F_p for a prime modulus given in decimal or 0x-hex.
+func NewField(modulus string) (*Field, error) {
+	m, ok := new(big.Int).SetString(modulus, 0)
+	if !ok {
+		return nil, fmt.Errorf("qed2: cannot parse modulus %q", modulus)
+	}
+	return ff.NewField(m)
+}
+
+// Compile compiles Circom source (which must declare a main component).
+// Includes resolve against opts.Library; CircomLib() provides the bundled
+// circomlib subset.
+func Compile(src string, opts *CompileOptions) (*Program, error) {
+	return circom.Compile(src, opts)
+}
+
+// Analyze runs the under-constraint analysis on a compiled circuit.
+func Analyze(prog *Program, cfg *Config) *Report {
+	return core.Analyze(prog.System, cfg)
+}
+
+// AnalyzeSystem runs the analysis directly on a constraint system (e.g. one
+// parsed from the text format rather than compiled from source).
+func AnalyzeSystem(sys *System, cfg *Config) *Report {
+	return core.Analyze(sys, cfg)
+}
+
+// AnalyzeSource compiles and analyzes in one step. The library may be nil;
+// includes then resolve against the bundled circomlib subset.
+func AnalyzeSource(src string, library map[string]string, cfg *Config) (*Report, error) {
+	lib := CircomLib()
+	for k, v := range library {
+		lib[k] = v
+	}
+	prog, err := circom.Compile(src, &circom.CompileOptions{Library: lib})
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(prog.System, cfg), nil
+}
+
+// CircomLib returns the bundled circomlib-subset sources (comparators,
+// bitify, gates, mux, multiplexer, curve operations, MiMC, …), keyed by
+// include name. The map is a fresh copy the caller may extend.
+func CircomLib() map[string]string {
+	return bench.Library()
+}
+
+// ParseSystem reads a constraint system from the text format produced by
+// (*System).MarshalText / the qed2 -r1cs flag.
+func ParseSystem(text string) (*System, error) {
+	return r1cs.ParseString(text)
+}

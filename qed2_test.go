@@ -1,0 +1,135 @@
+package qed2
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeSourceSafe(t *testing.T) {
+	report, err := AnalyzeSource(`
+pragma circom 2.0.0;
+template Mul() {
+    signal input a;
+    signal input b;
+    signal output c;
+    c <== a*b;
+}
+component main = Mul();
+`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Safe {
+		t.Fatalf("verdict = %v (%s)", report.Verdict, report.Reason)
+	}
+}
+
+func TestAnalyzeSourceWithBundledLibrary(t *testing.T) {
+	report, err := AnalyzeSource(`
+pragma circom 2.0.0;
+include "multiplexer.circom";
+component main = Decoder(4);
+`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Unsafe {
+		t.Fatalf("Decoder verdict = %v (%s), want unsafe", report.Verdict, report.Reason)
+	}
+	if report.Counter == nil {
+		t.Fatal("unsafe without counterexample")
+	}
+}
+
+func TestAnalyzeSourceUserLibraryOverride(t *testing.T) {
+	lib := map[string]string{
+		"mine.circom": `
+template Pass() {
+    signal input a;
+    signal output b;
+    b <== a;
+}
+`,
+	}
+	report, err := AnalyzeSource(`
+include "mine.circom";
+component main = Pass();
+`, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != Safe {
+		t.Fatalf("verdict = %v", report.Verdict)
+	}
+}
+
+func TestCompileAndWitnessRoundTrip(t *testing.T) {
+	prog, err := Compile(`
+pragma circom 2.0.0;
+include "comparators.circom";
+component main = IsEqual();
+`, &CompileOptions{Library: CircomLib()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := prog.GenerateWitness(map[string]*big.Int{
+		"in[0]": big.NewInt(7), "in[1]": big.NewInt(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.System.CheckWitness(w); err != nil {
+		t.Fatal(err)
+	}
+	if w[prog.OutputNames["out"]].Int64() != 1 {
+		t.Error("IsEqual(7,7) != 1")
+	}
+}
+
+func TestSystemTextRoundTripThroughFacade(t *testing.T) {
+	prog, err := Compile(`
+template T() { signal input a; signal output b; b <== 2*a + 1; }
+component main = T();
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := prog.System.MarshalText()
+	sys, err := ParseSystem(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := AnalyzeSystem(sys, nil)
+	if report.Verdict != Safe {
+		t.Fatalf("verdict after round trip = %v", report.Verdict)
+	}
+}
+
+func TestNewFieldFacade(t *testing.T) {
+	f, err := NewField("97")
+	if err != nil || f.BitLen() != 7 {
+		t.Fatalf("NewField(97): %v %v", f, err)
+	}
+	if _, err := NewField("96"); err == nil {
+		t.Error("NewField(96) accepted composite")
+	}
+	if _, err := NewField("giraffe"); err == nil {
+		t.Error("NewField(giraffe) accepted garbage")
+	}
+	if BN254().BitLen() != 254 {
+		t.Error("BN254 facade broken")
+	}
+}
+
+func TestCircomLibIsCopy(t *testing.T) {
+	a := CircomLib()
+	if len(a) == 0 || !strings.Contains(a["comparators.circom"], "IsZero") {
+		t.Fatal("bundled library incomplete")
+	}
+	a["comparators.circom"] = "tampered"
+	b := CircomLib()
+	if b["comparators.circom"] == "tampered" {
+		t.Error("CircomLib returns shared state")
+	}
+}
