@@ -254,3 +254,20 @@ func BenchmarkFigure4RuleAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSuiteQueryWorkers1/8 compare the parallel slice-query engine
+// against its sequential configuration over the full suite (instances run
+// serially so query-level parallelism is the only variable; reports are
+// byte-identical either way — see TestSuiteDeterministicAcrossWorkerCounts).
+func benchmarkSuiteQueryWorkers(b *testing.B, workers int) {
+	insts := bench.Suite()
+	cfg := benchConfig()
+	cfg.Timeout = 0 // wall-clock cuts would make the two runs incomparable
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		bench.Run(insts, &bench.RunOptions{Config: cfg, Workers: 1})
+	}
+}
+
+func BenchmarkSuiteQueryWorkers1(b *testing.B) { benchmarkSuiteQueryWorkers(b, 1) }
+func BenchmarkSuiteQueryWorkers8(b *testing.B) { benchmarkSuiteQueryWorkers(b, 8) }

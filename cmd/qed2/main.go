@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		globalSteps = fs.Int64("global-steps", 5_000_000, "total solver step budget")
 		timeout     = fs.Duration("timeout", 0, "wall-clock analysis timeout (0 = none)")
 		seed        = fs.Int64("seed", 0, "deterministic solver seed")
+		workers     = fs.Int("workers", 0, "parallel slice-query workers (0 = GOMAXPROCS)")
 		dumpR1CS    = fs.Bool("r1cs", false, "dump the compiled constraint system and exit")
 		statsOnly   = fs.Bool("stats", false, "print circuit statistics and exit")
 		quiet       = fs.Bool("q", false, "print only the verdict")
@@ -68,6 +69,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// analyzed directly.
 	var prog *circom.Program
 	if strings.HasSuffix(path, ".r1cs") {
+		if *witness != "" {
+			// A dumped constraint system has no witness-generation
+			// instructions: those live only in the compiled Circom program.
+			fmt.Fprintln(stderr, "qed2: -witness needs a .circom source; a .r1cs dump has no witness-generation instructions")
+			return 3
+		}
 		sys, err := r1cs.ParseString(string(src))
 		if err != nil {
 			fmt.Fprintln(stderr, "qed2:", err)
@@ -85,7 +92,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Library: bundled circomlib subset + sibling files of the input.
 	lib := bench.Library()
 	dir := filepath.Dir(path)
-	entries, _ := os.ReadDir(dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		// Not fatal — the bundled library may still satisfy every include —
+		// but the user should know sibling files were not scanned.
+		fmt.Fprintf(stderr, "qed2: warning: cannot scan %s for sibling includes: %v\n", dir, err)
+	}
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".circom" || e.Name() == filepath.Base(path) {
 			continue
@@ -130,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		GlobalSteps: *globalSteps,
 		Timeout:     *timeout,
 		Seed:        *seed,
+		Workers:     *workers,
 	}
 	switch *mode {
 	case "qed2":
@@ -157,8 +170,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  (%s)", report.Reason)
 		}
 		fmt.Fprintln(stdout)
-		fmt.Fprintf(stdout, "analysis:     %s, %d queries, %d solver steps\n",
-			time.Since(t0).Round(time.Millisecond), report.Stats.Queries, report.Stats.SolverSteps)
+		fmt.Fprintf(stdout, "analysis:     %s, %d queries (%d cached), %d solver steps, %d workers\n",
+			time.Since(t0).Round(time.Millisecond), report.Stats.Queries, report.Stats.CacheHits,
+			report.Stats.SolverSteps, report.Stats.Workers)
 		fmt.Fprintf(stdout, "uniqueness:   %d/%d signals proven unique (%d by propagation, %d by SMT)\n",
 			report.Stats.UniqueTotal, st.Signals, report.Stats.PropagationUnique, report.Stats.SMTUnique)
 		if ce := report.Counter; ce != nil {
@@ -248,7 +262,9 @@ type jsonStats struct {
 	BitsUnique        int   `json:"by_bits_rule"`
 	SMTUnique         int   `json:"by_smt"`
 	Queries           int   `json:"smt_queries"`
+	CacheHits         int   `json:"cache_hits"`
 	SolverSteps       int64 `json:"solver_steps"`
+	Workers           int   `json:"workers"`
 	DurationMS        int64 `json:"duration_ms"`
 }
 
@@ -275,7 +291,9 @@ func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *cor
 			BitsUnique:        report.Stats.BitsUnique,
 			SMTUnique:         report.Stats.SMTUnique,
 			Queries:           report.Stats.Queries,
+			CacheHits:         report.Stats.CacheHits,
 			SolverSteps:       report.Stats.SolverSteps,
+			Workers:           report.Stats.Workers,
 			DurationMS:        report.Stats.Duration.Milliseconds(),
 		},
 	}

@@ -133,6 +133,52 @@ func TestCLIR1CSDumpAndReanalyze(t *testing.T) {
 	}
 }
 
+func TestCLIWitnessOnR1CSRejected(t *testing.T) {
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, dump, _ := runCLI(t, "-r1cs", path)
+	if code != 0 {
+		t.Fatalf("dump failed (exit %d)", code)
+	}
+	r1csPath := filepath.Join(filepath.Dir(path), "mul.r1cs")
+	if err := os.WriteFile(r1csPath, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw := runCLI(t, "-witness", "a=6,b=7", r1csPath)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (usage error)", code)
+	}
+	if !strings.Contains(errw, "witness") || !strings.Contains(errw, ".r1cs") {
+		t.Errorf("error message unhelpful: %q", errw)
+	}
+}
+
+func TestCLIWorkersFlag(t *testing.T) {
+	path := writeCircuit(t, "bad.circom", buggySrc)
+	var reports [2]jsonReport
+	for i, w := range []string{"1", "8"} {
+		code, out, _ := runCLI(t, "-json", "-seed", "1", "-workers", w, path)
+		if code != 1 {
+			t.Fatalf("workers=%s: exit = %d, want 1", w, code)
+		}
+		if err := json.Unmarshal([]byte(out), &reports[i]); err != nil {
+			t.Fatalf("workers=%s: invalid JSON: %v", w, err)
+		}
+	}
+	if reports[0].Stats.Workers != 1 || reports[1].Stats.Workers != 8 {
+		t.Errorf("workers not recorded: %d, %d", reports[0].Stats.Workers, reports[1].Stats.Workers)
+	}
+	// Reports must be identical apart from timing and the worker count.
+	for i := range reports {
+		reports[i].Stats.Workers = 0
+		reports[i].Stats.DurationMS = 0
+	}
+	a, _ := json.Marshal(reports[0])
+	b, _ := json.Marshal(reports[1])
+	if string(a) != string(b) {
+		t.Errorf("reports differ across worker counts:\n%s\n%s", a, b)
+	}
+}
+
 func TestCLIStatsOnly(t *testing.T) {
 	path := writeCircuit(t, "mul.circom", safeSrc)
 	code, out, _ := runCLI(t, "-stats", path)

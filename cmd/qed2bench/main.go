@@ -22,16 +22,17 @@ import (
 
 func main() {
 	var (
-		table       = flag.Int("table", 0, "regenerate one table (1..4)")
-		fig         = flag.Int("fig", 0, "regenerate one figure (1..4)")
-		all         = flag.Bool("all", false, "regenerate every table and figure")
-		list        = flag.Bool("list", false, "list suite instances and exit")
-		workers     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		querySteps  = flag.Int64("query-steps", 20_000, "solver step budget per SMT query")
-		globalSteps = flag.Int64("global-steps", 400_000, "total solver step budget per instance")
-		timeout     = flag.Duration("timeout", 5*time.Second, "wall-clock budget per instance")
-		seed        = flag.Int64("seed", 1, "deterministic solver seed")
-		verbose     = flag.Bool("v", false, "print per-instance progress")
+		table        = flag.Int("table", 0, "regenerate one table (1..4)")
+		fig          = flag.Int("fig", 0, "regenerate one figure (1..4)")
+		all          = flag.Bool("all", false, "regenerate every table and figure")
+		list         = flag.Bool("list", false, "list suite instances and exit")
+		workers      = flag.Int("workers", 0, "instances analyzed concurrently (0 = GOMAXPROCS)")
+		queryWorkers = flag.Int("query-workers", 1, "parallel slice-query workers within one analysis (0 = GOMAXPROCS); 1 keeps per-instance timings comparable")
+		querySteps   = flag.Int64("query-steps", 20_000, "solver step budget per SMT query")
+		globalSteps  = flag.Int64("global-steps", 400_000, "total solver step budget per instance")
+		timeout      = flag.Duration("timeout", 5*time.Second, "wall-clock budget per instance")
+		seed         = flag.Int64("seed", 1, "deterministic solver seed")
+		verbose      = flag.Bool("v", false, "print per-instance progress")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *fig == 0 && !*list {
@@ -50,6 +51,7 @@ func main() {
 		GlobalSteps: *globalSteps,
 		Timeout:     *timeout,
 		Seed:        *seed,
+		Workers:     *queryWorkers,
 	}
 	opts := func(cfg core.Config) *bench.RunOptions {
 		o := &bench.RunOptions{Config: cfg, Workers: *workers}

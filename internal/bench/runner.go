@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qed2/internal/core"
@@ -40,9 +41,13 @@ func (r Result) Solved() bool {
 type RunOptions struct {
 	// Config is the analyzer configuration applied to every instance.
 	Config core.Config
-	// Workers is the degree of parallelism (default: GOMAXPROCS).
+	// Workers is the number of instances analyzed concurrently (default:
+	// GOMAXPROCS). Query-level parallelism within one analysis is
+	// configured separately via Config.Workers.
 	Workers int
 	// Progress, when non-nil, is called after each instance completes.
+	// Invocations are serialized and done is strictly monotonic, so the
+	// callback needs no locking of its own.
 	Progress func(done, total int, r Result)
 }
 
@@ -57,31 +62,30 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 	}
 	results := make([]Result, len(insts))
 	var (
-		next int
-		done int
-		mu   sync.Mutex
+		next atomic.Int64
 		wg   sync.WaitGroup
+		// progressMu serializes the Progress callback and guards done, so
+		// callers observe a strictly increasing done counter even when
+		// workers finish out of order.
+		progressMu sync.Mutex
+		done       int
 	)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(insts) {
 					return
 				}
 				results[i] = runOne(insts[i], o.Config)
-				mu.Lock()
+				progressMu.Lock()
 				done++
-				d := done
-				mu.Unlock()
 				if o.Progress != nil {
-					o.Progress(d, len(insts), results[i])
+					o.Progress(done, len(insts), results[i])
 				}
+				progressMu.Unlock()
 			}
 		}()
 	}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"qed2/internal/core"
+)
+
+// TestRunnerProgressMonotonic pins the serialization contract of the
+// Progress callback: even with many workers finishing out of order, the
+// observed done values must be exactly 1..N in order, and invocations must
+// never overlap (the callback mutates shared state without locking, so any
+// concurrent invocation is caught by the race detector).
+func TestRunnerProgressMonotonic(t *testing.T) {
+	insts := Suite()[:16]
+	var seen []int
+	results := Run(insts, &RunOptions{
+		Config:  core.Config{QuerySteps: 1_000, GlobalSteps: 10_000, Seed: 1},
+		Workers: 8,
+		Progress: func(done, total int, r Result) {
+			if total != len(insts) {
+				t.Errorf("total = %d, want %d", total, len(insts))
+			}
+			seen = append(seen, done)
+		},
+	})
+	if len(results) != len(insts) {
+		t.Fatalf("got %d results, want %d", len(results), len(insts))
+	}
+	if len(seen) != len(insts) {
+		t.Fatalf("progress called %d times, want %d", len(seen), len(insts))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("done sequence %v not monotonic at position %d", seen, i)
+		}
+	}
+}

@@ -53,6 +53,18 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
 }
 
+// workersNote renders the query-worker configuration of a result set for
+// table captions, so regenerated tables record the parallelism they were
+// measured under. Empty when the result set carries no reports.
+func workersNote(results []Result) string {
+	for _, r := range results {
+		if r.Report != nil {
+			return fmt.Sprintf(" (query workers: %d)", r.Report.Stats.Workers)
+		}
+	}
+	return ""
+}
+
 // groupByCategory partitions results by instance category, preserving suite
 // category order.
 func groupByCategory(results []Result) ([]string, map[string][]Result) {
@@ -148,7 +160,7 @@ func Table2(results []Result) string {
 	t.add("TOTAL", fmt.Sprint(tot.Total), fmt.Sprint(tot.Safe), fmt.Sprint(tot.Unsafe),
 		fmt.Sprint(tot.Unknown), fmt.Sprintf("%.1f", tot.SolvedPct()),
 		ms(totTime/time.Duration(max(1, tot.Total))), fmt.Sprint(totQ))
-	return "Table 2: main results (full QED² configuration)\n\n" + t.String()
+	return "Table 2: main results (full QED² configuration)" + workersNote(results) + "\n\n" + t.String()
 }
 
 // Table3 regenerates the tool-comparison table across configurations
@@ -157,7 +169,11 @@ func Table3(byMode map[string][]Result, order []string) string {
 	t := &textTable{header: []string{
 		"Configuration", "Safe", "Unsafe", "Unknown", "Solved", "Solved%", "TotalTime(s)",
 	}}
+	note := ""
 	for _, mode := range order {
+		if note == "" {
+			note = workersNote(byMode[mode])
+		}
 		rs := byMode[mode]
 		tal := TallyOf(rs)
 		var dt time.Duration
@@ -169,7 +185,7 @@ func Table3(byMode map[string][]Result, order []string) string {
 			fmt.Sprintf("%.1f", tal.SolvedPct()),
 			fmt.Sprintf("%.2f", dt.Seconds()))
 	}
-	return "Table 3: comparison against baselines\n\n" + t.String()
+	return "Table 3: comparison against baselines" + note + "\n\n" + t.String()
 }
 
 // Table4 regenerates the previously-unknown-vulnerabilities table: the

@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"qed2/internal/r1cs"
@@ -101,7 +103,17 @@ type Config struct {
 	// Default 5,000,000.
 	GlobalSteps int64
 	// Timeout bounds wall-clock time for the whole analysis (0 = none).
+	// The deadline is enforced inside individual solver calls, not just
+	// between them, so a single hard query cannot overshoot it by more than
+	// one solver step-check interval.
 	Timeout time.Duration
+	// Workers is the number of slice queries solved concurrently per round.
+	// Default GOMAXPROCS. Reports are byte-identical (verdict, stats,
+	// counterexample) for any worker count as long as no wall-clock timeout
+	// cuts the run short: results are applied at a round barrier in
+	// canonical signal order, solver seeds derive from the target signal,
+	// and the shared global step budget is reserved deterministically.
+	Workers int
 	// Seed makes solver probing deterministic.
 	Seed int64
 	// DisableSolveRule / DisableBitsRule switch off individual propagation
@@ -127,6 +139,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.GlobalSteps == 0 {
 		out.GlobalSteps = 5_000_000
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -158,6 +173,12 @@ type Stats struct {
 	// Queries and SolverSteps measure SMT effort.
 	Queries     int
 	SolverSteps int64
+	// CacheHits counts slice queries answered from the slice-signature memo
+	// cache instead of the solver (structurally identical re-queries across
+	// re-propagation rounds).
+	CacheHits int
+	// Workers records the degree of query parallelism used.
+	Workers int
 	// Duration is wall-clock analysis time.
 	Duration time.Duration
 }
@@ -172,31 +193,43 @@ type Report struct {
 	Stats  Stats
 }
 
-// analysis carries the mutable state of one Analyze call.
+// analysis carries the mutable state of one Analyze call. The solver-step
+// budget is an atomic because slice queries of one round run on concurrent
+// workers, all drawing from the same global pool; everything else is only
+// touched sequentially (at round barriers or in the baselines).
 type analysis struct {
 	sys      *r1cs.System
 	cfg      Config
 	prop     *uniq.Propagator
 	report   *Report
 	start    time.Time
-	stepsRem int64
-	querySeq int64
+	deadline time.Time // zero when cfg.Timeout == 0
+	stepsRem atomic.Int64
+	// cache memoizes query outcomes by slice signature (target, constraint
+	// set, shared-signal mask) so re-propagation rounds do not re-solve
+	// structurally identical queries. Accessed only at round barriers.
+	cache map[string]smt.Outcome
 }
 
 // Analyze runs the configured analysis on the system.
 func Analyze(sys *r1cs.System, cfg *Config) *Report {
 	c := cfg.withDefaults()
 	a := &analysis{
-		sys:      sys,
-		cfg:      c,
-		start:    time.Now(),
-		stepsRem: c.GlobalSteps,
-		report:   &Report{},
+		sys:    sys,
+		cfg:    c,
+		start:  time.Now(),
+		report: &Report{},
+		cache:  map[string]smt.Outcome{},
+	}
+	a.stepsRem.Store(c.GlobalSteps)
+	if c.Timeout > 0 {
+		a.deadline = a.start.Add(c.Timeout)
 	}
 	st := sys.Stats()
 	a.report.Stats.SignalsTotal = st.Signals
 	a.report.Stats.Outputs = st.Outputs
 	a.report.Stats.Constraints = st.Constraints
+	a.report.Stats.Workers = c.Workers
 
 	uopts := uniq.Options{DisableSolve: c.DisableSolveRule, DisableBits: c.DisableBitsRule}
 	switch c.Mode {
@@ -222,30 +255,53 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 
 // outOfBudget reports whether the global budget is exhausted.
 func (a *analysis) outOfBudget() bool {
-	if a.stepsRem <= 0 {
+	if a.stepsRem.Load() <= 0 {
 		return true
 	}
-	if a.cfg.Timeout > 0 && time.Since(a.start) > a.cfg.Timeout {
+	if !a.deadline.IsZero() && !time.Now().Before(a.deadline) {
 		return true
 	}
 	return false
 }
 
-// solve runs one SMT query against the remaining budget.
-func (a *analysis) solve(p *smt.Problem) smt.Outcome {
-	budget := a.cfg.QuerySteps
-	if budget > a.stepsRem {
-		budget = a.stepsRem
+// reserve atomically takes up to QuerySteps from the remaining global
+// budget, returning the granted step budget (0 when exhausted). Unused
+// steps are returned with refund, so budget accounting is exact and — since
+// reservations happen sequentially in canonical signal order at round
+// dispatch — deterministic regardless of worker count.
+func (a *analysis) reserve() int64 {
+	for {
+		rem := a.stepsRem.Load()
+		if rem <= 0 {
+			return 0
+		}
+		grant := a.cfg.QuerySteps
+		if grant > rem {
+			grant = rem
+		}
+		if a.stepsRem.CompareAndSwap(rem, rem-grant) {
+			return grant
+		}
 	}
-	if budget <= 0 {
+}
+
+// refund returns unused reserved steps to the global pool. n may be
+// negative (a query's final step check can overshoot its grant by one).
+func (a *analysis) refund(n int64) { a.stepsRem.Add(n) }
+
+// solveSeq runs one SMT query synchronously against the global budget (the
+// sequential path used by the monolithic baseline).
+func (a *analysis) solveSeq(p *smt.Problem, target int) smt.Outcome {
+	grant := a.reserve()
+	if grant <= 0 {
 		return smt.Outcome{Status: smt.StatusUnknown, Reason: "global budget exhausted"}
 	}
-	a.querySeq++
 	out := smt.Solve(p, &smt.Options{
-		MaxSteps: budget,
-		Seed:     a.cfg.Seed + a.querySeq,
+		MaxSteps: grant,
+		Seed:     a.querySeed(target),
+		Deadline: a.deadline,
 	})
-	a.stepsRem -= out.Steps
+	a.refund(grant - out.Steps)
 	a.report.Stats.Queries++
 	a.report.Stats.SolverSteps += out.Steps
 	return out
@@ -260,9 +316,14 @@ func (a *analysis) finishPropagationOnly() {
 	a.report.Reason = "propagation rules left outputs unresolved (this mode cannot produce counterexamples)"
 }
 
-// runFull is the QED² loop: propagate, prove unknowns one slice at a time,
-// and confirm candidate counterexamples on the full circuit.
+// runFull is the QED² loop: propagate, prove unknowns one round of slice
+// queries at a time, and confirm candidate counterexamples on the full
+// circuit. Each round snapshots the unique set, dispatches the queries for
+// every still-unknown signal to the worker pool, and applies the results at
+// a barrier in canonical signal order, so the outcome is independent of the
+// worker count and of which query finishes first.
 func (a *analysis) runFull() {
+	a.sys.PrepareConcurrent()
 	lastTried := map[int]int{}
 	for {
 		if a.prop.OutputsUnique() {
@@ -274,82 +335,116 @@ func (a *analysis) runFull() {
 			a.report.Reason = "analysis budget exhausted"
 			return
 		}
-		progress := false
+		snap := a.prop.Snapshot()
+		var tasks []*queryTask
 		for _, s := range a.prop.Unknown() {
-			if a.outOfBudget() {
-				break
-			}
-			if a.prop.IsUnique(s) {
-				continue // resolved by propagation triggered earlier this pass
-			}
-			if lastTried[s] == a.prop.NumUnique() {
+			if lastTried[s] == snap.NumUnique() {
 				continue // nothing new since the last attempt
 			}
-			lastTried[s] = a.prop.NumUnique()
-			out, full := a.sliceQuery(s)
-			if out.Status == smt.StatusUnsat {
-				a.prop.AddUniqueExternal(s)
-				progress = true
+			lastTried[s] = snap.NumUnique()
+			sl := a.sys.SliceAround(s, a.cfg.SliceRadius, a.cfg.MaxSliceConstraints)
+			t := &queryTask{
+				sig:  s,
+				cons: sl.Constraints,
+				full: len(sl.Constraints) == a.sys.NumConstraints(),
+			}
+			a.admit(t, sl.Signals, snap)
+			tasks = append(tasks, t)
+		}
+		if len(tasks) == 0 {
+			a.finalOutputsStage()
+			return
+		}
+		a.runRound(tasks, snap)
+		before := a.prop.NumUnique()
+		for _, t := range tasks {
+			a.accountTask(t)
+			if t.out.Status == smt.StatusUnsat {
+				a.prop.AddUniqueExternal(t.sig)
 				continue
 			}
 			// A SAT answer on the FULL constraint set is conclusive
-			// non-uniqueness of s; for outputs that ends the analysis.
-			if out.Status == smt.StatusSat && full {
-				if a.sys.Signal(s).Kind == r1cs.KindOutput {
-					if a.confirmCounterexample(s, out.Model) {
+			// non-uniqueness of t.sig; for outputs that ends the analysis.
+			if t.out.Status == smt.StatusSat && t.full {
+				if a.sys.Signal(t.sig).Kind == r1cs.KindOutput {
+					if a.confirmCounterexample(t.sig, t.out.Model) {
 						return
 					}
 				}
 			}
 		}
-		if progress {
-			continue
+		if a.prop.NumUnique() == before {
+			// Slices are exhausted: decide the remaining outputs globally.
+			a.finalOutputsStage()
+			return
 		}
-		// Slices are exhausted: decide the remaining outputs globally.
-		a.finalOutputsStage()
-		return
 	}
 }
 
-// sliceQuery builds and solves the local uniqueness query for signal s.
-// full reports whether the slice covered the entire system.
-func (a *analysis) sliceQuery(s int) (smt.Outcome, bool) {
-	sl := a.sys.SliceAround(s, a.cfg.SliceRadius, a.cfg.MaxSliceConstraints)
-	p := a.uniquenessProblem(sl.Constraints, s)
-	return a.solve(p), len(sl.Constraints) == a.sys.NumConstraints()
-}
-
 // finalOutputsStage runs whole-circuit queries for every output still
-// unknown, confirming counterexamples or proving uniqueness outright.
+// unknown, confirming counterexamples or proving uniqueness outright. Like
+// the slice loop it proceeds in rounds: outputs proven unique in one round
+// enlarge the shared set, which can make the remaining outputs' queries
+// tractable in the next.
 func (a *analysis) finalOutputsStage() {
+	a.sys.PrepareConcurrent()
 	allCons := make([]int, a.sys.NumConstraints())
 	for i := range allCons {
 		allCons[i] = i
 	}
+	allSigs := make([]int, a.sys.NumSignals())
+	for i := range allSigs {
+		allSigs[i] = i
+	}
+	lastTried := map[int]int{}
 	var reason string
-	for _, o := range a.sys.Outputs() {
-		if a.prop.IsUnique(o) {
-			continue
+	for {
+		if a.prop.OutputsUnique() {
+			a.report.Verdict = VerdictSafe
+			return
+		}
+		snap := a.prop.Snapshot()
+		var tasks []*queryTask
+		for _, o := range a.sys.Outputs() {
+			if snap.IsUnique(o) {
+				continue
+			}
+			if lastTried[o] == snap.NumUnique() {
+				continue
+			}
+			lastTried[o] = snap.NumUnique()
+			t := &queryTask{sig: o, cons: allCons, full: true}
+			a.admit(t, allSigs, snap)
+			tasks = append(tasks, t)
+		}
+		if len(tasks) == 0 {
+			break
 		}
 		if a.outOfBudget() {
 			a.report.Verdict = VerdictUnknown
 			a.report.Reason = "analysis budget exhausted before deciding all outputs"
 			return
 		}
-		p := a.uniquenessProblem(allCons, o)
-		out := a.solve(p)
-		switch out.Status {
-		case smt.StatusUnsat:
-			a.prop.AddUniqueExternal(o)
-		case smt.StatusSat:
-			if a.confirmCounterexample(o, out.Model) {
-				return
+		a.runRound(tasks, snap)
+		before := a.prop.NumUnique()
+		for _, t := range tasks {
+			a.accountTask(t)
+			switch t.out.Status {
+			case smt.StatusUnsat:
+				a.prop.AddUniqueExternal(t.sig)
+			case smt.StatusSat:
+				if a.confirmCounterexample(t.sig, t.out.Model) {
+					return
+				}
+				reason = "solver model failed confirmation (internal)"
+			default:
+				if reason == "" {
+					reason = fmt.Sprintf("output %s undecided: %s", a.sys.Name(t.sig), t.out.Reason)
+				}
 			}
-			reason = "solver model failed confirmation (internal)"
-		default:
-			if reason == "" {
-				reason = fmt.Sprintf("output %s undecided: %s", a.sys.Name(o), out.Reason)
-			}
+		}
+		if a.prop.NumUnique() == before {
+			break
 		}
 	}
 	if a.prop.OutputsUnique() {
@@ -357,6 +452,9 @@ func (a *analysis) finalOutputsStage() {
 		return
 	}
 	a.report.Verdict = VerdictUnknown
+	if reason == "" {
+		reason = "outputs undecided"
+	}
 	a.report.Reason = reason
 }
 
@@ -380,7 +478,7 @@ func (a *analysis) runSMTOnly() {
 			break
 		}
 		p := buildUniquenessProblem(a.sys, allCons, func(v int) bool { return shared[v] }, o)
-		out := a.solve(p)
+		out := a.solveSeq(p, o)
 		switch out.Status {
 		case smt.StatusUnsat:
 			// output unique
@@ -403,12 +501,6 @@ func (a *analysis) runSMTOnly() {
 	}
 	a.report.Verdict = VerdictUnknown
 	a.report.Reason = undecided
-}
-
-// uniquenessProblem builds the two-copy query for target over the given
-// constraints, sharing every signal currently known unique.
-func (a *analysis) uniquenessProblem(consIdx []int, target int) *smt.Problem {
-	return buildUniquenessProblem(a.sys, consIdx, a.prop.IsUnique, target)
 }
 
 // confirmCounterexample turns a SAT model of a full-circuit query into a

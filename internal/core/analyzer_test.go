@@ -421,3 +421,82 @@ func TestSMTOnlyBudgetExhaustion(t *testing.T) {
 		t.Fatalf("verdict=%v reason=%q", r.Verdict, r.Reason)
 	}
 }
+
+// slowChainSystem builds o^L = a over F_4093 as a multiplication chain
+// (o·o = t₁, t₁·o = t₂, …, t_{L−2}·o = a). With gcd(L, 4092) = 1 the power
+// map is a bijection, so every output is in fact unique — but proving it
+// requires the solver to enumerate both copies of the chain (millions of
+// branches), making the analysis take seconds without a deadline.
+func slowChainSystem(t testing.TB) *r1cs.System {
+	t.Helper()
+	f := ff.MustField(big.NewInt(4093))
+	sys := r1cs.NewSystem(f)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	o := sys.AddSignal("o", r1cs.KindOutput)
+	const L = 25
+	prev := o
+	for i := 1; i < L; i++ {
+		next := a
+		if i < L-1 {
+			next = sys.AddSignal("", r1cs.KindInternal)
+		}
+		sys.AddConstraint(poly.Var(f, prev), poly.Var(f, o), poly.Var(f, next), "")
+		prev = next
+	}
+	return sys
+}
+
+// TestTimeoutEnforcedInsideQuery is the regression test for the deadline
+// bugfix: Config.Timeout used to be checked only between queries, so a
+// single slow query would overshoot the budget by seconds. The deadline is
+// now threaded into the solver's step loop; the analysis must return
+// promptly even though its queries would individually run for seconds.
+func TestTimeoutEnforcedInsideQuery(t *testing.T) {
+	sys := slowChainSystem(t)
+	t0 := time.Now()
+	r := Analyze(sys, &Config{
+		Timeout:     50 * time.Millisecond,
+		QuerySteps:  1 << 40, // step budgets must not be what saves us
+		GlobalSteps: 1 << 40,
+		Seed:        1,
+	})
+	elapsed := time.Since(t0)
+	if elapsed > 2*time.Second {
+		t.Fatalf("timeout not enforced inside the query: analysis took %s", elapsed)
+	}
+	if r.Verdict != VerdictUnknown {
+		t.Fatalf("verdict = %v (%s), want unknown under a 50ms budget", r.Verdict, r.Reason)
+	}
+	if r.Reason == "" {
+		t.Error("unknown verdict lacks a reason")
+	}
+}
+
+// TestSliceQueryCache pins the memo cache: a signal whose slice and
+// shared-signal mask are unchanged across re-propagation rounds is answered
+// from the cache instead of re-invoking the solver.
+func TestSliceQueryCache(t *testing.T) {
+	// IsZero (out becomes unique via SMT in round one, forcing a second
+	// round) plus a disconnected x² = c component: x's re-query in round two
+	// has an identical slice signature, so it must hit the cache.
+	f97 := ff.MustField(big.NewInt(97))
+	sys := r1cs.NewSystem(f97)
+	in := sys.AddSignal("in", r1cs.KindInput)
+	c := sys.AddSignal("c", r1cs.KindInput)
+	out := sys.AddSignal("out", r1cs.KindOutput)
+	x := sys.AddSignal("x", r1cs.KindOutput)
+	inv := sys.AddSignal("inv", r1cs.KindInternal)
+	// in·inv = 1 − out ; in·out = 0 ; x·x = c
+	sys.AddConstraint(poly.Var(f97, in), poly.Var(f97, inv),
+		poly.ConstInt(f97, 1).AddTerm(out, big.NewInt(-1)), "")
+	sys.AddConstraint(poly.Var(f97, in), poly.Var(f97, out), poly.NewLinComb(f97), "")
+	sys.AddConstraint(poly.Var(f97, x), poly.Var(f97, x), poly.Var(f97, c), "")
+	r := Analyze(sys, &Config{Seed: 1})
+	// x is genuinely non-unique (x and −x share c = x²).
+	if r.Verdict != VerdictUnsafe || r.Counter == nil || r.Counter.Signal != x {
+		t.Fatalf("verdict = %v (%s), counter = %+v", r.Verdict, r.Reason, r.Counter)
+	}
+	if r.Stats.CacheHits == 0 {
+		t.Errorf("expected x's unchanged-signature re-query to hit the cache; stats = %+v", r.Stats)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qed2/internal/smt"
+	"qed2/internal/uniq"
+)
+
+// The parallel slice-query engine.
+//
+// The QED² inner loop issues one two-copy uniqueness query per unknown
+// signal; queries of one round are independent (they all read the same
+// uniqueness snapshot), so they are dispatched to a pool of Config.Workers
+// goroutines and their results are applied at a barrier in canonical signal
+// order. Three properties keep the analysis deterministic for any worker
+// count:
+//
+//  1. solver seeds derive from the target signal ID, not from a global
+//     query sequence number that would depend on completion order;
+//  2. the shared global step budget is reserved per query at dispatch time,
+//     sequentially in canonical order, and unused steps are refunded at the
+//     barrier — so which query gets how much budget never depends on timing;
+//  3. uniqueness facts, counterexample confirmations and statistics are
+//     folded in sequentially at the barrier.
+//
+// The only nondeterminism left is the wall-clock deadline: a timeout can cut
+// different queries short on different runs, which is inherent to wall-clock
+// budgets.
+
+// queryTask is one uniqueness query scheduled in a round.
+type queryTask struct {
+	// sig is the target signal; cons the constraint subset of the query.
+	sig  int
+	cons []int
+	// full reports whether cons covers the entire system (making SAT
+	// answers conclusive).
+	full bool
+	// key is the slice-signature cache key ("" when the task was answered
+	// from the cache or skipped before dispatch).
+	key string
+	// budget is the reserved solver-step grant.
+	budget int64
+	// ran reports whether the solver was actually invoked (false for cache
+	// hits and for tasks skipped on budget or deadline exhaustion).
+	ran bool
+	// cached reports whether out came from the memo cache.
+	cached bool
+	out    smt.Outcome
+}
+
+// querySeed derives the solver seed for a query targeting sig. Deriving
+// from the signal ID (instead of a global query counter) keeps probing
+// deterministic under parallel dispatch: the same signal gets the same
+// seed no matter when — or on which worker — its query runs.
+func (a *analysis) querySeed(sig int) int64 {
+	h := uint64(sig+1) * 0x9E3779B97F4A7C15 // Fibonacci hashing; spreads nearby IDs
+	h ^= h >> 29
+	return a.cfg.Seed ^ int64(h>>1)
+}
+
+// sliceKey builds the memo-cache signature of a query: the target, the
+// constraint subset, and the shared/unshared mask of every signal the
+// query mentions. Two queries with equal signatures are structurally
+// identical problems and must have equal outcomes.
+func sliceKey(sig int, cons []int, sigs []int, snap *uniq.Snapshot) string {
+	var b strings.Builder
+	b.Grow(16 + len(sigs))
+	// The constraint subset is determined by (target, len) here: slices are
+	// a deterministic function of the target, and the only other caller
+	// passes the full system. The length disambiguates the two.
+	b.WriteString(strconv.Itoa(sig))
+	b.WriteByte('/')
+	b.WriteString(strconv.Itoa(len(cons)))
+	b.WriteByte(':')
+	for _, v := range sigs {
+		if snap.IsUnique(v) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// admit prepares a task for dispatch: it consults the memo cache and, on a
+// miss, reserves the task's step budget. Called sequentially in canonical
+// signal order, which makes budget assignment deterministic.
+func (a *analysis) admit(t *queryTask, sigs []int, snap *uniq.Snapshot) {
+	key := sliceKey(t.sig, t.cons, sigs, snap)
+	if out, ok := a.cache[key]; ok {
+		t.cached = true
+		t.out = out
+		return
+	}
+	t.budget = a.reserve()
+	if t.budget <= 0 {
+		t.out = smt.Outcome{Status: smt.StatusUnknown, Reason: "global budget exhausted"}
+		return
+	}
+	t.key = key
+}
+
+// runRound solves every admitted task on the worker pool and blocks until
+// the round is complete. Workers only read immutable state (the system, the
+// snapshot) plus the atomic budget; all mutable analysis state is folded in
+// afterwards by the caller.
+func (a *analysis) runRound(tasks []*queryTask, snap *uniq.Snapshot) {
+	var pending []*queryTask
+	for _, t := range tasks {
+		if !t.cached && t.budget > 0 {
+			pending = append(pending, t)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	workers := a.cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pending) {
+					return
+				}
+				t := pending[i]
+				if !a.deadline.IsZero() && !time.Now().Before(a.deadline) {
+					a.refund(t.budget)
+					t.out = smt.Outcome{Status: smt.StatusUnknown, Reason: smt.DeadlineExceeded}
+					continue
+				}
+				p := buildUniquenessProblem(a.sys, t.cons, snap.IsUnique, t.sig)
+				t.out = smt.Solve(p, &smt.Options{
+					MaxSteps: t.budget,
+					Seed:     a.querySeed(t.sig),
+					Deadline: a.deadline,
+				})
+				t.ran = true
+				a.refund(t.budget - t.out.Steps)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// accountTask folds one completed task into the statistics and the memo
+// cache. Called sequentially at the round barrier.
+func (a *analysis) accountTask(t *queryTask) {
+	if t.cached {
+		a.report.Stats.CacheHits++
+		return
+	}
+	if !t.ran {
+		return // skipped on budget or deadline exhaustion
+	}
+	a.report.Stats.Queries++
+	a.report.Stats.SolverSteps += t.out.Steps
+	if t.key != "" && t.out.Status != smt.StatusUnknown {
+		// Unknown outcomes are not memoized: they depend on the budget
+		// grant (and possibly the deadline), not just the problem.
+		a.cache[t.key] = t.out
+	}
+}

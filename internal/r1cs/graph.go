@@ -29,6 +29,13 @@ func (s *System) ConstraintsOf(id int) []int {
 	return s.sigToCons[id]
 }
 
+// PrepareConcurrent eagerly builds the lazy adjacency index so that the
+// read-only graph operations (SliceAround, ConstraintsOf,
+// ConnectedComponents) are safe to call from multiple goroutines. Callers
+// that slice concurrently must invoke it once, before spawning workers, and
+// must not mutate the system while workers run.
+func (s *System) PrepareConcurrent() { s.buildAdjacency() }
+
 // Slice is a connected fragment of the system used for local uniqueness
 // queries: the constraints within a bounded graph distance of a target
 // signal, together with the signals they mention.

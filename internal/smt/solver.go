@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sort"
+	"time"
 
 	"qed2/internal/ff"
 	"qed2/internal/poly"
@@ -23,7 +24,22 @@ type Options struct {
 	ProbeValues int
 	// Seed drives the deterministic probe generator.
 	Seed int64
+	// Deadline, when nonzero, bounds wall-clock time for this Solve call.
+	// The step loop checks it every deadlineCheckEvery steps and aborts with
+	// StatusUnknown / reason "deadline exceeded", so a single query can
+	// overshoot the deadline by at most one check interval of work.
+	Deadline time.Time
 }
+
+// deadlineCheckEvery is the step interval between wall-clock deadline
+// checks. Steps vary in cost (a propagation pass over a large system versus
+// one enumerated value), so the interval is kept small; time.Now is cheap
+// relative to even the lightest step.
+const deadlineCheckEvery = 16
+
+// DeadlineExceeded is the Outcome.Reason reported when a Solve call aborts
+// because Options.Deadline passed.
+const DeadlineExceeded = "deadline exceeded"
 
 func (o *Options) withDefaults() Options {
 	out := Options{}
@@ -45,6 +61,9 @@ func (o *Options) withDefaults() Options {
 // Solve decides the problem within the configured budget.
 func Solve(p *Problem, opts *Options) Outcome {
 	o := opts.withDefaults()
+	if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
+		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded}
+	}
 	s := &solver{
 		f:    p.Field,
 		opts: o,
@@ -107,12 +126,26 @@ type solver struct {
 	rng    *rand.Rand
 	steps  int64
 	reason string
+	// halted latches budget/deadline exhaustion so the search loops can
+	// abandon their remaining branches without cloning state for each one;
+	// unwinding then costs O(depth), keeping a deadline overshoot within one
+	// check interval of work.
+	halted bool
 }
 
 func (s *solver) step() bool {
+	if s.halted {
+		return false
+	}
 	s.steps++
 	if s.steps > s.opts.MaxSteps {
 		s.reason = "step budget exhausted"
+		s.halted = true
+		return false
+	}
+	if !s.opts.Deadline.IsZero() && s.steps%deadlineCheckEvery == 0 && !time.Now().Before(s.opts.Deadline) {
+		s.reason = DeadlineExceeded
+		s.halted = true
 		return false
 	}
 	return true
@@ -508,12 +541,20 @@ func (s *solver) deriveQuadDiff(st *state) bool {
 	// difference, so the scan is near-linear instead of O(n²) expansions.
 	quads := make([]*poly.Quad, n)
 	buckets := map[string][]int{}
+	var keys []string
 	for i, e := range st.eqs {
 		q := poly.MulLin(e.A, e.B).Sub(poly.QuadFromLin(e.C))
 		quads[i] = q
-		buckets[quadPartKey(q)] = append(buckets[quadPartKey(q)], i)
+		k := quadPartKey(q)
+		if _, ok := buckets[k]; !ok {
+			keys = append(keys, k)
+		}
+		buckets[k] = append(buckets[k], i)
 	}
-	for _, idxs := range buckets {
+	// First-seen bucket order, not map order: which pair fires first shapes
+	// the whole search, so iteration must be deterministic.
+	for _, k := range keys {
+		idxs := buckets[k]
 		for a := 0; a < len(idxs); a++ {
 			for b := a + 1; b < len(idxs); b++ {
 				i, j := idxs[a], idxs[b]
@@ -555,6 +596,9 @@ func quadPartKey(q *poly.Quad) string {
 func (s *solver) splitLinear(st *state, branches []*poly.LinComb, depth int) (resultKind, Model) {
 	sawUnknown := false
 	for i, l := range branches {
+		if s.halted {
+			return rUnknown, nil
+		}
 		child := st
 		if i < len(branches)-1 {
 			child = st.clone()
@@ -665,6 +709,9 @@ func (s *solver) enumerate(st *state, depth int) (resultKind, Model) {
 	}
 	sawUnknown := false
 	for i, c := range candidates {
+		if s.halted {
+			return rUnknown, nil
+		}
 		child := st
 		if i < len(candidates)-1 {
 			child = st.clone()

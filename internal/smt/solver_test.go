@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"math/rand"
 	"testing"
+	"time"
 
 	"qed2/internal/ff"
 	"qed2/internal/poly"
@@ -309,5 +310,70 @@ func TestProblemVars(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("Vars = %v, want %v", got, want)
 		}
+	}
+}
+
+// slowTwoCopyProblem builds the two-copy uniqueness query of the power map
+// o^L = a over a small prime field: a length-L multiplication chain, its
+// primed copy sharing only a, and o ≠ o'. With gcd(L, p−1) = 1 the map is a
+// bijection, so the query is UNSAT — but proving it requires enumerating
+// both copies' chain variables (p² branches of cascading substitutions),
+// which takes far longer than any reasonable deadline.
+func slowTwoCopyProblem() *Problem {
+	f := ff.MustField(big.NewInt(4093)) // 4093 − 1 = 4092, gcd(25, 4092) = 1
+	const L = 25
+	p := NewProblem(f)
+	addChain := func(o, base int) {
+		// o·o = t1, t1·o = t2, …, t_{L−2}·o = a  (a is var 2·L−2, shared)
+		a := 2 * (L - 1)
+		prev := o
+		for i := 1; i < L; i++ {
+			next := base + i
+			if i == L-1 {
+				next = a
+			}
+			p.AddEq(lc(f, 0, int64(prev), 1), lc(f, 0, int64(o), 1), lc(f, 0, int64(next), 1))
+			prev = next
+		}
+	}
+	addChain(0, 0)                           // o = 0, t_i = 1..L−2
+	addChain(L-1, L-1)                       // o' = L−1, t'_i = L..2L−3
+	p.AddNeq(lc(f, 0, 0, 1, int64(L-1), -1)) // o ≠ o'
+	return p
+}
+
+func TestDeadlineAlreadyPassed(t *testing.T) {
+	p := NewProblem(f97)
+	p.AddLinearEq(lc(f97, -10, 0, 1, 1, 1))
+	out := Solve(p, &Options{Deadline: time.Now().Add(-time.Second)})
+	if out.Status != StatusUnknown || out.Reason != DeadlineExceeded {
+		t.Fatalf("out = %+v, want unknown/%q", out, DeadlineExceeded)
+	}
+	if out.Steps != 0 {
+		t.Errorf("steps = %d, want 0 (no work past the deadline)", out.Steps)
+	}
+}
+
+func TestDeadlineBoundsSlowQuery(t *testing.T) {
+	p := slowTwoCopyProblem()
+	t0 := time.Now()
+	out := Solve(p, &Options{
+		MaxSteps: 1 << 40, // effectively unbounded: the deadline must cut first
+		Seed:     1,
+		Deadline: t0.Add(50 * time.Millisecond),
+	})
+	elapsed := time.Since(t0)
+	if out.Status != StatusUnknown || out.Reason != DeadlineExceeded {
+		t.Fatalf("out = %v/%q, want unknown/%q (steps %d, %s)",
+			out.Status, out.Reason, DeadlineExceeded, out.Steps, elapsed)
+	}
+	// The solver may overshoot by at most one check interval of work; a
+	// generous bound still catches a missing deadline check (the search
+	// space is p² ≈ 16M branches, i.e. minutes of work).
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline not enforced: solve took %s", elapsed)
+	}
+	if out.Steps >= 1<<40 {
+		t.Errorf("step budget exhausted instead of deadline")
 	}
 }

@@ -170,6 +170,36 @@ func (p *Propagator) CountByRule() map[Rule]int {
 	return out
 }
 
+// Snapshot is an immutable point-in-time view of the known-unique set. It
+// is safe for concurrent readers, which the Propagator itself is not: the
+// parallel query engine takes one snapshot per round and hands it to every
+// worker while the propagator stays untouched until the round barrier.
+type Snapshot struct {
+	unique []bool
+	count  int
+}
+
+// Snapshot captures the current unique set. The returned value never
+// changes, even if the propagator keeps deriving facts.
+func (p *Propagator) Snapshot() *Snapshot {
+	s := &Snapshot{
+		unique: make([]bool, p.sys.NumSignals()),
+		count:  len(p.unique),
+	}
+	for id := range p.unique {
+		s.unique[id] = true
+	}
+	return s
+}
+
+// IsUnique reports whether signal id was known unique at snapshot time.
+func (s *Snapshot) IsUnique(id int) bool {
+	return id >= 0 && id < len(s.unique) && s.unique[id]
+}
+
+// NumUnique returns the number of known-unique signals at snapshot time.
+func (s *Snapshot) NumUnique() int { return s.count }
+
 // AddUnique injects an externally-proven fact and re-propagates.
 // It reports whether the fact was new.
 func (p *Propagator) AddUnique(id int, src Source) bool {

@@ -380,3 +380,40 @@ component main = Num2Bits(32);
 		t.Errorf("RuleBits count = %d, want 32", p.CountByRule()[RuleBits])
 	}
 }
+
+func TestSnapshotImmutable(t *testing.T) {
+	// b = 3a+1 resolves by R-Solve; c is pinned only after the external fact
+	// about x arrives. A snapshot taken in between must not see later facts.
+	sys := r1cs.NewSystem(f97)
+	a := sys.AddSignal("a", r1cs.KindInput)
+	b := sys.AddSignal("b", r1cs.KindInternal)
+	x := sys.AddSignal("x", r1cs.KindInternal)
+	c := sys.AddSignal("c", r1cs.KindOutput)
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, a).Scale(big.NewInt(3)).AddConst(big.NewInt(1)), lcv(f97, b), "")
+	// x·x = b: not solvable syntactically (two roots).
+	sys.AddConstraint(lcv(f97, x), lcv(f97, x), lcv(f97, b), "")
+	// 1·(x + 2) = c: pins c once x is unique.
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, x).AddConst(big.NewInt(2)), lcv(f97, c), "")
+	p := New(sys)
+	snap := p.Snapshot()
+	if !snap.IsUnique(a) || !snap.IsUnique(b) || snap.IsUnique(x) || snap.IsUnique(c) {
+		t.Fatalf("snapshot state wrong: a=%v b=%v x=%v c=%v",
+			snap.IsUnique(a), snap.IsUnique(b), snap.IsUnique(x), snap.IsUnique(c))
+	}
+	if snap.NumUnique() != p.NumUnique() {
+		t.Errorf("NumUnique: snap %d, prop %d", snap.NumUnique(), p.NumUnique())
+	}
+	before := snap.NumUnique()
+	p.AddUniqueExternal(x)
+	if !p.IsUnique(x) || !p.IsUnique(c) {
+		t.Fatal("external fact did not re-propagate")
+	}
+	// The snapshot must be frozen at its capture point.
+	if snap.IsUnique(x) || snap.IsUnique(c) || snap.NumUnique() != before {
+		t.Error("snapshot mutated by later propagation")
+	}
+	// Out-of-range queries are false, not panics.
+	if snap.IsUnique(-1) || snap.IsUnique(sys.NumSignals()) {
+		t.Error("out-of-range signal claimed unique")
+	}
+}

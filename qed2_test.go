@@ -1,9 +1,13 @@
 package qed2
 
 import (
+	"fmt"
 	"math/big"
 	"strings"
 	"testing"
+
+	"qed2/internal/bench"
+	"qed2/internal/core"
 )
 
 func TestAnalyzeSourceSafe(t *testing.T) {
@@ -131,5 +135,58 @@ func TestCircomLibIsCopy(t *testing.T) {
 	b := CircomLib()
 	if b["comparators.circom"] == "tampered" {
 		t.Error("CircomLib returns shared state")
+	}
+}
+
+// canonicalReport renders everything observable about a report except
+// timing and the worker count — the two fields that legitimately vary with
+// the parallelism configuration.
+func canonicalReport(r *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict=%s reason=%q\n", r.Verdict, r.Reason)
+	s := r.Stats
+	fmt.Fprintf(&b, "signals=%d outputs=%d cons=%d prop=%d bits=%d smt=%d uniq=%d queries=%d steps=%d cache=%d\n",
+		s.SignalsTotal, s.Outputs, s.Constraints, s.PropagationUnique, s.BitsUnique,
+		s.SMTUnique, s.UniqueTotal, s.Queries, s.SolverSteps, s.CacheHits)
+	if ce := r.Counter; ce != nil {
+		fmt.Fprintf(&b, "ce signal=%d diff=", ce.Signal)
+		for i := range ce.W1 {
+			if ce.W1[i].Cmp(ce.W2[i]) != 0 {
+				fmt.Fprintf(&b, " %d:%s|%s", i, ce.W1[i], ce.W2[i])
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestSuiteDeterministicAcrossWorkerCounts pins the parallel query engine's
+// central guarantee: for every circuit in the evaluation suite, the report
+// (verdict, statistics, counterexample) is byte-identical whether queries
+// run on one worker or eight. No wall-clock timeout is set — a timeout is
+// the one documented source of nondeterminism.
+func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run skipped with -short")
+	}
+	insts := bench.Suite()
+	cfg := core.Config{QuerySteps: 10_000, GlobalSteps: 100_000, Seed: 1}
+	run := func(workers int) []bench.Result {
+		c := cfg
+		c.Workers = workers
+		return bench.Run(insts, &bench.RunOptions{Config: c, Workers: 4})
+	}
+	one := run(1)
+	eight := run(8)
+	for i := range insts {
+		if one[i].CompileErr != nil || eight[i].CompileErr != nil {
+			t.Errorf("%s: compile error: %v / %v", insts[i].Name, one[i].CompileErr, eight[i].CompileErr)
+			continue
+		}
+		a, b := canonicalReport(one[i].Report), canonicalReport(eight[i].Report)
+		if a != b {
+			t.Errorf("%s: report differs between 1 and 8 workers:\n--- workers=1\n%s--- workers=8\n%s",
+				insts[i].Name, a, b)
+		}
 	}
 }
