@@ -203,8 +203,8 @@ func BenchmarkSolverBooleanChain(b *testing.B) {
 	sum := poly.ConstInt(f, -1000)
 	for v := 0; v < 12; v++ {
 		x := poly.Var(f, v)
-		p.AddEq(x, x.AddConst(big.NewInt(-1)), poly.NewLinComb(f))
-		sum = sum.AddTerm(v, new(big.Int).Lsh(big.NewInt(1), uint(v)))
+		p.AddEq(x, x.AddConst(f.NewElement(-1)), poly.NewLinComb(f))
+		sum = sum.AddTerm(v, f.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(v))))
 	}
 	p.AddLinearEq(sum)
 	b.ReportAllocs()

@@ -203,7 +203,7 @@ func printCounterexample(w io.Writer, prog *circom.Program, ce *core.CounterExam
 	}
 	fmt.Fprintln(w, "  differing signals:")
 	for id := 1; id < sys.NumSignals(); id++ {
-		if ce.W1[id].Cmp(ce.W2[id]) != 0 {
+		if ce.W1[id] != ce.W2[id] {
 			fmt.Fprintf(w, "    %-20s = %s   vs   %s\n",
 				sys.Name(id), f.String(ce.W1[id]), f.String(ce.W2[id]))
 		}
@@ -307,7 +307,7 @@ func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *cor
 			jc.Inputs[name] = f.String(ce.W1[id])
 		}
 		for id := 1; id < sys.NumSignals(); id++ {
-			if ce.W1[id].Cmp(ce.W2[id]) != 0 {
+			if ce.W1[id] != ce.W2[id] {
 				jc.Differs = append(jc.Differs, sys.Name(id))
 			}
 		}

@@ -8,12 +8,14 @@
 //	qed2bench -table 2            # one table (1..4)
 //	qed2bench -fig 1              # one figure (1..3)
 //	qed2bench -list               # list the suite instances
+//	qed2bench -table 2 -json r.json  # also write a machine-readable run record
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"qed2/internal/bench"
@@ -33,6 +35,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Second, "wall-clock budget per instance")
 		seed         = flag.Int64("seed", 1, "deterministic solver seed")
 		verbose      = flag.Bool("v", false, "print per-instance progress")
+		jsonOut      = flag.String("json", "", "write a machine-readable run record (timings, tallies, solver counters) to this file")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *fig == 0 && !*list {
@@ -53,6 +56,22 @@ func main() {
 		Seed:        *seed,
 		Workers:     *queryWorkers,
 	}
+	started := time.Now()
+	var rec *bench.RunRecord
+	if *jsonOut != "" {
+		iw := *workers
+		if iw <= 0 {
+			iw = runtime.GOMAXPROCS(0)
+		}
+		rec = bench.NewRunRecord(len(insts), iw, *queryWorkers, baseCfg)
+	}
+	// record appends a timed section to the -json run record (no-op without
+	// the flag); section wraps a block so runs and renders are both timed.
+	record := func(name string, start time.Time, results []bench.Result) {
+		if rec != nil {
+			rec.AddSection(name, time.Since(start), results)
+		}
+	}
 	opts := func(cfg core.Config) *bench.RunOptions {
 		o := &bench.RunOptions{Config: cfg, Workers: *workers}
 		if *verbose {
@@ -70,7 +89,10 @@ func main() {
 
 	runFull := func() []bench.Result {
 		fmt.Fprintf(os.Stderr, "running %d instances (qed2 full config)...\n", len(insts))
-		return bench.Run(insts, opts(baseCfg))
+		t0 := time.Now()
+		r := bench.Run(insts, opts(baseCfg))
+		record("run:full", t0, r)
+		return r
 	}
 	var full []bench.Result
 
@@ -80,10 +102,14 @@ func main() {
 		full = runFull()
 	}
 	if *all || *table == 1 {
+		t0 := time.Now()
 		fmt.Println(bench.Table1(full))
+		record("table1", t0, full)
 	}
 	if *all || *table == 2 {
+		t0 := time.Now()
 		fmt.Println(bench.Table2(full))
+		record("table2", t0, full)
 	}
 	if *all || *table == 3 || *fig == 1 {
 		fmt.Fprintln(os.Stderr, "running baselines (propagation-only, smt-only)...")
@@ -91,21 +117,33 @@ func main() {
 		propCfg.Mode = core.ModePropagationOnly
 		smtCfg := baseCfg
 		smtCfg.Mode = core.ModeSMTOnly
+		t0 := time.Now()
+		propRes := bench.Run(insts, opts(propCfg))
+		record("run:propagation-only", t0, propRes)
+		t0 = time.Now()
+		smtRes := bench.Run(insts, opts(smtCfg))
+		record("run:smt-only", t0, smtRes)
 		byMode := map[string][]bench.Result{
 			"qed2":             full,
-			"propagation-only": bench.Run(insts, opts(propCfg)),
-			"smt-only":         bench.Run(insts, opts(smtCfg)),
+			"propagation-only": propRes,
+			"smt-only":         smtRes,
 		}
 		order := []string{"qed2", "propagation-only", "smt-only"}
 		if *all || *table == 3 {
+			t0 = time.Now()
 			fmt.Println(bench.Table3(byMode, order))
+			record("table3", t0, full)
 		}
 		if *all || *fig == 1 {
+			t0 = time.Now()
 			fmt.Println(bench.Figure1(byMode, order))
+			record("fig1", t0, full)
 		}
 	}
 	if *all || *table == 4 {
+		t0 := time.Now()
 		fmt.Println(bench.Table4(full))
+		record("table4", t0, full)
 	}
 	if *all || *fig == 2 {
 		fmt.Fprintln(os.Stderr, "running slice-radius sweep (k = 1, 2, 3)...")
@@ -117,12 +155,18 @@ func main() {
 				byRadius[k] = full
 				continue
 			}
+			t0 := time.Now()
 			byRadius[k] = bench.Run(insts, opts(cfg))
+			record(fmt.Sprintf("run:radius-k%d", k), t0, byRadius[k])
 		}
+		t0 := time.Now()
 		fmt.Println(bench.Figure2(byRadius))
+		record("fig2", t0, byRadius[2])
 	}
 	if *all || *fig == 3 {
+		t0 := time.Now()
 		fmt.Println(bench.Figure3(full))
+		record("fig3", t0, full)
 	}
 	if *all || *fig == 4 {
 		fmt.Fprintln(os.Stderr, "running rule ablation (full / -bits / -all-rules)...")
@@ -131,11 +175,30 @@ func main() {
 		noRules := baseCfg
 		noRules.DisableBitsRule = true
 		noRules.DisableSolveRule = true
+		t0 := time.Now()
+		noBitsRes := bench.Run(insts, opts(noBits))
+		record("run:no-bits", t0, noBitsRes)
+		t0 = time.Now()
+		noRulesRes := bench.Run(insts, opts(noRules))
+		record("run:no-rules", t0, noRulesRes)
 		byConfig := map[string][]bench.Result{
 			"full rule set":  full,
-			"without R-Bits": bench.Run(insts, opts(noBits)),
-			"no rules (SMT)": bench.Run(insts, opts(noRules)),
+			"without R-Bits": noBitsRes,
+			"no rules (SMT)": noRulesRes,
 		}
+		t0 = time.Now()
 		fmt.Println(bench.Figure4(byConfig, []string{"full rule set", "without R-Bits", "no rules (SMT)"}))
+		record("fig4", t0, full)
+	}
+	if rec != nil {
+		b, err := rec.Finish(time.Since(started))
+		if err == nil {
+			err = os.WriteFile(*jsonOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run record written to %s\n", *jsonOut)
 	}
 }

@@ -53,7 +53,7 @@ component main = Num2Bits(4);
 	}
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("out[%d]", i)
-		fmt.Printf("%s = %s\n", name, w[prog.OutputNames[name]])
+		fmt.Printf("%s = %s\n", name, prog.System.Field().String(w[prog.OutputNames[name]]))
 	}
 	// Output:
 	// out[0] = 1

@@ -84,7 +84,7 @@ func main() {
 	}
 	fmt.Println("signals where the two accepted witnesses diverge:")
 	for id := 1; id < sys.NumSignals(); id++ {
-		if ce.W1[id].Cmp(ce.W2[id]) != 0 {
+		if ce.W1[id] != ce.W2[id] {
 			fmt.Printf("  %-8s = %-30.30s... vs %-30.30s...\n",
 				sys.Name(id), f.String(ce.W1[id]), f.String(ce.W2[id]))
 		}
@@ -97,7 +97,7 @@ func main() {
 	fmt.Println("chosen so the right side vanishes too (a root of 3x² + 2Ax + 1), after")
 	fmt.Println("which lamda — and through it both outputs — is entirely prover-chosen.")
 	in1 := prog.InputNames["in[1]"]
-	if ce.W1[in1].Sign() != 0 {
+	if !ce.W1[in1].IsZero() {
 		log.Fatal("unexpected: counterexample does not use the y=0 class")
 	}
 

@@ -78,7 +78,7 @@ func randomSystem(f *ff.Field, rng *rand.Rand) *r1cs.System {
 		out := poly.ConstInt(f, rng.Int63n(p))
 		for v := 1; v < n; v++ {
 			if rng.Intn(3) == 0 {
-				out = out.AddTerm(v, big.NewInt(rng.Int63n(p)))
+				out = out.AddTerm(v, f.NewElement(rng.Int63n(p)))
 			}
 		}
 		return out
@@ -105,7 +105,7 @@ func bruteForceUniqueness(sys *r1cs.System) (allUnique, pairExists bool) {
 	for enc := int64(0); enc < total; enc++ {
 		v := enc
 		for i := 1; i < n; i++ {
-			w[i] = big.NewInt(v % p)
+			w[i] = f.NewElement(v % p)
 			v /= p
 		}
 		if sys.CheckWitness(w) != nil {
@@ -113,10 +113,10 @@ func bruteForceUniqueness(sys *r1cs.System) (allUnique, pairExists bool) {
 		}
 		var ik, ok []byte
 		for _, in := range sys.Inputs() {
-			ik = append(ik, byte('a'+w[in].Int64()))
+			ik = append(ik, byte('a'+f.ToBig(w[in]).Int64()))
 		}
 		for _, o := range sys.Outputs() {
-			ok = append(ok, byte('a'+w[o].Int64()))
+			ok = append(ok, byte('a'+f.ToBig(w[o]).Int64()))
 		}
 		byInput[string(ik)] = append(byInput[string(ik)], string(ok))
 	}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"time"
+
+	"qed2/internal/core"
+)
+
+// RunRecord is the machine-readable record of one qed2bench invocation,
+// written by the -json flag. It captures enough to diff two runs of the
+// evaluation: the exact configuration, one timed section per suite run and
+// per rendered table/figure, and the aggregate solver effort behind each.
+type RunRecord struct {
+	// Timestamp is the wall-clock start of the invocation (RFC 3339).
+	Timestamp time.Time `json:"timestamp"`
+	// SuiteSize is the number of instances in the evaluation suite.
+	SuiteSize int `json:"suite_size"`
+	// InstanceWorkers is the -workers flag after defaulting (instances
+	// analyzed concurrently); QueryWorkers is the -query-workers flag
+	// (slice queries within one analysis).
+	InstanceWorkers int `json:"instance_workers"`
+	QueryWorkers    int `json:"query_workers"`
+	// QuerySteps/GlobalSteps/TimeoutMS/Seed mirror the analyzer budgets.
+	QuerySteps  int64   `json:"query_steps"`
+	GlobalSteps int64   `json:"global_steps"`
+	TimeoutMS   float64 `json:"timeout_ms"`
+	Seed        int64   `json:"seed"`
+	// Sections holds one entry per suite run ("run:full", ...) and per
+	// rendered artifact ("table2", "fig1", ...), in execution order.
+	Sections []SectionRecord `json:"sections"`
+	// TotalWallMS is the end-to-end wall clock of the invocation.
+	TotalWallMS float64 `json:"total_wall_ms"`
+}
+
+// SectionRecord times one phase of the invocation and summarizes the result
+// set it produced or rendered. Run sections carry the cost of analysis;
+// table/figure sections only the (cheap) rendering, with the tally
+// identifying which result set they consumed.
+type SectionRecord struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	// Verdict tally over the section's result set.
+	Instances     int `json:"instances"`
+	Solved        int `json:"solved"`
+	Safe          int `json:"safe"`
+	Unsafe        int `json:"unsafe"`
+	Unknown       int `json:"unknown"`
+	CompileErrors int `json:"compile_errors"`
+	// Aggregate solver effort over the result set.
+	Queries     int   `json:"queries"`
+	SolverSteps int64 `json:"solver_steps"`
+	CacheHits   int   `json:"cache_hits"`
+	// AnalyzeMS is the summed per-instance analysis wall clock (can exceed
+	// WallMS of a run section when instances execute in parallel).
+	AnalyzeMS float64 `json:"analyze_ms"`
+}
+
+// NewRunRecord starts a record for an invocation over suiteSize instances.
+func NewRunRecord(suiteSize, instanceWorkers, queryWorkers int, cfg core.Config) *RunRecord {
+	return &RunRecord{
+		Timestamp:       time.Now().UTC(),
+		SuiteSize:       suiteSize,
+		InstanceWorkers: instanceWorkers,
+		QueryWorkers:    queryWorkers,
+		QuerySteps:      cfg.QuerySteps,
+		GlobalSteps:     cfg.GlobalSteps,
+		TimeoutMS:       float64(cfg.Timeout) / float64(time.Millisecond),
+		Seed:            cfg.Seed,
+	}
+}
+
+// AddSection appends a timed section summarizing results.
+func (rec *RunRecord) AddSection(name string, d time.Duration, results []Result) {
+	s := SectionRecord{Name: name, WallMS: float64(d) / float64(time.Millisecond)}
+	t := TallyOf(results)
+	s.Instances = t.Total
+	s.Solved = t.Solved()
+	s.Safe, s.Unsafe, s.Unknown, s.CompileErrors = t.Safe, t.Unsafe, t.Unknown, t.CompileErrors
+	for _, r := range results {
+		s.AnalyzeMS += float64(r.AnalyzeTime) / float64(time.Millisecond)
+		if r.Report == nil {
+			continue
+		}
+		s.Queries += r.Report.Stats.Queries
+		s.SolverSteps += r.Report.Stats.SolverSteps
+		s.CacheHits += r.Report.Stats.CacheHits
+	}
+	rec.Sections = append(rec.Sections, s)
+}
+
+// Finish stamps the total wall clock and renders the record as indented
+// JSON ready to write to the -json file.
+func (rec *RunRecord) Finish(total time.Duration) ([]byte, error) {
+	rec.TotalWallMS = float64(total) / float64(time.Millisecond)
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -705,7 +705,7 @@ func (e *env) resolveRef(x Expr) (*ref, error) {
 		if err != nil {
 			return nil, err
 		}
-		si := e.c.f.Signed(iv)
+		si := e.c.f.SignedBig(iv)
 		if !si.IsInt64() {
 			return nil, errAt(ex.Pos, "array index out of range: %v", si)
 		}
@@ -1036,7 +1036,7 @@ func (e *env) execConstraint(st *ConstraintStmt) error {
 	}
 	if c, ok := d.isConst(); ok {
 		if c.Sign() != 0 {
-			return errAt(st.Pos, "constraint is constant-false: %v === 0 is unsatisfiable", e.c.f.String(c))
+			return errAt(st.Pos, "constraint is constant-false: %v === 0 is unsatisfiable", e.c.f.SignedBig(c).String())
 		}
 		// Constant-true constraints are dropped, matching circom.
 		return nil
@@ -1095,7 +1095,7 @@ func (e *env) execLog(st *LogStmt) error {
 		}
 		switch x := v.(type) {
 		case *big.Int:
-			parts = append(parts, e.c.f.String(x))
+			parts = append(parts, e.c.f.SignedBig(x).String())
 		case *arrVal:
 			parts = append(parts, fmt.Sprintf("<array[%d]>", len(x.elems)))
 		}
@@ -1112,7 +1112,7 @@ func (e *env) evalDims(dims []Expr) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		sv := e.c.f.Signed(v)
+		sv := e.c.f.SignedBig(v)
 		if !sv.IsInt64() || sv.Int64() < 0 || sv.Int64() > 1<<24 {
 			return nil, errAt(d.exprPos(), "array dimension out of range: %v", sv)
 		}

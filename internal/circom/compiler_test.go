@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"qed2/internal/ff"
+	"qed2/internal/r1cs"
 )
 
 func mustCompile(t *testing.T, src string) *Program {
@@ -16,6 +17,11 @@ func mustCompile(t *testing.T, src string) *Program {
 		t.Fatalf("Compile: %v", err)
 	}
 	return p
+}
+
+// wi reads a witness slot as a small integer.
+func wi(p *Program, w r1cs.Witness, id int) int64 {
+	return p.System.Field().ToBig(w[id]).Int64()
 }
 
 func TestCompileMultiplier(t *testing.T) {
@@ -34,7 +40,7 @@ component main = Multiplier();
 	}
 	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 6, "b": 7}))
 	out := p.OutputNames["c"]
-	if w[out].Int64() != 42 {
+	if wi(p, w, out) != 42 {
 		t.Errorf("c = %v", w[out])
 	}
 }
@@ -66,11 +72,11 @@ component main = IsZero();
 	}
 	out := p.OutputNames["out"]
 	w := p.MustWitness(InputsFromInts(map[string]int64{"in": 0}))
-	if w[out].Int64() != 1 {
+	if wi(p, w, out) != 1 {
 		t.Errorf("IsZero(0) = %v, want 1", w[out])
 	}
 	w = p.MustWitness(InputsFromInts(map[string]int64{"in": 5}))
-	if w[out].Int64() != 0 {
+	if wi(p, w, out) != 0 {
 		t.Errorf("IsZero(5) = %v, want 0", w[out])
 	}
 }
@@ -100,7 +106,7 @@ component main = Num2Bits(8);
 	wantBits := []int64{1, 0, 1, 0, 1, 1, 0, 1}
 	for i, b := range wantBits {
 		id := p.OutputNames["out["+string(rune('0'+i))+"]"]
-		if w[id].Int64() != b {
+		if wi(p, w, id) != b {
 			t.Errorf("bit %d = %v, want %d", i, w[id], b)
 		}
 	}
@@ -127,11 +133,11 @@ component main = IsEqual();
 `)
 	out := p.OutputNames["out"]
 	w := p.MustWitness(InputsFromInts(map[string]int64{"in[0]": 4, "in[1]": 4}))
-	if w[out].Int64() != 1 {
+	if wi(p, w, out) != 1 {
 		t.Errorf("IsEqual(4,4) = %v", w[out])
 	}
 	w = p.MustWitness(InputsFromInts(map[string]int64{"in[0]": 4, "in[1]": 5}))
-	if w[out].Int64() != 0 {
+	if wi(p, w, out) != 0 {
 		t.Errorf("IsEqual(4,5) = %v", w[out])
 	}
 	// Sub-component signals carry dotted names.
@@ -166,7 +172,7 @@ template SumOfSquares(n) {
 component main = SumOfSquares(3);
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"in[0]": 1, "in[1]": 2, "in[2]": 3}))
-	if got := w[p.OutputNames["out"]].Int64(); got != 14 {
+	if got := wi(p, w, p.OutputNames["out"]); got != 14 {
 		t.Errorf("sum of squares = %d, want 14", got)
 	}
 }
@@ -190,7 +196,7 @@ template T() {
 component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"in": 2}))
-	if got := w[p.OutputNames["out"]].Int64(); got != 6 {
+	if got := wi(p, w, p.OutputNames["out"]); got != 6 {
 		t.Errorf("out = %d, want 2*nbits(7)=6", got)
 	}
 }
@@ -259,7 +265,7 @@ component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 3}))
 	f := p.System.Field()
-	if f.Mul(w[p.OutputNames["out"]], big.NewInt(3)).Cmp(f.One()) != 0 {
+	if f.Mul(w[p.OutputNames["out"]], f.NewElement(3)) != f.One() {
 		t.Error("witness division wrong")
 	}
 	// Division by zero at witness time errors.
@@ -278,7 +284,7 @@ template T() {
 component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 5}))
-	if got := w[p.OutputNames["out"]].Int64(); got != 33 {
+	if got := wi(p, w, p.OutputNames["out"]); got != 33 {
 		t.Errorf("a^2+8 = %d, want 33", got)
 	}
 	if _, err := Compile(`
@@ -367,7 +373,7 @@ component main = T();
 		t.Fatal(err)
 	}
 	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 5}))
-	if got := w[p.OutputNames["o"]].Int64(); got != 4 {
+	if got := wi(p, w, p.OutputNames["o"]); got != 4 {
 		t.Errorf("5 + 96 mod 97 = %d, want 4", got)
 	}
 }
@@ -418,7 +424,7 @@ template T() {
 component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 3}))
-	if got := w[p.OutputNames["o"]].Int64(); got != 10 {
+	if got := wi(p, w, p.OutputNames["o"]); got != 10 {
 		t.Errorf("o = %d, want 10", got)
 	}
 }
@@ -490,7 +496,7 @@ component main = T(2, 3);
 		}
 	}
 	w := p.MustWitness(InputsFromInts(inputs))
-	if got := w[p.OutputNames["out"]].Int64(); got != 91 {
+	if got := wi(p, w, p.OutputNames["out"]); got != 91 {
 		t.Errorf("out = %d, want 91", got)
 	}
 }
@@ -511,7 +517,7 @@ template T() {
 component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 5}))
-	if got := w[p.OutputNames["o"]].Int64(); got != 15 {
+	if got := wi(p, w, p.OutputNames["o"]); got != 15 {
 		t.Errorf("o = %d, want 15", got)
 	}
 }
@@ -533,7 +539,7 @@ template T(flag) {
 component main = T(1);
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"a": 4}))
-	if got := w[p.OutputNames["o"]].Int64(); got != 16 {
+	if got := wi(p, w, p.OutputNames["o"]); got != 16 {
 		t.Errorf("o = %d, want 16", got)
 	}
 }
@@ -550,7 +556,7 @@ template T() {
 component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 2}))
-	if got := w[p.OutputNames["o"]].Int64(); got != 46 {
+	if got := wi(p, w, p.OutputNames["o"]); got != 46 {
 		t.Errorf("o = %d, want 2*(20+3)=46", got)
 	}
 }
@@ -587,7 +593,7 @@ template T() {
 component main = T();
 `)
 	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 1}))
-	if got := w[p.OutputNames["o"]].Int64(); got != 109 {
+	if got := wi(p, w, p.OutputNames["o"]); got != 109 {
 		t.Errorf("o = %d, want 109", got)
 	}
 }

@@ -416,7 +416,7 @@ func (e *env) symPow(ex *BinaryExpr, base, exp *symVal) (*symVal, error) {
 		return nil, errAt(ex.Pos, "exponent must be signal-free")
 	}
 	if bc, ok := base.isConst(); ok {
-		return symConst(e.c.f, e.c.f.Exp(bc, ec)), nil
+		return symConst(e.c.f, e.c.f.ExpBig(bc, ec)), nil
 	}
 	if !ec.IsInt64() {
 		return nil, errAt(ex.Pos, "signal raised to a huge exponent is not quadratic")

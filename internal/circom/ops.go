@@ -38,23 +38,24 @@ func boolElt(b bool) *big.Int {
 }
 
 // applyBin applies a binary Circom operator to two normalized field
-// elements, producing a normalized field element.
+// elements in big.Int form — the compile-time evaluator's domain, where
+// values flow into array sizes and loop bounds anyway.
 func applyBin(f *ff.Field, op TokKind, a, b *big.Int) (*big.Int, error) {
 	switch op {
 	case TokPlus:
-		return f.Add(a, b), nil
+		return f.AddBig(a, b), nil
 	case TokMinus:
-		return f.Sub(a, b), nil
+		return f.SubBig(a, b), nil
 	case TokStar:
-		return f.Mul(a, b), nil
+		return f.MulBig(a, b), nil
 	case TokSlash:
-		r, err := f.Div(a, b)
+		r, err := f.DivBig(a, b)
 		if err != nil {
 			return nil, fmt.Errorf("division by zero")
 		}
 		return r, nil
 	case TokPow:
-		return f.Exp(a, b), nil
+		return f.ExpBig(a, b), nil
 	case TokIntDiv:
 		ua, ub := f.Reduce(a), f.Reduce(b)
 		if ub.Sign() == 0 {
@@ -72,13 +73,13 @@ func applyBin(f *ff.Field, op TokKind, a, b *big.Int) (*big.Int, error) {
 	case TokNeq:
 		return boolElt(a.Cmp(b) != 0), nil
 	case TokLt:
-		return boolElt(f.Signed(a).Cmp(f.Signed(b)) < 0), nil
+		return boolElt(f.SignedBig(a).Cmp(f.SignedBig(b)) < 0), nil
 	case TokLeq:
-		return boolElt(f.Signed(a).Cmp(f.Signed(b)) <= 0), nil
+		return boolElt(f.SignedBig(a).Cmp(f.SignedBig(b)) <= 0), nil
 	case TokGt:
-		return boolElt(f.Signed(a).Cmp(f.Signed(b)) > 0), nil
+		return boolElt(f.SignedBig(a).Cmp(f.SignedBig(b)) > 0), nil
 	case TokGeq:
-		return boolElt(f.Signed(a).Cmp(f.Signed(b)) >= 0), nil
+		return boolElt(f.SignedBig(a).Cmp(f.SignedBig(b)) >= 0), nil
 	case TokAndAnd:
 		return boolElt(truthy(a) && truthy(b)), nil
 	case TokOrOr:
@@ -122,7 +123,7 @@ func bitwise(f *ff.Field, a, b *big.Int, op func(z, x, y *big.Int) *big.Int) (*b
 func applyUn(f *ff.Field, op TokKind, a *big.Int) (*big.Int, error) {
 	switch op {
 	case TokMinus:
-		return f.Neg(a), nil
+		return f.NegBig(a), nil
 	case TokNot:
 		return boolElt(!truthy(a)), nil
 	case TokBitNot:
@@ -130,7 +131,7 @@ func applyUn(f *ff.Field, op TokKind, a *big.Int) (*big.Int, error) {
 		// the field-width mask, which agrees for BN254-sized fields.
 		mask := new(big.Int).Lsh(big.NewInt(1), uint(f.BitLen()))
 		mask.Sub(mask, big.NewInt(1))
-		sa := f.Signed(a)
+		sa := f.SignedBig(a)
 		if sa.Sign() < 0 {
 			sa = f.Reduce(sa)
 		}
@@ -138,4 +139,65 @@ func applyUn(f *ff.Field, op TokKind, a *big.Int) (*big.Int, error) {
 	default:
 		return nil, fmt.Errorf("operator %q is not a unary value operator", op)
 	}
+}
+
+// applyBinElt is applyBin over ff.Element — the witness interpreter's
+// domain. Field-semantics operators run natively on limbs; the
+// integer-semantics ones (\, %, shifts, bitwise) and signed comparisons
+// genuinely need the unsigned/signed integer representative and convert at
+// the edge.
+func applyBinElt(f *ff.Field, op TokKind, a, b ff.Element) (ff.Element, error) {
+	switch op {
+	case TokPlus:
+		return f.Add(a, b), nil
+	case TokMinus:
+		return f.Sub(a, b), nil
+	case TokStar:
+		return f.Mul(a, b), nil
+	case TokSlash:
+		r, err := f.Div(a, b)
+		if err != nil {
+			return ff.Element{}, fmt.Errorf("division by zero")
+		}
+		return r, nil
+	case TokPow:
+		return f.Exp(a, f.ToBig(b)), nil
+	case TokEq:
+		return boolEltOf(f, a == b), nil
+	case TokNeq:
+		return boolEltOf(f, a != b), nil
+	case TokAndAnd:
+		return boolEltOf(f, !a.IsZero() && !b.IsZero()), nil
+	case TokOrOr:
+		return boolEltOf(f, !a.IsZero() || !b.IsZero()), nil
+	default:
+		r, err := applyBin(f, op, f.ToBig(a), f.ToBig(b))
+		if err != nil {
+			return ff.Element{}, err
+		}
+		return f.FromBig(r), nil
+	}
+}
+
+// applyUnElt is applyUn over ff.Element.
+func applyUnElt(f *ff.Field, op TokKind, a ff.Element) (ff.Element, error) {
+	switch op {
+	case TokMinus:
+		return f.Neg(a), nil
+	case TokNot:
+		return boolEltOf(f, a.IsZero()), nil
+	default:
+		r, err := applyUn(f, op, f.ToBig(a))
+		if err != nil {
+			return ff.Element{}, err
+		}
+		return f.FromBig(r), nil
+	}
+}
+
+func boolEltOf(f *ff.Field, b bool) ff.Element {
+	if b {
+		return f.One()
+	}
+	return ff.Element{}
 }

@@ -22,7 +22,7 @@ type symVal struct {
 }
 
 func symConst(f *ff.Field, v *big.Int) *symVal {
-	return &symVal{f: f, lin: poly.Const(f, v)}
+	return &symVal{f: f, lin: poly.ConstBig(f, v)}
 }
 
 func symLin(f *ff.Field, lc *poly.LinComb) *symVal {
@@ -33,10 +33,11 @@ func symQuad(f *ff.Field, a, b, c *poly.LinComb) *symVal {
 	return &symVal{f: f, qa: a, qb: b, qc: c}
 }
 
-// isConst reports whether the value is a compile-time constant, returning it.
+// isConst reports whether the value is a compile-time constant, returning it
+// in the evaluator's big.Int domain.
 func (v *symVal) isConst() (*big.Int, bool) {
 	if v.lin != nil && v.lin.IsConst() {
-		return v.lin.Constant(), true
+		return v.f.ToBig(v.lin.Constant()), true
 	}
 	return nil, false
 }
@@ -96,10 +97,11 @@ func symMul(a, b *symVal) (*symVal, error) {
 
 // symScale returns k·a for a constant k.
 func symScale(a *symVal, k *big.Int) *symVal {
+	ke := a.f.FromBig(k)
 	if a.lin != nil {
-		return symLin(a.f, a.lin.Scale(k))
+		return symLin(a.f, a.lin.Scale(ke))
 	}
-	return symQuad(a.f, a.qa.Scale(k), a.qb, a.qc.Scale(k))
+	return symQuad(a.f, a.qa.Scale(ke), a.qb, a.qc.Scale(ke))
 }
 
 // symDiv returns a / k for a constant nonzero divisor k. Division by a
@@ -110,7 +112,7 @@ func symDiv(a, b *symVal) (*symVal, error) {
 	if !ok {
 		return nil, fmt.Errorf("division by a signal-dependent expression is not allowed in constraints (use <-- and add the constraint explicitly)")
 	}
-	inv, err := a.f.Inv(k)
+	inv, err := a.f.InvBig(k)
 	if err != nil {
 		return nil, fmt.Errorf("division by zero")
 	}

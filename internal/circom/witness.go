@@ -17,14 +17,15 @@ import (
 // sides of <-- and <== and are executed by the witness generator.
 type WExpr interface {
 	// Eval evaluates the expression; at reads a signal value.
-	Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error)
+	Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error)
 	// AddDeps inserts every referenced signal ID into deps.
 	AddDeps(deps map[int]bool)
 	// String renders the expression with x<i> signal names.
 	String() string
 }
 
-// WConst is a constant.
+// WConst is a constant. The value stays in big.Int form — it is produced by
+// the compile-time evaluator — and converts once per read at witness time.
 type WConst struct{ V *big.Int }
 
 // WSig reads a signal.
@@ -52,7 +53,9 @@ type WLin struct{ LC *poly.LinComb }
 type WQuad struct{ A, B, C *poly.LinComb }
 
 // Eval implements WExpr.
-func (w *WConst) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) { return w.V, nil }
+func (w *WConst) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) {
+	return f.FromBig(w.V), nil
+}
 
 // AddDeps implements WExpr.
 func (w *WConst) AddDeps(map[int]bool) {}
@@ -61,7 +64,7 @@ func (w *WConst) AddDeps(map[int]bool) {}
 func (w *WConst) String() string { return w.V.String() }
 
 // Eval implements WExpr.
-func (w *WSig) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) { return at(w.ID), nil }
+func (w *WSig) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) { return at(w.ID), nil }
 
 // AddDeps implements WExpr.
 func (w *WSig) AddDeps(deps map[int]bool) { deps[w.ID] = true }
@@ -70,37 +73,37 @@ func (w *WSig) AddDeps(deps map[int]bool) { deps[w.ID] = true }
 func (w *WSig) String() string { return fmt.Sprintf("x%d", w.ID) }
 
 // Eval implements WExpr.
-func (w *WBin) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+func (w *WBin) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) {
 	l, err := w.L.Eval(f, at)
 	if err != nil {
-		return nil, err
+		return ff.Element{}, err
 	}
 	// Short-circuit boolean operators.
 	switch w.Op {
 	case TokAndAnd:
-		if !truthy(l) {
-			return boolElt(false), nil
+		if l.IsZero() {
+			return boolEltOf(f, false), nil
 		}
 		r, err := w.R.Eval(f, at)
 		if err != nil {
-			return nil, err
+			return ff.Element{}, err
 		}
-		return boolElt(truthy(r)), nil
+		return boolEltOf(f, !r.IsZero()), nil
 	case TokOrOr:
-		if truthy(l) {
-			return boolElt(true), nil
+		if !l.IsZero() {
+			return boolEltOf(f, true), nil
 		}
 		r, err := w.R.Eval(f, at)
 		if err != nil {
-			return nil, err
+			return ff.Element{}, err
 		}
-		return boolElt(truthy(r)), nil
+		return boolEltOf(f, !r.IsZero()), nil
 	}
 	r, err := w.R.Eval(f, at)
 	if err != nil {
-		return nil, err
+		return ff.Element{}, err
 	}
-	return applyBin(f, w.Op, l, r)
+	return applyBinElt(f, w.Op, l, r)
 }
 
 // AddDeps implements WExpr.
@@ -115,12 +118,12 @@ func (w *WBin) String() string {
 }
 
 // Eval implements WExpr.
-func (w *WUn) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+func (w *WUn) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) {
 	x, err := w.X.Eval(f, at)
 	if err != nil {
-		return nil, err
+		return ff.Element{}, err
 	}
-	return applyUn(f, w.Op, x)
+	return applyUnElt(f, w.Op, x)
 }
 
 // AddDeps implements WExpr.
@@ -130,12 +133,12 @@ func (w *WUn) AddDeps(deps map[int]bool) { w.X.AddDeps(deps) }
 func (w *WUn) String() string { return fmt.Sprintf("(%s%s)", w.Op, w.X) }
 
 // Eval implements WExpr.
-func (w *WCond) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+func (w *WCond) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) {
 	c, err := w.C.Eval(f, at)
 	if err != nil {
-		return nil, err
+		return ff.Element{}, err
 	}
-	if truthy(c) {
+	if !c.IsZero() {
 		return w.T.Eval(f, at)
 	}
 	return w.F.Eval(f, at)
@@ -152,7 +155,7 @@ func (w *WCond) AddDeps(deps map[int]bool) {
 func (w *WCond) String() string { return fmt.Sprintf("(%s ? %s : %s)", w.C, w.T, w.F) }
 
 // Eval implements WExpr.
-func (w *WLin) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+func (w *WLin) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) {
 	return w.LC.Eval(at), nil
 }
 
@@ -167,7 +170,7 @@ func (w *WLin) AddDeps(deps map[int]bool) {
 func (w *WLin) String() string { return w.LC.String() }
 
 // Eval implements WExpr.
-func (w *WQuad) Eval(f *ff.Field, at func(int) *big.Int) (*big.Int, error) {
+func (w *WQuad) Eval(f *ff.Field, at func(int) ff.Element) (ff.Element, error) {
 	return f.Add(f.Mul(w.A.Eval(at), w.B.Eval(at)), w.C.Eval(at)), nil
 }
 
@@ -254,7 +257,7 @@ func (p *Program) GenerateWitness(inputs map[string]*big.Int) (r1cs.Witness, err
 
 	for name, id := range p.InputNames {
 		if v, ok := inputs[name]; ok {
-			w[id] = f.Reduce(v)
+			w[id] = f.FromBig(v)
 		}
 		assigned[id] = true
 	}
@@ -295,7 +298,7 @@ func (p *Program) GenerateWitness(inputs map[string]*big.Int) (r1cs.Witness, err
 	}
 	remaining := make([]int, 0)
 	executed := 0
-	at := func(x int) *big.Int { return w[x] }
+	at := func(x int) ff.Element { return w[x] }
 	for len(ready) > 0 {
 		pa := ready[len(ready)-1]
 		ready = ready[:len(ready)-1]
@@ -307,7 +310,7 @@ func (p *Program) GenerateWitness(inputs map[string]*big.Int) (r1cs.Witness, err
 		if err != nil {
 			return nil, fmt.Errorf("circom: %s: computing %s: %v", a.Pos, p.System.Name(a.Target), err)
 		}
-		w[a.Target] = f.Reduce(v)
+		w[a.Target] = v
 		executed++
 		assigned[a.Target] = true
 		for _, blocked := range waiting[a.Target] {
@@ -346,7 +349,7 @@ func (p *Program) GenerateWitness(inputs map[string]*big.Int) (r1cs.Witness, err
 		if err != nil {
 			return nil, fmt.Errorf("circom: %s: assert: %v", c.Pos, err)
 		}
-		if !truthy(v) {
+		if v.IsZero() {
 			return nil, fmt.Errorf("circom: %s: assertion failed: %s", c.Pos, c.Msg)
 		}
 	}

@@ -534,7 +534,7 @@ func (a *analysis) confirmCounterexample(target int, model smt.Model) bool {
 	if !r1cs.AgreeOn(w1, w2, a.sys.Inputs()) {
 		return false
 	}
-	if w1[target].Cmp(w2[target]) == 0 {
+	if w1[target] == w2[target] {
 		return false
 	}
 	a.report.Verdict = VerdictUnsafe

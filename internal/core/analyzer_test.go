@@ -103,7 +103,7 @@ func TestAnalyzeIsZeroBuggyUnsafe(t *testing.T) {
 	if !r1cs.AgreeOn(ce.W1, ce.W2, p.System.Inputs()) {
 		t.Error("witnesses disagree on inputs")
 	}
-	if ce.W1[ce.Signal].Cmp(ce.W2[ce.Signal]) == 0 {
+	if ce.W1[ce.Signal] == ce.W2[ce.Signal] {
 		t.Error("witnesses agree on the flagged output")
 	}
 	if p.System.Signal(ce.Signal).Kind != r1cs.KindOutput {
@@ -260,7 +260,7 @@ func outputsUniqueBrute(sys *r1cs.System) (bool, bool) {
 	for enc := int64(0); enc < total; enc++ {
 		v := enc
 		for i := 1; i < n; i++ {
-			w[i] = big.NewInt(v % p)
+			w[i] = f.NewElement(v % p)
 			v /= p
 		}
 		if sys.CheckWitness(w) != nil {
@@ -268,11 +268,11 @@ func outputsUniqueBrute(sys *r1cs.System) (bool, bool) {
 		}
 		var ik []byte
 		for _, in := range sys.Inputs() {
-			ik = append(ik, byte('0'+w[in].Int64()))
+			ik = append(ik, byte('0'+f.ToBig(w[in]).Int64()))
 		}
 		var outs []string
 		for _, o := range sys.Outputs() {
-			outs = append(outs, w[o].String())
+			outs = append(outs, f.String(w[o]))
 		}
 		byInput[string(ik)] = append(byInput[string(ik)], rec{outs: outs})
 	}
@@ -308,7 +308,7 @@ func TestAnalyzerSoundnessRandomSmallField(t *testing.T) {
 			out := poly.ConstInt(f5, int64(rng.Intn(5)))
 			for v := 1; v < n; v++ {
 				if rng.Intn(3) == 0 {
-					out = out.AddTerm(v, big.NewInt(int64(rng.Intn(5))))
+					out = out.AddTerm(v, f5.NewElement(int64(rng.Intn(5))))
 				}
 			}
 			return out
@@ -488,7 +488,7 @@ func TestSliceQueryCache(t *testing.T) {
 	inv := sys.AddSignal("inv", r1cs.KindInternal)
 	// in·inv = 1 − out ; in·out = 0 ; x·x = c
 	sys.AddConstraint(poly.Var(f97, in), poly.Var(f97, inv),
-		poly.ConstInt(f97, 1).AddTerm(out, big.NewInt(-1)), "")
+		poly.ConstInt(f97, 1).AddTerm(out, f97.NewElement(-1)), "")
 	sys.AddConstraint(poly.Var(f97, in), poly.Var(f97, out), poly.NewLinComb(f97), "")
 	sys.AddConstraint(poly.Var(f97, x), poly.Var(f97, x), poly.Var(f97, c), "")
 	r := Analyze(sys, &Config{Seed: 1})

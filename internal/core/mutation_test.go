@@ -31,7 +31,7 @@ func TestMutationNeverFlipsToUnsoundSafe(t *testing.T) {
 			out := poly.ConstInt(f5, int64(rng.Intn(5)))
 			for v := 1; v < n; v++ {
 				if rng.Intn(2) == 0 {
-					out = out.AddTerm(v, big.NewInt(int64(1+rng.Intn(4))))
+					out = out.AddTerm(v, f5.NewElement(int64(1+rng.Intn(4))))
 				}
 			}
 			return out

@@ -1,0 +1,210 @@
+package ff
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Element is a field element in a fixed four-limb little-endian
+// representation. It is a comparable value type: == , map keys and slice
+// copies all work, and the zero value is the field's additive identity.
+//
+// The representation depends on the field:
+//
+//   - large fields (modulus wider than 64 bits): the limbs hold the
+//     Montgomery form a·R mod p with R = 2^256, kept canonical in [0, p);
+//   - small fields (modulus fits a uint64): limb 0 holds the plain value in
+//     [0, p) and the other limbs are zero, so exhaustive-enumeration code
+//     can iterate raw uint64 values without conversion cost.
+//
+// Both representations are canonical, so two Elements of the same field are
+// equal as field values iff they are equal as Go values. Elements carry no
+// field pointer; all arithmetic goes through the owning *Field, and mixing
+// Elements of different fields is a caller bug (exactly as it was for the
+// previous *big.Int representation).
+type Element [4]uint64
+
+// ElementLimbs is the number of 64-bit limbs of an Element; MaxModulusBits
+// is the widest supported modulus.
+const (
+	ElementLimbs   = 4
+	MaxModulusBits = 64 * ElementLimbs
+)
+
+// IsZero reports whether e is the additive identity. (Zero is all-zero
+// limbs in both representations: 0·R mod p = 0.)
+func (e Element) IsZero() bool { return e == Element{} }
+
+// AppendRawBytes appends the raw 32-byte limb encoding of e (little-endian
+// limb order) to dst and returns the result. The encoding is canonical per
+// field and is intended for hash/dedup keys, not for serialization across
+// fields or representations; use Field.Bytes for a portable encoding.
+func (e Element) AppendRawBytes(dst []byte) []byte {
+	for _, w := range e {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}
+
+// --- limb-vector primitives ---------------------------------------------------
+
+// addLimbs returns a + b and the carry-out.
+func addLimbs(a, b Element) (Element, uint64) {
+	var r Element
+	var c uint64
+	r[0], c = bits.Add64(a[0], b[0], 0)
+	r[1], c = bits.Add64(a[1], b[1], c)
+	r[2], c = bits.Add64(a[2], b[2], c)
+	r[3], c = bits.Add64(a[3], b[3], c)
+	return r, c
+}
+
+// subLimbs returns a - b and the borrow-out.
+func subLimbs(a, b Element) (Element, uint64) {
+	var r Element
+	var bw uint64
+	r[0], bw = bits.Sub64(a[0], b[0], 0)
+	r[1], bw = bits.Sub64(a[1], b[1], bw)
+	r[2], bw = bits.Sub64(a[2], b[2], bw)
+	r[3], bw = bits.Sub64(a[3], b[3], bw)
+	return r, bw
+}
+
+// ltLimbs reports a < b as 256-bit unsigned integers.
+func ltLimbs(a, b Element) bool {
+	_, bw := subLimbs(a, b)
+	return bw != 0
+}
+
+// shr1 shifts e right by one bit, with top entering as the new bit 255
+// (used when halving a 257-bit intermediate held as limbs plus carry).
+func shr1(e Element, top uint64) Element {
+	e[0] = e[0]>>1 | e[1]<<63
+	e[1] = e[1]>>1 | e[2]<<63
+	e[2] = e[2]>>1 | e[3]<<63
+	e[3] = e[3]>>1 | top<<63
+	return e
+}
+
+// invUint64 returns a⁻¹ mod p for 0 < a < p and odd prime p, by the binary
+// extended Euclidean algorithm (HAC 14.61 specialization for odd moduli).
+func invUint64(a, p uint64) uint64 {
+	u, v := a, p
+	x1, x2 := uint64(1), uint64(0)
+	for u != 1 && v != 1 {
+		for u&1 == 0 {
+			u >>= 1
+			if x1&1 == 0 {
+				x1 >>= 1
+			} else {
+				x1 = x1>>1 + p>>1 + 1 // (x1+p)/2 without overflow; both odd
+			}
+		}
+		for v&1 == 0 {
+			v >>= 1
+			if x2&1 == 0 {
+				x2 >>= 1
+			} else {
+				x2 = x2>>1 + p>>1 + 1
+			}
+		}
+		if u >= v {
+			u -= v
+			if x1 >= x2 {
+				x1 -= x2
+			} else {
+				x1 += p - x2
+			}
+		} else {
+			v -= u
+			if x2 >= x1 {
+				x2 -= x1
+			} else {
+				x2 += p - x1
+			}
+		}
+	}
+	if u == 1 {
+		return x1
+	}
+	return x2
+}
+
+// limbsFromBig converts a non-negative big.Int < 2^256 into limbs.
+func limbsFromBig(v *big.Int) Element {
+	var e Element
+	words := v.Bits()
+	for i := 0; i < len(words) && i < ElementLimbs; i++ {
+		e[i] = uint64(words[i])
+	}
+	return e
+}
+
+// limbsToBig converts limbs into a fresh big.Int.
+func limbsToBig(e Element) *big.Int {
+	v := new(big.Int)
+	var w big.Int
+	for i := ElementLimbs - 1; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Or(v, w.SetUint64(e[i]))
+	}
+	return v
+}
+
+// --- Montgomery multiplication (large-field path) -----------------------------
+
+// montMul returns a·b·R⁻¹ mod p for canonical Montgomery inputs, using the
+// textbook CIOS method (Koç–Acar–Kaliski) with an explicit overflow word,
+// which is correct for any odd modulus below 2^256. The result is reduced
+// into [0, p).
+func (f *Field) montMul(a, b Element) Element {
+	var t [ElementLimbs + 2]uint64
+	p := &f.pLimbs
+	for i := 0; i < ElementLimbs; i++ {
+		// t += a * b[i]
+		var c uint64
+		for j := 0; j < ElementLimbs; j++ {
+			hi, lo := bits.Mul64(a[j], b[i])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		var cc uint64
+		t[ElementLimbs], cc = bits.Add64(t[ElementLimbs], c, 0)
+		t[ElementLimbs+1] = cc
+
+		// Reduce: add m·p so the low word cancels, then shift down one word.
+		m := t[0] * f.pInv
+		hi, lo := bits.Mul64(m, p[0])
+		_, cc = bits.Add64(lo, t[0], 0)
+		c = hi + cc
+		for j := 1; j < ElementLimbs; j++ {
+			hi, lo = bits.Mul64(m, p[j])
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j-1] = lo
+			c = hi
+		}
+		t[ElementLimbs-1], cc = bits.Add64(t[ElementLimbs], c, 0)
+		t[ElementLimbs] = t[ElementLimbs+1] + cc
+	}
+	r := Element{t[0], t[1], t[2], t[3]}
+	if t[ElementLimbs] != 0 || !ltLimbs(r, f.pLimbs) {
+		r, _ = subLimbs(r, f.pLimbs)
+	}
+	return r
+}
+
+// toMont converts a plain limb value < p into Montgomery form.
+func (f *Field) toMont(a Element) Element { return f.montMul(a, f.rSquare) }
+
+// fromMont converts a Montgomery-form value into plain limbs.
+func (f *Field) fromMont(a Element) Element { return f.montMul(a, Element{1}) }

@@ -3,20 +3,24 @@
 // It is the numeric substrate of the whole system: circuit signals take
 // values in F_p, constraints are polynomial equations over F_p, and the
 // solver reasons about satisfiability of such equations. Elements are
-// represented as *big.Int values normalized into the half-open interval
-// [0, p); all operations go through a *Field, which owns the modulus and
-// never mutates its arguments.
+// represented by the fixed-limb value type Element — Montgomery form on
+// four 64-bit limbs for large primes, a direct single-uint64 fast path for
+// small ones — and all operations go through a *Field, which owns the
+// modulus and never mutates its arguments. *big.Int appears only at the
+// conversion boundary (parsing, printing, serialization, and the
+// compile-time evaluator of the Circom front-end), via the *Big methods.
 //
 // The package ships the BN254 scalar field (the default field of the Circom
-// toolchain) plus helpers to construct arbitrary prime fields, including
-// small ones used by the test suite for exhaustive cross-validation.
+// toolchain) plus helpers to construct arbitrary prime fields up to 256
+// bits, including small ones used by the test suite for exhaustive
+// cross-validation.
 package ff
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // Field represents the prime field F_p for an odd prime p.
@@ -27,9 +31,16 @@ type Field struct {
 	pMinus2  *big.Int // p - 2, exponent for Fermat inversion
 	half     *big.Int // (p - 1) / 2, threshold for signed interpretation
 	bitLen   int
+	byteLen  int
 	name     string
-	isSmall  bool   // p fits in int64 (enables exhaustive enumeration)
+	isSmall  bool   // p fits in uint64 (enables exhaustive enumeration)
 	smallMod uint64 // p as uint64 when isSmall
+
+	// Large-field (Montgomery) constants; unused when isSmall.
+	pLimbs  Element // the modulus as limbs
+	pInv    uint64  // -p⁻¹ mod 2^64
+	rSquare Element // R² mod p (plain limbs), for conversion into Montgomery form
+	one     Element // the multiplicative identity in the element representation
 }
 
 // ErrNotPrime is returned by NewField when the modulus fails the primality test.
@@ -38,11 +49,32 @@ var ErrNotPrime = errors.New("ff: modulus is not prime")
 // ErrDivByZero is returned when inverting or dividing by zero.
 var ErrDivByZero = errors.New("ff: division by zero")
 
+// fieldCache memoizes constructed fields by modulus so that repeated
+// NewField calls (the test suite builds thousands of small fields) pay the
+// ProbablyPrime check and Montgomery-constant setup only once. Fields are
+// immutable, so sharing is safe.
+var (
+	fieldCacheMu sync.RWMutex
+	fieldCache   = map[string]*Field{}
+)
+
 // NewField constructs the prime field F_p. It returns ErrNotPrime if p is
-// not (probably) prime, and an error if p < 3.
+// not (probably) prime, and an error if p < 3 or p is wider than
+// MaxModulusBits. Fields are cached by modulus, so constructing the same
+// field twice returns the same (immutable, concurrency-safe) *Field.
 func NewField(p *big.Int) (*Field, error) {
 	if p == nil || p.Sign() <= 0 || p.Cmp(big.NewInt(3)) < 0 {
 		return nil, fmt.Errorf("ff: modulus must be an odd prime >= 3, got %v", p)
+	}
+	key := p.String()
+	fieldCacheMu.RLock()
+	cached := fieldCache[key]
+	fieldCacheMu.RUnlock()
+	if cached != nil {
+		return cached, nil
+	}
+	if p.BitLen() > MaxModulusBits {
+		return nil, fmt.Errorf("ff: modulus wider than %d bits is not supported (got %d bits)", MaxModulusBits, p.BitLen())
 	}
 	if !p.ProbablyPrime(32) {
 		return nil, ErrNotPrime
@@ -52,11 +84,32 @@ func NewField(p *big.Int) (*Field, error) {
 	f.pMinus2 = new(big.Int).Sub(f.p, big.NewInt(2))
 	f.half = new(big.Int).Rsh(f.pMinus1, 1)
 	f.bitLen = f.p.BitLen()
+	f.byteLen = (f.bitLen + 7) / 8
 	if f.p.IsUint64() {
 		f.isSmall = true
 		f.smallMod = f.p.Uint64()
+		f.one = Element{1}
+	} else {
+		f.pLimbs = limbsFromBig(f.p)
+		// -p⁻¹ mod 2^64 by Newton iteration (p is odd, so invertible).
+		inv := f.pLimbs[0]
+		for i := 0; i < 5; i++ {
+			inv *= 2 - f.pLimbs[0]*inv
+		}
+		f.pInv = -inv
+		r2 := new(big.Int).Lsh(big.NewInt(1), 2*MaxModulusBits)
+		f.rSquare = limbsFromBig(r2.Mod(r2, f.p))
+		r := new(big.Int).Lsh(big.NewInt(1), MaxModulusBits)
+		f.one = limbsFromBig(r.Mod(r, f.p))
 	}
 	f.name = fmt.Sprintf("F_%s", shortModulus(f.p))
+	fieldCacheMu.Lock()
+	if prior, ok := fieldCache[key]; ok {
+		f = prior // lost a construction race; keep the canonical instance
+	} else {
+		fieldCache[key] = f
+	}
+	fieldCacheMu.Unlock()
 	return f, nil
 }
 
@@ -95,6 +148,9 @@ func (f *Field) Modulus() *big.Int { return new(big.Int).Set(f.p) }
 // BitLen returns the bit length of the modulus.
 func (f *Field) BitLen() int { return f.bitLen }
 
+// ByteLen returns the byte length of the Bytes encoding.
+func (f *Field) ByteLen() int { return f.byteLen }
+
 // Name returns a short human-readable name such as "F_97" or "F_2188…5617".
 func (f *Field) Name() string { return f.name }
 
@@ -124,53 +180,27 @@ func shortModulus(p *big.Int) string {
 	return s[:4] + "…" + s[len(s)-4:]
 }
 
-// --- element construction -------------------------------------------------
-
-// Zero returns the additive identity.
-func (f *Field) Zero() *big.Int { return new(big.Int) }
-
-// One returns the multiplicative identity.
-func (f *Field) One() *big.Int { return big.NewInt(1) }
-
-// NewElement reduces the signed integer v into [0, p).
-func (f *Field) NewElement(v int64) *big.Int {
-	return f.Reduce(big.NewInt(v))
-}
+// --- big.Int boundary API ----------------------------------------------------
+//
+// These arbitrary-precision operations exist for the edges of the system —
+// parsing, printing, serialization, and the Circom compile-time evaluator,
+// whose integer semantics (array indices, loop bounds, shifts) are
+// inherently big.Int-shaped — and as the reference implementation the
+// differential tests check the limb arithmetic against. None of them may
+// appear in solver, substitution or witness-checking hot paths.
 
 // Reduce returns v mod p in [0, p) without mutating v.
 func (f *Field) Reduce(v *big.Int) *big.Int {
-	r := new(big.Int).Mod(v, f.p)
-	return r
+	return new(big.Int).Mod(v, f.p)
 }
 
-// FromString parses a decimal or 0x-hex literal (optionally negative) and
-// reduces it into the field.
-func (f *Field) FromString(s string) (*big.Int, error) {
-	v, ok := new(big.Int).SetString(s, 0)
-	if !ok {
-		return nil, fmt.Errorf("ff: cannot parse field element %q", s)
-	}
-	return f.Reduce(v), nil
-}
-
-// MustElement is FromString, panicking on parse failure.
-func (f *Field) MustElement(s string) *big.Int {
-	v, err := f.FromString(s)
-	if err != nil {
-		panic(err)
-	}
-	return v
-}
-
-// IsValid reports whether v is already normalized into [0, p).
-func (f *Field) IsValid(v *big.Int) bool {
+// IsValidBig reports whether v is already normalized into [0, p).
+func (f *Field) IsValidBig(v *big.Int) bool {
 	return v != nil && v.Sign() >= 0 && v.Cmp(f.p) < 0
 }
 
-// --- arithmetic -------------------------------------------------------------
-
-// Add returns a + b mod p.
-func (f *Field) Add(a, b *big.Int) *big.Int {
+// AddBig returns a + b mod p for normalized inputs.
+func (f *Field) AddBig(a, b *big.Int) *big.Int {
 	r := new(big.Int).Add(a, b)
 	if r.Cmp(f.p) >= 0 {
 		r.Sub(r, f.p)
@@ -178,8 +208,8 @@ func (f *Field) Add(a, b *big.Int) *big.Int {
 	return r
 }
 
-// Sub returns a - b mod p.
-func (f *Field) Sub(a, b *big.Int) *big.Int {
+// SubBig returns a - b mod p for normalized inputs.
+func (f *Field) SubBig(a, b *big.Int) *big.Int {
 	r := new(big.Int).Sub(a, b)
 	if r.Sign() < 0 {
 		r.Add(r, f.p)
@@ -187,32 +217,25 @@ func (f *Field) Sub(a, b *big.Int) *big.Int {
 	return r
 }
 
-// Neg returns -a mod p.
-func (f *Field) Neg(a *big.Int) *big.Int {
+// NegBig returns -a mod p for a normalized input.
+func (f *Field) NegBig(a *big.Int) *big.Int {
 	if a.Sign() == 0 {
 		return new(big.Int)
 	}
 	return new(big.Int).Sub(f.p, a)
 }
 
-// Mul returns a * b mod p.
-func (f *Field) Mul(a, b *big.Int) *big.Int {
+// MulBig returns a * b mod p.
+func (f *Field) MulBig(a, b *big.Int) *big.Int {
 	r := new(big.Int).Mul(a, b)
 	return r.Mod(r, f.p)
 }
 
-// Square returns a² mod p.
-func (f *Field) Square(a *big.Int) *big.Int { return f.Mul(a, a) }
-
-// Double returns 2a mod p.
-func (f *Field) Double(a *big.Int) *big.Int { return f.Add(a, a) }
-
-// Inv returns a⁻¹ mod p, or ErrDivByZero if a ≡ 0.
-func (f *Field) Inv(a *big.Int) (*big.Int, error) {
+// InvBig returns a⁻¹ mod p, or ErrDivByZero if a ≡ 0.
+func (f *Field) InvBig(a *big.Int) (*big.Int, error) {
 	if new(big.Int).Mod(a, f.p).Sign() == 0 {
 		return nil, ErrDivByZero
 	}
-	// ModInverse via extended Euclid is faster than Fermat for big moduli.
 	r := new(big.Int).ModInverse(a, f.p)
 	if r == nil {
 		return nil, ErrDivByZero
@@ -220,224 +243,34 @@ func (f *Field) Inv(a *big.Int) (*big.Int, error) {
 	return r, nil
 }
 
-// MustInv is Inv, panicking on division by zero.
-func (f *Field) MustInv(a *big.Int) *big.Int {
-	r, err := f.Inv(a)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
-// Div returns a / b mod p, or ErrDivByZero if b ≡ 0.
-func (f *Field) Div(a, b *big.Int) (*big.Int, error) {
-	bi, err := f.Inv(b)
+// DivBig returns a / b mod p, or ErrDivByZero if b ≡ 0.
+func (f *Field) DivBig(a, b *big.Int) (*big.Int, error) {
+	bi, err := f.InvBig(b)
 	if err != nil {
 		return nil, err
 	}
-	return f.Mul(a, bi), nil
+	return f.MulBig(a, bi), nil
 }
 
-// Exp returns a^e mod p for a non-negative exponent e.
-// A negative exponent is interpreted as (a⁻¹)^|e| and panics if a ≡ 0.
-func (f *Field) Exp(a, e *big.Int) *big.Int {
+// ExpBig returns a^e mod p for a non-negative exponent e. A negative
+// exponent is interpreted as (a⁻¹)^|e| and panics if a ≡ 0.
+func (f *Field) ExpBig(a, e *big.Int) *big.Int {
 	if e.Sign() < 0 {
-		inv := f.MustInv(a)
+		inv, err := f.InvBig(a)
+		if err != nil {
+			panic(err)
+		}
 		return new(big.Int).Exp(inv, new(big.Int).Neg(e), f.p)
 	}
 	return new(big.Int).Exp(a, e, f.p)
 }
 
-// ExpInt is Exp with an int64 exponent.
-func (f *Field) ExpInt(a *big.Int, e int64) *big.Int {
-	return f.Exp(a, big.NewInt(e))
-}
-
-// Equal reports a ≡ b (mod p) for already-normalized inputs.
-func (f *Field) Equal(a, b *big.Int) bool { return a.Cmp(b) == 0 }
-
-// IsZero reports a ≡ 0 for a normalized input.
-func (f *Field) IsZero(a *big.Int) bool { return a.Sign() == 0 }
-
-// IsOne reports a ≡ 1 for a normalized input.
-func (f *Field) IsOne(a *big.Int) bool { return a.Cmp(oneInt) == 0 }
-
-var oneInt = big.NewInt(1)
-
-// Signed returns the representative of a in (-(p-1)/2, (p-1)/2], which is the
-// conventional "signed" reading of field elements used in diagnostics
-// (e.g. printing -1 instead of p-1).
-func (f *Field) Signed(a *big.Int) *big.Int {
+// SignedBig returns the representative of a normalized big.Int element in
+// (-(p-1)/2, (p-1)/2], the conventional "signed" reading used in
+// diagnostics (e.g. printing -1 instead of p-1).
+func (f *Field) SignedBig(a *big.Int) *big.Int {
 	if a.Cmp(f.half) > 0 {
 		return new(big.Int).Sub(a, f.p)
 	}
 	return new(big.Int).Set(a)
-}
-
-// String renders a normalized element using the signed representative when
-// that is shorter, e.g. "-1" rather than the full modulus-minus-one literal.
-func (f *Field) String(a *big.Int) string {
-	s := f.Signed(a)
-	return s.String()
-}
-
-// --- batch / aggregate operations -------------------------------------------
-
-// Sum returns the field sum of all vs.
-func (f *Field) Sum(vs ...*big.Int) *big.Int {
-	r := new(big.Int)
-	for _, v := range vs {
-		r.Add(r, v)
-	}
-	return r.Mod(r, f.p)
-}
-
-// Prod returns the field product of all vs (1 for the empty product).
-func (f *Field) Prod(vs ...*big.Int) *big.Int {
-	r := big.NewInt(1)
-	for _, v := range vs {
-		r.Mul(r, v)
-		r.Mod(r, f.p)
-	}
-	return r
-}
-
-// BatchInv inverts every element of vs with a single field inversion
-// (Montgomery's trick). It returns ErrDivByZero if any element is zero.
-func (f *Field) BatchInv(vs []*big.Int) ([]*big.Int, error) {
-	n := len(vs)
-	if n == 0 {
-		return nil, nil
-	}
-	prefix := make([]*big.Int, n)
-	acc := big.NewInt(1)
-	for i, v := range vs {
-		if v.Sign() == 0 {
-			return nil, ErrDivByZero
-		}
-		prefix[i] = new(big.Int).Set(acc)
-		acc = f.Mul(acc, v)
-	}
-	accInv, err := f.Inv(acc)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*big.Int, n)
-	for i := n - 1; i >= 0; i-- {
-		out[i] = f.Mul(accInv, prefix[i])
-		accInv = f.Mul(accInv, vs[i])
-	}
-	return out, nil
-}
-
-// --- randomness ---------------------------------------------------------------
-
-// Rand returns a uniformly random field element using crypto/rand.
-func (f *Field) Rand() *big.Int {
-	v, err := rand.Int(rand.Reader, f.p)
-	if err != nil {
-		panic(fmt.Sprintf("ff: crypto/rand failure: %v", err))
-	}
-	return v
-}
-
-// RandSource abstracts the subset of math/rand we need, so deterministic
-// test generators can be plugged in.
-type RandSource interface {
-	Uint64() uint64
-}
-
-// RandFrom returns a pseudo-random field element drawn from src. The
-// distribution is uniform up to negligible modulo bias for large fields and
-// exactly uniform via rejection for small fields.
-func (f *Field) RandFrom(src RandSource) *big.Int {
-	if f.isSmall {
-		// Rejection sampling for exact uniformity.
-		bound := f.smallMod
-		limit := (^uint64(0) / bound) * bound
-		for {
-			v := src.Uint64()
-			if v < limit {
-				return new(big.Int).SetUint64(v % bound)
-			}
-		}
-	}
-	nWords := (f.bitLen + 127) / 64 // 64 extra bits drown the modulo bias
-	v := new(big.Int)
-	word := new(big.Int)
-	for i := 0; i < nWords; i++ {
-		v.Lsh(v, 64)
-		v.Or(v, word.SetUint64(src.Uint64()))
-	}
-	return v.Mod(v, f.p)
-}
-
-// --- square roots & quadratic residues ------------------------------------
-
-// Legendre returns the Legendre symbol (a/p): 0 if a ≡ 0, 1 if a is a
-// nonzero quadratic residue, -1 otherwise.
-func (f *Field) Legendre(a *big.Int) int {
-	if new(big.Int).Mod(a, f.p).Sign() == 0 {
-		return 0
-	}
-	r := f.Exp(a, f.half)
-	if r.Cmp(oneInt) == 0 {
-		return 1
-	}
-	return -1
-}
-
-// Sqrt returns a square root of a if one exists (Tonelli–Shanks), together
-// with true; otherwise nil, false. For a ≡ 0 it returns 0, true.
-func (f *Field) Sqrt(a *big.Int) (*big.Int, bool) {
-	a = f.Reduce(a)
-	if a.Sign() == 0 {
-		return new(big.Int), true
-	}
-	if f.Legendre(a) != 1 {
-		return nil, false
-	}
-	// p ≡ 3 (mod 4): direct exponentiation.
-	if f.p.Bit(0) == 1 && f.p.Bit(1) == 1 {
-		e := new(big.Int).Add(f.p, oneInt)
-		e.Rsh(e, 2)
-		return f.Exp(a, e), true
-	}
-	// Tonelli–Shanks. Write p-1 = q·2^s with q odd.
-	q := new(big.Int).Set(f.pMinus1)
-	s := 0
-	for q.Bit(0) == 0 {
-		q.Rsh(q, 1)
-		s++
-	}
-	// Find a quadratic non-residue z.
-	z := big.NewInt(2)
-	for f.Legendre(z) != -1 {
-		z.Add(z, oneInt)
-	}
-	m := s
-	c := f.Exp(z, q)
-	t := f.Exp(a, q)
-	r := f.Exp(a, new(big.Int).Rsh(new(big.Int).Add(q, oneInt), 1))
-	for t.Cmp(oneInt) != 0 {
-		// Find least i in (0, m) with t^(2^i) == 1.
-		i := 0
-		t2 := new(big.Int).Set(t)
-		for t2.Cmp(oneInt) != 0 {
-			t2 = f.Square(t2)
-			i++
-			if i == m {
-				return nil, false // unreachable for residues; defensive
-			}
-		}
-		b := new(big.Int).Set(c)
-		for j := 0; j < m-i-1; j++ {
-			b = f.Square(b)
-		}
-		m = i
-		c = f.Square(b)
-		t = f.Mul(t, c)
-		r = f.Mul(r, b)
-	}
-	return r, true
 }

@@ -35,6 +35,14 @@ func TestNewFieldAcceptsPrimes(t *testing.T) {
 	}
 }
 
+func TestNewFieldRejectsWideModulus(t *testing.T) {
+	// 2^521 - 1 is prime but wider than MaxModulusBits.
+	p := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 521), big.NewInt(1))
+	if _, err := NewField(p); err == nil {
+		t.Fatal("NewField accepted a modulus wider than MaxModulusBits")
+	}
+}
+
 func TestBN254Basics(t *testing.T) {
 	f := BN254()
 	if f.IsSmall() {
@@ -51,8 +59,13 @@ func TestBN254Basics(t *testing.T) {
 }
 
 // randElt returns a deterministic pseudo-random element for property tests.
-func randElt(f *Field, rng *rand.Rand) *big.Int {
+func randElt(f *Field, rng *rand.Rand) Element {
 	return f.RandFrom(rng)
+}
+
+// toInt64 returns the plain value of e as an int64 (small-field tests only).
+func toInt64(f *Field, e Element) int64 {
+	return f.ToBig(e).Int64()
 }
 
 func TestFieldAxiomsQuick(t *testing.T) {
@@ -68,40 +81,40 @@ func TestFieldAxiomsQuick(t *testing.T) {
 				},
 			}
 			// Commutativity, associativity, distributivity.
-			comm := func(a, b *big.Int) bool {
-				return f.Add(a, b).Cmp(f.Add(b, a)) == 0 &&
-					f.Mul(a, b).Cmp(f.Mul(b, a)) == 0
+			comm := func(a, b Element) bool {
+				return f.Add(a, b) == f.Add(b, a) &&
+					f.Mul(a, b) == f.Mul(b, a)
 			}
 			if err := quick.Check(comm, cfg); err != nil {
 				t.Error(err)
 			}
-			assoc := func(a, b, c *big.Int) bool {
+			assoc := func(a, b, c Element) bool {
 				l := f.Add(f.Add(a, b), c)
 				r := f.Add(a, f.Add(b, c))
 				lm := f.Mul(f.Mul(a, b), c)
 				rm := f.Mul(a, f.Mul(b, c))
-				return l.Cmp(r) == 0 && lm.Cmp(rm) == 0
+				return l == r && lm == rm
 			}
 			if err := quick.Check(assoc, cfg); err != nil {
 				t.Error(err)
 			}
-			distrib := func(a, b, c *big.Int) bool {
+			distrib := func(a, b, c Element) bool {
 				l := f.Mul(a, f.Add(b, c))
 				r := f.Add(f.Mul(a, b), f.Mul(a, c))
-				return l.Cmp(r) == 0
+				return l == r
 			}
 			if err := quick.Check(distrib, cfg); err != nil {
 				t.Error(err)
 			}
-			inverses := func(a *big.Int) bool {
-				if f.Sub(f.Add(a, f.Neg(a)), f.Zero()).Sign() != 0 {
+			inverses := func(a Element) bool {
+				if !f.Sub(f.Add(a, f.Neg(a)), f.Zero()).IsZero() {
 					return false
 				}
-				if a.Sign() == 0 {
+				if a.IsZero() {
 					return true
 				}
 				inv := f.MustInv(a)
-				return f.Mul(a, inv).Cmp(f.One()) == 0
+				return f.Mul(a, inv) == f.One()
 			}
 			if err := quick.Check(inverses, cfg); err != nil {
 				t.Error(err)
@@ -117,7 +130,7 @@ func TestSubNegConsistency(t *testing.T) {
 			a, b := randElt(f, rng), randElt(f, rng)
 			want := f.Add(a, f.Neg(b))
 			got := f.Sub(a, b)
-			if got.Cmp(want) != 0 {
+			if got != want {
 				t.Fatalf("%s: Sub mismatch a=%v b=%v", f.Name(), a, b)
 			}
 			if !f.IsValid(got) {
@@ -135,38 +148,38 @@ func TestDivByZero(t *testing.T) {
 	if _, err := f.Div(f.One(), f.Zero()); err != ErrDivByZero {
 		t.Errorf("Div(1,0) err = %v, want ErrDivByZero", err)
 	}
-	// Un-normalized zero (multiple of p) must still be caught.
-	if _, err := f.Inv(big.NewInt(97 * 3)); err != ErrDivByZero {
+	// A multiple of p reduces to the zero element and must still be caught.
+	if _, err := f.Inv(f.FromBig(big.NewInt(97 * 3))); err != ErrDivByZero {
 		t.Errorf("Inv(3p) err = %v, want ErrDivByZero", err)
 	}
 }
 
 func TestExp(t *testing.T) {
 	f := MustField(big.NewInt(97))
-	if got := f.ExpInt(f.NewElement(2), 10); got.Int64() != 1024%97 {
-		t.Errorf("2^10 = %v", got)
+	if got := f.ExpInt(f.NewElement(2), 10); got != f.NewElement(1024%97) {
+		t.Errorf("2^10 = %v", f.String(got))
 	}
 	// Fermat: a^(p-1) = 1 for a != 0.
 	for a := int64(1); a < 97; a++ {
-		if got := f.ExpInt(f.NewElement(a), 96); got.Int64() != 1 {
-			t.Fatalf("%d^96 = %v, want 1", a, got)
+		if got := f.ExpInt(f.NewElement(a), 96); !f.IsOne(got) {
+			t.Fatalf("%d^96 = %v, want 1", a, f.String(got))
 		}
 	}
 	// Negative exponent.
 	inv2 := f.MustInv(f.NewElement(2))
-	if got := f.ExpInt(f.NewElement(2), -1); got.Cmp(inv2) != 0 {
-		t.Errorf("2^-1 = %v, want %v", got, inv2)
+	if got := f.ExpInt(f.NewElement(2), -1); got != inv2 {
+		t.Errorf("2^-1 = %v, want %v", f.String(got), f.String(inv2))
 	}
 }
 
 func TestBatchInv(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	for _, f := range testFields {
-		vs := make([]*big.Int, 17)
+		vs := make([]Element, 17)
 		for i := range vs {
 			for {
 				vs[i] = randElt(f, rng)
-				if vs[i].Sign() != 0 {
+				if !vs[i].IsZero() {
 					break
 				}
 			}
@@ -176,7 +189,7 @@ func TestBatchInv(t *testing.T) {
 			t.Fatalf("%s: BatchInv: %v", f.Name(), err)
 		}
 		for i := range vs {
-			if f.Mul(vs[i], invs[i]).Cmp(f.One()) != 0 {
+			if f.Mul(vs[i], invs[i]) != f.One() {
 				t.Fatalf("%s: BatchInv[%d] wrong", f.Name(), i)
 			}
 		}
@@ -202,7 +215,7 @@ func TestSqrtExhaustiveSmall(t *testing.T) {
 		if ok != squares[a] {
 			t.Fatalf("Sqrt(%d) ok=%v, want %v", a, ok, squares[a])
 		}
-		if ok && f.Mul(r, r).Int64() != a {
+		if ok && toInt64(f, f.Mul(r, r)) != a {
 			t.Fatalf("Sqrt(%d) = %v, square is %v", a, r, f.Mul(r, r))
 		}
 	}
@@ -218,7 +231,7 @@ func TestSqrtP3Mod4(t *testing.T) {
 		if !ok {
 			t.Fatalf("Sqrt(%v²) not found", a)
 		}
-		if f.Square(r).Cmp(sq) != 0 {
+		if f.Square(r) != sq {
 			t.Fatalf("Sqrt(%v²) = %v wrong", a, r)
 		}
 	}
@@ -231,7 +244,7 @@ func TestSqrtBN254(t *testing.T) {
 		a := randElt(f, rng)
 		sq := f.Square(a)
 		r, ok := f.Sqrt(sq)
-		if !ok || f.Square(r).Cmp(sq) != 0 {
+		if !ok || f.Square(r) != sq {
 			t.Fatalf("BN254 Sqrt round-trip failed for %v", a)
 		}
 	}
@@ -287,7 +300,7 @@ func TestFromString(t *testing.T) {
 		if err != nil {
 			t.Fatalf("FromString(%q): %v", in, err)
 		}
-		if got.Int64() != want {
+		if toInt64(f, got) != want {
 			t.Errorf("FromString(%q) = %v, want %d", in, got, want)
 		}
 	}
@@ -298,18 +311,18 @@ func TestFromString(t *testing.T) {
 
 func TestSumProd(t *testing.T) {
 	f := MustField(big.NewInt(97))
-	if f.Sum().Sign() != 0 {
+	if !f.Sum().IsZero() {
 		t.Error("empty Sum != 0")
 	}
-	if f.Prod().Int64() != 1 {
+	if !f.IsOne(f.Prod()) {
 		t.Error("empty Prod != 1")
 	}
 	got := f.Sum(f.NewElement(90), f.NewElement(10), f.NewElement(5))
-	if got.Int64() != 8 {
+	if toInt64(f, got) != 8 {
 		t.Errorf("Sum = %v", got)
 	}
 	got = f.Prod(f.NewElement(10), f.NewElement(10))
-	if got.Int64() != 3 {
+	if toInt64(f, got) != 3 {
 		t.Errorf("Prod = %v", got)
 	}
 }
@@ -320,7 +333,7 @@ func TestRandFromUniformSmall(t *testing.T) {
 	counts := map[int64]int{}
 	const n = 50000
 	for i := 0; i < n; i++ {
-		counts[f.RandFrom(rng).Int64()]++
+		counts[toInt64(f, f.RandFrom(rng))]++
 	}
 	for v := int64(0); v < 5; v++ {
 		c := counts[v]
@@ -336,7 +349,7 @@ func TestRandCrypto(t *testing.T) {
 	if !f.IsValid(a) || !f.IsValid(b) {
 		t.Fatal("Rand produced out-of-range element")
 	}
-	if a.Cmp(b) == 0 {
+	if a == b {
 		t.Error("two crypto-random BN254 elements collided (astronomically unlikely)")
 	}
 }
@@ -360,7 +373,7 @@ func TestAccessors(t *testing.T) {
 	if f.Modulus().Int64() != 97 {
 		t.Error("Modulus returned aliased storage")
 	}
-	if f.MustElement("-1").Int64() != 96 {
+	if toInt64(f, f.MustElement("-1")) != 96 {
 		t.Error("MustElement")
 	}
 	defer func() {
@@ -391,13 +404,13 @@ func TestMustFieldFromStringPanics(t *testing.T) {
 
 func TestZeroOneDoubleSquare(t *testing.T) {
 	f := MustField(big.NewInt(97))
-	if f.Zero().Sign() != 0 || f.One().Int64() != 1 {
+	if !f.Zero().IsZero() || toInt64(f, f.One()) != 1 {
 		t.Error("Zero/One")
 	}
-	if f.Double(f.NewElement(50)).Int64() != 3 {
+	if toInt64(f, f.Double(f.NewElement(50))) != 3 {
 		t.Error("Double")
 	}
-	if f.Square(f.NewElement(10)).Int64() != 3 {
+	if toInt64(f, f.Square(f.NewElement(10))) != 3 {
 		t.Error("Square")
 	}
 	if !f.IsOne(f.One()) || f.IsOne(f.Zero()) || !f.IsZero(f.Zero()) {

@@ -1,0 +1,64 @@
+package ff
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// FuzzElementCodec exercises the parse/print/serialize boundary: FromString
+// on arbitrary text, SetBytes on arbitrary byte strings, and the
+// String/Bytes round-trips. Malformed and out-of-range inputs must be
+// rejected with errors, never panics, and every accepted value must
+// round-trip exactly. Runs its seed corpus as part of the ordinary
+// `go test` invocation.
+func FuzzElementCodec(f *testing.F) {
+	f.Add("0", []byte{0x00})
+	f.Add("1", []byte{0x01})
+	f.Add("-1", []byte{0x60})
+	f.Add("96", []byte{0x61})
+	f.Add("0x61", []byte{0xff})
+	f.Add("zebra", []byte("zebra"))
+	f.Add("21888242871839275222246405745257275088548364400416034343698204186575808495616",
+		bytes.Repeat([]byte{0xff}, 32))
+	f.Add("115792089237316195423570985008687907853269984665640564039457584007913129639935", []byte{})
+	f.Fuzz(func(t *testing.T, s string, raw []byte) {
+		fields := []*Field{BN254(), MustField(big.NewInt(97)), MustFieldFromString("18446744073709551557")}
+		for _, fld := range fields {
+			// FromString: any outcome is fine except a panic; successes must
+			// produce canonical elements that survive the text round-trip.
+			if e, err := fld.FromString(s); err == nil {
+				if !fld.IsValid(e) {
+					t.Fatalf("%s: FromString(%q) non-canonical: %v", fld.Name(), s, e)
+				}
+				back, err := fld.FromString(fld.String(e))
+				if err != nil || back != e {
+					t.Fatalf("%s: String round-trip broke on %q: %v %v", fld.Name(), s, back, err)
+				}
+			}
+			// SetBytes: reject wrong lengths and out-of-range values, round-trip
+			// the rest.
+			if e, err := fld.SetBytes(raw); err == nil {
+				if len(raw) != fld.ByteLen() {
+					t.Fatalf("%s: SetBytes accepted %d bytes, want %d", fld.Name(), len(raw), fld.ByteLen())
+				}
+				if !fld.IsValid(e) {
+					t.Fatalf("%s: SetBytes(%x) non-canonical: %v", fld.Name(), raw, e)
+				}
+				if got := fld.Bytes(e); !bytes.Equal(got, raw) {
+					t.Fatalf("%s: Bytes round-trip: %x != %x", fld.Name(), got, raw)
+				}
+			} else if len(raw) == fld.ByteLen() && new(big.Int).SetBytes(raw).Cmp(fld.Modulus()) < 0 {
+				t.Fatalf("%s: SetBytes rejected valid encoding %x: %v", fld.Name(), raw, err)
+			}
+			// Bytes ∘ FromBig is always decodable.
+			v := new(big.Int).SetBytes(raw)
+			e := fld.FromBig(v)
+			enc := fld.Bytes(e)
+			back, err := fld.SetBytes(enc)
+			if err != nil || back != e {
+				t.Fatalf("%s: Bytes(FromBig(%v)) not decodable: %v %v", fld.Name(), v, back, err)
+			}
+		}
+	})
+}

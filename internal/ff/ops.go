@@ -1,0 +1,487 @@
+package ff
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// This file implements the Element operations of a Field. Everything here is
+// allocation-free on the hot paths: small fields dispatch to single-word
+// uint64 arithmetic on limb 0, large fields to the four-limb Montgomery core
+// in element.go. Conversions to and from *big.Int (FromBig/ToBig and the
+// string/bytes codecs) are the only places that touch the heap.
+
+// --- element construction & conversion ---------------------------------------
+
+// Zero returns the additive identity.
+func (f *Field) Zero() Element { return Element{} }
+
+// One returns the multiplicative identity.
+func (f *Field) One() Element { return f.one }
+
+// NewElement reduces the signed integer v into the field.
+func (f *Field) NewElement(v int64) Element {
+	if v >= 0 {
+		return f.FromUint64(uint64(v))
+	}
+	return f.Neg(f.FromUint64(uint64(-v)))
+}
+
+// FromUint64 reduces v into the field.
+func (f *Field) FromUint64(v uint64) Element {
+	if f.isSmall {
+		return Element{v % f.smallMod}
+	}
+	return f.toMont(Element{v})
+}
+
+// FromBig reduces a *big.Int (any sign, any magnitude) into the field's
+// element representation.
+func (f *Field) FromBig(v *big.Int) Element {
+	if !f.IsValidBig(v) {
+		v = f.Reduce(v)
+	}
+	if f.isSmall {
+		return Element{v.Uint64()}
+	}
+	return f.toMont(limbsFromBig(v))
+}
+
+// ToBig returns the plain integer value of e in [0, p) as a fresh big.Int.
+func (f *Field) ToBig(e Element) *big.Int {
+	if f.isSmall {
+		return new(big.Int).SetUint64(e[0])
+	}
+	return limbsToBig(f.fromMont(e))
+}
+
+// FromString parses a decimal or 0x-hex literal (optionally negative) and
+// reduces it into the field.
+func (f *Field) FromString(s string) (Element, error) {
+	v, ok := new(big.Int).SetString(s, 0)
+	if !ok {
+		return Element{}, fmt.Errorf("ff: cannot parse field element %q", s)
+	}
+	return f.FromBig(v), nil
+}
+
+// MustElement is FromString, panicking on parse failure.
+func (f *Field) MustElement(s string) Element {
+	v, err := f.FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsValid reports whether e is a canonical representation of a field
+// element: in-range, and with no stray high limbs on the small-field path.
+func (f *Field) IsValid(e Element) bool {
+	if f.isSmall {
+		return e[1] == 0 && e[2] == 0 && e[3] == 0 && e[0] < f.smallMod
+	}
+	return ltLimbs(e, f.pLimbs)
+}
+
+// Bytes returns the fixed-width big-endian encoding of e's plain value,
+// exactly ByteLen() bytes. It is the portable serialization counterpart of
+// Element.AppendRawBytes (which encodes the internal representation).
+func (f *Field) Bytes(e Element) []byte {
+	plain := e
+	if !f.isSmall {
+		plain = f.fromMont(e)
+	}
+	out := make([]byte, f.byteLen)
+	for k := 0; k < f.byteLen; k++ {
+		out[f.byteLen-1-k] = byte(plain[k/8] >> (8 * (k % 8)))
+	}
+	return out
+}
+
+// SetBytes decodes a fixed-width big-endian encoding produced by Bytes.
+// It rejects (without panicking) inputs of the wrong length and values
+// outside [0, p).
+func (f *Field) SetBytes(b []byte) (Element, error) {
+	if len(b) != f.byteLen {
+		return Element{}, fmt.Errorf("ff: encoded element must be %d bytes, got %d", f.byteLen, len(b))
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(f.p) >= 0 {
+		return Element{}, fmt.Errorf("ff: encoded value %s out of range for %s", v, f.name)
+	}
+	if f.isSmall {
+		return Element{v.Uint64()}, nil
+	}
+	return f.toMont(limbsFromBig(v)), nil
+}
+
+// --- arithmetic -------------------------------------------------------------
+
+// Add returns a + b. The limb chains are unrolled in the method body so it
+// stays within the inlining budget: add/sub dominate poly substitution.
+func (f *Field) Add(a, b Element) Element {
+	if f.isSmall {
+		return f.addSmall(a, b)
+	}
+	var r, s Element
+	var c, bw uint64
+	r[0], c = bits.Add64(a[0], b[0], 0)
+	r[1], c = bits.Add64(a[1], b[1], c)
+	r[2], c = bits.Add64(a[2], b[2], c)
+	r[3], c = bits.Add64(a[3], b[3], c)
+	s[0], bw = bits.Sub64(r[0], f.pLimbs[0], 0)
+	s[1], bw = bits.Sub64(r[1], f.pLimbs[1], bw)
+	s[2], bw = bits.Sub64(r[2], f.pLimbs[2], bw)
+	s[3], bw = bits.Sub64(r[3], f.pLimbs[3], bw)
+	if c != 0 || bw == 0 {
+		return s
+	}
+	return r
+}
+
+func (f *Field) addSmall(a, b Element) Element {
+	s, c := bits.Add64(a[0], b[0], 0)
+	if c != 0 || s >= f.smallMod {
+		s -= f.smallMod
+	}
+	return Element{s}
+}
+
+// Sub returns a - b.
+func (f *Field) Sub(a, b Element) Element {
+	if f.isSmall {
+		return f.subSmall(a, b)
+	}
+	var r, s Element
+	var bw, c uint64
+	r[0], bw = bits.Sub64(a[0], b[0], 0)
+	r[1], bw = bits.Sub64(a[1], b[1], bw)
+	r[2], bw = bits.Sub64(a[2], b[2], bw)
+	r[3], bw = bits.Sub64(a[3], b[3], bw)
+	s[0], c = bits.Add64(r[0], f.pLimbs[0], 0)
+	s[1], c = bits.Add64(r[1], f.pLimbs[1], c)
+	s[2], c = bits.Add64(r[2], f.pLimbs[2], c)
+	s[3], _ = bits.Add64(r[3], f.pLimbs[3], c)
+	if bw != 0 {
+		return s
+	}
+	return r
+}
+
+func (f *Field) subSmall(a, b Element) Element {
+	s, bw := bits.Sub64(a[0], b[0], 0)
+	if bw != 0 {
+		s += f.smallMod
+	}
+	return Element{s}
+}
+
+// Neg returns -a.
+func (f *Field) Neg(a Element) Element {
+	if a.IsZero() {
+		return Element{}
+	}
+	if f.isSmall {
+		return Element{f.smallMod - a[0]}
+	}
+	r, _ := subLimbs(f.pLimbs, a)
+	return r
+}
+
+// Mul returns a * b.
+func (f *Field) Mul(a, b Element) Element {
+	if f.isSmall {
+		hi, lo := bits.Mul64(a[0], b[0])
+		_, rem := bits.Div64(hi, lo, f.smallMod)
+		return Element{rem}
+	}
+	return f.montMul(a, b)
+}
+
+// Square returns a².
+func (f *Field) Square(a Element) Element { return f.Mul(a, a) }
+
+// Double returns 2a.
+func (f *Field) Double(a Element) Element { return f.Add(a, a) }
+
+// Inv returns a⁻¹, or ErrDivByZero if a ≡ 0. It runs the binary extended
+// Euclidean algorithm on limbs (HAC 14.61), which stays allocation-free and
+// is an order of magnitude faster than Fermat exponentiation.
+func (f *Field) Inv(a Element) (Element, error) {
+	if a.IsZero() {
+		return Element{}, ErrDivByZero
+	}
+	if f.isSmall {
+		return Element{invUint64(a[0], f.smallMod)}, nil
+	}
+	u := f.fromMont(a) // plain value x
+	v := f.pLimbs
+	x1 := Element{1}
+	var x2 Element
+	one := Element{1}
+	for u != one && v != one {
+		for u[0]&1 == 0 {
+			u = shr1(u, 0)
+			if x1[0]&1 == 0 {
+				x1 = shr1(x1, 0)
+			} else {
+				s, c := addLimbs(x1, f.pLimbs)
+				x1 = shr1(s, c)
+			}
+		}
+		for v[0]&1 == 0 {
+			v = shr1(v, 0)
+			if x2[0]&1 == 0 {
+				x2 = shr1(x2, 0)
+			} else {
+				s, c := addLimbs(x2, f.pLimbs)
+				x2 = shr1(s, c)
+			}
+		}
+		// Mod-p subtraction keeps the coefficients canonical; it works on
+		// plain values because [0,p) arithmetic is representation-agnostic.
+		if !ltLimbs(u, v) {
+			u, _ = subLimbs(u, v)
+			x1 = f.Sub(x1, x2)
+		} else {
+			v, _ = subLimbs(v, u)
+			x2 = f.Sub(x2, x1)
+		}
+	}
+	r := x1
+	if u != one {
+		r = x2
+	}
+	return f.toMont(r), nil // plain x⁻¹ back into Montgomery form
+}
+
+// MustInv is Inv, panicking on division by zero.
+func (f *Field) MustInv(a Element) Element {
+	r, err := f.Inv(a)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Div returns a / b, or ErrDivByZero if b ≡ 0.
+func (f *Field) Div(a, b Element) (Element, error) {
+	bi, err := f.Inv(b)
+	if err != nil {
+		return Element{}, err
+	}
+	return f.Mul(a, bi), nil
+}
+
+// Exp returns a^e for a non-negative exponent e, by square-and-multiply on
+// the element representation. A negative exponent is interpreted as
+// (a⁻¹)^|e| and panics if a ≡ 0.
+func (f *Field) Exp(a Element, e *big.Int) Element {
+	if e.Sign() < 0 {
+		return f.Exp(f.MustInv(a), new(big.Int).Neg(e))
+	}
+	r := f.one
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		r = f.Mul(r, r)
+		if e.Bit(i) == 1 {
+			r = f.Mul(r, a)
+		}
+	}
+	return r
+}
+
+// ExpInt is Exp with an int64 exponent.
+func (f *Field) ExpInt(a Element, e int64) Element {
+	return f.Exp(a, big.NewInt(e))
+}
+
+// Equal reports a == b. (Representations are canonical, so this is plain
+// value equality; it exists for symmetry with the rest of the API.)
+func (f *Field) Equal(a, b Element) bool { return a == b }
+
+// IsZero reports a ≡ 0.
+func (f *Field) IsZero(a Element) bool { return a.IsZero() }
+
+// IsOne reports a ≡ 1.
+func (f *Field) IsOne(a Element) bool { return a == f.one }
+
+var oneInt = big.NewInt(1)
+
+// Signed returns the plain representative of a in (-(p-1)/2, (p-1)/2], the
+// conventional "signed" reading of field elements used in diagnostics
+// (e.g. printing -1 instead of p-1).
+func (f *Field) Signed(a Element) *big.Int {
+	return f.SignedBig(f.ToBig(a))
+}
+
+// String renders an element using the signed representative when that is
+// shorter, e.g. "-1" rather than the full modulus-minus-one literal.
+func (f *Field) String(a Element) string {
+	return f.Signed(a).String()
+}
+
+// --- batch / aggregate operations -------------------------------------------
+
+// Sum returns the field sum of all vs.
+func (f *Field) Sum(vs ...Element) Element {
+	var r Element
+	for _, v := range vs {
+		r = f.Add(r, v)
+	}
+	return r
+}
+
+// Prod returns the field product of all vs (1 for the empty product).
+func (f *Field) Prod(vs ...Element) Element {
+	r := f.one
+	for _, v := range vs {
+		r = f.Mul(r, v)
+	}
+	return r
+}
+
+// BatchInv inverts every element of vs with a single field inversion
+// (Montgomery's trick). It returns ErrDivByZero if any element is zero.
+func (f *Field) BatchInv(vs []Element) ([]Element, error) {
+	n := len(vs)
+	if n == 0 {
+		return nil, nil
+	}
+	prefix := make([]Element, n)
+	acc := f.one
+	for i, v := range vs {
+		if v.IsZero() {
+			return nil, ErrDivByZero
+		}
+		prefix[i] = acc
+		acc = f.Mul(acc, v)
+	}
+	accInv, err := f.Inv(acc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Element, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = f.Mul(accInv, prefix[i])
+		accInv = f.Mul(accInv, vs[i])
+	}
+	return out, nil
+}
+
+// --- randomness ---------------------------------------------------------------
+
+// Rand returns a uniformly random field element using crypto/rand.
+func (f *Field) Rand() Element {
+	v, err := rand.Int(rand.Reader, f.p)
+	if err != nil {
+		panic(fmt.Sprintf("ff: crypto/rand failure: %v", err))
+	}
+	return f.FromBig(v)
+}
+
+// RandSource abstracts the subset of math/rand we need, so deterministic
+// test generators can be plugged in.
+type RandSource interface {
+	Uint64() uint64
+}
+
+// RandFrom returns a pseudo-random field element drawn from src. The
+// distribution is uniform up to negligible modulo bias for large fields and
+// exactly uniform via rejection for small fields. The draw sequence (number
+// of Uint64 calls and resulting value) is stable across releases: seeded
+// runs must keep reproducing the same solver search trees.
+func (f *Field) RandFrom(src RandSource) Element {
+	if f.isSmall {
+		// Rejection sampling for exact uniformity.
+		bound := f.smallMod
+		limit := (^uint64(0) / bound) * bound
+		for {
+			v := src.Uint64()
+			if v < limit {
+				return Element{v % bound}
+			}
+		}
+	}
+	nWords := (f.bitLen + 127) / 64 // 64 extra bits drown the modulo bias
+	v := new(big.Int)
+	word := new(big.Int)
+	for i := 0; i < nWords; i++ {
+		v.Lsh(v, 64)
+		v.Or(v, word.SetUint64(src.Uint64()))
+	}
+	return f.FromBig(v.Mod(v, f.p))
+}
+
+// --- square roots & quadratic residues ------------------------------------
+
+// Legendre returns the Legendre symbol (a/p): 0 if a ≡ 0, 1 if a is a
+// nonzero quadratic residue, -1 otherwise.
+func (f *Field) Legendre(a Element) int {
+	if a.IsZero() {
+		return 0
+	}
+	if f.Exp(a, f.half) == f.one {
+		return 1
+	}
+	return -1
+}
+
+// Sqrt returns a square root of a if one exists (Tonelli–Shanks), together
+// with true; otherwise the zero Element and false. For a ≡ 0 it returns
+// 0, true. The chosen root is deterministic: callers branch the solver
+// search on it, so it must not vary between runs or representations.
+func (f *Field) Sqrt(a Element) (Element, bool) {
+	if a.IsZero() {
+		return Element{}, true
+	}
+	if f.Legendre(a) != 1 {
+		return Element{}, false
+	}
+	// p ≡ 3 (mod 4): direct exponentiation.
+	if f.p.Bit(0) == 1 && f.p.Bit(1) == 1 {
+		e := new(big.Int).Add(f.p, oneInt)
+		e.Rsh(e, 2)
+		return f.Exp(a, e), true
+	}
+	// Tonelli–Shanks. Write p-1 = q·2^s with q odd.
+	q := new(big.Int).Set(f.pMinus1)
+	s := 0
+	for q.Bit(0) == 0 {
+		q.Rsh(q, 1)
+		s++
+	}
+	// Find a quadratic non-residue z.
+	zi := int64(2)
+	z := f.NewElement(zi)
+	for f.Legendre(z) != -1 {
+		zi++
+		z = f.NewElement(zi)
+	}
+	m := s
+	c := f.Exp(z, q)
+	t := f.Exp(a, q)
+	r := f.Exp(a, new(big.Int).Rsh(new(big.Int).Add(q, oneInt), 1))
+	for t != f.one {
+		// Find least i in (0, m) with t^(2^i) == 1.
+		i := 0
+		t2 := t
+		for t2 != f.one {
+			t2 = f.Square(t2)
+			i++
+			if i == m {
+				return Element{}, false // unreachable for residues; defensive
+			}
+		}
+		b := c
+		for j := 0; j < m-i-1; j++ {
+			b = f.Square(b)
+		}
+		m = i
+		c = f.Square(b)
+		t = f.Mul(t, c)
+		r = f.Mul(r, b)
+	}
+	return r, true
+}

@@ -8,6 +8,9 @@
 // ⟨C,s⟩, and — crucially for the solver — the R1CS form is closed under
 // substituting a linear combination for a variable, so the entire analysis
 // pipeline stays within this algebra.
+//
+// Coefficients are stored as ff.Element values (no per-coefficient heap
+// pointers); conversion to *big.Int happens only in the String renderers.
 package poly
 
 import (
@@ -25,24 +28,28 @@ import (
 // method name says so (the *InPlace variants).
 type LinComb struct {
 	f     *ff.Field
-	konst *big.Int         // constant term, normalized in [0,p)
-	terms map[int]*big.Int // var → nonzero normalized coefficient
+	konst ff.Element         // constant term
+	terms map[int]ff.Element // var → nonzero coefficient
 }
 
 // NewLinComb returns the zero linear combination over field f.
 func NewLinComb(f *ff.Field) *LinComb {
-	return &LinComb{f: f, konst: new(big.Int), terms: map[int]*big.Int{}}
+	return &LinComb{f: f, terms: map[int]ff.Element{}}
 }
 
-// Const returns the constant linear combination v (reduced into the field).
-func Const(f *ff.Field, v *big.Int) *LinComb {
+// Const returns the constant linear combination v.
+func Const(f *ff.Field, v ff.Element) *LinComb {
 	lc := NewLinComb(f)
-	lc.konst = f.Reduce(v)
+	lc.konst = v
 	return lc
 }
 
+// ConstBig returns the constant linear combination for a *big.Int, reduced
+// into the field. Parse/deserialize boundary helper.
+func ConstBig(f *ff.Field, v *big.Int) *LinComb { return Const(f, f.FromBig(v)) }
+
 // ConstInt returns the constant linear combination for a small integer.
-func ConstInt(f *ff.Field, v int64) *LinComb { return Const(f, big.NewInt(v)) }
+func ConstInt(f *ff.Field, v int64) *LinComb { return Const(f, f.NewElement(v)) }
 
 // Var returns the linear combination consisting of the single variable x
 // with coefficient 1.
@@ -53,11 +60,10 @@ func Var(f *ff.Field, x int) *LinComb {
 }
 
 // Term returns the linear combination coeff·x.
-func Term(f *ff.Field, x int, coeff *big.Int) *LinComb {
+func Term(f *ff.Field, x int, coeff ff.Element) *LinComb {
 	lc := NewLinComb(f)
-	c := f.Reduce(coeff)
-	if c.Sign() != 0 {
-		lc.terms[x] = c
+	if !coeff.IsZero() {
+		lc.terms[x] = coeff
 	}
 	return lc
 }
@@ -67,25 +73,18 @@ func (lc *LinComb) Field() *ff.Field { return lc.f }
 
 // Clone returns a deep copy.
 func (lc *LinComb) Clone() *LinComb {
-	out := &LinComb{f: lc.f, konst: new(big.Int).Set(lc.konst), terms: make(map[int]*big.Int, len(lc.terms))}
+	out := &LinComb{f: lc.f, konst: lc.konst, terms: make(map[int]ff.Element, len(lc.terms))}
 	for v, c := range lc.terms {
-		out.terms[v] = new(big.Int).Set(c)
+		out.terms[v] = c
 	}
 	return out
 }
 
-// Constant returns the constant term (do not mutate).
-func (lc *LinComb) Constant() *big.Int { return lc.konst }
+// Constant returns the constant term.
+func (lc *LinComb) Constant() ff.Element { return lc.konst }
 
-// Coeff returns the coefficient of variable x (zero if absent; do not mutate).
-func (lc *LinComb) Coeff(x int) *big.Int {
-	if c, ok := lc.terms[x]; ok {
-		return c
-	}
-	return zeroInt
-}
-
-var zeroInt = new(big.Int)
+// Coeff returns the coefficient of variable x (zero if absent).
+func (lc *LinComb) Coeff(x int) ff.Element { return lc.terms[x] }
 
 // NumTerms returns the number of variables with nonzero coefficient.
 func (lc *LinComb) NumTerms() int { return len(lc.terms) }
@@ -101,15 +100,15 @@ func (lc *LinComb) Vars() []int {
 }
 
 // VisitTerms calls fn for every (variable, coefficient) pair in ascending
-// variable order. The coefficient must not be mutated.
-func (lc *LinComb) VisitTerms(fn func(x int, coeff *big.Int)) {
+// variable order.
+func (lc *LinComb) VisitTerms(fn func(x int, coeff ff.Element)) {
 	for _, v := range lc.Vars() {
 		fn(v, lc.terms[v])
 	}
 }
 
 // IsZero reports whether the combination is identically zero.
-func (lc *LinComb) IsZero() bool { return lc.konst.Sign() == 0 && len(lc.terms) == 0 }
+func (lc *LinComb) IsZero() bool { return lc.konst.IsZero() && len(lc.terms) == 0 }
 
 // IsConst reports whether the combination has no variables.
 func (lc *LinComb) IsConst() bool { return len(lc.terms) == 0 }
@@ -126,9 +125,9 @@ func (lc *LinComb) IsSingleVar() (x int, ok bool) {
 	return 0, false // unreachable
 }
 
-// setCoeff installs coeff (already reduced) for x, deleting the entry when zero.
-func (lc *LinComb) setCoeff(x int, coeff *big.Int) {
-	if coeff.Sign() == 0 {
+// setCoeff installs coeff for x, deleting the entry when zero.
+func (lc *LinComb) setCoeff(x int, coeff ff.Element) {
+	if coeff.IsZero() {
 		delete(lc.terms, x)
 	} else {
 		lc.terms[x] = coeff
@@ -140,7 +139,7 @@ func (lc *LinComb) Add(other *LinComb) *LinComb {
 	out := lc.Clone()
 	out.konst = lc.f.Add(out.konst, other.konst)
 	for v, c := range other.terms {
-		out.setCoeff(v, lc.f.Add(out.Coeff(v), c))
+		out.setCoeff(v, lc.f.Add(out.terms[v], c))
 	}
 	return out
 }
@@ -150,7 +149,7 @@ func (lc *LinComb) Sub(other *LinComb) *LinComb {
 	out := lc.Clone()
 	out.konst = lc.f.Sub(out.konst, other.konst)
 	for v, c := range other.terms {
-		out.setCoeff(v, lc.f.Sub(out.Coeff(v), c))
+		out.setCoeff(v, lc.f.Sub(out.terms[v], c))
 	}
 	return out
 }
@@ -166,10 +165,9 @@ func (lc *LinComb) Neg() *LinComb {
 }
 
 // Scale returns k·lc for a field constant k.
-func (lc *LinComb) Scale(k *big.Int) *LinComb {
-	k = lc.f.Reduce(k)
+func (lc *LinComb) Scale(k ff.Element) *LinComb {
 	out := NewLinComb(lc.f)
-	if k.Sign() == 0 {
+	if k.IsZero() {
 		return out
 	}
 	out.konst = lc.f.Mul(lc.konst, k)
@@ -180,51 +178,45 @@ func (lc *LinComb) Scale(k *big.Int) *LinComb {
 }
 
 // AddTerm returns lc + coeff·x.
-func (lc *LinComb) AddTerm(x int, coeff *big.Int) *LinComb {
+func (lc *LinComb) AddTerm(x int, coeff ff.Element) *LinComb {
 	out := lc.Clone()
-	out.setCoeff(x, lc.f.Add(out.Coeff(x), lc.f.Reduce(coeff)))
+	out.setCoeff(x, lc.f.Add(out.terms[x], coeff))
 	return out
 }
 
 // AddConst returns lc + v.
-func (lc *LinComb) AddConst(v *big.Int) *LinComb {
+func (lc *LinComb) AddConst(v ff.Element) *LinComb {
 	out := lc.Clone()
-	out.konst = lc.f.Add(out.konst, lc.f.Reduce(v))
+	out.konst = lc.f.Add(out.konst, v)
 	return out
 }
 
 // Eval evaluates the combination under the assignment fn (variable → value).
-// fn must return a normalized field element for every variable of lc.
-func (lc *LinComb) Eval(fn func(x int) *big.Int) *big.Int {
-	acc := new(big.Int).Set(lc.konst)
-	tmp := new(big.Int)
+// fn must return a field element for every variable of lc. The evaluation
+// is allocation-free.
+func (lc *LinComb) Eval(fn func(x int) ff.Element) ff.Element {
+	acc := lc.konst
 	for v, c := range lc.terms {
-		tmp.Mul(c, fn(v))
-		acc.Add(acc, tmp)
+		acc = lc.f.Add(acc, lc.f.Mul(c, fn(v)))
 	}
-	return acc.Mod(acc, lc.f.Modulus())
+	return acc
 }
 
 // EvalMap is Eval over a map assignment; variables absent from m evaluate
 // to zero.
-func (lc *LinComb) EvalMap(m map[int]*big.Int) *big.Int {
-	return lc.Eval(func(x int) *big.Int {
-		if v, ok := m[x]; ok {
-			return v
-		}
-		return zeroInt
-	})
+func (lc *LinComb) EvalMap(m map[int]ff.Element) ff.Element {
+	return lc.Eval(func(x int) ff.Element { return m[x] })
 }
 
 // SubstituteValue returns lc with variable x replaced by the constant v.
-func (lc *LinComb) SubstituteValue(x int, v *big.Int) *LinComb {
+func (lc *LinComb) SubstituteValue(x int, v ff.Element) *LinComb {
 	c, ok := lc.terms[x]
 	if !ok {
 		return lc.Clone()
 	}
 	out := lc.Clone()
 	delete(out.terms, x)
-	out.konst = lc.f.Add(out.konst, lc.f.Mul(c, lc.f.Reduce(v)))
+	out.konst = lc.f.Add(out.konst, lc.f.Mul(c, v))
 	return out
 }
 
@@ -257,26 +249,36 @@ func (lc *LinComb) SolveFor(x int) (expr *LinComb, ok bool) {
 
 // Equal reports structural equality (same field, same coefficients).
 func (lc *LinComb) Equal(other *LinComb) bool {
-	if !lc.f.SameField(other.f) || lc.konst.Cmp(other.konst) != 0 || len(lc.terms) != len(other.terms) {
+	if !lc.f.SameField(other.f) || lc.konst != other.konst || len(lc.terms) != len(other.terms) {
 		return false
 	}
 	for v, c := range lc.terms {
-		oc, ok := other.terms[v]
-		if !ok || c.Cmp(oc) != 0 {
+		if oc, ok := other.terms[v]; !ok || c != oc {
 			return false
 		}
 	}
 	return true
 }
 
-// Key returns a canonical string key for deduplication.
+// Key returns a canonical key for deduplication. The encoding is the raw
+// fixed-width limb bytes of each coefficient (cheap to produce, never
+// printed), so it is canonical per field but not meaningful across fields.
 func (lc *LinComb) Key() string {
-	var b strings.Builder
-	b.WriteString(lc.konst.String())
+	buf := make([]byte, 0, (len(lc.terms)+1)*(8*ff.ElementLimbs+8))
+	buf = lc.konst.AppendRawBytes(buf)
 	for _, v := range lc.Vars() {
-		fmt.Fprintf(&b, "|%d:%s", v, lc.terms[v].String())
+		buf = appendVarID(buf, v)
+		buf = lc.terms[v].AppendRawBytes(buf)
 	}
-	return b.String()
+	return string(buf)
+}
+
+// appendVarID appends a fixed-width encoding of a variable ID to a key.
+func appendVarID(dst []byte, v int) []byte {
+	u := uint64(v)
+	return append(dst,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 }
 
 // String renders the combination with signed coefficients, e.g.
@@ -301,7 +303,7 @@ func (lc *LinComb) StringNamed(name func(x int) string) string {
 			parts = append(parts, fmt.Sprintf("+ %v*%s", c, name(v)))
 		}
 	}
-	if lc.konst.Sign() != 0 || len(parts) == 0 {
+	if !lc.konst.IsZero() || len(parts) == 0 {
 		c := lc.f.Signed(lc.konst)
 		if c.Sign() < 0 {
 			parts = append(parts, fmt.Sprintf("- %v", new(big.Int).Neg(c)))
@@ -326,9 +328,9 @@ var (
 // rename must be injective on the variables of lc.
 func (lc *LinComb) RenameVars(rename func(x int) int) *LinComb {
 	out := NewLinComb(lc.f)
-	out.konst = new(big.Int).Set(lc.konst)
+	out.konst = lc.konst
 	for v, c := range lc.terms {
-		out.terms[rename(v)] = new(big.Int).Set(c)
+		out.terms[rename(v)] = c
 	}
 	if len(out.terms) != len(lc.terms) {
 		panic("poly: RenameVars with non-injective renaming")

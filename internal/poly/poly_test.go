@@ -12,6 +12,12 @@ import (
 
 var f97 = ff.MustField(big.NewInt(97))
 
+// elt converts a small integer for test literals.
+func elt(f *ff.Field, v int64) ff.Element { return f.NewElement(v) }
+
+// int64Of extracts the plain value for assertions on small fields.
+func int64Of(f *ff.Field, e ff.Element) int64 { return f.ToBig(e).Int64() }
+
 // randLC builds a random linear combination over nVars variables.
 func randLC(f *ff.Field, rng *rand.Rand, nVars int) *LinComb {
 	lc := Const(f, f.RandFrom(rng))
@@ -23,8 +29,8 @@ func randLC(f *ff.Field, rng *rand.Rand, nVars int) *LinComb {
 	return lc
 }
 
-func randAssign(f *ff.Field, rng *rand.Rand, nVars int) map[int]*big.Int {
-	m := map[int]*big.Int{}
+func randAssign(f *ff.Field, rng *rand.Rand, nVars int) map[int]ff.Element {
+	m := map[int]ff.Element{}
 	for v := 0; v < nVars; v++ {
 		m[v] = f.RandFrom(rng)
 	}
@@ -33,25 +39,25 @@ func randAssign(f *ff.Field, rng *rand.Rand, nVars int) map[int]*big.Int {
 
 func TestLinCombBasics(t *testing.T) {
 	f := f97
-	lc := Var(f, 3).Scale(big.NewInt(2)).AddTerm(7, big.NewInt(-1)).AddConst(big.NewInt(1))
+	lc := Var(f, 3).Scale(elt(f, 2)).AddTerm(7, elt(f, -1)).AddConst(elt(f, 1))
 	if got := lc.String(); got != "2*x3 - x7 + 1" {
 		t.Errorf("String = %q", got)
 	}
 	if lc.NumTerms() != 2 || lc.IsConst() || lc.IsZero() {
 		t.Error("shape predicates wrong")
 	}
-	if got := lc.Coeff(3).Int64(); got != 2 {
+	if got := int64Of(f, lc.Coeff(3)); got != 2 {
 		t.Errorf("Coeff(3) = %d", got)
 	}
-	if got := lc.Coeff(99); got.Sign() != 0 {
+	if got := lc.Coeff(99); !got.IsZero() {
 		t.Errorf("Coeff(99) = %v", got)
 	}
 	if vars := lc.Vars(); !reflect.DeepEqual(vars, []int{3, 7}) {
 		t.Errorf("Vars = %v", vars)
 	}
 	// 2*5 - 10 + 1 = 1
-	m := map[int]*big.Int{3: big.NewInt(5), 7: big.NewInt(10)}
-	if got := lc.EvalMap(m).Int64(); got != 1 {
+	m := map[int]ff.Element{3: elt(f, 5), 7: elt(f, 10)}
+	if got := int64Of(f, lc.EvalMap(m)); got != 1 {
 		t.Errorf("Eval = %d", got)
 	}
 }
@@ -85,16 +91,16 @@ func TestLinCombAlgebraQuick(t *testing.T) {
 	prop := func(a, b *LinComb) bool {
 		m := randAssign(f, rng, nVars)
 		k := f.RandFrom(rng)
-		if a.Add(b).EvalMap(m).Cmp(f.Add(a.EvalMap(m), b.EvalMap(m))) != 0 {
+		if a.Add(b).EvalMap(m) != f.Add(a.EvalMap(m), b.EvalMap(m)) {
 			return false
 		}
-		if a.Sub(b).EvalMap(m).Cmp(f.Sub(a.EvalMap(m), b.EvalMap(m))) != 0 {
+		if a.Sub(b).EvalMap(m) != f.Sub(a.EvalMap(m), b.EvalMap(m)) {
 			return false
 		}
-		if a.Neg().EvalMap(m).Cmp(f.Neg(a.EvalMap(m))) != 0 {
+		if a.Neg().EvalMap(m) != f.Neg(a.EvalMap(m)) {
 			return false
 		}
-		if a.Scale(k).EvalMap(m).Cmp(f.Mul(k, a.EvalMap(m))) != 0 {
+		if a.Scale(k).EvalMap(m) != f.Mul(k, a.EvalMap(m)) {
 			return false
 		}
 		return true
@@ -118,14 +124,14 @@ func TestLinCombAlgebraQuick(t *testing.T) {
 
 func TestSubstituteValue(t *testing.T) {
 	f := f97
-	lc := Var(f, 0).Scale(big.NewInt(3)).AddTerm(1, big.NewInt(5))
-	got := lc.SubstituteValue(0, big.NewInt(2))
-	want := Term(f, 1, big.NewInt(5)).AddConst(big.NewInt(6))
+	lc := Var(f, 0).Scale(elt(f, 3)).AddTerm(1, elt(f, 5))
+	got := lc.SubstituteValue(0, elt(f, 2))
+	want := Term(f, 1, elt(f, 5)).AddConst(elt(f, 6))
 	if !got.Equal(want) {
 		t.Errorf("subst = %v, want %v", got, want)
 	}
 	// substituting an absent variable is a no-op clone
-	if !lc.SubstituteValue(42, big.NewInt(9)).Equal(lc) {
+	if !lc.SubstituteValue(42, elt(f, 9)).Equal(lc) {
 		t.Error("substituting absent var changed lc")
 	}
 }
@@ -136,19 +142,19 @@ func TestSubstituteLin(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		lc := randLC(f, rng, 5)
 		repl := randLC(f, rng, 5)
-		repl = repl.SubstituteValue(2, big.NewInt(0)) // repl must not mention x2
+		repl = repl.SubstituteValue(2, f.Zero()) // repl must not mention x2
 		got := lc.Substitute(2, repl)
 		m := randAssign(f, rng, 5)
 		// Evaluate lc with x2 := repl(m).
-		m2 := map[int]*big.Int{}
+		m2 := map[int]ff.Element{}
 		for k, v := range m {
 			m2[k] = v
 		}
 		m2[2] = repl.EvalMap(m)
-		if got.EvalMap(m).Cmp(lc.EvalMap(m2)) != 0 {
+		if got.EvalMap(m) != lc.EvalMap(m2) {
 			t.Fatalf("iter %d: substitution not semantics-preserving", i)
 		}
-		if got.Coeff(2).Sign() != 0 {
+		if !got.Coeff(2).IsZero() {
 			t.Fatalf("iter %d: x2 still present after substitution", i)
 		}
 	}
@@ -157,7 +163,7 @@ func TestSubstituteLin(t *testing.T) {
 func TestSolveFor(t *testing.T) {
 	f := f97
 	// 3*x0 + 5*x1 + 7 = 0  =>  x0 = (-5*x1 - 7)/3
-	lc := Term(f, 0, big.NewInt(3)).AddTerm(1, big.NewInt(5)).AddConst(big.NewInt(7))
+	lc := Term(f, 0, elt(f, 3)).AddTerm(1, elt(f, 5)).AddConst(elt(f, 7))
 	expr, ok := lc.SolveFor(0)
 	if !ok {
 		t.Fatal("SolveFor failed")
@@ -165,9 +171,9 @@ func TestSolveFor(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for i := 0; i < 50; i++ {
 		x1 := f.RandFrom(rng)
-		x0 := expr.EvalMap(map[int]*big.Int{1: x1})
-		val := lc.EvalMap(map[int]*big.Int{0: x0, 1: x1})
-		if val.Sign() != 0 {
+		x0 := expr.EvalMap(map[int]ff.Element{1: x1})
+		val := lc.EvalMap(map[int]ff.Element{0: x0, 1: x1})
+		if !val.IsZero() {
 			t.Fatalf("solved x0 does not satisfy equation (x1=%v)", x1)
 		}
 	}
@@ -178,7 +184,7 @@ func TestSolveFor(t *testing.T) {
 
 func TestRenameVars(t *testing.T) {
 	f := f97
-	lc := Var(f, 0).AddTerm(1, big.NewInt(2))
+	lc := Var(f, 0).AddTerm(1, elt(f, 2))
 	ren := lc.RenameVars(func(x int) int { return x + 100 })
 	if !reflect.DeepEqual(ren.Vars(), []int{100, 101}) {
 		t.Errorf("renamed vars = %v", ren.Vars())
@@ -200,7 +206,7 @@ func TestMulLinSemantics(t *testing.T) {
 		q := MulLin(a, b)
 		m := randAssign(f, rng, 5)
 		want := f.Mul(a.EvalMap(m), b.EvalMap(m))
-		if got := q.EvalMap(m); got.Cmp(want) != 0 {
+		if got := q.EvalMap(m); got != want {
 			t.Fatalf("iter %d: MulLin eval mismatch: got %v want %v\n a=%v b=%v q=%v", i, got, want, a, b, q)
 		}
 	}
@@ -214,16 +220,16 @@ func TestQuadAlgebra(t *testing.T) {
 		b := MulLin(randLC(f, rng, 4), randLC(f, rng, 4))
 		m := randAssign(f, rng, 4)
 		k := f.RandFrom(rng)
-		if a.Add(b).EvalMap(m).Cmp(f.Add(a.EvalMap(m), b.EvalMap(m))) != 0 {
+		if a.Add(b).EvalMap(m) != f.Add(a.EvalMap(m), b.EvalMap(m)) {
 			t.Fatal("Quad.Add mismatch")
 		}
-		if a.Sub(b).EvalMap(m).Cmp(f.Sub(a.EvalMap(m), b.EvalMap(m))) != 0 {
+		if a.Sub(b).EvalMap(m) != f.Sub(a.EvalMap(m), b.EvalMap(m)) {
 			t.Fatal("Quad.Sub mismatch")
 		}
-		if a.Neg().EvalMap(m).Cmp(f.Neg(a.EvalMap(m))) != 0 {
+		if a.Neg().EvalMap(m) != f.Neg(a.EvalMap(m)) {
 			t.Fatal("Quad.Neg mismatch")
 		}
-		if a.Scale(k).EvalMap(m).Cmp(f.Mul(k, a.EvalMap(m))) != 0 {
+		if a.Scale(k).EvalMap(m) != f.Mul(k, a.EvalMap(m)) {
 			t.Fatal("Quad.Scale mismatch")
 		}
 		if !a.Sub(a).IsZero() {
@@ -240,12 +246,12 @@ func TestQuadSubstituteValue(t *testing.T) {
 		v := f.RandFrom(rng)
 		got := q.SubstituteValue(1, v)
 		m := randAssign(f, rng, 4)
-		m2 := map[int]*big.Int{}
+		m2 := map[int]ff.Element{}
 		for k, val := range m {
 			m2[k] = val
 		}
 		m2[1] = v
-		if got.EvalMap(m).Cmp(q.EvalMap(m2)) != 0 {
+		if got.EvalMap(m) != q.EvalMap(m2) {
 			t.Fatalf("iter %d: Quad substitution mismatch", i)
 		}
 		for _, x := range got.Vars() {
@@ -259,19 +265,19 @@ func TestQuadSubstituteValue(t *testing.T) {
 func TestQuadSquareTerm(t *testing.T) {
 	f := f97
 	// (x0+1)*(x0-1) = x0² - 1
-	a := Var(f, 0).AddConst(big.NewInt(1))
-	b := Var(f, 0).AddConst(big.NewInt(-1))
+	a := Var(f, 0).AddConst(elt(f, 1))
+	b := Var(f, 0).AddConst(elt(f, -1))
 	q := MulLin(a, b)
-	if q.NumQuadTerms() != 1 || q.CoeffPair(0, 0).Int64() != 1 {
+	if q.NumQuadTerms() != 1 || int64Of(f, q.CoeffPair(0, 0)) != 1 {
 		t.Errorf("x0² coefficient wrong: %v", q)
 	}
 	if got := q.String(); got != "x0² - 1" {
 		t.Errorf("String = %q", got)
 	}
 	// Substituting x0=5 gives 24.
-	if got := q.SubstituteValue(0, big.NewInt(5)); func() bool {
+	if got := q.SubstituteValue(0, elt(f, 5)); func() bool {
 		c, ok := got.IsConst()
-		return !ok || c.Int64() != 24
+		return !ok || int64Of(f, c) != 24
 	}() {
 		t.Errorf("subst gave %v", got)
 	}
@@ -281,9 +287,9 @@ func TestQuadEqualKeyNormalize(t *testing.T) {
 	f := f97
 	a := Var(f, 0)
 	b := Var(f, 1)
-	q1 := MulLin(a, b)                      // x0*x1
-	q2 := MulLin(b, a)                      // x1*x0
-	q3 := MulLin(a.Scale(big.NewInt(2)), b) // 2*x0*x1
+	q1 := MulLin(a, b)                  // x0*x1
+	q2 := MulLin(b, a)                  // x1*x0
+	q3 := MulLin(a.Scale(elt(f, 2)), b) // 2*x0*x1
 	if !q1.Equal(q2) || q1.Key() != q2.Key() {
 		t.Error("commuted products not canonical-equal")
 	}
@@ -317,7 +323,7 @@ func TestQuadDegreeAndShape(t *testing.T) {
 	if _, ok := q.IsConst(); ok {
 		t.Error("product reported const")
 	}
-	if c, ok := ConstQuad(f, 7).IsConst(); !ok || c.Int64() != 7 {
+	if c, ok := ConstQuad(f, 7).IsConst(); !ok || int64Of(f, c) != 7 {
 		t.Error("ConstQuad shape wrong")
 	}
 	if !reflect.DeepEqual(q.Vars(), []int{0, 1}) {

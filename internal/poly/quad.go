@@ -29,12 +29,12 @@ func orderedPair(a, b int) VarPair {
 type Quad struct {
 	f    *ff.Field
 	lin  *LinComb
-	quad map[VarPair]*big.Int // nonzero coefficients only
+	quad map[VarPair]ff.Element // nonzero coefficients only
 }
 
 // NewQuad returns the zero quadratic polynomial.
 func NewQuad(f *ff.Field) *Quad {
-	return &Quad{f: f, lin: NewLinComb(f), quad: map[VarPair]*big.Int{}}
+	return &Quad{f: f, lin: NewLinComb(f), quad: map[VarPair]ff.Element{}}
 }
 
 // ConstQuad returns the constant quadratic polynomial v.
@@ -63,12 +63,11 @@ func MulLin(a, b *LinComb) *Quad {
 	for va, ca := range a.terms {
 		for vb, cb := range b.terms {
 			p := orderedPair(va, vb)
-			cur, ok := q.quad[p]
 			c := f.Mul(ca, cb)
-			if ok {
+			if cur, ok := q.quad[p]; ok {
 				c = f.Add(cur, c)
 			}
-			if c.Sign() == 0 {
+			if c.IsZero() {
 				delete(q.quad, p)
 			} else {
 				q.quad[p] = c
@@ -86,7 +85,7 @@ func (q *Quad) Clone() *Quad {
 	out := NewQuad(q.f)
 	out.lin = q.lin.Clone()
 	for p, c := range q.quad {
-		out.quad[p] = new(big.Int).Set(c)
+		out.quad[p] = c
 	}
 	return out
 }
@@ -102,11 +101,11 @@ func (q *Quad) IsZero() bool { return len(q.quad) == 0 && q.lin.IsZero() }
 func (q *Quad) IsLinear() bool { return len(q.quad) == 0 }
 
 // IsConst reports whether q is a constant, returning it when so.
-func (q *Quad) IsConst() (*big.Int, bool) {
+func (q *Quad) IsConst() (ff.Element, bool) {
 	if len(q.quad) == 0 && q.lin.IsConst() {
 		return q.lin.Constant(), true
 	}
-	return nil, false
+	return ff.Element{}, false
 }
 
 // Degree returns 0, 1 or 2.
@@ -125,12 +124,8 @@ func (q *Quad) Add(other *Quad) *Quad {
 	out := q.Clone()
 	out.lin = q.lin.Add(other.lin)
 	for p, c := range other.quad {
-		cur := new(big.Int)
-		if v, ok := out.quad[p]; ok {
-			cur = v
-		}
-		s := q.f.Add(cur, c)
-		if s.Sign() == 0 {
+		s := q.f.Add(out.quad[p], c)
+		if s.IsZero() {
 			delete(out.quad, p)
 		} else {
 			out.quad[p] = s
@@ -153,10 +148,9 @@ func (q *Quad) Neg() *Quad {
 }
 
 // Scale returns k·q.
-func (q *Quad) Scale(k *big.Int) *Quad {
-	k = q.f.Reduce(k)
+func (q *Quad) Scale(k ff.Element) *Quad {
 	out := NewQuad(q.f)
-	if k.Sign() == 0 {
+	if k.IsZero() {
 		return out
 	}
 	out.lin = q.lin.Scale(k)
@@ -184,31 +178,22 @@ func (q *Quad) Vars() []int {
 	return out
 }
 
-// Eval evaluates q under the assignment fn.
-func (q *Quad) Eval(fn func(x int) *big.Int) *big.Int {
+// Eval evaluates q under the assignment fn, allocation-free.
+func (q *Quad) Eval(fn func(x int) ff.Element) ff.Element {
 	acc := q.lin.Eval(fn)
-	tmp := new(big.Int)
 	for p, c := range q.quad {
-		tmp.Mul(fn(p.X), fn(p.Y))
-		tmp.Mul(tmp, c)
-		acc.Add(acc, tmp)
+		acc = q.f.Add(acc, q.f.Mul(c, q.f.Mul(fn(p.X), fn(p.Y))))
 	}
-	return acc.Mod(acc, q.f.Modulus())
+	return acc
 }
 
 // EvalMap is Eval over a map; absent variables read as zero.
-func (q *Quad) EvalMap(m map[int]*big.Int) *big.Int {
-	return q.Eval(func(x int) *big.Int {
-		if v, ok := m[x]; ok {
-			return v
-		}
-		return zeroInt
-	})
+func (q *Quad) EvalMap(m map[int]ff.Element) ff.Element {
+	return q.Eval(func(x int) ff.Element { return m[x] })
 }
 
 // SubstituteValue returns q with variable x fixed to the constant v.
-func (q *Quad) SubstituteValue(x int, v *big.Int) *Quad {
-	v = q.f.Reduce(v)
+func (q *Quad) SubstituteValue(x int, v ff.Element) *Quad {
 	out := NewQuad(q.f)
 	out.lin = q.lin.SubstituteValue(x, v)
 	for p, c := range q.quad {
@@ -220,18 +205,15 @@ func (q *Quad) SubstituteValue(x int, v *big.Int) *Quad {
 		case p.Y == x:
 			out.lin = out.lin.AddTerm(p.X, q.f.Mul(c, v))
 		default:
-			out.quad[p] = new(big.Int).Set(c)
+			out.quad[p] = c
 		}
 	}
 	return out
 }
 
-// CoeffPair returns the coefficient of the monomial xᵢ·xⱼ (do not mutate).
-func (q *Quad) CoeffPair(i, j int) *big.Int {
-	if c, ok := q.quad[orderedPair(i, j)]; ok {
-		return c
-	}
-	return zeroInt
+// CoeffPair returns the coefficient of the monomial xᵢ·xⱼ.
+func (q *Quad) CoeffPair(i, j int) ff.Element {
+	return q.quad[orderedPair(i, j)]
 }
 
 // NumQuadTerms returns the number of distinct bilinear monomials.
@@ -243,17 +225,15 @@ func (q *Quad) Equal(other *Quad) bool {
 		return false
 	}
 	for p, c := range q.quad {
-		oc, ok := other.quad[p]
-		if !ok || c.Cmp(oc) != 0 {
+		if oc, ok := other.quad[p]; !ok || c != oc {
 			return false
 		}
 	}
 	return true
 }
 
-// Key returns a canonical string for hashing/deduplication, unique up to
-// polynomial identity.
-func (q *Quad) Key() string {
+// sortedPairs returns the bilinear monomials in canonical pair order.
+func (q *Quad) sortedPairs() []VarPair {
 	pairs := make([]VarPair, 0, len(q.quad))
 	for p := range q.quad {
 		pairs = append(pairs, p)
@@ -264,14 +244,22 @@ func (q *Quad) Key() string {
 		}
 		return pairs[i].Y < pairs[j].Y
 	})
-	var b strings.Builder
-	b.WriteString("Q")
+	return pairs
+}
+
+// Key returns a canonical string for hashing/deduplication, unique up to
+// polynomial identity. Like LinComb.Key it encodes raw limb bytes: cheap,
+// canonical per field, never printed.
+func (q *Quad) Key() string {
+	pairs := q.sortedPairs()
+	buf := make([]byte, 0, len(pairs)*(16+8*ff.ElementLimbs)+64)
 	for _, p := range pairs {
-		fmt.Fprintf(&b, "|%d,%d:%s", p.X, p.Y, q.quad[p].String())
+		buf = appendVarID(buf, p.X)
+		buf = appendVarID(buf, p.Y)
+		buf = q.quad[p].AppendRawBytes(buf)
 	}
-	b.WriteString("#")
-	b.WriteString(q.lin.Key())
-	return b.String()
+	buf = append(buf, '#')
+	return string(buf) + q.lin.Key()
 }
 
 // NormalizeSign returns q scaled so that its leading coefficient (first
@@ -279,22 +267,12 @@ func (q *Quad) Key() string {
 // constant) equals 1, yielding a canonical representative of the equation
 // q = 0 modulo nonzero scaling. The zero polynomial is returned unchanged.
 func (q *Quad) NormalizeSign() *Quad {
-	var lead *big.Int
-	pairs := make([]VarPair, 0, len(q.quad))
-	for p := range q.quad {
-		pairs = append(pairs, p)
-	}
-	if len(pairs) > 0 {
-		sort.Slice(pairs, func(i, j int) bool {
-			if pairs[i].X != pairs[j].X {
-				return pairs[i].X < pairs[j].X
-			}
-			return pairs[i].Y < pairs[j].Y
-		})
+	var lead ff.Element
+	if pairs := q.sortedPairs(); len(pairs) > 0 {
 		lead = q.quad[pairs[0]]
 	} else if vs := q.lin.Vars(); len(vs) > 0 {
 		lead = q.lin.Coeff(vs[0])
-	} else if q.lin.konst.Sign() != 0 {
+	} else if !q.lin.konst.IsZero() {
 		lead = q.lin.konst
 	} else {
 		return q.Clone()
@@ -309,18 +287,8 @@ func (q *Quad) String() string {
 
 // StringNamed renders the polynomial with the given variable namer.
 func (q *Quad) StringNamed(name func(x int) string) string {
-	pairs := make([]VarPair, 0, len(q.quad))
-	for p := range q.quad {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].X != pairs[j].X {
-			return pairs[i].X < pairs[j].X
-		}
-		return pairs[i].Y < pairs[j].Y
-	})
 	var parts []string
-	for _, p := range pairs {
+	for _, p := range q.sortedPairs() {
 		c := q.f.Signed(q.quad[p])
 		mono := name(p.X) + "*" + name(p.Y)
 		if p.X == p.Y {

@@ -63,16 +63,17 @@ func (s *System) MarshalText() string {
 }
 
 func marshalLC(lc *poly.LinComb) string {
+	f := lc.Field()
 	var b strings.Builder
-	b.WriteString(lc.Constant().String())
+	b.WriteString(f.ToBig(lc.Constant()).String())
 	b.WriteByte('|')
 	first := true
-	lc.VisitTerms(func(x int, coeff *big.Int) {
+	lc.VisitTerms(func(x int, coeff ff.Element) {
 		if !first {
 			b.WriteByte(',')
 		}
 		first = false
-		fmt.Fprintf(&b, "%d:%s", x, coeff)
+		fmt.Fprintf(&b, "%d:%s", x, f.ToBig(coeff))
 	})
 	return b.String()
 }
@@ -86,7 +87,7 @@ func parseLC(f *ff.Field, s string) (*poly.LinComb, error) {
 	if !parsed {
 		return nil, fmt.Errorf("r1cs: bad constant in %q", s)
 	}
-	lc := poly.Const(f, c)
+	lc := poly.ConstBig(f, c)
 	if rest == "" {
 		return lc, nil
 	}
@@ -103,7 +104,7 @@ func parseLC(f *ff.Field, s string) (*poly.LinComb, error) {
 		if !parsed {
 			return nil, fmt.Errorf("r1cs: bad coefficient in term %q", term)
 		}
-		lc = lc.AddTerm(v, coeff)
+		lc = lc.AddTerm(v, f.FromBig(coeff))
 	}
 	return lc, nil
 }

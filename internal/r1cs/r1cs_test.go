@@ -117,7 +117,7 @@ func TestConstraintQuadAndLinear(t *testing.T) {
 	x := s.AddSignal("x", KindInput)
 	y := s.AddSignal("y", KindOutput)
 	// Linear constraint via constant A: 1 * (x + 2) = y
-	s.AddConstraint(poly.ConstInt(f97, 1), poly.Var(f97, x).AddConst(big.NewInt(2)), poly.Var(f97, y), "lin")
+	s.AddConstraint(poly.ConstInt(f97, 1), poly.Var(f97, x).AddConst(f97.NewElement(2)), poly.Var(f97, y), "lin")
 	// Product that cancels: x * 0 = 0 is linear (trivially zero quad).
 	s.AddConstraint(poly.Var(f97, x), poly.ConstInt(f97, 0), poly.ConstInt(f97, 0), "zero")
 	// Genuine nonlinear: x * x = y
@@ -126,7 +126,7 @@ func TestConstraintQuadAndLinear(t *testing.T) {
 		t.Error("IsLinear misclassification")
 	}
 	q := s.Constraint(2).Quad()
-	if q.Degree() != 2 || q.CoeffPair(x, x).Int64() != 1 {
+	if q.Degree() != 2 || f97.ToBig(q.CoeffPair(x, x)).Int64() != 1 {
 		t.Errorf("Quad of x*x=y wrong: %v", q)
 	}
 	if !reflect.DeepEqual(s.Constraint(2).Vars(), []int{x, y}) {
@@ -151,9 +151,9 @@ func TestWitnessHelpers(t *testing.T) {
 	if got := FirstDifference(w1, w2, []int{a, b}); got != -1 {
 		t.Errorf("FirstDifference = %d, want -1", got)
 	}
-	// Clone isolation.
-	w2[a].SetInt64(9)
-	if w1[a].Sign() != 0 {
+	// Clone isolation (value semantics: writing one slice never aliases).
+	w2[a] = f97.NewElement(9)
+	if !w1[a].IsZero() {
 		t.Error("Clone aliases storage")
 	}
 }
@@ -239,8 +239,8 @@ func TestMarshalRoundTrip(t *testing.T) {
 	// Add a constraint with constants and a tag to exercise the format.
 	s.AddConstraint(
 		poly.ConstInt(f97, 1),
-		poly.Var(f97, a).Scale(big.NewInt(3)).AddConst(big.NewInt(5)),
-		poly.Var(f97, out).AddTerm(b, big.NewInt(96)),
+		poly.Var(f97, a).Scale(f97.NewElement(3)).AddConst(f97.NewElement(5)),
+		poly.Var(f97, out).AddTerm(b, f97.NewElement(96)),
 		"affine check",
 	)
 	text := s.MarshalText()

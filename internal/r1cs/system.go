@@ -8,7 +8,6 @@ package r1cs
 
 import (
 	"fmt"
-	"math/big"
 	"sort"
 
 	"qed2/internal/ff"
@@ -252,16 +251,14 @@ func (s *System) Stats() Stats {
 // --- witnesses ---------------------------------------------------------------
 
 // Witness is a full assignment to every signal, indexed by signal ID.
-// Entry 0 must be 1.
-type Witness []*big.Int
+// Entry 0 must be 1. Values are ff.Element, so a witness is a single flat
+// allocation and checking it is allocation-free.
+type Witness []ff.Element
 
 // NewWitness allocates a zeroed witness of the right length with the
 // constant-one slot set.
 func (s *System) NewWitness() Witness {
 	w := make(Witness, len(s.signals))
-	for i := range w {
-		w[i] = new(big.Int)
-	}
 	w[OneID] = s.field.One()
 	return w
 }
@@ -269,9 +266,7 @@ func (s *System) NewWitness() Witness {
 // Clone deep-copies a witness.
 func (w Witness) Clone() Witness {
 	out := make(Witness, len(w))
-	for i, v := range w {
-		out[i] = new(big.Int).Set(v)
-	}
+	copy(out, w)
 	return out
 }
 
@@ -281,16 +276,16 @@ func (s *System) CheckWitness(w Witness) error {
 	if len(w) != len(s.signals) {
 		return fmt.Errorf("r1cs: witness length %d, want %d", len(w), len(s.signals))
 	}
-	if w[OneID] == nil || !s.field.IsOne(s.field.Reduce(w[OneID])) {
-		return fmt.Errorf("r1cs: witness constant-one slot is %v", w[OneID])
+	if !s.field.IsOne(w[OneID]) {
+		return fmt.Errorf("r1cs: witness constant-one slot is %v", s.field.String(w[OneID]))
 	}
-	at := func(x int) *big.Int { return w[x] }
+	at := func(x int) ff.Element { return w[x] }
 	for i := range s.constraints {
 		c := &s.constraints[i]
 		av := c.A.Eval(at)
 		bv := c.B.Eval(at)
 		cv := c.C.Eval(at)
-		if s.field.Mul(av, bv).Cmp(cv) != 0 {
+		if s.field.Mul(av, bv) != cv {
 			return &UnsatisfiedError{Index: i, Constraint: c, System: s}
 		}
 	}
@@ -322,7 +317,7 @@ func (e *UnsatisfiedError) Error() string {
 // in ids.
 func AgreeOn(a, b Witness, ids []int) bool {
 	for _, id := range ids {
-		if a[id].Cmp(b[id]) != 0 {
+		if a[id] != b[id] {
 			return false
 		}
 	}
@@ -333,7 +328,7 @@ func AgreeOn(a, b Witness, ids []int) bool {
 // witnesses differ, or -1 if they agree on all of them.
 func FirstDifference(a, b Witness, ids []int) int {
 	for _, id := range ids {
-		if a[id].Cmp(b[id]) != 0 {
+		if a[id] != b[id] {
 			return id
 		}
 	}

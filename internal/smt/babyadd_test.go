@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"math/big"
 	"testing"
 
 	"qed2/internal/ff"
@@ -16,8 +15,8 @@ import (
 // square rules.
 func TestBabyAddXoutUnsat(t *testing.T) {
 	f := ff.BN254()
-	a := big.NewInt(168700)
-	d := big.NewInt(168696)
+	a := f.NewElement(168700)
+	d := f.NewElement(168696)
 	v := func(x int) *poly.LinComb { return poly.Var(f, x) }
 	p := NewProblem(f)
 	// E1: x1*y2 = beta
@@ -25,11 +24,11 @@ func TestBabyAddXoutUnsat(t *testing.T) {
 	// E2: y1*x2 = gamma
 	p.AddEq(v(2), v(3), v(6))
 	// E3: (-a*x1 + y1)*(x2+y2) = delta
-	p.AddEq(v(1).Scale(new(big.Int).Neg(a)).Add(v(2)), v(3).Add(v(4)), v(7))
+	p.AddEq(v(1).Scale(f.Neg(a)).Add(v(2)), v(3).Add(v(4)), v(7))
 	// E4: beta*gamma = tau
 	p.AddEq(v(5), v(6), v(8))
 	onePlus := poly.ConstInt(f, 1).AddTerm(8, d)
-	oneMinus := poly.ConstInt(f, 1).AddTerm(8, new(big.Int).Neg(d))
+	oneMinus := poly.ConstInt(f, 1).AddTerm(8, f.Neg(d))
 	rhsY := v(7).Add(v(5).Scale(a)).Sub(v(6))
 	// E5/E5': (1+d*tau)*xout = beta+gamma
 	p.AddEq(onePlus, v(9), v(5).Add(v(6)))
@@ -50,16 +49,16 @@ func TestBabyAddXoutUnsat(t *testing.T) {
 // Unknown is acceptable, a model would be unsound.
 func TestBabyAddYoutNeverSat(t *testing.T) {
 	f := ff.BN254()
-	a := big.NewInt(168700)
-	d := big.NewInt(168696)
+	a := f.NewElement(168700)
+	d := f.NewElement(168696)
 	v := func(x int) *poly.LinComb { return poly.Var(f, x) }
 	p := NewProblem(f)
 	p.AddEq(v(1), v(4), v(5))
 	p.AddEq(v(2), v(3), v(6))
-	p.AddEq(v(1).Scale(new(big.Int).Neg(a)).Add(v(2)), v(3).Add(v(4)), v(7))
+	p.AddEq(v(1).Scale(f.Neg(a)).Add(v(2)), v(3).Add(v(4)), v(7))
 	p.AddEq(v(5), v(6), v(8))
 	onePlus := poly.ConstInt(f, 1).AddTerm(8, d)
-	oneMinus := poly.ConstInt(f, 1).AddTerm(8, new(big.Int).Neg(d))
+	oneMinus := poly.ConstInt(f, 1).AddTerm(8, f.Neg(d))
 	rhsY := v(7).Add(v(5).Scale(a)).Sub(v(6))
 	p.AddEq(onePlus, v(9), v(5).Add(v(6)))
 	p.AddEq(onePlus, v(29), v(5).Add(v(6)))

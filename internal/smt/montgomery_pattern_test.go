@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"math/big"
 	"testing"
 
 	"qed2/internal/ff"
@@ -22,13 +21,13 @@ func TestMontgomeryDoublePattern(t *testing.T) {
 	// C0: in0*in0 = x1_2 (shared)
 	p.AddEq(v(1), v(1), v(6))
 	// C1: lamda * (2*in1) = 337396*in0 + 3*x1_2 + 1
-	rhs := c(1).AddTerm(1, big.NewInt(337396)).AddTerm(6, big.NewInt(3))
-	p.AddEq(v(5), v(2).Scale(big.NewInt(2)), rhs)
-	p.AddEq(v(15), v(2).Scale(big.NewInt(2)), rhs)
+	rhs := c(1).AddTerm(1, f.NewElement(337396)).AddTerm(6, f.NewElement(3))
+	p.AddEq(v(5), v(2).Scale(f.NewElement(2)), rhs)
+	p.AddEq(v(15), v(2).Scale(f.NewElement(2)), rhs)
 	// C2: lamda*lamda = 2*in0 + out0 + 168698
-	rhs2 := c(168698).AddTerm(1, big.NewInt(2))
-	p.AddEq(v(5), v(5), rhs2.AddTerm(3, big.NewInt(1)))
-	p.AddEq(v(15), v(15), rhs2.AddTerm(13, big.NewInt(1)))
+	rhs2 := c(168698).AddTerm(1, f.NewElement(2))
+	p.AddEq(v(5), v(5), rhs2.AddTerm(3, f.NewElement(1)))
+	p.AddEq(v(15), v(15), rhs2.AddTerm(13, f.NewElement(1)))
 	// C3: lamda*(in0 - out0) = in1 + out1
 	p.AddEq(v(5), v(1).Sub(v(3)), v(2).Add(v(4)))
 	p.AddEq(v(15), v(1).Sub(v(13)), v(2).Add(v(14)))
@@ -41,7 +40,7 @@ func TestMontgomeryDoublePattern(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The model must exercise the vanishing denominator.
-	if out.Model.Eval(2).Sign() != 0 {
+	if !out.Model.Eval(2).IsZero() {
 		t.Errorf("expected in[1] = 0 in the model, got %v", out.Model.Eval(2))
 	}
 }

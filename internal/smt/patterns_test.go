@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"math/big"
 	"testing"
 
 	"qed2/internal/ff"
@@ -20,12 +19,12 @@ func TestProportionalDetection(t *testing.T) {
 		ok    bool
 	}{
 		{x, x, 1, true},
-		{x.Scale(big.NewInt(3)), x, 3, true},
+		{x.Scale(f.NewElement(3)), x, 3, true},
 		{x.Neg(), x, 96, true},
-		{x.Add(y).Scale(big.NewInt(5)), x.Add(y), 5, true},
+		{x.Add(y).Scale(f.NewElement(5)), x.Add(y), 5, true},
 		{x.Add(y), x.Sub(y), 0, false},
 		{x, y, 0, false},
-		{x.AddConst(big.NewInt(1)), x, 0, false},
+		{x.AddConst(f.NewElement(1)), x, 0, false},
 		{poly.ConstInt(f, 3), x, 0, false}, // const side
 		{x, poly.ConstInt(f, 3), 0, false},
 	}
@@ -35,7 +34,7 @@ func TestProportionalDetection(t *testing.T) {
 			t.Errorf("case %d: ok=%v want %v", i, ok, c.ok)
 			continue
 		}
-		if ok && k.Int64() != c.wantK {
+		if ok && i64(f, k) != c.wantK {
 			t.Errorf("case %d: k=%v want %d", i, k, c.wantK)
 		}
 	}
@@ -48,20 +47,20 @@ func TestProportionalSquareUnsat(t *testing.T) {
 	f := f97
 	l := poly.Var(f, 0).Add(poly.Var(f, 1))
 	p := NewProblem(f)
-	p.AddEq(l.Scale(big.NewInt(2)), l, poly.ConstInt(f, 10))
+	p.AddEq(l.Scale(f.NewElement(2)), l, poly.ConstInt(f, 10))
 	out := Solve(p, &Options{Seed: 1})
 	if out.Status != StatusUnsat {
 		t.Fatalf("status = %v, want unsat ((x+y)² = 5 has no solution mod 97)", out.Status)
 	}
 	// Same shape with a solvable RHS: (x+y)² = 9·2/2 → use C = 18 → square 9.
 	p2 := NewProblem(f)
-	p2.AddEq(l.Scale(big.NewInt(2)), l, poly.ConstInt(f, 18))
+	p2.AddEq(l.Scale(f.NewElement(2)), l, poly.ConstInt(f, 18))
 	out = Solve(p2, &Options{Seed: 1})
 	if out.Status != StatusSat {
 		t.Fatalf("status = %v, want sat", out.Status)
 	}
 	sum := f.Add(out.Model.Eval(0), out.Model.Eval(1))
-	if sq := f.Mul(sum, sum); sq.Int64() != 9 {
+	if sq := f.Mul(sum, sum); i64(f, sq) != 9 {
 		t.Errorf("(x+y)² = %v, want 9", sq)
 	}
 }
@@ -129,16 +128,16 @@ func TestQuadDiffLinearizes(t *testing.T) {
 	x, y := poly.Var(f, 0), poly.Var(f, 1)
 	p := NewProblem(f)
 	p.AddEq(x, y, poly.ConstInt(f, 7))
-	p.AddEq(x.AddConst(big.NewInt(-3)), y, poly.ConstInt(f, 7-15))
+	p.AddEq(x.AddConst(f.NewElement(-3)), y, poly.ConstInt(f, 7-15))
 	out := Solve(p, &Options{Seed: 1})
 	if out.Status != StatusSat {
 		t.Fatalf("status = %v (%s), want sat", out.Status, out.Reason)
 	}
-	if out.Model.Eval(1).Int64() != 5 {
+	if i64(f, out.Model.Eval(1)) != 5 {
 		t.Errorf("y = %v, want 5", out.Model.Eval(1))
 	}
 	want := f.Mul(f.NewElement(7), f.MustInv(f.NewElement(5)))
-	if out.Model.Eval(0).Cmp(want) != 0 {
+	if out.Model.Eval(0) != want {
 		t.Errorf("x = %v, want 7/5", out.Model.Eval(0))
 	}
 }
@@ -162,7 +161,7 @@ func TestQuadPartKeyBuckets(t *testing.T) {
 	x, y := poly.Var(f, 0), poly.Var(f, 1)
 	q1 := poly.MulLin(x, y)                          // xy
 	q2 := poly.MulLin(x, y).Add(poly.QuadFromLin(x)) // xy + x
-	q3 := poly.MulLin(x.Scale(big.NewInt(2)), y)     // 2xy
+	q3 := poly.MulLin(x.Scale(f.NewElement(2)), y)   // 2xy
 	if quadPartKey(q1) != quadPartKey(q2) {
 		t.Error("same quadratic part bucketed differently")
 	}
@@ -185,18 +184,18 @@ func TestEnumerationTriesAllFactorRoots(t *testing.T) {
 	f := ff.BN254()
 	a, b, c, cp := poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 2), poly.Var(f, 3)
 	p := NewProblem(f)
-	p.AddEq(a.AddConst(big.NewInt(-2)), b, c)
-	p.AddEq(b.AddConst(big.NewInt(-3)), a, cp)
-	p.AddEq(c, c.AddConst(big.NewInt(-1)), poly.NewLinComb(f))   // c ∈ {0,1}
-	p.AddEq(cp, cp.AddConst(big.NewInt(-1)), poly.NewLinComb(f)) // c′ ∈ {0,1}
-	p.AddLinearEq(c.Add(cp))                                     // c + c′ = 0 → both zero
-	p.AddNeq(a)                                                  // a ≠ 0
-	p.AddNeq(b)                                                  // b ≠ 0
+	p.AddEq(a.AddConst(f.NewElement(-2)), b, c)
+	p.AddEq(b.AddConst(f.NewElement(-3)), a, cp)
+	p.AddEq(c, c.AddConst(f.NewElement(-1)), poly.NewLinComb(f))   // c ∈ {0,1}
+	p.AddEq(cp, cp.AddConst(f.NewElement(-1)), poly.NewLinComb(f)) // c′ ∈ {0,1}
+	p.AddLinearEq(c.Add(cp))                                       // c + c′ = 0 → both zero
+	p.AddNeq(a)                                                    // a ≠ 0
+	p.AddNeq(b)                                                    // b ≠ 0
 	out := Solve(p, &Options{Seed: 3})
 	if out.Status != StatusSat {
 		t.Fatalf("status = %v (%s), want sat via factor roots a=2, b=3", out.Status, out.Reason)
 	}
-	if out.Model.Eval(0).Int64() != 2 || out.Model.Eval(1).Int64() != 3 {
+	if i64(f, out.Model.Eval(0)) != 2 || i64(f, out.Model.Eval(1)) != 3 {
 		t.Errorf("model a=%v b=%v, want 2,3", out.Model.Eval(0), out.Model.Eval(1))
 	}
 }
@@ -210,7 +209,7 @@ func TestDeriveGuardsRespectSize(t *testing.T) {
 	p := NewProblem(f)
 	for i := 0; i < maxDeriveEqs+10; i++ {
 		// x_i + 1 = x_{i+1}
-		p.AddLinearEq(poly.Var(f, i).AddConst(big.NewInt(1)).Sub(poly.Var(f, i+1)))
+		p.AddLinearEq(poly.Var(f, i).AddConst(f.NewElement(1)).Sub(poly.Var(f, i+1)))
 	}
 	out := Solve(p, &Options{MaxSteps: 10_000_000, Seed: 1})
 	if out.Status != StatusSat {

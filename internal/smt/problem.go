@@ -22,7 +22,6 @@ package smt
 
 import (
 	"fmt"
-	"math/big"
 	"sort"
 
 	"qed2/internal/ff"
@@ -92,14 +91,11 @@ func (p *Problem) Vars() []int {
 
 // Model is a satisfying assignment, defined on every variable of the
 // problem it solves.
-type Model map[int]*big.Int
+type Model map[int]ff.Element
 
 // Eval looks a variable up, defaulting to zero.
-func (m Model) Eval(x int) *big.Int {
-	if v, ok := m[x]; ok {
-		return v
-	}
-	return new(big.Int)
+func (m Model) Eval(x int) ff.Element {
+	return m[x]
 }
 
 // Check verifies that the model satisfies every constraint of the problem.
@@ -109,12 +105,12 @@ func (p *Problem) Check(m Model) error {
 	for i, e := range p.Eqs {
 		l := f.Mul(e.A.Eval(at), e.B.Eval(at))
 		r := e.C.Eval(at)
-		if l.Cmp(r) != 0 {
-			return fmt.Errorf("smt: equation %d violated: %s (lhs=%v rhs=%v)", i, e, l, r)
+		if l != r {
+			return fmt.Errorf("smt: equation %d violated: %s (lhs=%s rhs=%s)", i, e, f.String(l), f.String(r))
 		}
 	}
 	for i, n := range p.Neqs {
-		if n.Eval(at).Sign() == 0 {
+		if n.Eval(at).IsZero() {
 			return fmt.Errorf("smt: disequality %d violated: %s != 0", i, n)
 		}
 	}

@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"math/big"
 	"math/rand"
 	"sort"
 	"time"
@@ -214,7 +213,7 @@ func (st *state) addSub(v int, expr *poly.LinComb) {
 }
 
 // assignVar is addSub with a constant.
-func (st *state) assignVar(v int, val *big.Int) {
+func (st *state) assignVar(v int, val ff.Element) {
 	st.addSub(v, poly.Const(st.f, val))
 }
 
@@ -250,7 +249,7 @@ func (s *solver) propagate(st *state) (bool, bool) {
 		kept := st.neqs[:0]
 		for _, n := range st.neqs {
 			if n.IsConst() {
-				if n.Constant().Sign() == 0 {
+				if n.Constant().IsZero() {
 					return true, true
 				}
 				continue // trivially satisfied
@@ -318,7 +317,7 @@ func linearView(f *ff.Field, e Equation) (*poly.LinComb, bool, bool) {
 		lin = q.Lin()
 	}
 	if lin.IsConst() {
-		if lin.Constant().Sign() != 0 {
+		if !lin.Constant().IsZero() {
 			return nil, true, true
 		}
 		return nil, true, false
@@ -326,11 +325,11 @@ func linearView(f *ff.Field, e Equation) (*poly.LinComb, bool, bool) {
 	return lin, true, false
 }
 
-func constOf(lc *poly.LinComb) (*big.Int, bool) {
+func constOf(lc *poly.LinComb) (ff.Element, bool) {
 	if lc.IsConst() {
 		return lc.Constant(), true
 	}
-	return nil, false
+	return ff.Element{}, false
 }
 
 // pickPivot chooses the elimination variable of a linear equation by the
@@ -349,7 +348,7 @@ func pickPivot(st *state, lin *poly.LinComb) int {
 	}
 	tally := func(lc *poly.LinComb) {
 		for _, v := range vars {
-			if lc.Coeff(v).Sign() != 0 {
+			if !lc.Coeff(v).IsZero() {
 				counts[v]++
 			}
 		}
@@ -416,7 +415,7 @@ func (s *solver) branch(st *state, depth int) (resultKind, Model) {
 			}
 			return rUnknown, nil
 		}
-		if r.Sign() == 0 {
+		if r.IsZero() {
 			// B² = 0 ⟺ B = 0: deterministic.
 			st.eqs = append(st.eqs, Equation{A: poly.ConstInt(s.f, 1), B: e.B, C: poly.NewLinComb(s.f)})
 			return s.solve(st, depth)
@@ -436,7 +435,7 @@ func (s *solver) branch(st *state, depth int) (resultKind, Model) {
 		q2 := q.CoeffPair(x, x)
 		q1 := q.Lin().Coeff(x)
 		q0 := q.Lin().Constant()
-		if q2.Sign() == 0 {
+		if q2.IsZero() {
 			continue // linear; propagate would have caught it, defensive
 		}
 		st.eqs = append(st.eqs[:i], st.eqs[i+1:]...)
@@ -457,7 +456,7 @@ func (s *solver) branch(st *state, depth int) (resultKind, Model) {
 	// Pattern 3: zero product A·B = 0 → A = 0 ∨ B = 0 (complete).
 	for i, e := range st.eqs {
 		c, ok := constOf(e.C)
-		if !ok || c.Sign() != 0 {
+		if !ok || !c.IsZero() {
 			continue
 		}
 		st.eqs = append(st.eqs[:i], st.eqs[i+1:]...)
@@ -563,7 +562,7 @@ func (s *solver) deriveQuadDiff(st *state) bool {
 					continue
 				}
 				lin := d.Lin()
-				if lin.IsConst() && lin.Constant().Sign() == 0 {
+				if lin.IsConst() && lin.Constant().IsZero() {
 					// Identical equations: drop the duplicate.
 					st.eqs = append(st.eqs[:j], st.eqs[j+1:]...)
 					return true
@@ -620,26 +619,26 @@ func (s *solver) splitLinear(st *state, branches []*poly.LinComb, depth int) (re
 
 // proportional reports whether A = k·B for a nonzero constant k, with both
 // sides non-constant.
-func proportional(f *ff.Field, a, b *poly.LinComb) (*big.Int, bool) {
+func proportional(f *ff.Field, a, b *poly.LinComb) (ff.Element, bool) {
 	if a.IsConst() || b.IsConst() {
-		return nil, false
+		return ff.Element{}, false
 	}
 	v := b.Vars()[0]
 	b0 := b.Coeff(v)
 	a0 := a.Coeff(v)
-	if a0.Sign() == 0 {
-		return nil, false
+	if a0.IsZero() {
+		return ff.Element{}, false
 	}
 	k := f.Mul(a0, f.MustInv(b0))
 	if !a.Sub(b.Scale(k)).IsZero() {
-		return nil, false
+		return ff.Element{}, false
 	}
 	return k, true
 }
 
 // quadraticRoots solves q2·x² + q1·x + q0 = 0 (q2 ≠ 0), returning the roots
 // or exists=false when the discriminant is a non-residue.
-func quadraticRoots(f *ff.Field, q2, q1, q0 *big.Int) ([]*big.Int, bool) {
+func quadraticRoots(f *ff.Field, q2, q1, q0 ff.Element) ([]ff.Element, bool) {
 	// x = (-q1 ± √(q1² − 4·q2·q0)) / (2·q2)
 	disc := f.Sub(f.Mul(q1, q1), f.Mul(f.NewElement(4), f.Mul(q2, q0)))
 	r, ok := f.Sqrt(disc)
@@ -648,17 +647,17 @@ func quadraticRoots(f *ff.Field, q2, q1, q0 *big.Int) ([]*big.Int, bool) {
 	}
 	inv2a := f.MustInv(f.Mul(f.NewElement(2), q2))
 	x1 := f.Mul(f.Sub(f.Neg(q1), r), inv2a)
-	if r.Sign() == 0 {
-		return []*big.Int{x1}, true
+	if r.IsZero() {
+		return []ff.Element{x1}, true
 	}
 	x2 := f.Mul(f.Add(f.Neg(q1), r), inv2a)
-	return []*big.Int{x1, x2}, true
+	return []ff.Element{x1, x2}, true
 }
 
 // assignCand is one (variable := value) case of an enumeration split.
 type assignCand struct {
 	v   int
-	val *big.Int
+	val ff.Element
 }
 
 // enumerate tries concrete (variable, value) cases. Over small fields it
@@ -679,16 +678,15 @@ func (s *solver) enumerate(st *state, depth int) (resultKind, Model) {
 	if s.f.IsSmall() && s.f.SmallModulus() <= s.opts.MaxEnumeration {
 		p := s.f.SmallModulus()
 		for v := uint64(0); v < p; v++ {
-			candidates = append(candidates, assignCand{v: x, val: new(big.Int).SetUint64(v)})
+			candidates = append(candidates, assignCand{v: x, val: s.f.FromUint64(v)})
 		}
 		completeEnum = true
 	} else {
 		// Roots of every single-variable factor in the system: each zeroes
 		// a product side and typically collapses its equation to linear.
 		seen := map[assignKey]bool{}
-		add := func(v int, val *big.Int) {
-			val = s.f.Reduce(val)
-			k := assignKey{v: v, val: val.String()}
+		add := func(v int, val ff.Element) {
+			k := assignKey{v: v, val: val}
 			if !seen[k] {
 				seen[k] = true
 				candidates = append(candidates, assignCand{v: v, val: val})
@@ -720,7 +718,7 @@ func (s *solver) enumerate(st *state, depth int) (resultKind, Model) {
 			child.complete = false
 		}
 		if debugTrace != nil {
-			debugTrace("d%d enum x%d := %v", depth, c.v, c.val)
+			debugTrace("d%d enum x%d := %s", depth, c.v, s.f.String(c.val))
 		}
 		child.assignVar(c.v, c.val)
 		res, m := s.solve(child, depth+1)
@@ -743,9 +741,11 @@ func (s *solver) enumerate(st *state, depth int) (resultKind, Model) {
 	return rUnknown, nil
 }
 
+// assignKey identifies a candidate assignment; Element is comparable, so the
+// dedup set needs no string rendering.
 type assignKey struct {
 	v   int
-	val string
+	val ff.Element
 }
 
 // pickEnumVar chooses the enumeration variable. Variables that occur as a
@@ -790,21 +790,19 @@ func (s *solver) pickEnumVar(st *state) int {
 // heuristicCandidates assembles promising values for variable x: small
 // constants, roots of single-variable factors mentioning x, and
 // deterministic pseudo-random probes.
-func (s *solver) heuristicCandidates(st *state, x int) []*big.Int {
-	seen := map[string]bool{}
-	var out []*big.Int
-	add := func(v *big.Int) {
-		v = s.f.Reduce(v)
-		k := v.String()
-		if !seen[k] {
-			seen[k] = true
+func (s *solver) heuristicCandidates(st *state, x int) []ff.Element {
+	seen := map[ff.Element]bool{}
+	var out []ff.Element
+	add := func(v ff.Element) {
+		if !seen[v] {
+			seen[v] = true
 			out = append(out, v)
 		}
 	}
-	add(big.NewInt(0))
-	add(big.NewInt(1))
+	add(s.f.Zero())
+	add(s.f.One())
 	add(s.f.Neg(s.f.One()))
-	add(big.NewInt(2))
+	add(s.f.NewElement(2))
 	// Roots of factors that are single-variable in x: values that zero a
 	// product side.
 	for _, e := range st.eqs {
@@ -852,12 +850,12 @@ func (s *solver) completeModel(st *state) (Model, bool) {
 	for _, v := range free {
 		// Collect forbidden values from disequalities where v is the last
 		// unresolved variable.
-		forbidden := map[string]bool{}
+		forbidden := map[ff.Element]bool{}
 		for _, n := range neqs {
 			vars := n.Vars()
 			if len(vars) == 1 && vars[0] == v {
 				root, _ := n.SolveFor(v)
-				forbidden[root.Constant().String()] = true
+				forbidden[root.Constant()] = true
 			}
 		}
 		val, ok := s.pickValueAvoiding(forbidden)
@@ -873,12 +871,12 @@ func (s *solver) completeModel(st *state) (Model, bool) {
 	// avoided; fully-substituted ones could still conflict only if they had
 	// no free vars, which propagate already rejected).
 	for _, n := range neqs {
-		if n.IsConst() && n.Constant().Sign() == 0 {
+		if n.IsConst() && n.Constant().IsZero() {
 			return nil, false
 		}
 	}
 	// Materialize eliminated variables from the substitution chain.
-	at := func(x int) *big.Int { return model.Eval(x) }
+	at := func(x int) ff.Element { return model.Eval(x) }
 	for i := len(st.subs) - 1; i >= 0; i-- {
 		e := st.subs[i]
 		model[e.v] = e.expr.Eval(at)
@@ -887,20 +885,20 @@ func (s *solver) completeModel(st *state) (Model, bool) {
 }
 
 // pickValueAvoiding returns a field element outside the forbidden set.
-func (s *solver) pickValueAvoiding(forbidden map[string]bool) (*big.Int, bool) {
+func (s *solver) pickValueAvoiding(forbidden map[ff.Element]bool) (ff.Element, bool) {
 	if s.f.IsSmall() && uint64(len(forbidden)) >= s.f.SmallModulus() {
 		// The forbidden set may cover the entire field.
 		for v := uint64(0); v < s.f.SmallModulus(); v++ {
-			c := new(big.Int).SetUint64(v)
-			if !forbidden[c.String()] {
+			c := s.f.FromUint64(v)
+			if !forbidden[c] {
 				return c, true
 			}
 		}
-		return nil, false
+		return ff.Element{}, false
 	}
 	for i := int64(0); ; i++ {
 		c := s.f.NewElement(i)
-		if !forbidden[c.String()] {
+		if !forbidden[c] {
 			return c, true
 		}
 	}

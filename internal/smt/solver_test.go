@@ -21,10 +21,13 @@ func lc(f *ff.Field, konst int64, terms ...int64) *poly.LinComb {
 	// terms come in (var, coeff) pairs
 	out := poly.ConstInt(f, konst)
 	for i := 0; i+1 < len(terms); i += 2 {
-		out = out.AddTerm(int(terms[i]), big.NewInt(terms[i+1]))
+		out = out.AddTerm(int(terms[i]), f.NewElement(terms[i+1]))
 	}
 	return out
 }
+
+// i64 renders a small element as an int64 for assertions.
+func i64(f *ff.Field, e ff.Element) int64 { return f.ToBig(e).Int64() }
 
 func solve(t *testing.T, p *Problem) Outcome {
 	t.Helper()
@@ -46,7 +49,7 @@ func TestLinearSystems(t *testing.T) {
 	if out.Status != StatusSat {
 		t.Fatalf("status = %v", out.Status)
 	}
-	if out.Model.Eval(0).Int64() != 7 || out.Model.Eval(1).Int64() != 3 {
+	if i64(f97, out.Model.Eval(0)) != 7 || i64(f97, out.Model.Eval(1)) != 3 {
 		t.Errorf("model = %v", out.Model)
 	}
 }
@@ -76,7 +79,7 @@ func TestBooleanConstraint(t *testing.T) {
 	p.AddEq(lc(f97, 0, 0, 1), lc(f97, -1, 0, 1), poly.NewLinComb(f97))
 	p.AddNeq(lc(f97, 0, 0, 1))
 	out := solve(t, p)
-	if out.Status != StatusSat || out.Model.Eval(0).Int64() != 1 {
+	if out.Status != StatusSat || i64(f97, out.Model.Eval(0)) != 1 {
 		t.Fatalf("out = %+v", out)
 	}
 	// Adding x ≠ 1 makes it unsat.
@@ -92,7 +95,7 @@ func TestZeroProductChain(t *testing.T) {
 	p.AddEq(lc(f97, -2, 0, 1), lc(f97, -3, 1, 1), poly.NewLinComb(f97))
 	p.AddNeq(lc(f97, -2, 0, 1))
 	out := solve(t, p)
-	if out.Status != StatusSat || out.Model.Eval(1).Int64() != 3 {
+	if out.Status != StatusSat || i64(f97, out.Model.Eval(1)) != 3 {
 		t.Fatalf("out = %+v model=%v", out.Status, out.Model)
 	}
 }
@@ -104,7 +107,7 @@ func TestSquarePattern(t *testing.T) {
 	p.AddEq(x, x, poly.ConstInt(f97, 9))
 	p.AddNeq(lc(f97, -3, 0, 1))
 	out := solve(t, p)
-	if out.Status != StatusSat || out.Model.Eval(0).Int64() != 94 {
+	if out.Status != StatusSat || i64(f97, out.Model.Eval(0)) != 94 {
 		t.Fatalf("out = %v model=%v", out.Status, out.Model)
 	}
 	// x² = non-residue → unsat. 5 is a non-residue mod 97.
@@ -121,7 +124,7 @@ func TestSingleVarQuadratic(t *testing.T) {
 	p.AddEq(lc(f97, 1, 0, 1), lc(f97, 2, 0, 1), poly.ConstInt(f97, 2))
 	p.AddNeq(lc(f97, 0, 0, 1))
 	out := solve(t, p)
-	if out.Status != StatusSat || out.Model.Eval(0).Int64() != 94 {
+	if out.Status != StatusSat || i64(f97, out.Model.Eval(0)) != 94 {
 		t.Fatalf("out = %v model=%v", out.Status, out.Model)
 	}
 }
@@ -152,7 +155,7 @@ func TestUnderconstrainedDetection(t *testing.T) {
 	if out.Status != StatusSat {
 		t.Fatalf("status = %v", out.Status)
 	}
-	if out.Model.Eval(inv).Cmp(out.Model.Eval(inv2)) == 0 {
+	if out.Model.Eval(inv) == out.Model.Eval(inv2) {
 		t.Error("model violates disequality")
 	}
 }
@@ -164,13 +167,13 @@ func TestBudgetExhaustion(t *testing.T) {
 	n := 24
 	for i := 0; i < n; i++ {
 		x := lc(fbig, 0, int64(i), 1)
-		p.AddEq(x, x.AddConst(big.NewInt(-1)), poly.NewLinComb(fbig))
+		p.AddEq(x, x.AddConst(fbig.NewElement(-1)), poly.NewLinComb(fbig))
 	}
 	// sum of all x_i = n+1 → impossible (each is 0/1, but that reasoning
 	// needs the full split).
 	sum := poly.ConstInt(fbig, int64(-(n + 1)))
 	for i := 0; i < n; i++ {
-		sum = sum.AddTerm(i, big.NewInt(1))
+		sum = sum.AddTerm(i, fbig.NewElement(1))
 	}
 	p.AddLinearEq(sum)
 	out := Solve(p, &Options{MaxSteps: 50})
@@ -221,7 +224,7 @@ func bruteForce(p *Problem) (bool, Model) {
 			return p.Check(assign) == nil
 		}
 		for v := int64(0); v < pMod; v++ {
-			assign[vars[i]] = big.NewInt(v)
+			assign[vars[i]] = f.NewElement(v)
 			if rec(i + 1) {
 				return true
 			}
@@ -243,7 +246,7 @@ func randProblem(rng *rand.Rand, nv int) *Problem {
 		out := poly.ConstInt(f13, int64(rng.Intn(13)))
 		for v := 0; v < nv; v++ {
 			if rng.Intn(2) == 0 {
-				out = out.AddTerm(v, big.NewInt(int64(rng.Intn(13))))
+				out = out.AddTerm(v, f13.NewElement(int64(rng.Intn(13))))
 			}
 		}
 		return out

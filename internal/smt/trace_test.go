@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"math/big"
 	"strings"
 	"testing"
 
@@ -20,7 +19,7 @@ func TestDebugTraceHook(t *testing.T) {
 	f := fbig
 	p := NewProblem(f)
 	// A hard 2-var core that must reach the enumeration fallback.
-	p.AddEq(poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 0).Add(poly.Var(f, 1)).AddConst(big.NewInt(1)))
+	p.AddEq(poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 0).Add(poly.Var(f, 1)).AddConst(f.NewElement(1)))
 	Solve(p, &Options{MaxSteps: 2000, Seed: 1})
 	var sawEnum bool
 	for _, l := range lines {

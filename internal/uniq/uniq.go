@@ -273,14 +273,14 @@ func booleanOf(q *poly.Quad) (int, bool) {
 	}
 	x := vars[0]
 	c := q.CoeffPair(x, x)
-	if c.Sign() == 0 {
+	if c.IsZero() {
 		return 0, false
 	}
 	f := q.Field()
-	if q.Lin().Constant().Sign() != 0 {
+	if !q.Lin().Constant().IsZero() {
 		return 0, false
 	}
-	if q.Lin().Coeff(x).Cmp(f.Neg(c)) != 0 {
+	if q.Lin().Coeff(x) != f.Neg(c) {
 		return 0, false
 	}
 	return x, true
@@ -312,12 +312,12 @@ func (p *Propagator) ruleBits(ci int) ([]int, bool) {
 	mags := make([]*big.Int, 0, len(unknowns))
 	for _, x := range unknowns {
 		for _, y := range q.Vars() {
-			if q.CoeffPair(x, y).Sign() != 0 {
+			if !q.CoeffPair(x, y).IsZero() {
 				return nil, false
 			}
 		}
 		c := q.Lin().Coeff(x)
-		if c.Sign() == 0 {
+		if c.IsZero() {
 			return nil, false
 		}
 		mag := new(big.Int).Abs(f.Signed(c))
@@ -361,16 +361,16 @@ func (p *Propagator) ruleSolve(ci int) (int, bool) {
 	x := unknown
 	// x must not occur in any quadratic monomial: x² would give two roots,
 	// and x·y (even with y unique) has a vanishing coefficient when y = 0.
-	if q.CoeffPair(x, x).Sign() != 0 {
+	if !q.CoeffPair(x, x).IsZero() {
 		return 0, false
 	}
 	for _, y := range q.Vars() {
-		if y != x && q.CoeffPair(x, y).Sign() != 0 {
+		if y != x && !q.CoeffPair(x, y).IsZero() {
 			return 0, false
 		}
 	}
 	// Linear occurrence with a constant nonzero coefficient.
-	if q.Lin().Coeff(x).Sign() == 0 {
+	if q.Lin().Coeff(x).IsZero() {
 		return 0, false
 	}
 	return x, true

@@ -38,9 +38,9 @@ func TestSolveRuleChain(t *testing.T) {
 	b := sys.AddSignal("b", r1cs.KindInternal)
 	c := sys.AddSignal("c", r1cs.KindOutput)
 	// 1 * (3a + 1) = b
-	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, a).Scale(big.NewInt(3)).AddConst(big.NewInt(1)), lcv(f97, b), "")
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, a).Scale(f97.NewElement(3)).AddConst(f97.NewElement(1)), lcv(f97, b), "")
 	// 1 * (2b - 5) = c
-	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, b).Scale(big.NewInt(2)).AddConst(big.NewInt(-5)), lcv(f97, c), "")
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, b).Scale(f97.NewElement(2)).AddConst(f97.NewElement(-5)), lcv(f97, c), "")
 	p := New(sys)
 	if !p.IsUnique(b) || !p.IsUnique(c) {
 		t.Fatalf("chain not resolved: unique=%v", p.Unique())
@@ -161,7 +161,7 @@ func TestPropagationSoundnessExhaustive(t *testing.T) {
 			out := poly.ConstInt(f5, int64(rng.Intn(5)))
 			for v := 1; v < n; v++ {
 				if rng.Intn(3) == 0 {
-					out = out.AddTerm(v, big.NewInt(int64(rng.Intn(5))))
+					out = out.AddTerm(v, f5.NewElement(int64(rng.Intn(5))))
 				}
 			}
 			return out
@@ -183,7 +183,7 @@ func TestPropagationSoundnessExhaustive(t *testing.T) {
 		for enc := 0; enc < total; enc++ {
 			v := enc
 			for i := 1; i < n; i++ {
-				w[i] = big.NewInt(int64(v % 5))
+				w[i] = f5.NewElement(int64(v % 5))
 				v /= 5
 			}
 			if sys.CheckWitness(w) != nil {
@@ -191,7 +191,7 @@ func TestPropagationSoundnessExhaustive(t *testing.T) {
 			}
 			var kb []byte
 			for _, in := range sys.Inputs() {
-				kb = append(kb, byte('0'+w[in].Int64()))
+				kb = append(kb, byte('0'+f5.ToBig(w[in]).Int64()))
 			}
 			g := groups[key(kb)]
 			if g == nil {
@@ -202,7 +202,7 @@ func TestPropagationSoundnessExhaustive(t *testing.T) {
 				if g[i] == nil {
 					g[i] = map[string]bool{}
 				}
-				g[i][w[i].String()] = true
+				g[i][f5.String(w[i])] = true
 			}
 		}
 		for _, g := range groups {
@@ -262,11 +262,11 @@ func buildBits(t *testing.T, n int, coeffs []int64) (*r1cs.System, []int) {
 	}
 	for _, b := range bits {
 		// b * (b-1) = 0
-		sys.AddConstraint(lcv(f97, b), lcv(f97, b).AddConst(big.NewInt(-1)), poly.NewLinComb(f97), "bool")
+		sys.AddConstraint(lcv(f97, b), lcv(f97, b).AddConst(f97.NewElement(-1)), poly.NewLinComb(f97), "bool")
 	}
-	sum := poly.NewLinComb(f97).AddTerm(in, big.NewInt(-1))
+	sum := poly.NewLinComb(f97).AddTerm(in, f97.NewElement(-1))
 	for i, b := range bits {
-		sum = sum.AddTerm(b, big.NewInt(coeffs[i]))
+		sum = sum.AddTerm(b, f97.NewElement(coeffs[i]))
 	}
 	sys.AddConstraint(poly.ConstInt(f97, 1), sum, poly.NewLinComb(f97), "sum")
 	return sys, bits
@@ -342,9 +342,9 @@ func TestRuleBitsRequiresBooleanFacts(t *testing.T) {
 	b0 := sys.AddSignal("b0", r1cs.KindOutput)
 	b1 := sys.AddSignal("b1", r1cs.KindOutput)
 	sum := poly.NewLinComb(f97).
-		AddTerm(in, big.NewInt(-1)).
-		AddTerm(b0, big.NewInt(1)).
-		AddTerm(b1, big.NewInt(2))
+		AddTerm(in, f97.NewElement(-1)).
+		AddTerm(b0, f97.NewElement(1)).
+		AddTerm(b1, f97.NewElement(2))
 	sys.AddConstraint(poly.ConstInt(f97, 1), sum, poly.NewLinComb(f97), "sum")
 	p := New(sys)
 	if p.IsUnique(b0) || p.IsUnique(b1) {
@@ -389,11 +389,11 @@ func TestSnapshotImmutable(t *testing.T) {
 	b := sys.AddSignal("b", r1cs.KindInternal)
 	x := sys.AddSignal("x", r1cs.KindInternal)
 	c := sys.AddSignal("c", r1cs.KindOutput)
-	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, a).Scale(big.NewInt(3)).AddConst(big.NewInt(1)), lcv(f97, b), "")
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, a).Scale(f97.NewElement(3)).AddConst(f97.NewElement(1)), lcv(f97, b), "")
 	// x·x = b: not solvable syntactically (two roots).
 	sys.AddConstraint(lcv(f97, x), lcv(f97, x), lcv(f97, b), "")
 	// 1·(x + 2) = c: pins c once x is unique.
-	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, x).AddConst(big.NewInt(2)), lcv(f97, c), "")
+	sys.AddConstraint(poly.ConstInt(f97, 1), lcv(f97, x).AddConst(f97.NewElement(2)), lcv(f97, c), "")
 	p := New(sys)
 	snap := p.Snapshot()
 	if !snap.IsUnique(a) || !snap.IsUnique(b) || snap.IsUnique(x) || snap.IsUnique(c) {
