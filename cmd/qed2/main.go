@@ -25,6 +25,7 @@ import (
 	"qed2/internal/bench"
 	"qed2/internal/circom"
 	"qed2/internal/core"
+	"qed2/internal/obs"
 	"qed2/internal/r1cs"
 )
 
@@ -50,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet       = fs.Bool("q", false, "print only the verdict")
 		jsonOut     = fs.Bool("json", false, "emit the analysis report as JSON")
 		witness     = fs.String("witness", "", `generate and check a witness for the given inputs, e.g. "a=3,in[0]=7", then exit`)
+		trace       = fs.String("trace", "", "write a JSONL trace of the analysis pipeline (spans, counters) to this file")
+		metrics     = fs.Bool("metrics", false, "print pipeline counters and histograms to stderr after the analysis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
@@ -155,8 +158,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "qed2: unknown mode %q\n", *mode)
 		return 3
 	}
+	var reg *obs.Metrics
+	if *trace != "" || *metrics {
+		reg = obs.NewMetrics()
+		cfg.Metrics = reg
+	}
+	var tracer *obs.Tracer
+	if *trace != "" {
+		tracer, err = obs.NewFile(*trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "qed2:", err)
+			return 3
+		}
+		tracer.AttachMetrics(reg)
+		cfg.Obs = tracer
+	}
 	t0 := time.Now()
 	report := core.Analyze(sys, cfg)
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(stderr, "qed2: writing trace:", err)
+		return 3
+	}
+	if *metrics {
+		reg.Render(stderr)
+	}
 	if *jsonOut {
 		if err := writeJSONReport(stdout, path, prog, report); err != nil {
 			fmt.Fprintln(stderr, "qed2:", err)

@@ -9,17 +9,26 @@
 //	qed2bench -fig 1              # one figure (1..3)
 //	qed2bench -list               # list the suite instances
 //	qed2bench -table 2 -json r.json  # also write a machine-readable run record
+//	qed2bench -trace run.jsonl    # also write a JSONL trace of the pipeline
+//	qed2bench -golden testdata/golden_verdicts.json  # CI verdict-regression gate
+//
+// Exit status: 0 on success, 1 when the -golden diff or the -baseline
+// regression guard fails (or a run record cannot be written).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
 	"qed2/internal/bench"
 	"qed2/internal/core"
+	"qed2/internal/obs"
 )
 
 func main() {
@@ -36,9 +45,17 @@ func main() {
 		seed         = flag.Int64("seed", 1, "deterministic solver seed")
 		verbose      = flag.Bool("v", false, "print per-instance progress")
 		jsonOut      = flag.String("json", "", "write a machine-readable run record (timings, tallies, solver counters) to this file")
+		trace        = flag.String("trace", "", "write a JSONL trace of the pipeline (per-instance and per-query spans) to this file")
+		printMetrics = flag.Bool("metrics", false, "print pipeline counters and histograms to stderr after the run")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and a /metrics snapshot on this address (e.g. localhost:6060) for long runs")
+		golden       = flag.String("golden", "", "diff the full-run per-instance verdicts against this golden file; exit 1 on any flip")
+		goldenOut    = flag.String("golden-out", "", "write the full-run per-instance verdicts to this golden file")
+		baseline     = flag.String("baseline", "", "compare run:full analysis time against this earlier -json run record")
+		maxSlowdown  = flag.Float64("max-slowdown", 2.0, "fail when run:full analysis time exceeds the -baseline record by this factor")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *fig == 0 && !*list {
+	gateRun := *golden != "" || *goldenOut != "" || *baseline != ""
+	if !*all && *table == 0 && *fig == 0 && !*list && !gateRun {
 		*all = true
 	}
 	insts := bench.Suite()
@@ -47,6 +64,23 @@ func main() {
 			fmt.Printf("%-26s %-12s expect=%s vuln=%v\n", in.Name, in.Category, in.Expect, in.Vuln)
 		}
 		return
+	}
+
+	reg := obs.NewMetrics()
+	var tracer *obs.Tracer
+	stopSampler := func() {}
+	if *trace != "" {
+		var err error
+		tracer, err = obs.NewFile(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		tracer.AttachMetrics(reg)
+		stopSampler = tracer.StartRuntimeSampler(time.Second)
+	}
+	if *pprofAddr != "" {
+		serveDebug(*pprofAddr, reg)
 	}
 
 	baseCfg := core.Config{
@@ -58,7 +92,7 @@ func main() {
 	}
 	started := time.Now()
 	var rec *bench.RunRecord
-	if *jsonOut != "" {
+	if *jsonOut != "" || *baseline != "" {
 		iw := *workers
 		if iw <= 0 {
 			iw = runtime.GOMAXPROCS(0)
@@ -73,7 +107,7 @@ func main() {
 		}
 	}
 	opts := func(cfg core.Config) *bench.RunOptions {
-		o := &bench.RunOptions{Config: cfg, Workers: *workers}
+		o := &bench.RunOptions{Config: cfg, Workers: *workers, Obs: tracer, Metrics: reg}
 		if *verbose {
 			o.Progress = func(done, total int, r bench.Result) {
 				v := "compile-error"
@@ -98,7 +132,7 @@ func main() {
 
 	need := func(want bool) bool { return *all || want }
 
-	if need(*table >= 1 && *table <= 4) || need(*fig == 1 || *fig == 3) {
+	if need(*table >= 1 && *table <= 4) || need(*fig == 1 || *fig == 3) || gateRun {
 		full = runFull()
 	}
 	if *all || *table == 1 {
@@ -190,15 +224,99 @@ func main() {
 		fmt.Println(bench.Figure4(byConfig, []string{"full rule set", "without R-Bits", "no rules (SMT)"}))
 		record("fig4", t0, full)
 	}
-	if rec != nil {
-		b, err := rec.Finish(time.Since(started))
+	exit := 0
+	if *goldenOut != "" {
+		g := bench.GoldenFromResults(baseCfg, full)
+		b, err := g.Marshal()
 		if err == nil {
-			err = os.WriteFile(*jsonOut, b, 0o644)
+			err = os.WriteFile(*goldenOut, b, 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *jsonOut, err)
+			fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *goldenOut, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "run record written to %s\n", *jsonOut)
+		fmt.Fprintf(os.Stderr, "golden verdicts written to %s (%d instances)\n", *goldenOut, len(g.Verdicts))
 	}
+	if *golden != "" {
+		gold, err := bench.LoadGolden(*golden)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		diffs := bench.DiffGolden(gold, bench.GoldenFromResults(baseCfg, full))
+		if len(diffs) > 0 {
+			fmt.Fprintf(os.Stderr, "qed2bench: %d golden-verdict regression(s) against %s:\n", len(diffs), *golden)
+			for _, d := range diffs {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			exit = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "golden verdicts: all %d instances match %s\n", len(gold.Verdicts), *golden)
+		}
+	}
+	if *baseline != "" {
+		base, err := bench.LoadRunRecord(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		if err := bench.CompareBaseline(base, rec, *maxSlowdown); err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			exit = 1
+		} else {
+			cur, prev := rec.Section("run:full"), base.Section("run:full")
+			fmt.Fprintf(os.Stderr, "bench guard: analysis time %.0f ms vs baseline %.0f ms (<= %.1fx)\n",
+				cur.AnalyzeMS, prev.AnalyzeMS, *maxSlowdown)
+		}
+	}
+	if rec != nil {
+		rec.Counters = reg.Counters()
+		if *jsonOut != "" {
+			b, err := rec.Finish(time.Since(started))
+			if err == nil {
+				err = os.WriteFile(*jsonOut, b, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "run record written to %s\n", *jsonOut)
+		}
+	}
+	stopSampler()
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "qed2bench: writing trace:", err)
+		os.Exit(1)
+	}
+	if *printMetrics {
+		reg.Render(os.Stderr)
+	}
+	os.Exit(exit)
+}
+
+// serveDebug exposes net/http/pprof (registered on the default mux by the
+// blank import) plus a JSON snapshot of the pipeline counters and runtime
+// memory statistics under /metrics. Best effort: a busy port is reported,
+// not fatal.
+func serveDebug(addr string, reg *obs.Metrics) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"goroutines": runtime.NumGoroutine(),
+			"heap_alloc": ms.HeapAlloc,
+			"num_gc":     ms.NumGC,
+			"counters":   reg.Counters(),
+			"histograms": reg.Histograms(),
+		})
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "qed2bench: pprof server on %s: %v\n", addr, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "pprof + /metrics serving on http://%s/debug/pprof/\n", addr)
 }

@@ -1,0 +1,11 @@
+// circomlib's MontgomeryDouble, unmodified: under-constrained because the
+// witness hint divides by 2·B·y without a constraint excluding y = 0.
+// Analyze with:
+//
+//	go run ./cmd/qed2 examples/montgomery-bug/circuit.circom
+//
+// (the include resolves against the bundled circomlib subset), or run
+// `go run ./examples/montgomery-bug` for the full guided walkthrough.
+pragma circom 2.0.0;
+include "montgomery.circom";
+component main = MontgomeryDouble();

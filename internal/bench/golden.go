@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"qed2/internal/core"
+)
+
+// The golden-verdict regression gate: a checked-in snapshot of every
+// suite instance's verdict and counterexample signal set, diffed against a
+// fresh run in CI. Verdicts are deterministic for a fixed configuration as
+// long as the wall-clock timeout is never the binding budget (the golden
+// runs use a timeout far above what any instance needs, so the step
+// budgets decide), which turns "identical reports" from a claim in a
+// commit message into a checked invariant.
+
+// GoldenConfig pins the analyzer configuration a golden file is valid
+// for. A diff against a run with a different configuration fails fast
+// instead of reporting meaningless verdict flips.
+type GoldenConfig struct {
+	QuerySteps  int64 `json:"query_steps"`
+	GlobalSteps int64 `json:"global_steps"`
+	Seed        int64 `json:"seed"`
+}
+
+// GoldenVerdict is one instance's pinned outcome.
+type GoldenVerdict struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"`
+	// CEOutput and CESignals pin the counterexample shape for unsafe
+	// verdicts: the differing output and the full set of signals on which
+	// the witness pair disagrees.
+	CEOutput  string   `json:"ce_output,omitempty"`
+	CESignals []string `json:"ce_signals,omitempty"`
+}
+
+// GoldenFile is the checked-in golden-verdict snapshot
+// (testdata/golden_verdicts.json).
+type GoldenFile struct {
+	Config   GoldenConfig    `json:"config"`
+	Verdicts []GoldenVerdict `json:"verdicts"`
+}
+
+// GoldenFromResults snapshots a result set (sorted by instance name).
+func GoldenFromResults(cfg core.Config, results []Result) *GoldenFile {
+	g := &GoldenFile{Config: GoldenConfig{
+		QuerySteps:  cfg.QuerySteps,
+		GlobalSteps: cfg.GlobalSteps,
+		Seed:        cfg.Seed,
+	}}
+	for _, r := range results {
+		ir := instanceRecordOf(r)
+		g.Verdicts = append(g.Verdicts, GoldenVerdict{
+			Name:      ir.Name,
+			Verdict:   ir.Verdict,
+			CEOutput:  ir.CEOutput,
+			CESignals: ir.CESignals,
+		})
+	}
+	sort.Slice(g.Verdicts, func(i, j int) bool { return g.Verdicts[i].Name < g.Verdicts[j].Name })
+	return g
+}
+
+// Marshal renders the golden file as indented JSON.
+func (g *GoldenFile) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadGolden reads a golden file from disk.
+func LoadGolden(path string) (*GoldenFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g := &GoldenFile{}
+	if err := json.Unmarshal(b, g); err != nil {
+		return nil, fmt.Errorf("bench: parsing golden file %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// DiffGolden compares a fresh snapshot against the golden one and returns
+// one readable line per discrepancy (empty slice = identical). Instances
+// are matched by name; order within the files does not matter.
+func DiffGolden(golden, fresh *GoldenFile) []string {
+	var diffs []string
+	if golden.Config != fresh.Config {
+		diffs = append(diffs, fmt.Sprintf("config mismatch: golden %+v vs fresh %+v (the gate only compares equal configurations)",
+			golden.Config, fresh.Config))
+		return diffs
+	}
+	goldenBy := map[string]GoldenVerdict{}
+	for _, v := range golden.Verdicts {
+		goldenBy[v.Name] = v
+	}
+	seen := map[string]bool{}
+	for _, f := range fresh.Verdicts {
+		seen[f.Name] = true
+		g, ok := goldenBy[f.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: new instance (verdict %s) not in golden file — regenerate with -golden-out", f.Name, f.Verdict))
+			continue
+		}
+		if g.Verdict != f.Verdict {
+			diffs = append(diffs, fmt.Sprintf("%s: verdict flipped %s -> %s", f.Name, g.Verdict, f.Verdict))
+			continue
+		}
+		if g.CEOutput != f.CEOutput {
+			diffs = append(diffs, fmt.Sprintf("%s: counterexample output changed %q -> %q", f.Name, g.CEOutput, f.CEOutput))
+		}
+		if !equalStrings(g.CESignals, f.CESignals) {
+			diffs = append(diffs, fmt.Sprintf("%s: counterexample signal set changed %v -> %v", f.Name, g.CESignals, f.CESignals))
+		}
+	}
+	for _, g := range golden.Verdicts {
+		if !seen[g.Name] {
+			diffs = append(diffs, fmt.Sprintf("%s: instance missing from fresh run (golden verdict %s)", g.Name, g.Verdict))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goldenFixture() *GoldenFile {
+	return &GoldenFile{
+		Config: GoldenConfig{QuerySteps: 20_000, GlobalSteps: 400_000, Seed: 1},
+		Verdicts: []GoldenVerdict{
+			{Name: "a", Verdict: "safe"},
+			{Name: "b", Verdict: "unsafe", CEOutput: "out", CESignals: []string{"main.out", "main.tmp"}},
+			{Name: "c", Verdict: "unknown"},
+		},
+	}
+}
+
+func TestDiffGoldenIdentical(t *testing.T) {
+	if diffs := DiffGolden(goldenFixture(), goldenFixture()); len(diffs) != 0 {
+		t.Fatalf("identical snapshots should not diff, got %v", diffs)
+	}
+}
+
+func TestDiffGoldenDetectsVerdictFlip(t *testing.T) {
+	fresh := goldenFixture()
+	fresh.Verdicts[0].Verdict = "unsafe"
+	diffs := DiffGolden(goldenFixture(), fresh)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "a: verdict flipped safe -> unsafe") {
+		t.Fatalf("expected one verdict-flip diff, got %v", diffs)
+	}
+}
+
+func TestDiffGoldenDetectsCounterexampleChange(t *testing.T) {
+	fresh := goldenFixture()
+	fresh.Verdicts[1].CESignals = []string{"main.out"}
+	diffs := DiffGolden(goldenFixture(), fresh)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "counterexample signal set changed") {
+		t.Fatalf("expected one signal-set diff, got %v", diffs)
+	}
+}
+
+func TestDiffGoldenDetectsMissingAndNewInstances(t *testing.T) {
+	fresh := goldenFixture()
+	fresh.Verdicts[2].Name = "d"
+	diffs := DiffGolden(goldenFixture(), fresh)
+	if len(diffs) != 2 {
+		t.Fatalf("expected missing+new diffs, got %v", diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "c: instance missing") || !strings.Contains(joined, "d: new instance") {
+		t.Fatalf("unexpected diff content: %v", diffs)
+	}
+}
+
+func TestDiffGoldenConfigMismatchFailsFast(t *testing.T) {
+	fresh := goldenFixture()
+	fresh.Config.Seed = 2
+	fresh.Verdicts[0].Verdict = "unsafe" // must be masked by the config fast-fail
+	diffs := DiffGolden(goldenFixture(), fresh)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "config mismatch") {
+		t.Fatalf("expected a single config-mismatch diff, got %v", diffs)
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	g := goldenFixture()
+	b, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffGolden(g, back); len(diffs) != 0 {
+		t.Fatalf("round trip changed the snapshot: %v", diffs)
+	}
+}
+
+func TestCheckedInGoldenMatchesSuite(t *testing.T) {
+	// The checked-in golden file must cover exactly the current suite with
+	// the default budgets; otherwise the CI gate reports noise instead of
+	// regressions. This does not run the suite (that is CI's golden job) —
+	// it only validates shape.
+	path := filepath.Join("..", "..", "testdata", "golden_verdicts.json")
+	g, err := LoadGolden(path)
+	if err != nil {
+		t.Skipf("no checked-in golden file: %v", err)
+	}
+	want := GoldenConfig{QuerySteps: 20_000, GlobalSteps: 400_000, Seed: 1}
+	if g.Config != want {
+		t.Fatalf("golden config %+v does not pin the default budgets %+v", g.Config, want)
+	}
+	suite := Suite()
+	if len(g.Verdicts) != len(suite) {
+		t.Fatalf("golden file has %d instances, suite has %d — regenerate with -golden-out", len(g.Verdicts), len(suite))
+	}
+	names := map[string]bool{}
+	for _, in := range suite {
+		names[in.Name] = true
+	}
+	for _, v := range g.Verdicts {
+		if !names[v.Name] {
+			t.Errorf("golden instance %q not in suite", v.Name)
+		}
+		switch v.Verdict {
+		case "safe", "unsafe", "unknown":
+		default:
+			t.Errorf("golden instance %q has unexpected verdict %q", v.Name, v.Verdict)
+		}
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	mk := func(ms float64) *RunRecord {
+		return &RunRecord{Sections: []SectionRecord{{Name: "run:full", AnalyzeMS: ms}}}
+	}
+	if err := CompareBaseline(mk(1000), mk(1500), 2.0); err != nil {
+		t.Fatalf("1.5x should pass a 2x guard: %v", err)
+	}
+	if err := CompareBaseline(mk(1000), mk(2500), 2.0); err == nil {
+		t.Fatal("2.5x should fail a 2x guard")
+	}
+	if err := CompareBaseline(&RunRecord{}, mk(10), 2.0); err == nil {
+		t.Fatal("missing run:full section in baseline should error")
+	}
+}

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
 	"time"
 
 	"qed2/internal/core"
@@ -29,6 +32,9 @@ type RunRecord struct {
 	// Sections holds one entry per suite run ("run:full", ...) and per
 	// rendered artifact ("table2", "fig1", ...), in execution order.
 	Sections []SectionRecord `json:"sections"`
+	// Counters is the final snapshot of the observability registry
+	// (uniq.*, smt.*, core.* — see DESIGN §10), when one was attached.
+	Counters map[string]int64 `json:"counters,omitempty"`
 	// TotalWallMS is the end-to-end wall clock of the invocation.
 	TotalWallMS float64 `json:"total_wall_ms"`
 }
@@ -54,6 +60,49 @@ type SectionRecord struct {
 	// AnalyzeMS is the summed per-instance analysis wall clock (can exceed
 	// WallMS of a run section when instances execute in parallel).
 	AnalyzeMS float64 `json:"analyze_ms"`
+	// Results holds one record per instance. Populated only for "run:*"
+	// sections — table/figure sections re-render a result set an earlier
+	// run section already itemized.
+	Results []InstanceRecord `json:"results,omitempty"`
+}
+
+// InstanceRecord is the per-instance row of a run section: the verdict,
+// the counterexample signal set (what the golden gate diffs), and the
+// per-instance effort.
+type InstanceRecord struct {
+	Name      string   `json:"name"`
+	Category  string   `json:"category"`
+	Verdict   string   `json:"verdict"`
+	Reason    string   `json:"reason,omitempty"`
+	CEOutput  string   `json:"ce_output,omitempty"`
+	CESignals []string `json:"ce_signals,omitempty"`
+
+	AnalyzeMS   float64 `json:"analyze_ms"`
+	Queries     int     `json:"queries"`
+	SolverSteps int64   `json:"solver_steps"`
+	CacheHits   int     `json:"cache_hits"`
+}
+
+// instanceRecordOf summarizes one result.
+func instanceRecordOf(r Result) InstanceRecord {
+	ir := InstanceRecord{
+		Name:      r.Instance.Name,
+		Category:  r.Instance.Category,
+		AnalyzeMS: float64(r.AnalyzeTime) / float64(time.Millisecond),
+	}
+	if r.CompileErr != nil {
+		ir.Verdict = "compile-error"
+		ir.Reason = r.CompileErr.Error()
+		return ir
+	}
+	ir.Verdict = r.Report.Verdict.String()
+	ir.Reason = r.Report.Reason
+	ir.CEOutput = r.CEOutput
+	ir.CESignals = r.CEDiffers
+	ir.Queries = r.Report.Stats.Queries
+	ir.SolverSteps = r.Report.Stats.SolverSteps
+	ir.CacheHits = r.Report.Stats.CacheHits
+	return ir
 }
 
 // NewRunRecord starts a record for an invocation over suiteSize instances.
@@ -86,6 +135,12 @@ func (rec *RunRecord) AddSection(name string, d time.Duration, results []Result)
 		s.SolverSteps += r.Report.Stats.SolverSteps
 		s.CacheHits += r.Report.Stats.CacheHits
 	}
+	if strings.HasPrefix(name, "run:") {
+		s.Results = make([]InstanceRecord, 0, len(results))
+		for _, r := range results {
+			s.Results = append(s.Results, instanceRecordOf(r))
+		}
+	}
 	rec.Sections = append(rec.Sections, s)
 }
 
@@ -98,4 +153,50 @@ func (rec *RunRecord) Finish(total time.Duration) ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// Section returns the first section with the given name, or nil.
+func (rec *RunRecord) Section(name string) *SectionRecord {
+	for i := range rec.Sections {
+		if rec.Sections[i].Name == name {
+			return &rec.Sections[i]
+		}
+	}
+	return nil
+}
+
+// LoadRunRecord reads a -json run record back from disk.
+func LoadRunRecord(path string) (*RunRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &RunRecord{}
+	if err := json.Unmarshal(b, rec); err != nil {
+		return nil, fmt.Errorf("bench: parsing run record %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// CompareBaseline is the bench-regression guard: it compares the summed
+// per-instance analysis time of the "run:full" section of a fresh record
+// against a baseline record and returns an error when the fresh run is
+// more than maxSlowdown times slower. It deliberately compares only the
+// analysis-time total (not wall clock, which depends on worker count, and
+// not per-instance timings, which are too noisy on shared runners).
+func CompareBaseline(baseline, fresh *RunRecord, maxSlowdown float64) error {
+	base := baseline.Section("run:full")
+	cur := fresh.Section("run:full")
+	if base == nil || cur == nil {
+		return fmt.Errorf("bench: baseline comparison needs a run:full section in both records (baseline: %v, fresh: %v)", base != nil, cur != nil)
+	}
+	if base.AnalyzeMS <= 0 {
+		return fmt.Errorf("bench: baseline run:full has non-positive analyze_ms %.1f", base.AnalyzeMS)
+	}
+	ratio := cur.AnalyzeMS / base.AnalyzeMS
+	if ratio > maxSlowdown {
+		return fmt.Errorf("bench: analysis time regression: %.0f ms vs baseline %.0f ms (%.2fx > %.2fx allowed)",
+			cur.AnalyzeMS, base.AnalyzeMS, ratio, maxSlowdown)
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"qed2/internal/core"
+	"qed2/internal/obs"
 	"qed2/internal/r1cs"
 )
 
@@ -29,6 +30,10 @@ type Result struct {
 	CEOutput string
 	CEVal1   string
 	CEVal2   string
+	// CEDiffers lists (in signal-ID order) the names of every signal on
+	// which the two counterexample witnesses disagree — the signal set the
+	// golden-verdict regression gate pins.
+	CEDiffers []string
 }
 
 // Solved reports whether the analysis reached a definite verdict.
@@ -49,6 +54,13 @@ type RunOptions struct {
 	// Invocations are serialized and done is strictly monotonic, so the
 	// callback needs no locking of its own.
 	Progress func(done, total int, r Result)
+	// Obs, when non-nil, receives one "bench.run" span per Run call with a
+	// "bench.instance" child (wrapping compile + analysis spans) per
+	// instance; Metrics receives the aggregated pipeline counters. With
+	// Workers > 1 the interleaving of instance events in the trace depends
+	// on scheduling; results and counter totals do not.
+	Obs     *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // Run compiles and analyzes every instance, preserving input order.
@@ -60,6 +72,9 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	rs := o.Obs.Start(nil, "bench.run",
+		obs.KV("instances", len(insts)), obs.KV("workers", o.Workers))
+	defer rs.End()
 	results := make([]Result, len(insts))
 	var (
 		next atomic.Int64
@@ -79,7 +94,7 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 				if i >= len(insts) {
 					return
 				}
-				results[i] = runOne(insts[i], o.Config)
+				results[i] = runOne(insts[i], o.Config, o.Obs, rs, o.Metrics)
 				progressMu.Lock()
 				done++
 				if o.Progress != nil {
@@ -93,16 +108,22 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 	return results
 }
 
-func runOne(inst Instance, cfg core.Config) Result {
+func runOne(inst Instance, cfg core.Config, tr *obs.Tracer, parent *obs.Span, metrics *obs.Metrics) Result {
 	res := Result{Instance: inst}
+	is := tr.Start(parent, "bench.instance",
+		obs.KV("instance", inst.Name), obs.KV("category", inst.Category))
 	t0 := time.Now()
 	prog, err := inst.Compile()
 	res.CompileTime = time.Since(t0)
 	if err != nil {
 		res.CompileErr = fmt.Errorf("bench: %s: %w", inst.Name, err)
+		is.End(obs.KV("verdict", "compile-error"))
 		return res
 	}
 	res.System = prog.System.Stats()
+	cfg.Obs = tr
+	cfg.ObsParent = is
+	cfg.Metrics = metrics
 	t1 := time.Now()
 	res.Report = core.Analyze(prog.System, &cfg)
 	res.AnalyzeTime = time.Since(t1)
@@ -111,7 +132,14 @@ func runOne(inst Instance, cfg core.Config) Result {
 		res.CEOutput = prog.System.Name(ce.Signal)
 		res.CEVal1 = f.String(ce.W1[ce.Signal])
 		res.CEVal2 = f.String(ce.W2[ce.Signal])
+		for id := 1; id < prog.System.NumSignals(); id++ {
+			if ce.W1[id] != ce.W2[id] {
+				res.CEDiffers = append(res.CEDiffers, prog.System.Name(id))
+			}
+		}
 	}
+	is.End(obs.KV("verdict", res.Report.Verdict.String()),
+		obs.KV("analyze_us", res.AnalyzeTime.Microseconds()))
 	return res
 }
 

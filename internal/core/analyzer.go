@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qed2/internal/obs"
 	"qed2/internal/r1cs"
 	"qed2/internal/smt"
 	"qed2/internal/uniq"
@@ -121,6 +122,17 @@ type Config struct {
 	// seeds inputs and issues sliced SMT queries.
 	DisableSolveRule bool
 	DisableBitsRule  bool
+	// Obs, when non-nil, receives hierarchical spans for every phase of
+	// the analysis (rounds, queries, confirmations); ObsParent optionally
+	// nests the whole analysis under a caller-owned span (the bench runner
+	// uses it for per-instance grouping). Metrics, when non-nil, receives
+	// the core.*, uniq.* and smt.* counters and histograms. All three are
+	// pure observers: they never change verdicts, stats or determinism
+	// (though with Workers > 1 the interleaving of query events in the
+	// trace depends on scheduling).
+	Obs       *obs.Tracer
+	ObsParent *obs.Span
+	Metrics   *obs.Metrics
 }
 
 func (c *Config) withDefaults() Config {
@@ -209,6 +221,16 @@ type analysis struct {
 	// set, shared-signal mask) so re-propagation rounds do not re-solve
 	// structurally identical queries. Accessed only at round barriers.
 	cache map[string]smt.Outcome
+	// span is the root "core.analyze" span; the observability handles
+	// below are nil-safe no-ops when Config.Obs / Config.Metrics are unset.
+	span            *obs.Span
+	cRounds         *obs.Counter
+	cCacheHits      *obs.Counter
+	cCacheMisses    *obs.Counter
+	cConfirmAttempt *obs.Counter
+	cConfirmOK      *obs.Counter
+	hSliceCons      *obs.Histogram
+	hSliceSigs      *obs.Histogram
 }
 
 // Analyze runs the configured analysis on the system.
@@ -231,7 +253,18 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 	a.report.Stats.Constraints = st.Constraints
 	a.report.Stats.Workers = c.Workers
 
-	uopts := uniq.Options{DisableSolve: c.DisableSolveRule, DisableBits: c.DisableBitsRule}
+	a.span = c.Obs.Start(c.ObsParent, "core.analyze",
+		obs.KV("mode", c.Mode.String()), obs.KV("workers", c.Workers),
+		obs.KV("signals", st.Signals), obs.KV("constraints", st.Constraints))
+	a.cRounds = c.Metrics.Counter("core.rounds")
+	a.cCacheHits = c.Metrics.Counter("core.cache.hits")
+	a.cCacheMisses = c.Metrics.Counter("core.cache.misses")
+	a.cConfirmAttempt = c.Metrics.Counter("core.confirm.attempts")
+	a.cConfirmOK = c.Metrics.Counter("core.confirm.ok")
+	a.hSliceCons = c.Metrics.Histogram("core.slice.constraints")
+	a.hSliceSigs = c.Metrics.Histogram("core.slice.signals")
+
+	uopts := uniq.Options{DisableSolve: c.DisableSolveRule, DisableBits: c.DisableBitsRule, Metrics: c.Metrics}
 	switch c.Mode {
 	case ModePropagationOnly:
 		a.prop = uniq.NewWithOptions(sys, uopts)
@@ -250,6 +283,12 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 		a.report.Stats.SMTUnique = counts[uniq.RuleExternal]
 		a.report.Stats.UniqueTotal = a.prop.NumUnique()
 	}
+	a.span.End(
+		obs.KV("verdict", a.report.Verdict.String()),
+		obs.KV("queries", a.report.Stats.Queries),
+		obs.KV("cache_hits", a.report.Stats.CacheHits),
+		obs.KV("solver_steps", a.report.Stats.SolverSteps),
+		obs.KV("unique_total", a.report.Stats.UniqueTotal))
 	return a.report
 }
 
@@ -296,11 +335,17 @@ func (a *analysis) solveSeq(p *smt.Problem, target int) smt.Outcome {
 	if grant <= 0 {
 		return smt.Outcome{Status: smt.StatusUnknown, Reason: "global budget exhausted"}
 	}
+	qs := a.cfg.Obs.Start(a.span, "core.query",
+		obs.KV("sig", target), obs.KV("cons", len(p.Eqs)/2), obs.KV("full", true))
 	out := smt.Solve(p, &smt.Options{
 		MaxSteps: grant,
 		Seed:     a.querySeed(target),
 		Deadline: a.deadline,
+		Obs:      a.cfg.Obs,
+		Parent:   qs,
+		Metrics:  a.cfg.Metrics,
 	})
+	qs.End(obs.KV("status", out.Status.String()), obs.KV("steps", out.Steps))
 	a.refund(grant - out.Steps)
 	a.report.Stats.Queries++
 	a.report.Stats.SolverSteps += out.Steps
@@ -325,6 +370,7 @@ func (a *analysis) finishPropagationOnly() {
 func (a *analysis) runFull() {
 	a.sys.PrepareConcurrent()
 	lastTried := map[int]int{}
+	round := 0
 	for {
 		if a.prop.OutputsUnique() {
 			a.report.Verdict = VerdictSafe
@@ -355,6 +401,10 @@ func (a *analysis) runFull() {
 			a.finalOutputsStage()
 			return
 		}
+		round++
+		a.cRounds.Inc()
+		rs := a.cfg.Obs.Start(a.span, "core.round",
+			obs.KV("round", round), obs.KV("tasks", len(tasks)))
 		a.runRound(tasks, snap)
 		before := a.prop.NumUnique()
 		for _, t := range tasks {
@@ -368,11 +418,13 @@ func (a *analysis) runFull() {
 			if t.out.Status == smt.StatusSat && t.full {
 				if a.sys.Signal(t.sig).Kind == r1cs.KindOutput {
 					if a.confirmCounterexample(t.sig, t.out.Model) {
+						rs.End(obs.KV("new_unique", a.prop.NumUnique()-before), obs.KV("confirmed", true))
 						return
 					}
 				}
 			}
 		}
+		rs.End(obs.KV("new_unique", a.prop.NumUnique()-before))
 		if a.prop.NumUnique() == before {
 			// Slices are exhausted: decide the remaining outputs globally.
 			a.finalOutputsStage()
@@ -387,6 +439,8 @@ func (a *analysis) runFull() {
 // enlarge the shared set, which can make the remaining outputs' queries
 // tractable in the next.
 func (a *analysis) finalOutputsStage() {
+	fs := a.cfg.Obs.Start(a.span, "core.final_outputs")
+	defer func() { fs.End(obs.KV("verdict", a.report.Verdict.String())) }()
 	a.sys.PrepareConcurrent()
 	allCons := make([]int, a.sys.NumConstraints())
 	for i := range allCons {
@@ -508,6 +562,18 @@ func (a *analysis) runSMTOnly() {
 // both witnesses satisfy every constraint, agree on the inputs, and differ
 // on the target output.
 func (a *analysis) confirmCounterexample(target int, model smt.Model) bool {
+	a.cConfirmAttempt.Inc()
+	cs := a.cfg.Obs.Start(a.span, "core.confirm", obs.KV("sig", target))
+	ok := a.confirmWitnessPair(target, model)
+	if ok {
+		a.cConfirmOK.Inc()
+	}
+	cs.End(obs.KV("ok", ok))
+	return ok
+}
+
+// confirmWitnessPair does the checking behind confirmCounterexample.
+func (a *analysis) confirmWitnessPair(target int, model smt.Model) bool {
 	n := a.sys.NumSignals()
 	w1 := a.sys.NewWitness()
 	w2 := a.sys.NewWitness()

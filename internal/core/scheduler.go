@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qed2/internal/obs"
 	"qed2/internal/smt"
 	"qed2/internal/uniq"
 )
@@ -103,6 +104,9 @@ func (a *analysis) admit(t *queryTask, sigs []int, snap *uniq.Snapshot) {
 		return
 	}
 	t.key = key
+	a.cCacheMisses.Inc()
+	a.hSliceCons.Observe(int64(len(t.cons)))
+	a.hSliceSigs.Observe(int64(len(sigs)))
 }
 
 // runRound solves every admitted task on the worker pool and blocks until
@@ -138,16 +142,24 @@ func (a *analysis) runRound(tasks []*queryTask, snap *uniq.Snapshot) {
 				if !a.deadline.IsZero() && !time.Now().Before(a.deadline) {
 					a.refund(t.budget)
 					t.out = smt.Outcome{Status: smt.StatusUnknown, Reason: smt.DeadlineExceeded}
+					a.cfg.Obs.Event(a.span, "core.query.skipped",
+						obs.KV("sig", t.sig), obs.KV("reason", smt.DeadlineExceeded))
 					continue
 				}
+				qs := a.cfg.Obs.Start(a.span, "core.query",
+					obs.KV("sig", t.sig), obs.KV("cons", len(t.cons)), obs.KV("full", t.full))
 				p := buildUniquenessProblem(a.sys, t.cons, snap.IsUnique, t.sig)
 				t.out = smt.Solve(p, &smt.Options{
 					MaxSteps: t.budget,
 					Seed:     a.querySeed(t.sig),
 					Deadline: a.deadline,
+					Obs:      a.cfg.Obs,
+					Parent:   qs,
+					Metrics:  a.cfg.Metrics,
 				})
 				t.ran = true
 				a.refund(t.budget - t.out.Steps)
+				qs.End(obs.KV("status", t.out.Status.String()), obs.KV("steps", t.out.Steps))
 			}
 		}()
 	}
@@ -159,6 +171,8 @@ func (a *analysis) runRound(tasks []*queryTask, snap *uniq.Snapshot) {
 func (a *analysis) accountTask(t *queryTask) {
 	if t.cached {
 		a.report.Stats.CacheHits++
+		a.cCacheHits.Inc()
+		a.cfg.Obs.Event(a.span, "core.cache_hit", obs.KV("sig", t.sig))
 		return
 	}
 	if !t.ran {

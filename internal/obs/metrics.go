@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named atomic counters and histograms. A nil
+// *Metrics is valid and turns every operation into a no-op, so call sites
+// can instrument unconditionally; the registry itself is safe for
+// concurrent use, and the Counter/Histogram handles it hands out are safe
+// to update from any goroutine (the worker pools of internal/core and
+// internal/bench share one registry).
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+// Returns nil — a valid no-op handle — when m is nil. Call sites on hot
+// paths should resolve their counters once and hold the handle rather than
+// looking it up per increment.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name. Returns nil — a valid no-op handle — when m is nil.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram accumulates an int64-valued distribution in power-of-two
+// buckets: bucket i counts observations v with bit-length i, i.e. the
+// ranges {0}, {1}, [2,3], [4,7], [8,15], … Exact count, sum, min and max
+// are kept alongside, which is enough to reconcile against aggregate
+// statistics (sum of smt.query.steps must equal Stats.SolverSteps).
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [65]int64
+}
+
+// Observe records one value. Negative values clamp to bucket 0. Safe on a
+// nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// Buckets maps bucket index (value bit-length) to observation count;
+	// only non-empty buckets appear.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the current state (zero value on a nil receiver).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = map[int]int64{}
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// Counters returns a name → value snapshot of every counter.
+func (m *Metrics) Counters() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters))
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Histograms returns a name → snapshot map of every histogram.
+func (m *Metrics) Histograms() map[string]HistogramSnapshot {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(m.hists))
+	for name, h := range m.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// Render writes a human-readable table of every counter and histogram,
+// sorted by name (the `qed2 -metrics` output).
+func (m *Metrics) Render(w io.Writer) {
+	if m == nil {
+		return
+	}
+	counters := m.Counters()
+	hists := m.Histograms()
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-36s %12d\n", name, counters[name])
+	}
+	names = names[:0]
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := hists[name]
+		mean := float64(0)
+		if s.Count > 0 {
+			mean = float64(s.Sum) / float64(s.Count)
+		}
+		fmt.Fprintf(w, "%-36s count=%d sum=%d min=%d mean=%.1f max=%d\n",
+			name, s.Count, s.Sum, s.Min, mean, s.Max)
+	}
+}

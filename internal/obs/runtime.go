@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// StartRuntimeSampler emits a "runtime" event (heap in use, cumulative GC
+// count, goroutine count) every interval until the returned stop function
+// is called. It is the cheap in-trace complement to the full
+// net/http/pprof endpoint for long suite runs: the trace alone shows
+// whether memory or goroutine counts drifted over the run. A nil tracer
+// returns a no-op stop function.
+func (t *Tracer) StartRuntimeSampler(interval time.Duration) (stop func()) {
+	if t == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				t.emitRuntime()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+func (t *Tracer) emitRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Event(nil, "runtime",
+		KV("heap_alloc", ms.HeapAlloc),
+		KV("heap_objects", ms.HeapObjects),
+		KV("num_gc", ms.NumGC),
+		KV("goroutines", runtime.NumGoroutine()))
+}

@@ -1,0 +1,220 @@
+// Package obs is the zero-dependency observability substrate of the QED²
+// pipeline: hierarchical wall-clock spans, named atomic counters and
+// power-of-two histograms, and a buffered JSONL event sink.
+//
+// Every handle type tolerates a nil receiver as a no-op, so packages
+// instrument unconditionally and pay (almost) nothing when tracing is off:
+// a nil *Tracer produces nil *Span values whose End is a no-op, and a nil
+// *Metrics hands out nil *Counter/*Histogram handles. The sink is guarded
+// by a mutex, which makes it safe under the parallel slice-query engine
+// (internal/core) and the bench instance pool (internal/bench); with
+// workers=1 the event order — though not the timestamps — is fully
+// deterministic, matching the analyzer's own determinism contract.
+//
+// Trace schema (one JSON object per line):
+//
+//	{"ev":"span_start","id":N,"parent":N,"name":S,"t_us":N, ...attrs}
+//	{"ev":"span_end","id":N,"name":S,"t_us":N,"dur_us":N, ...attrs}
+//	{"ev":"event","parent":N,"name":S,"t_us":N, ...attrs}
+//	{"ev":"metrics","counters":{...},"histograms":{...}}
+//
+// id is a process-unique span ID (> 0, allocation order); parent is 0 for
+// roots. t_us is microseconds since the tracer was created. Attribute keys
+// are caller-chosen and must avoid the reserved keys above.
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// KV builds an Attr.
+func KV(key string, val any) Attr { return Attr{Key: key, Val: val} }
+
+// Tracer emits spans and events as JSONL. Create with New or NewFile; a
+// nil *Tracer is valid and discards everything.
+type Tracer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	closer  io.Closer
+	start   time.Time
+	err     error
+	metrics *Metrics
+
+	next atomic.Int64
+}
+
+// New creates a tracer writing JSONL events to w.
+func New(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriterSize(w, 1<<16), start: time.Now()}
+}
+
+// NewFile creates a tracer writing to the given file path (truncating it).
+// Close flushes and closes the file.
+func NewFile(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := New(f)
+	t.closer = f
+	return t, nil
+}
+
+// AttachMetrics associates a registry whose final state is emitted as a
+// "metrics" event when the tracer is closed.
+func (t *Tracer) AttachMetrics(m *Metrics) {
+	if t != nil {
+		t.metrics = m
+	}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span is one timed, named region of the pipeline. A nil *Span is valid:
+// End is a no-op and child spans started under it become roots.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+}
+
+// ID returns the span's process-unique ID (0 on a nil receiver).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Start opens a span under parent (nil for a root) and emits its
+// span_start event. Returns nil when the tracer is nil.
+func (t *Tracer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, id: t.next.Add(1), parent: parent.ID(), name: name, start: time.Now()}
+	t.emit("span_start", s.id, s.parent, name, s.start, -1, attrs)
+	return s
+}
+
+// End closes the span, emitting its span_end event with the given final
+// attributes.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.tr.emit("span_end", s.id, -1, s.name, now, now.Sub(s.start), attrs)
+}
+
+// Event emits a point event under parent (nil for top level).
+func (t *Tracer) Event(parent *Span, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("event", -1, parent.ID(), name, time.Now(), -1, attrs)
+}
+
+// emit appends one JSONL line. id/parent are omitted when negative, dur
+// when negative. Field order is fixed and attrs keep their given order, so
+// traces are byte-stable apart from the timestamps.
+func (t *Tracer) emit(ev string, id, parent int64, name string, at time.Time, dur time.Duration, attrs []Attr) {
+	var b bytes.Buffer
+	b.WriteString(`{"ev":`)
+	b.WriteString(jsonString(ev))
+	if id >= 0 {
+		fmt.Fprintf(&b, `,"id":%d`, id)
+	}
+	if parent >= 0 {
+		fmt.Fprintf(&b, `,"parent":%d`, parent)
+	}
+	b.WriteString(`,"name":`)
+	b.WriteString(jsonString(name))
+	fmt.Fprintf(&b, `,"t_us":%d`, at.Sub(t.start).Microseconds())
+	if dur >= 0 {
+		fmt.Fprintf(&b, `,"dur_us":%d`, dur.Microseconds())
+	}
+	for _, a := range attrs {
+		b.WriteByte(',')
+		b.WriteString(jsonString(a.Key))
+		b.WriteByte(':')
+		v, err := json.Marshal(a.Val)
+		if err != nil {
+			v = []byte(jsonString(fmt.Sprintf("!marshal: %v", err)))
+		}
+		b.Write(v)
+	}
+	b.WriteString("}\n")
+	t.mu.Lock()
+	if t.err == nil {
+		_, t.err = t.w.Write(b.Bytes())
+	}
+	t.mu.Unlock()
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// Flush forces buffered events out to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = t.w.Flush()
+	}
+	return t.err
+}
+
+// Close emits the attached metrics registry (if any) as a final "metrics"
+// event, flushes, and closes the underlying file when the tracer owns one.
+// It returns the first error the sink encountered.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	if t.metrics != nil {
+		payload := struct {
+			Counters   map[string]int64             `json:"counters"`
+			Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+		}{t.metrics.Counters(), t.metrics.Histograms()}
+		v, err := json.Marshal(payload)
+		if err == nil {
+			line := append([]byte(`{"ev":"metrics",`), v[1:]...)
+			line = append(line, '\n')
+			t.mu.Lock()
+			if t.err == nil {
+				_, t.err = t.w.Write(line)
+			}
+			t.mu.Unlock()
+		}
+	}
+	err := t.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

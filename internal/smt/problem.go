@@ -144,6 +144,24 @@ func (s Status) String() string {
 	}
 }
 
+// Effort breaks a Solve call's work down by mechanism. All counts are
+// deterministic for a fixed problem, budget and seed (the search itself is
+// deterministic); only a wall-clock deadline can cut them short.
+type Effort struct {
+	// Eliminations counts variable eliminations performed by propagation
+	// (Gaussian substitution of linear equations).
+	Eliminations int64
+	// Branches counts case-split branches explored by the complete pattern
+	// rules (zero products, squares, quadratic roots).
+	Branches int64
+	// Enumerations counts concrete candidate assignments tried by the
+	// value-enumeration fallback (complete on small fields, heuristic
+	// probing on large ones).
+	Enumerations int64
+	// MaxDepth is the deepest search node reached.
+	MaxDepth int
+}
+
 // Outcome is the full result of a Solve call.
 type Outcome struct {
 	Status Status
@@ -151,6 +169,9 @@ type Outcome struct {
 	Model Model
 	// Steps is the number of solver steps consumed.
 	Steps int64
+	// Effort attributes the steps to elimination, branching and
+	// enumeration work.
+	Effort Effort
 	// Reason is a short human-readable note (budget exhausted, incomplete
 	// enumeration, …) for Unknown outcomes.
 	Reason string

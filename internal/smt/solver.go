@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qed2/internal/ff"
+	"qed2/internal/obs"
 	"qed2/internal/poly"
 )
 
@@ -28,6 +29,13 @@ type Options struct {
 	// StatusUnknown / reason "deadline exceeded", so a single query can
 	// overshoot the deadline by at most one check interval of work.
 	Deadline time.Time
+	// Obs, when non-nil, receives one "smt.solve" span per Solve call
+	// (child of Parent), carrying the outcome and effort breakdown.
+	Obs    *obs.Tracer
+	Parent *obs.Span
+	// Metrics, when non-nil, receives the smt.* counters and histograms
+	// (see DESIGN §10 for the taxonomy).
+	Metrics *obs.Metrics
 }
 
 // deadlineCheckEvery is the step interval between wall-clock deadline
@@ -39,6 +47,9 @@ const deadlineCheckEvery = 16
 // DeadlineExceeded is the Outcome.Reason reported when a Solve call aborts
 // because Options.Deadline passed.
 const DeadlineExceeded = "deadline exceeded"
+
+// budgetExhausted is the Outcome.Reason for step-budget exhaustion.
+const budgetExhausted = "step budget exhausted"
 
 func (o *Options) withDefaults() Options {
 	out := Options{}
@@ -60,6 +71,52 @@ func (o *Options) withDefaults() Options {
 // Solve decides the problem within the configured budget.
 func Solve(p *Problem, opts *Options) Outcome {
 	o := opts.withDefaults()
+	var span *obs.Span
+	if o.Obs.Enabled() {
+		span = o.Obs.Start(o.Parent, "smt.solve",
+			obs.KV("eqs", len(p.Eqs)), obs.KV("neqs", len(p.Neqs)), obs.KV("vars", len(p.Vars())))
+	}
+	out := solveProblem(p, o)
+	o.observe(span, out)
+	return out
+}
+
+// observe folds one completed Solve call into the span and the metrics
+// registry (both optional).
+func (o *Options) observe(span *obs.Span, out Outcome) {
+	if m := o.Metrics; m != nil {
+		m.Counter("smt.queries").Inc()
+		m.Counter("smt.steps").Add(out.Steps)
+		m.Counter("smt.eliminations").Add(out.Effort.Eliminations)
+		m.Counter("smt.branches").Add(out.Effort.Branches)
+		m.Counter("smt.enumerations").Add(out.Effort.Enumerations)
+		m.Counter("smt.status." + out.Status.String()).Inc()
+		if out.Reason == DeadlineExceeded {
+			m.Counter("smt.deadline_hits").Inc()
+		}
+		if out.Reason == budgetExhausted {
+			m.Counter("smt.budget_hits").Inc()
+		}
+		m.Histogram("smt.query.steps").Observe(out.Steps)
+		m.Histogram("smt.query.depth").Observe(int64(out.Effort.MaxDepth))
+	}
+	if span != nil {
+		attrs := []obs.Attr{
+			obs.KV("status", out.Status.String()),
+			obs.KV("steps", out.Steps),
+			obs.KV("eliminations", out.Effort.Eliminations),
+			obs.KV("branches", out.Effort.Branches),
+			obs.KV("enumerations", out.Effort.Enumerations),
+			obs.KV("depth", out.Effort.MaxDepth),
+		}
+		if out.Reason != "" {
+			attrs = append(attrs, obs.KV("reason", out.Reason))
+		}
+		span.End(attrs...)
+	}
+}
+
+func solveProblem(p *Problem, o Options) Outcome {
 	if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
 		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded}
 	}
@@ -83,7 +140,7 @@ func Solve(p *Problem, opts *Options) Outcome {
 	}
 	st.freeHint = p.Vars()
 	res, model := s.solve(st, 0)
-	out := Outcome{Steps: s.steps}
+	out := Outcome{Steps: s.steps, Effort: s.eff}
 	switch res {
 	case rSat:
 		out.Status = StatusSat
@@ -124,6 +181,7 @@ type solver struct {
 	opts   Options
 	rng    *rand.Rand
 	steps  int64
+	eff    Effort
 	reason string
 	// halted latches budget/deadline exhaustion so the search loops can
 	// abandon their remaining branches without cloning state for each one;
@@ -138,7 +196,7 @@ func (s *solver) step() bool {
 	}
 	s.steps++
 	if s.steps > s.opts.MaxSteps {
-		s.reason = "step budget exhausted"
+		s.reason = budgetExhausted
 		s.halted = true
 		return false
 	}
@@ -219,6 +277,9 @@ func (st *state) assignVar(v int, val ff.Element) {
 
 // solve runs propagation + search on st, which it may mutate freely.
 func (s *solver) solve(st *state, depth int) (resultKind, Model) {
+	if depth > s.eff.MaxDepth {
+		s.eff.MaxDepth = depth
+	}
 	if conflict, ok := s.propagate(st); !ok {
 		return rUnknown, nil
 	} else if conflict {
@@ -278,6 +339,7 @@ func (s *solver) propagate(st *state) (bool, bool) {
 			v := pickPivot(st, lin)
 			expr, _ := lin.SolveFor(v)
 			st.addSub(v, expr)
+			s.eff.Eliminations++
 			acted = true
 			break
 		}
@@ -598,6 +660,7 @@ func (s *solver) splitLinear(st *state, branches []*poly.LinComb, depth int) (re
 		if s.halted {
 			return rUnknown, nil
 		}
+		s.eff.Branches++
 		child := st
 		if i < len(branches)-1 {
 			child = st.clone()
@@ -710,6 +773,7 @@ func (s *solver) enumerate(st *state, depth int) (resultKind, Model) {
 		if s.halted {
 			return rUnknown, nil
 		}
+		s.eff.Enumerations++
 		child := st
 		if i < len(candidates)-1 {
 			child = st.clone()

@@ -26,6 +26,7 @@ import (
 	"math/big"
 	"sort"
 
+	"qed2/internal/obs"
 	"qed2/internal/poly"
 	"qed2/internal/r1cs"
 )
@@ -69,6 +70,13 @@ type Propagator struct {
 	boolean map[int]bool
 	// order records the derivation order (for diagnostics/metrics).
 	order []int
+	// Per-rule observability counters, resolved once from Options.Metrics
+	// (nil handles are no-ops): attempts count rule evaluations, fired
+	// counts firings, and bits.resolved counts signals resolved by R-Bits
+	// (one firing can resolve many bits).
+	cSolveAttempts, cSolveFired             *obs.Counter
+	cBitsAttempts, cBitsFired, cBitsResolve *obs.Counter
+	cSeeds, cExternal                       *obs.Counter
 }
 
 // Options disables individual inference rules, for ablation studies.
@@ -77,6 +85,9 @@ type Options struct {
 	DisableSolve bool
 	// DisableBits turns the binary-decomposition rule off.
 	DisableBits bool
+	// Metrics, when non-nil, receives the uniq.* counters (see DESIGN §10
+	// for the taxonomy).
+	Metrics *obs.Metrics
 }
 
 // New builds a propagator seeded with the inputs and the constant-one
@@ -92,6 +103,14 @@ func NewWithOptions(sys *r1cs.System, opts Options) *Propagator {
 		opts:    opts,
 		unique:  map[int]Source{},
 		sigCons: map[int][]int{},
+
+		cSolveAttempts: opts.Metrics.Counter("uniq.rule.solve.attempts"),
+		cSolveFired:    opts.Metrics.Counter("uniq.rule.solve.fired"),
+		cBitsAttempts:  opts.Metrics.Counter("uniq.rule.bits.attempts"),
+		cBitsFired:     opts.Metrics.Counter("uniq.rule.bits.fired"),
+		cBitsResolve:   opts.Metrics.Counter("uniq.rule.bits.resolved"),
+		cSeeds:         opts.Metrics.Counter("uniq.seeds"),
+		cExternal:      opts.Metrics.Counter("uniq.external"),
 	}
 	p.quads = make([]*poly.Quad, sys.NumConstraints())
 	p.boolean = map[int]bool{}
@@ -117,6 +136,7 @@ func (p *Propagator) seed(id int) {
 	if _, ok := p.unique[id]; !ok {
 		p.unique[id] = Source{Rule: RuleSeed, Constraint: -1}
 		p.order = append(p.order, id)
+		p.cSeeds.Inc()
 	}
 }
 
@@ -208,6 +228,9 @@ func (p *Propagator) AddUnique(id int, src Source) bool {
 	}
 	p.unique[id] = src
 	p.order = append(p.order, id)
+	if src.Rule == RuleExternal {
+		p.cExternal.Inc()
+	}
 	p.fixpoint([]int{id})
 	return true
 }
@@ -247,12 +270,22 @@ func (p *Propagator) fixpoint(dirty []int) {
 		delete(pending, ci)
 		var resolved []int
 		var rule Rule
-		if x, ok := p.ruleSolve(ci); ok && !p.opts.DisableSolve {
-			resolved = []int{x}
-			rule = RuleSolve
-		} else if xs, ok := p.ruleBits(ci); ok && !p.opts.DisableBits {
-			resolved = xs
-			rule = RuleBits
+		if !p.opts.DisableSolve {
+			p.cSolveAttempts.Inc()
+			if x, ok := p.ruleSolve(ci); ok {
+				resolved = []int{x}
+				rule = RuleSolve
+				p.cSolveFired.Inc()
+			}
+		}
+		if resolved == nil && !p.opts.DisableBits {
+			p.cBitsAttempts.Inc()
+			if xs, ok := p.ruleBits(ci); ok {
+				resolved = xs
+				rule = RuleBits
+				p.cBitsFired.Inc()
+				p.cBitsResolve.Add(int64(len(xs)))
+			}
 		}
 		for _, x := range resolved {
 			p.unique[x] = Source{Rule: rule, Constraint: ci}
