@@ -8,34 +8,53 @@
 // the files in the circuit's directory and against the bundled circomlib
 // subset (so `include "comparators.circom"` works out of the box).
 //
+// SIGINT/SIGTERM cancel a running analysis gracefully: the partial report
+// is still printed (verdict unknown, reason "canceled") and the exit status
+// is 2. A second signal force-kills.
+//
 // Exit status: 0 safe, 1 unsafe, 2 unknown, 3 usage/compile error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/big"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"qed2/internal/bench"
 	"qed2/internal/circom"
 	"qed2/internal/core"
+	"qed2/internal/faultinject"
 	"qed2/internal/obs"
 	"qed2/internal/r1cs"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		// After the first signal cancels ctx, restore the default handlers
+		// so a second signal force-kills a hung shutdown.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run executes the CLI with explicit arguments and output streams so tests
 // can drive it end to end.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if _, err := faultinject.EnableFromEnv(); err != nil {
+		fmt.Fprintln(stderr, "qed2:", err)
+		return 3
+	}
 	fs := flag.NewFlagSet("qed2", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -174,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Obs = tracer
 	}
 	t0 := time.Now()
-	report := core.Analyze(sys, cfg)
+	report := core.AnalyzeContext(ctx, sys, cfg)
 	if err := tracer.Close(); err != nil {
 		fmt.Fprintln(stderr, "qed2: writing trace:", err)
 		return 3

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -45,7 +46,7 @@ component main = Bad();
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var out, errw bytes.Buffer
-	code := run(args, &out, &errw)
+	code := run(context.Background(), args, &out, &errw)
 	return code, out.String(), errw.String()
 }
 
@@ -235,5 +236,23 @@ component main = Pass();
 	code, out, errw := runCLI(t, "-q", mainPath)
 	if code != 0 {
 		t.Fatalf("exit %d: %s%s", code, out, errw)
+	}
+}
+
+func TestCLICanceledContextYieldsUnknown(t *testing.T) {
+	// The buggy circuit needs SMT queries to decide; a pre-canceled context
+	// skips them all, so the verdict degrades to unknown (canceled). (A
+	// circuit decided purely by propagation would still report its sound
+	// verdict — cancellation never revokes completed proofs.)
+	path := writeCircuit(t, "bad.circom", buggySrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errw bytes.Buffer
+	code := run(ctx, []string{path}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("canceled run exit = %d, want 2\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "unknown") || !strings.Contains(out.String(), "canceled") {
+		t.Fatalf("canceled run output missing unknown (canceled):\n%s", out.String())
 	}
 }

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"qed2/internal/core"
+)
+
+// Checkpointing: qed2bench persists one JSON InstanceRecord per line as
+// instances complete, so a crashed or interrupted suite run can resume
+// (-resume) from the instances already decided instead of restarting. The
+// format is append-only JSONL — a kill can at worst tear the final line,
+// which LoadCheckpoint tolerates by discarding it.
+
+// CheckpointWriter appends instance records to a JSONL checkpoint file.
+// Append is safe for concurrent use by the bench worker pool. Write errors
+// are sticky: the first one is remembered and reported by Err, and later
+// Appends become no-ops, so a full disk cannot corrupt the tail of the file
+// with interleaved partial lines.
+type CheckpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// NewCheckpointWriter opens (creating or appending to) the checkpoint file.
+func NewCheckpointWriter(path string) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bench: opening checkpoint %s: %w", path, err)
+	}
+	return &CheckpointWriter{f: f}, nil
+}
+
+// Append writes one record as a single JSONL line.
+func (w *CheckpointWriter) Append(rec InstanceRecord) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		w.setErr(err)
+		return
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if _, err := w.f.Write(b); err != nil {
+		w.err = err
+	}
+}
+
+func (w *CheckpointWriter) setErr(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (w *CheckpointWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close closes the underlying file.
+func (w *CheckpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// LoadCheckpoint reads a checkpoint file back into a name-keyed record map.
+// A missing file is an empty checkpoint (resume of a run that never
+// started). A torn final line — the signature of a mid-write kill — is
+// discarded; malformed lines anywhere else are an error, since they mean
+// the file is not a checkpoint.
+func LoadCheckpoint(path string) (map[string]InstanceRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return map[string]InstanceRecord{}, nil
+		}
+		return nil, fmt.Errorf("bench: reading checkpoint %s: %w", path, err)
+	}
+	lines := strings.Split(string(b), "\n")
+	// Trim trailing blank lines so "last line" means last record attempt.
+	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
+		lines = lines[:len(lines)-1]
+	}
+	out := make(map[string]InstanceRecord, len(lines))
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec InstanceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final line from an interrupted write
+			}
+			return nil, fmt.Errorf("bench: checkpoint %s line %d: %w", path, i+1, err)
+		}
+		if rec.Name == "" {
+			return nil, fmt.Errorf("bench: checkpoint %s line %d: record without instance name", path, i+1)
+		}
+		out[rec.Name] = rec
+	}
+	return out, nil
+}
+
+// resultFromRecord rehydrates a checkpointed record into a Result carrying
+// everything the tables, tallies and golden diff consume. Witnesses and the
+// compiled system statistics are not persisted; the rehydrated Result
+// reflects that (System is zero, Report.Counter is nil).
+func resultFromRecord(inst Instance, rec InstanceRecord) Result {
+	res := Result{
+		Instance:    inst,
+		AnalyzeTime: time.Duration(rec.AnalyzeMS * float64(time.Millisecond)),
+	}
+	if rec.Verdict == "compile-error" {
+		res.CompileErr = errors.New(rec.Reason)
+		return res
+	}
+	v, _ := core.ParseVerdict(rec.Verdict)
+	res.Report = &core.Report{Verdict: v, Reason: rec.Reason}
+	res.Report.Stats.Queries = rec.Queries
+	res.Report.Stats.SolverSteps = rec.SolverSteps
+	res.Report.Stats.CacheHits = rec.CacheHits
+	res.CEOutput = rec.CEOutput
+	res.CEDiffers = rec.CESignals
+	return res
+}

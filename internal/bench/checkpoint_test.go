@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qed2/internal/core"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := NewCheckpointWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(InstanceRecord{Name: "a", Verdict: "safe", Queries: 3})
+	w.Append(InstanceRecord{Name: "b", Verdict: "unsafe", CEOutput: "out", CESignals: []string{"out", "tmp"}})
+	w.Append(InstanceRecord{Name: "c", Verdict: "compile-error", Reason: "bench: c: boom"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(got))
+	}
+	if got["a"].Verdict != "safe" || got["a"].Queries != 3 {
+		t.Fatalf("record a = %+v", got["a"])
+	}
+
+	res := resultFromRecord(Instance{Name: "b"}, got["b"])
+	if res.Report == nil || res.Report.Verdict != core.VerdictUnsafe {
+		t.Fatalf("rehydrated b = %+v", res)
+	}
+	if res.CEOutput != "out" || len(res.CEDiffers) != 2 {
+		t.Fatalf("rehydrated b counterexample = %q %v", res.CEOutput, res.CEDiffers)
+	}
+	res = resultFromRecord(Instance{Name: "c"}, got["c"])
+	if res.CompileErr == nil || res.Report != nil {
+		t.Fatalf("rehydrated c = %+v", res)
+	}
+}
+
+func TestLoadCheckpointTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	content := `{"name":"a","verdict":"safe"}
+{"name":"b","verdict":"unsafe"}
+{"name":"c","verd`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records from torn checkpoint, want 2", len(got))
+	}
+	if _, ok := got["c"]; ok {
+		t.Fatal("torn final record was not discarded")
+	}
+}
+
+func TestLoadCheckpointMissingFileIsEmpty(t *testing.T) {
+	got, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing checkpoint loaded %d records", len(got))
+	}
+}
+
+func TestLoadCheckpointRejectsGarbageMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	content := `{"name":"a","verdict":"safe"}
+not json at all
+{"name":"b","verdict":"unsafe"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"qed2/internal/core"
 )
@@ -30,6 +31,10 @@ type GoldenConfig struct {
 type GoldenVerdict struct {
 	Name    string `json:"name"`
 	Verdict string `json:"verdict"`
+	// Reason is recorded for unknown verdicts so the diff can distinguish
+	// degradation (canceled, internal error) from a genuine budget outcome.
+	// Reasons are never compared for equality.
+	Reason string `json:"reason,omitempty"`
 	// CEOutput and CESignals pin the counterexample shape for unsafe
 	// verdicts: the differing output and the full set of signals on which
 	// the witness pair disagrees.
@@ -53,12 +58,16 @@ func GoldenFromResults(cfg core.Config, results []Result) *GoldenFile {
 	}}
 	for _, r := range results {
 		ir := instanceRecordOf(r)
-		g.Verdicts = append(g.Verdicts, GoldenVerdict{
+		gv := GoldenVerdict{
 			Name:      ir.Name,
 			Verdict:   ir.Verdict,
 			CEOutput:  ir.CEOutput,
 			CESignals: ir.CESignals,
-		})
+		}
+		if gv.Verdict == core.VerdictUnknown.String() {
+			gv.Reason = ir.Reason
+		}
+		g.Verdicts = append(g.Verdicts, gv)
 	}
 	sort.Slice(g.Verdicts, func(i, j int) bool { return g.Verdicts[i].Name < g.Verdicts[j].Name })
 	return g
@@ -86,15 +95,38 @@ func LoadGolden(path string) (*GoldenFile, error) {
 	return g, nil
 }
 
+// Degraded reports whether a fresh verdict is a fault-tolerance degradation
+// rather than an analysis outcome: unknown because the run was canceled or
+// because a query was quarantined after a panic. The golden gate reports
+// these separately and non-fatally, so a chaos schedule or an interrupted
+// run composes with the regression gate instead of tripping it.
+func (v GoldenVerdict) Degraded() bool {
+	return v.Verdict == core.VerdictUnknown.String() &&
+		(v.Reason == DegradedCanceled || strings.HasPrefix(v.Reason, DegradedInternalPrefix))
+}
+
+// Degraded-reason vocabulary (shared with core/smt; duplicated here so the
+// golden format is self-describing).
+const (
+	// DegradedCanceled is the Reason of verdicts cut short by cancellation.
+	DegradedCanceled = "canceled"
+	// DegradedInternalPrefix prefixes the Reason of panic-quarantined
+	// verdicts.
+	DegradedInternalPrefix = "internal error"
+)
+
 // DiffGolden compares a fresh snapshot against the golden one and returns
-// one readable line per discrepancy (empty slice = identical). Instances
-// are matched by name; order within the files does not matter.
-func DiffGolden(golden, fresh *GoldenFile) []string {
-	var diffs []string
+// one readable line per real discrepancy (empty slice = identical) plus one
+// line per degraded fresh verdict (unknown: canceled / internal error where
+// the golden file pins a real verdict). Degraded entries are a separate,
+// non-failing category: they mean the fresh run was interrupted or
+// fault-injected, not that the analysis changed. Instances are matched by
+// name; order within the files does not matter.
+func DiffGolden(golden, fresh *GoldenFile) (diffs, degraded []string) {
 	if golden.Config != fresh.Config {
 		diffs = append(diffs, fmt.Sprintf("config mismatch: golden %+v vs fresh %+v (the gate only compares equal configurations)",
 			golden.Config, fresh.Config))
-		return diffs
+		return diffs, nil
 	}
 	goldenBy := map[string]GoldenVerdict{}
 	for _, v := range golden.Verdicts {
@@ -109,6 +141,10 @@ func DiffGolden(golden, fresh *GoldenFile) []string {
 			continue
 		}
 		if g.Verdict != f.Verdict {
+			if f.Degraded() {
+				degraded = append(degraded, fmt.Sprintf("%s: degraded %s -> unknown (%s)", f.Name, g.Verdict, f.Reason))
+				continue
+			}
 			diffs = append(diffs, fmt.Sprintf("%s: verdict flipped %s -> %s", f.Name, g.Verdict, f.Verdict))
 			continue
 		}
@@ -125,7 +161,8 @@ func DiffGolden(golden, fresh *GoldenFile) []string {
 		}
 	}
 	sort.Strings(diffs)
-	return diffs
+	sort.Strings(degraded)
+	return diffs, degraded
 }
 
 func equalStrings(a, b []string) bool {

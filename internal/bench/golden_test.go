@@ -19,24 +19,50 @@ func goldenFixture() *GoldenFile {
 }
 
 func TestDiffGoldenIdentical(t *testing.T) {
-	if diffs := DiffGolden(goldenFixture(), goldenFixture()); len(diffs) != 0 {
-		t.Fatalf("identical snapshots should not diff, got %v", diffs)
+	diffs, degraded := DiffGolden(goldenFixture(), goldenFixture())
+	if len(diffs) != 0 || len(degraded) != 0 {
+		t.Fatalf("identical snapshots should not diff, got %v / %v", diffs, degraded)
 	}
 }
 
 func TestDiffGoldenDetectsVerdictFlip(t *testing.T) {
 	fresh := goldenFixture()
 	fresh.Verdicts[0].Verdict = "unsafe"
-	diffs := DiffGolden(goldenFixture(), fresh)
+	diffs, _ := DiffGolden(goldenFixture(), fresh)
 	if len(diffs) != 1 || !strings.Contains(diffs[0], "a: verdict flipped safe -> unsafe") {
 		t.Fatalf("expected one verdict-flip diff, got %v", diffs)
+	}
+}
+
+func TestDiffGoldenDegradedVerdictsAreNotFailures(t *testing.T) {
+	fresh := goldenFixture()
+	fresh.Verdicts[0] = GoldenVerdict{Name: "a", Verdict: "unknown", Reason: "canceled"}
+	fresh.Verdicts[1] = GoldenVerdict{Name: "b", Verdict: "unknown", Reason: "internal error: forced panic"}
+	diffs, degraded := DiffGolden(goldenFixture(), fresh)
+	if len(diffs) != 0 {
+		t.Fatalf("degraded verdicts reported as failing diffs: %v", diffs)
+	}
+	if len(degraded) != 2 {
+		t.Fatalf("expected 2 degraded entries, got %v", degraded)
+	}
+	joined := strings.Join(degraded, "\n")
+	if !strings.Contains(joined, "a: degraded safe -> unknown (canceled)") ||
+		!strings.Contains(joined, "b: degraded unsafe -> unknown (internal error: forced panic)") {
+		t.Fatalf("unexpected degraded lines: %v", degraded)
+	}
+	// An unknown with a plain budget reason is still a real flip.
+	fresh = goldenFixture()
+	fresh.Verdicts[0] = GoldenVerdict{Name: "a", Verdict: "unknown", Reason: "global budget exhausted"}
+	diffs, degraded = DiffGolden(goldenFixture(), fresh)
+	if len(diffs) != 1 || len(degraded) != 0 {
+		t.Fatalf("budget unknown should be a failing flip, got %v / %v", diffs, degraded)
 	}
 }
 
 func TestDiffGoldenDetectsCounterexampleChange(t *testing.T) {
 	fresh := goldenFixture()
 	fresh.Verdicts[1].CESignals = []string{"main.out"}
-	diffs := DiffGolden(goldenFixture(), fresh)
+	diffs, _ := DiffGolden(goldenFixture(), fresh)
 	if len(diffs) != 1 || !strings.Contains(diffs[0], "counterexample signal set changed") {
 		t.Fatalf("expected one signal-set diff, got %v", diffs)
 	}
@@ -45,7 +71,7 @@ func TestDiffGoldenDetectsCounterexampleChange(t *testing.T) {
 func TestDiffGoldenDetectsMissingAndNewInstances(t *testing.T) {
 	fresh := goldenFixture()
 	fresh.Verdicts[2].Name = "d"
-	diffs := DiffGolden(goldenFixture(), fresh)
+	diffs, _ := DiffGolden(goldenFixture(), fresh)
 	if len(diffs) != 2 {
 		t.Fatalf("expected missing+new diffs, got %v", diffs)
 	}
@@ -59,7 +85,7 @@ func TestDiffGoldenConfigMismatchFailsFast(t *testing.T) {
 	fresh := goldenFixture()
 	fresh.Config.Seed = 2
 	fresh.Verdicts[0].Verdict = "unsafe" // must be masked by the config fast-fail
-	diffs := DiffGolden(goldenFixture(), fresh)
+	diffs, _ := DiffGolden(goldenFixture(), fresh)
 	if len(diffs) != 1 || !strings.Contains(diffs[0], "config mismatch") {
 		t.Fatalf("expected a single config-mismatch diff, got %v", diffs)
 	}
@@ -79,7 +105,7 @@ func TestGoldenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diffs := DiffGolden(g, back); len(diffs) != 0 {
+	if diffs, _ := DiffGolden(g, back); len(diffs) != 0 {
 		t.Fatalf("round trip changed the snapshot: %v", diffs)
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,8 +9,10 @@ import (
 	"time"
 
 	"qed2/internal/core"
+	"qed2/internal/faultinject"
 	"qed2/internal/obs"
 	"qed2/internal/r1cs"
+	"qed2/internal/smt"
 )
 
 // Result is the outcome of analyzing one instance.
@@ -61,10 +64,28 @@ type RunOptions struct {
 	// on scheduling; results and counter totals do not.
 	Obs     *obs.Tracer
 	Metrics *obs.Metrics
+	// Checkpoint, when non-nil, receives one record per freshly completed
+	// instance. Results degraded by cancellation are not persisted: a
+	// resumed run must re-analyze them, so resume converges to the same
+	// verdict set as an uninterrupted run.
+	Checkpoint *CheckpointWriter
+	// Completed maps instance names to records from a previous run's
+	// checkpoint; those instances are skipped and their results rehydrated
+	// (see resultFromRecord) instead of re-analyzed.
+	Completed map[string]InstanceRecord
 }
 
 // Run compiles and analyzes every instance, preserving input order.
 func Run(insts []Instance, opts *RunOptions) []Result {
+	return RunContext(context.Background(), insts, opts)
+}
+
+// RunContext is Run with cancellation: once ctx is canceled, in-flight
+// analyses stop at their next query boundary (reporting unknown: canceled)
+// and every not-yet-started instance is stamped with the same partial
+// verdict instead of being analyzed, so the caller always gets one Result
+// per instance no matter when the cancellation fired.
+func RunContext(ctx context.Context, insts []Instance, opts *RunOptions) []Result {
 	o := RunOptions{}
 	if opts != nil {
 		o = *opts
@@ -85,6 +106,14 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 		progressMu sync.Mutex
 		done       int
 	)
+	progress := func(i int) {
+		progressMu.Lock()
+		done++
+		if o.Progress != nil {
+			o.Progress(done, len(insts), results[i])
+		}
+		progressMu.Unlock()
+	}
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -94,13 +123,20 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 				if i >= len(insts) {
 					return
 				}
-				results[i] = runOne(insts[i], o.Config, o.Obs, rs, o.Metrics)
-				progressMu.Lock()
-				done++
-				if o.Progress != nil {
-					o.Progress(done, len(insts), results[i])
+				if rec, ok := o.Completed[insts[i].Name]; ok {
+					results[i] = resultFromRecord(insts[i], rec)
+					progress(i)
+					continue
 				}
-				progressMu.Unlock()
+				if ctx.Err() != nil {
+					results[i] = canceledResult(insts[i])
+					continue
+				}
+				results[i] = runOne(ctx, insts[i], o.Config, o.Obs, rs, o.Metrics)
+				if o.Checkpoint != nil && !degradedByCancel(results[i]) {
+					o.Checkpoint.Append(instanceRecordOf(results[i]))
+				}
+				progress(i)
 			}
 		}()
 	}
@@ -108,24 +144,75 @@ func Run(insts []Instance, opts *RunOptions) []Result {
 	return results
 }
 
-func runOne(inst Instance, cfg core.Config, tr *obs.Tracer, parent *obs.Span, metrics *obs.Metrics) Result {
+// canceledResult stamps an instance that was never analyzed because the run
+// was canceled first.
+func canceledResult(inst Instance) Result {
+	return Result{
+		Instance: inst,
+		Report:   &core.Report{Verdict: core.VerdictUnknown, Reason: smt.Canceled},
+	}
+}
+
+// degradedByCancel reports whether a result's unknown verdict is an
+// artifact of cancellation rather than a real budget outcome. Such results
+// must not be checkpointed — resuming re-analyzes them.
+func degradedByCancel(r Result) bool {
+	return r.Report != nil &&
+		r.Report.Verdict == core.VerdictUnknown &&
+		r.Report.Reason == smt.Canceled
+}
+
+func runOne(ctx context.Context, inst Instance, cfg core.Config, tr *obs.Tracer, parent *obs.Span, metrics *obs.Metrics) Result {
 	res := Result{Instance: inst}
 	is := tr.Start(parent, "bench.instance",
 		obs.KV("instance", inst.Name), obs.KV("category", inst.Category))
+	verdict := runInstance(ctx, inst, &res, cfg, tr, is, metrics)
+	is.End(obs.KV("verdict", verdict),
+		obs.KV("analyze_us", res.AnalyzeTime.Microseconds()))
+	return res
+}
+
+// runInstance does the compile + analyze work of one instance under a panic
+// boundary: a crash anywhere in the front-end, the analysis, or the
+// counterexample summary is converted into a per-instance failure result
+// instead of killing the whole suite run. A panic before the front-end
+// finished becomes a CompileErr; after that it becomes an Unknown report —
+// in both cases only ever a degradation, never a flipped verdict.
+func runInstance(ctx context.Context, inst Instance, res *Result, cfg core.Config, tr *obs.Tracer, is *obs.Span, metrics *obs.Metrics) (verdict string) {
+	compiled := false
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Event(is, "bench.instance.panic",
+				obs.KV("instance", inst.Name), obs.KV("panic", fmt.Sprint(r)))
+			if !compiled {
+				res.CompileErr = fmt.Errorf("bench: %s: internal error: %v", inst.Name, r)
+				verdict = "compile-error"
+				return
+			}
+			res.Report = &core.Report{
+				Verdict: core.VerdictUnknown,
+				Reason:  fmt.Sprintf("internal error: %v", r),
+			}
+			verdict = core.VerdictUnknown.String()
+		}
+	}()
+	if faultinject.Enabled() {
+		faultinject.Check("bench.instance")
+	}
 	t0 := time.Now()
 	prog, err := inst.Compile()
 	res.CompileTime = time.Since(t0)
 	if err != nil {
 		res.CompileErr = fmt.Errorf("bench: %s: %w", inst.Name, err)
-		is.End(obs.KV("verdict", "compile-error"))
-		return res
+		return "compile-error"
 	}
+	compiled = true
 	res.System = prog.System.Stats()
 	cfg.Obs = tr
 	cfg.ObsParent = is
 	cfg.Metrics = metrics
 	t1 := time.Now()
-	res.Report = core.Analyze(prog.System, &cfg)
+	res.Report = core.AnalyzeContext(ctx, prog.System, &cfg)
 	res.AnalyzeTime = time.Since(t1)
 	if ce := res.Report.Counter; ce != nil {
 		f := prog.System.Field()
@@ -138,9 +225,7 @@ func runOne(inst Instance, cfg core.Config, tr *obs.Tracer, parent *obs.Span, me
 			}
 		}
 	}
-	is.End(obs.KV("verdict", res.Report.Verdict.String()),
-		obs.KV("analyze_us", res.AnalyzeTime.Microseconds()))
-	return res
+	return res.Report.Verdict.String()
 }
 
 // Tally aggregates verdicts over a result set.

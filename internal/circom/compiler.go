@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"strings"
 
+	"qed2/internal/faultinject"
 	"qed2/internal/ff"
 	"qed2/internal/poly"
 	"qed2/internal/r1cs"
@@ -101,7 +102,25 @@ func loadWithIncludes(src string, library map[string]string) (*File, error) {
 }
 
 // CompileFile compiles an already-parsed (and include-merged) file.
-func CompileFile(file *File, opts *CompileOptions) (*Program, error) {
+//
+// The named returns feed the recover boundary: no panic may escape the
+// compiler on untrusted input. A recovered *Error (position-tagged) is
+// returned as-is; anything else — a genuine compiler bug — is wrapped as an
+// "internal error" so the caller still gets an error, not a crash.
+func CompileFile(file *File, opts *CompileOptions) (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			prog = nil
+			if cerr, ok := r.(*Error); ok {
+				err = cerr
+				return
+			}
+			err = fmt.Errorf("circom: internal error: %v", r)
+		}
+	}()
+	if faultinject.Enabled() {
+		faultinject.Check("circom.compile")
+	}
 	o := opts.withDefaults()
 	if file.Main == nil {
 		return nil, errors.New("circom: no main component declared")
@@ -975,22 +994,26 @@ func (e *env) execSignalAssign(st *AssignStmt) error {
 		}
 		tag := fmt.Sprintf("%s <== @%s", e.c.sys.Name(id), st.Pos)
 		if sym.lin != nil {
-			e.emitConstraint(
+			if err := e.emitConstraint(
 				poly.ConstInt(e.c.f, 1),
 				sym.lin,
 				poly.Var(e.c.f, id),
 				tag, st.Pos,
-			)
+			); err != nil {
+				return err
+			}
 			e.c.prog.Assignments = append(e.c.prog.Assignments, Assignment{
 				Target: id, Expr: &WLin{LC: sym.lin}, Constrained: true, Pos: st.Pos,
 			})
 		} else {
-			e.emitConstraint(
+			if err := e.emitConstraint(
 				sym.qa,
 				sym.qb,
 				poly.Var(e.c.f, id).Sub(sym.qc),
 				tag, st.Pos,
-			)
+			); err != nil {
+				return err
+			}
 			e.c.prog.Assignments = append(e.c.prog.Assignments, Assignment{
 				Target: id, Expr: &WQuad{A: sym.qa, B: sym.qb, C: sym.qc}, Constrained: true, Pos: st.Pos,
 			})
@@ -1011,11 +1034,12 @@ func (e *env) execSignalAssign(st *AssignStmt) error {
 	return nil
 }
 
-func (e *env) emitConstraint(a, b, c *poly.LinComb, tag string, pos Pos) {
+func (e *env) emitConstraint(a, b, c *poly.LinComb, tag string, pos Pos) error {
 	if e.c.sys.NumConstraints() >= e.c.opts.MaxConstraints {
-		panic(errAt(pos, "constraint budget exceeded (%d)", e.c.opts.MaxConstraints))
+		return errAt(pos, "constraint budget exceeded (%d)", e.c.opts.MaxConstraints)
 	}
 	e.c.sys.AddConstraint(a, b, c, tag)
+	return nil
 }
 
 func (e *env) execConstraint(st *ConstraintStmt) error {
@@ -1043,11 +1067,9 @@ func (e *env) execConstraint(st *ConstraintStmt) error {
 	}
 	tag := fmt.Sprintf("=== @%s", st.Pos)
 	if d.lin != nil {
-		e.emitConstraint(poly.ConstInt(e.c.f, 1), d.lin, poly.NewLinComb(e.c.f), tag, st.Pos)
-	} else {
-		e.emitConstraint(d.qa, d.qb, d.qc.Neg(), tag, st.Pos)
+		return e.emitConstraint(poly.ConstInt(e.c.f, 1), d.lin, poly.NewLinComb(e.c.f), tag, st.Pos)
 	}
-	return nil
+	return e.emitConstraint(d.qa, d.qb, d.qc.Neg(), tag, st.Pos)
 }
 
 func (e *env) execAssert(st *AssertStmt) error {

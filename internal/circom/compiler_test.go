@@ -1,11 +1,13 @@
 package circom
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"strings"
 	"testing"
 
+	"qed2/internal/faultinject"
 	"qed2/internal/ff"
 	"qed2/internal/r1cs"
 )
@@ -595,5 +597,45 @@ component main = T();
 	w := p.MustWitness(InputsFromInts(map[string]int64{"x": 1}))
 	if got := wi(p, w, p.OutputNames["o"]); got != 109 {
 		t.Errorf("o = %d, want 109", got)
+	}
+}
+
+func TestConstraintBudgetOverflowReturnsError(t *testing.T) {
+	// The overflow used to be a control-flow panic; it must now surface as a
+	// positioned compile error through the normal error path.
+	src := `
+template T() {
+    signal input a;
+    signal output b[64];
+    for (var i = 0; i < 64; i++) { b[i] <== a*a; }
+}
+component main = T();
+`
+	_, err := Compile(src, &CompileOptions{MaxConstraints: 8})
+	if err == nil {
+		t.Fatal("constraint-budget overflow accepted")
+	}
+	if !strings.Contains(err.Error(), "constraint budget exceeded") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	var cerr *Error
+	if !errors.As(err, &cerr) {
+		t.Fatalf("overflow error is not position-tagged: %T %v", err, err)
+	}
+}
+
+func TestCompilePanicBoundaryWrapsInternalErrors(t *testing.T) {
+	// A non-*Error panic inside the compiler (here forced via fault
+	// injection) must come back as an "internal error", never escape.
+	faultinject.Enable(&faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Kind: faultinject.KindPanic, Site: "circom.compile", Every: 1},
+	}})
+	defer faultinject.Disable()
+	_, err := Compile(`template T() { signal input a; signal output b; b <== a; } component main = T();`, nil)
+	if err == nil {
+		t.Fatal("injected panic did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

@@ -57,7 +57,9 @@ func FuzzParse(f *testing.F) {
 }
 
 // FuzzCompile checks the whole front-end (with tight budgets) never panics
-// on arbitrary source.
+// on arbitrary source. The budgets make every resource path reachable:
+// the constraint-budget seed below overflows MaxConstraints inside a loop,
+// exercising the error return that used to be a control-flow panic.
 func FuzzCompile(f *testing.F) {
 	seeds := []string{
 		"template T() { signal input a; signal output b; b <== a*a; } component main = T();",
@@ -66,6 +68,10 @@ func FuzzCompile(f *testing.F) {
 		"template T() { signal input a; signal output b; b <-- 1/a; b*a === 1; } component main = T();",
 		"function f(x){ return f(x); } template T() { signal input a; signal output b; b <== a*f(1); } component main = T();",
 		"template T() { signal input a; signal output b; var i = 0; while (1) i++; b <== a; } component main = T();",
+		// Constraint-budget overflow: 5000 constraints against MaxConstraints 4096.
+		"template T() { signal input a; signal output b[5000]; for (var i = 0; i < 5000; i++) { b[i] <== a*a; } } component main = T();",
+		// Signal-budget overflow.
+		"template T() { signal input a[5000]; signal output b; b <== a[0]; } component main = T();",
 	}
 	for _, s := range seeds {
 		f.Add(s)

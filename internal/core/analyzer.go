@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -57,6 +58,20 @@ func (v Verdict) String() string {
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
+}
+
+// ParseVerdict inverts String for the three canonical verdict names (used
+// when rehydrating persisted records, e.g. bench checkpoints).
+func ParseVerdict(s string) (Verdict, bool) {
+	switch s {
+	case "safe":
+		return VerdictSafe, true
+	case "unsafe":
+		return VerdictUnsafe, true
+	case "unknown":
+		return VerdictUnknown, true
+	}
+	return VerdictUnknown, false
 }
 
 // Mode selects the analysis configuration.
@@ -189,6 +204,12 @@ type Stats struct {
 	// cache instead of the solver (structurally identical re-queries across
 	// re-propagation rounds).
 	CacheHits int
+	// QueryPanics counts solver queries whose first attempt panicked and was
+	// quarantined (converted to Unknown); QueryRetries counts the reduced-
+	// budget retries issued for them at the round barrier. A panic can only
+	// degrade a verdict to Unknown, never flip it — see DESIGN.md §11.
+	QueryPanics  int
+	QueryRetries int
 	// Workers records the degree of query parallelism used.
 	Workers int
 	// Duration is wall-clock analysis time.
@@ -210,13 +231,22 @@ type Report struct {
 // workers, all drawing from the same global pool; everything else is only
 // touched sequentially (at round barriers or in the baselines).
 type analysis struct {
-	sys      *r1cs.System
-	cfg      Config
-	prop     *uniq.Propagator
-	report   *Report
+	sys    *r1cs.System
+	cfg    Config
+	prop   *uniq.Propagator
+	report *Report
+	// ctx cancels the analysis (never nil; Background when the caller used
+	// plain Analyze). Workers check it between queries; the solver checks it
+	// inside the step loop.
+	ctx      context.Context
 	start    time.Time
-	deadline time.Time // zero when cfg.Timeout == 0
+	deadline time.Time // zero when cfg.Timeout == 0 and ctx has no deadline
 	stepsRem atomic.Int64
+	// nPanics/nRetries count quarantined query panics and their barrier
+	// retries; atomics because the recover boundary runs on worker
+	// goroutines. Folded into Stats at the end of the analysis.
+	nPanics  atomic.Int64
+	nRetries atomic.Int64
 	// cache memoizes query outcomes by slice signature (target, constraint
 	// set, shared-signal mask) so re-propagation rounds do not re-solve
 	// structurally identical queries. Accessed only at round barriers.
@@ -229,16 +259,33 @@ type analysis struct {
 	cCacheMisses    *obs.Counter
 	cConfirmAttempt *obs.Counter
 	cConfirmOK      *obs.Counter
+	cPanics         *obs.Counter
+	cRetries        *obs.Counter
 	hSliceCons      *obs.Histogram
 	hSliceSigs      *obs.Histogram
 }
 
 // Analyze runs the configured analysis on the system.
 func Analyze(sys *r1cs.System, cfg *Config) *Report {
+	return AnalyzeContext(context.Background(), sys, cfg)
+}
+
+// AnalyzeContext is Analyze under a context. Cancellation aborts the
+// analysis at the next query boundary — and inside running solver calls,
+// which poll the context every few solver steps — yielding VerdictUnknown
+// with Reason "canceled"; conclusions already established (a Safe proof or
+// a confirmed counterexample) are still reported. A ctx deadline is unified
+// with Config.Timeout into a single wall-clock bound, so whichever is
+// earlier governs the whole analysis.
+func AnalyzeContext(ctx context.Context, sys *r1cs.System, cfg *Config) *Report {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c := cfg.withDefaults()
 	a := &analysis{
 		sys:    sys,
 		cfg:    c,
+		ctx:    ctx,
 		start:  time.Now(),
 		report: &Report{},
 		cache:  map[string]smt.Outcome{},
@@ -246,6 +293,9 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 	a.stepsRem.Store(c.GlobalSteps)
 	if c.Timeout > 0 {
 		a.deadline = a.start.Add(c.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (a.deadline.IsZero() || d.Before(a.deadline)) {
+		a.deadline = d
 	}
 	st := sys.Stats()
 	a.report.Stats.SignalsTotal = st.Signals
@@ -261,6 +311,8 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 	a.cCacheMisses = c.Metrics.Counter("core.cache.misses")
 	a.cConfirmAttempt = c.Metrics.Counter("core.confirm.attempts")
 	a.cConfirmOK = c.Metrics.Counter("core.confirm.ok")
+	a.cPanics = c.Metrics.Counter("core.query.panics")
+	a.cRetries = c.Metrics.Counter("core.query.retries")
 	a.hSliceCons = c.Metrics.Histogram("core.slice.constraints")
 	a.hSliceSigs = c.Metrics.Histogram("core.slice.signals")
 
@@ -276,6 +328,8 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 		a.runFull()
 	}
 	a.report.Stats.Duration = time.Since(a.start)
+	a.report.Stats.QueryPanics = int(a.nPanics.Load())
+	a.report.Stats.QueryRetries = int(a.nRetries.Load())
 	if a.prop != nil {
 		counts := a.prop.CountByRule()
 		a.report.Stats.PropagationUnique = counts[uniq.RuleSolve] + counts[uniq.RuleBits]
@@ -292,7 +346,8 @@ func Analyze(sys *r1cs.System, cfg *Config) *Report {
 	return a.report
 }
 
-// outOfBudget reports whether the global budget is exhausted.
+// outOfBudget reports whether the analysis must stop: global step budget
+// exhausted, wall-clock deadline passed, or context canceled.
 func (a *analysis) outOfBudget() bool {
 	if a.stepsRem.Load() <= 0 {
 		return true
@@ -300,7 +355,17 @@ func (a *analysis) outOfBudget() bool {
 	if !a.deadline.IsZero() && !time.Now().Before(a.deadline) {
 		return true
 	}
-	return false
+	return a.ctx.Err() != nil
+}
+
+// stopReason attributes an abort for the Unknown report: cancellation wins
+// over the budget wording so callers (and the golden-diff gate) can tell a
+// Ctrl-C apart from a genuinely exhausted budget.
+func (a *analysis) stopReason(budgetReason string) string {
+	if a.ctx.Err() != nil {
+		return smt.Canceled
+	}
+	return budgetReason
 }
 
 // reserve atomically takes up to QuerySteps from the remaining global
@@ -308,13 +373,17 @@ func (a *analysis) outOfBudget() bool {
 // steps are returned with refund, so budget accounting is exact and — since
 // reservations happen sequentially in canonical signal order at round
 // dispatch — deterministic regardless of worker count.
-func (a *analysis) reserve() int64 {
+func (a *analysis) reserve() int64 { return a.reserveN(a.cfg.QuerySteps) }
+
+// reserveN is reserve with an explicit grant ceiling (the quarantine retry
+// path asks for a reduced budget).
+func (a *analysis) reserveN(want int64) int64 {
 	for {
 		rem := a.stepsRem.Load()
 		if rem <= 0 {
 			return 0
 		}
-		grant := a.cfg.QuerySteps
+		grant := want
 		if grant > rem {
 			grant = rem
 		}
@@ -329,24 +398,19 @@ func (a *analysis) reserve() int64 {
 func (a *analysis) refund(n int64) { a.stepsRem.Add(n) }
 
 // solveSeq runs one SMT query synchronously against the global budget (the
-// sequential path used by the monolithic baseline).
+// sequential path used by the monolithic baseline), with the same panic
+// isolation and degrade-and-retry policy as the parallel slice path.
 func (a *analysis) solveSeq(p *smt.Problem, target int) smt.Outcome {
 	grant := a.reserve()
 	if grant <= 0 {
 		return smt.Outcome{Status: smt.StatusUnknown, Reason: "global budget exhausted"}
 	}
-	qs := a.cfg.Obs.Start(a.span, "core.query",
-		obs.KV("sig", target), obs.KV("cons", len(p.Eqs)/2), obs.KV("full", true))
-	out := smt.Solve(p, &smt.Options{
-		MaxSteps: grant,
-		Seed:     a.querySeed(target),
-		Deadline: a.deadline,
-		Obs:      a.cfg.Obs,
-		Parent:   qs,
-		Metrics:  a.cfg.Metrics,
-	})
-	qs.End(obs.KV("status", out.Status.String()), obs.KV("steps", out.Steps))
+	build := func() *smt.Problem { return p }
+	out, panicked := a.runQuery(build, target, len(p.Eqs)/2, true, grant, a.querySeed(target))
 	a.refund(grant - out.Steps)
+	if panicked {
+		out = a.retryOnce(build, target, len(p.Eqs)/2, true, out)
+	}
 	a.report.Stats.Queries++
 	a.report.Stats.SolverSteps += out.Steps
 	return out
@@ -378,7 +442,7 @@ func (a *analysis) runFull() {
 		}
 		if a.outOfBudget() {
 			a.report.Verdict = VerdictUnknown
-			a.report.Reason = "analysis budget exhausted"
+			a.report.Reason = a.stopReason("analysis budget exhausted")
 			return
 		}
 		snap := a.prop.Snapshot()
@@ -476,7 +540,7 @@ func (a *analysis) finalOutputsStage() {
 		}
 		if a.outOfBudget() {
 			a.report.Verdict = VerdictUnknown
-			a.report.Reason = "analysis budget exhausted before deciding all outputs"
+			a.report.Reason = a.stopReason("analysis budget exhausted before deciding all outputs")
 			return
 		}
 		a.runRound(tasks, snap)
@@ -528,7 +592,7 @@ func (a *analysis) runSMTOnly() {
 	for _, o := range a.sys.Outputs() {
 		if a.outOfBudget() {
 			safe = false
-			undecided = "analysis budget exhausted"
+			undecided = a.stopReason("analysis budget exhausted")
 			break
 		}
 		p := buildUniquenessProblem(a.sys, allCons, func(v int) bool { return shared[v] }, o)

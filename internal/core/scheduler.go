@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"qed2/internal/faultinject"
 	"qed2/internal/obs"
 	"qed2/internal/smt"
 	"qed2/internal/uniq"
@@ -51,7 +54,11 @@ type queryTask struct {
 	ran bool
 	// cached reports whether out came from the memo cache.
 	cached bool
-	out    smt.Outcome
+	// panicked reports that the query crashed a worker and was quarantined
+	// to Unknown; such tasks get one degrade-and-retry attempt at the
+	// barrier (see retryQuarantined).
+	panicked bool
+	out      smt.Outcome
 }
 
 // querySeed derives the solver seed for a query targeting sig. Deriving
@@ -109,10 +116,105 @@ func (a *analysis) admit(t *queryTask, sigs []int, snap *uniq.Snapshot) {
 	a.hSliceSigs.Observe(int64(len(sigs)))
 }
 
+// runQuery invokes the solver for one query inside the per-query fault
+// boundary: a panic anywhere in problem construction or solving is recovered
+// into an Unknown outcome with reason "internal error: …" (with a truncated
+// stack captured as an obs event) instead of crashing the worker — and by
+// extension the whole analysis. A panicked query can only ever degrade the
+// verdict to unknown: safe needs a sound UNSAT proof and unsafe needs a
+// checked counterexample, neither of which a crashed attempt can produce.
+func (a *analysis) runQuery(build func() *smt.Problem, sig, consLen int, full bool, grant, seed int64) (out smt.Outcome, panicked bool) {
+	qs := a.cfg.Obs.Start(a.span, "core.query",
+		obs.KV("sig", sig), obs.KV("cons", consLen), obs.KV("full", full))
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			a.nPanics.Add(1)
+			a.cPanics.Inc()
+			a.cfg.Obs.Event(a.span, "core.query.panic",
+				obs.KV("sig", sig), obs.KV("panic", fmt.Sprint(r)),
+				obs.KV("stack", truncStack(debug.Stack())))
+			out = smt.Outcome{Status: smt.StatusUnknown, Reason: fmt.Sprintf("internal error: %v", r)}
+		}
+		// End the span here so a panic cannot leave it unbalanced.
+		qs.End(obs.KV("status", out.Status.String()), obs.KV("steps", out.Steps))
+	}()
+	if faultinject.Enabled() {
+		faultinject.Check("core.query")
+	}
+	out = smt.Solve(build(), &smt.Options{
+		MaxSteps: grant,
+		Seed:     seed,
+		Deadline: a.deadline,
+		Ctx:      a.ctx,
+		Obs:      a.cfg.Obs,
+		Parent:   qs,
+		Metrics:  a.cfg.Metrics,
+	})
+	return out, false
+}
+
+// truncStack caps a panic stack trace for trace-event payloads.
+func truncStack(s []byte) string {
+	const max = 2048
+	if len(s) > max {
+		s = s[:max]
+	}
+	return string(s)
+}
+
+const (
+	// retryBudgetShrink divides the standard query grant for the single
+	// degrade-and-retry attempt after a panic quarantine.
+	retryBudgetShrink = 4
+	// retrySeedPerturb XORs the query seed on retry so the second attempt
+	// takes a different probe path than the one that crashed.
+	retrySeedPerturb = 0x5DEECE66D
+)
+
+// retryOnce re-runs a quarantined (panicked) query once with a reduced step
+// budget and a perturbed seed. When the retry also panics — or no budget
+// remains — the quarantined Unknown outcome stands. The crashed attempt's
+// own step consumption is unknowable, so its grant was refunded in full;
+// the retry accounts its steps normally.
+func (a *analysis) retryOnce(build func() *smt.Problem, sig, consLen int, full bool, quarantined smt.Outcome) smt.Outcome {
+	if a.outOfBudget() {
+		return quarantined
+	}
+	grant := a.reserveN(a.cfg.QuerySteps / retryBudgetShrink)
+	if grant <= 0 {
+		return quarantined
+	}
+	a.nRetries.Add(1)
+	a.cRetries.Inc()
+	out, panicked := a.runQuery(build, sig, consLen, full, grant, a.querySeed(sig)^retrySeedPerturb)
+	a.refund(grant - out.Steps)
+	if panicked {
+		return quarantined
+	}
+	return out
+}
+
+// retryQuarantined gives each panicked task of a round its single
+// degrade-and-retry attempt. Runs sequentially at the barrier in canonical
+// order, so the reduced-budget reservations stay deterministic.
+func (a *analysis) retryQuarantined(pending []*queryTask, snap *uniq.Snapshot) {
+	for _, t := range pending {
+		if !t.panicked {
+			continue
+		}
+		t.out = a.retryOnce(func() *smt.Problem {
+			return buildUniquenessProblem(a.sys, t.cons, snap.IsUnique, t.sig)
+		}, t.sig, len(t.cons), t.full, t.out)
+	}
+}
+
 // runRound solves every admitted task on the worker pool and blocks until
 // the round is complete. Workers only read immutable state (the system, the
 // snapshot) plus the atomic budget; all mutable analysis state is folded in
-// afterwards by the caller.
+// afterwards by the caller. Each query runs inside runQuery's panic
+// boundary; quarantined tasks get one reduced-budget retry after the
+// barrier.
 func (a *analysis) runRound(tasks []*queryTask, snap *uniq.Snapshot) {
 	var pending []*queryTask
 	for _, t := range tasks {
@@ -139,6 +241,13 @@ func (a *analysis) runRound(tasks []*queryTask, snap *uniq.Snapshot) {
 					return
 				}
 				t := pending[i]
+				if a.ctx.Err() != nil {
+					a.refund(t.budget)
+					t.out = smt.Outcome{Status: smt.StatusUnknown, Reason: smt.Canceled}
+					a.cfg.Obs.Event(a.span, "core.query.skipped",
+						obs.KV("sig", t.sig), obs.KV("reason", smt.Canceled))
+					continue
+				}
 				if !a.deadline.IsZero() && !time.Now().Before(a.deadline) {
 					a.refund(t.budget)
 					t.out = smt.Outcome{Status: smt.StatusUnknown, Reason: smt.DeadlineExceeded}
@@ -146,24 +255,16 @@ func (a *analysis) runRound(tasks []*queryTask, snap *uniq.Snapshot) {
 						obs.KV("sig", t.sig), obs.KV("reason", smt.DeadlineExceeded))
 					continue
 				}
-				qs := a.cfg.Obs.Start(a.span, "core.query",
-					obs.KV("sig", t.sig), obs.KV("cons", len(t.cons)), obs.KV("full", t.full))
-				p := buildUniquenessProblem(a.sys, t.cons, snap.IsUnique, t.sig)
-				t.out = smt.Solve(p, &smt.Options{
-					MaxSteps: t.budget,
-					Seed:     a.querySeed(t.sig),
-					Deadline: a.deadline,
-					Obs:      a.cfg.Obs,
-					Parent:   qs,
-					Metrics:  a.cfg.Metrics,
-				})
+				t.out, t.panicked = a.runQuery(func() *smt.Problem {
+					return buildUniquenessProblem(a.sys, t.cons, snap.IsUnique, t.sig)
+				}, t.sig, len(t.cons), t.full, t.budget, a.querySeed(t.sig))
 				t.ran = true
 				a.refund(t.budget - t.out.Steps)
-				qs.End(obs.KV("status", t.out.Status.String()), obs.KV("steps", t.out.Steps))
 			}
 		}()
 	}
 	wg.Wait()
+	a.retryQuarantined(pending, snap)
 }
 
 // accountTask folds one completed task into the statistics and the memo
@@ -176,7 +277,7 @@ func (a *analysis) accountTask(t *queryTask) {
 		return
 	}
 	if !t.ran {
-		return // skipped on budget or deadline exhaustion
+		return // skipped on budget, deadline, or cancellation
 	}
 	a.report.Stats.Queries++
 	a.report.Stats.SolverSteps += t.out.Steps

@@ -1,0 +1,187 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// withPlan arms p for the duration of the test.
+func withPlan(t *testing.T, p *Plan) {
+	t.Helper()
+	Enable(p)
+	t.Cleanup(Disable)
+}
+
+func TestDisabledIsZero(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	if f := Check("smt.solve"); f != (Fault{}) {
+		t.Fatalf("disabled Check returned %+v", f)
+	}
+	if h := Hits(); h != nil {
+		t.Fatalf("disabled Hits returned %v", h)
+	}
+}
+
+func TestEveryFiresDeterministically(t *testing.T) {
+	withPlan(t, &Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindError, Site: "s", Every: 3, Msg: "boom"},
+	}})
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if f := Check("s"); f.Err != "" {
+			if f.Err != "boom" {
+				t.Fatalf("hit %d: err %q, want boom", i, f.Err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 3 || fired[1] != 6 || fired[2] != 9 {
+		t.Fatalf("every=3 fired on hits %v, want [3 6 9]", fired)
+	}
+	if h := Hits()["s"]; h != 9 {
+		t.Fatalf("Hits()[s] = %d, want 9", h)
+	}
+}
+
+func TestRateIsDeterministicAndRoughlyCalibrated(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		Enable(&Plan{Seed: seed, Rules: []Rule{{Kind: KindError, Site: "s", Rate: 0.25}}})
+		defer Disable()
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = Check("s").Err != ""
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different firing at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// 2000 hits at rate 0.25: expect ~500; accept a generous band.
+	if fires < 350 || fires > 650 {
+		t.Fatalf("rate 0.25 fired %d/2000 times", fires)
+	}
+	c := pattern(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	withPlan(t, &Plan{Seed: 1, Rules: []Rule{{Kind: KindPanic, Site: "s", Every: 1}}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "faultinject") || !strings.Contains(msg, "s") {
+			t.Fatalf("panic message %v does not identify the site", r)
+		}
+	}()
+	Check("s")
+}
+
+func TestLatencyAndDeadlineKinds(t *testing.T) {
+	withPlan(t, &Plan{Seed: 1, Rules: []Rule{
+		{Kind: KindLatency, Site: "s", Every: 1, Delay: 10 * time.Millisecond},
+		{Kind: KindDeadline, Site: "s", Every: 1},
+	}})
+	t0 := time.Now()
+	f := Check("s")
+	if !f.Deadline {
+		t.Fatal("deadline rule did not set Fault.Deadline")
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", d)
+	}
+}
+
+func TestSiteIsolation(t *testing.T) {
+	withPlan(t, &Plan{Seed: 1, Rules: []Rule{{Kind: KindError, Site: "a", Every: 1}}})
+	if f := Check("b"); f != (Fault{}) {
+		t.Fatalf("unarmed site b got fault %+v", f)
+	}
+	if f := Check("a"); f.Err == "" {
+		t.Fatal("armed site a got no fault")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("panic@smt.solve:rate=0.1; latency@core.query:every=3:delay=5ms ;error@smt.step:every=2:msg=zap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Kind != KindPanic || r.Site != "smt.solve" || r.Rate != 0.1 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = p.Rules[1]
+	if r.Kind != KindLatency || r.Site != "core.query" || r.Every != 3 || r.Delay != 5*time.Millisecond {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = p.Rules[2]
+	if r.Kind != KindError || r.Site != "smt.step" || r.Every != 2 || r.Msg != "zap" {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"panic@",
+		"@site:rate=1",
+		"explode@smt.solve:rate=1",
+		"panic@smt.solve",           // no schedule
+		"panic@smt.solve:rate=2",    // rate out of range
+		"panic@smt.solve:every=0",   // every must be positive
+		"panic@smt.solve:bogus=1",   // unknown option
+		"panic@smt.solve:rate",      // malformed option
+		"latency@smt.solve:every=1", // latency without delay
+		"latency@smt.solve:every=1:delay=x",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "error@s:every=1")
+	t.Setenv(EnvSeedVar, "42")
+	ok, err := EnableFromEnv()
+	if err != nil || !ok {
+		t.Fatalf("EnableFromEnv = %v, %v", ok, err)
+	}
+	t.Cleanup(Disable)
+	if f := Check("s"); f.Err == "" {
+		t.Fatal("env-armed plan did not fire")
+	}
+	t.Setenv(EnvSeedVar, "notanumber")
+	if _, err := EnableFromEnv(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	t.Setenv(EnvVar, "")
+	t.Setenv(EnvSeedVar, "")
+	if ok, err := EnableFromEnv(); ok || err != nil {
+		t.Fatalf("empty env: got %v, %v", ok, err)
+	}
+}

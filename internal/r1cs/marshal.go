@@ -5,11 +5,36 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"strconv"
 	"strings"
 
 	"qed2/internal/ff"
 	"qed2/internal/poly"
 )
+
+// Parse hardening limits. The text format is accepted from untrusted
+// sources (the qed2 CLI analyzes .r1cs files directly), so every count and
+// numeric literal an attacker controls is bounded before it can drive an
+// allocation or a quadratic big-integer conversion.
+const (
+	// maxParseSignals bounds the signal table of a parsed system.
+	maxParseSignals = 1 << 20
+	// maxParseConstraints bounds the constraint count of a parsed system.
+	maxParseConstraints = 1 << 21
+	// maxParseTerms bounds the terms of one linear combination.
+	maxParseTerms = 1 << 16
+	// maxParseDigits bounds decimal literals (constants, coefficients, the
+	// prime): 256-bit moduli need 78 digits; anything much longer is abuse.
+	maxParseDigits = 256
+)
+
+// parseBig converts a bounded decimal literal.
+func parseBig(s string) (*big.Int, bool) {
+	if len(s) == 0 || len(s) > maxParseDigits {
+		return nil, false
+	}
+	return new(big.Int).SetString(s, 10)
+}
 
 // The text format is line oriented:
 //
@@ -78,12 +103,15 @@ func marshalLC(lc *poly.LinComb) string {
 	return b.String()
 }
 
-func parseLC(f *ff.Field, s string) (*poly.LinComb, error) {
+// parseLC parses one linear combination. numSignals bounds the variable IDs
+// a term may reference — validating here keeps System.AddConstraint's
+// out-of-range panic unreachable from untrusted input.
+func parseLC(f *ff.Field, s string, numSignals int) (*poly.LinComb, error) {
 	konst, rest, ok := strings.Cut(s, "|")
 	if !ok {
 		return nil, fmt.Errorf("r1cs: malformed linear combination %q", s)
 	}
-	c, parsed := new(big.Int).SetString(konst, 10)
+	c, parsed := parseBig(konst)
 	if !parsed {
 		return nil, fmt.Errorf("r1cs: bad constant in %q", s)
 	}
@@ -91,16 +119,23 @@ func parseLC(f *ff.Field, s string) (*poly.LinComb, error) {
 	if rest == "" {
 		return lc, nil
 	}
-	for _, term := range strings.Split(rest, ",") {
+	terms := strings.Split(rest, ",")
+	if len(terms) > maxParseTerms {
+		return nil, fmt.Errorf("r1cs: linear combination has %d terms (limit %d)", len(terms), maxParseTerms)
+	}
+	for _, term := range terms {
 		vs, cs, ok := strings.Cut(term, ":")
 		if !ok {
 			return nil, fmt.Errorf("r1cs: malformed term %q", term)
 		}
-		var v int
-		if _, err := fmt.Sscanf(vs, "%d", &v); err != nil {
+		v, err := strconv.Atoi(vs)
+		if err != nil {
 			return nil, fmt.Errorf("r1cs: bad variable in term %q", term)
 		}
-		coeff, parsed := new(big.Int).SetString(cs, 10)
+		if v < 0 || v >= numSignals {
+			return nil, fmt.Errorf("r1cs: term %q references unknown signal %d (have %d)", term, v, numSignals)
+		}
+		coeff, parsed := parseBig(cs)
 		if !parsed {
 			return nil, fmt.Errorf("r1cs: bad coefficient in term %q", term)
 		}
@@ -133,7 +168,7 @@ func Parse(r io.Reader) (*System, error) {
 	if !ok || !strings.HasPrefix(primeLine, "prime ") {
 		return nil, fmt.Errorf("r1cs: line %d: missing prime", lineNo)
 	}
-	p, parsed := new(big.Int).SetString(strings.TrimPrefix(primeLine, "prime "), 10)
+	p, parsed := parseBig(strings.TrimPrefix(primeLine, "prime "))
 	if !parsed {
 		return nil, fmt.Errorf("r1cs: line %d: bad prime", lineNo)
 	}
@@ -142,6 +177,9 @@ func Parse(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
 	}
 	sys := NewSystem(field)
+	// seen pre-checks names so that duplicate input never reaches the
+	// AddSignal duplicate-name panic, which is reserved for programmer error.
+	seen := map[string]bool{"one": true}
 	for {
 		line, ok := next()
 		if !ok {
@@ -171,6 +209,13 @@ func Parse(r io.Reader) (*System, error) {
 			default:
 				return nil, fmt.Errorf("r1cs: line %d: unknown signal kind %q", lineNo, kind)
 			}
+			if seen[name] {
+				return nil, fmt.Errorf("r1cs: line %d: duplicate signal name %q", lineNo, name)
+			}
+			seen[name] = true
+			if sys.NumSignals() >= maxParseSignals {
+				return nil, fmt.Errorf("r1cs: line %d: too many signals (limit %d)", lineNo, maxParseSignals)
+			}
 			if got := sys.AddSignal(name, k); got != id {
 				return nil, fmt.Errorf("r1cs: line %d: signal IDs out of order (got %d want %d)", lineNo, got, id)
 			}
@@ -185,9 +230,12 @@ func Parse(r io.Reader) (*System, error) {
 			if err != nil {
 				return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
 			}
+			if sys.NumConstraints() >= maxParseConstraints {
+				return nil, fmt.Errorf("r1cs: line %d: too many constraints (limit %d)", lineNo, maxParseConstraints)
+			}
 			lcs := make([]*poly.LinComb, 3)
 			for i, p := range parts {
-				lcs[i], err = parseLC(field, p)
+				lcs[i], err = parseLC(field, p, sys.NumSignals())
 				if err != nil {
 					return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
 				}

@@ -1,10 +1,12 @@
 package smt
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
 
+	"qed2/internal/faultinject"
 	"qed2/internal/ff"
 	"qed2/internal/obs"
 	"qed2/internal/poly"
@@ -29,6 +31,12 @@ type Options struct {
 	// StatusUnknown / reason "deadline exceeded", so a single query can
 	// overshoot the deadline by at most one check interval of work.
 	Deadline time.Time
+	// Ctx, when non-nil, cancels the Solve call: the step loop checks
+	// ctx.Done() at the same cadence as the deadline and aborts with
+	// StatusUnknown / reason "canceled". A ctx deadline is NOT folded into
+	// Deadline here — callers (internal/core) unify the two up front so a
+	// single wall-clock bound governs the whole analysis.
+	Ctx context.Context
 	// Obs, when non-nil, receives one "smt.solve" span per Solve call
 	// (child of Parent), carrying the outcome and effort breakdown.
 	Obs    *obs.Tracer
@@ -47,6 +55,10 @@ const deadlineCheckEvery = 16
 // DeadlineExceeded is the Outcome.Reason reported when a Solve call aborts
 // because Options.Deadline passed.
 const DeadlineExceeded = "deadline exceeded"
+
+// Canceled is the Outcome.Reason reported when a Solve call aborts because
+// Options.Ctx was canceled.
+const Canceled = "canceled"
 
 // budgetExhausted is the Outcome.Reason for step-budget exhaustion.
 const budgetExhausted = "step budget exhausted"
@@ -81,6 +93,22 @@ func Solve(p *Problem, opts *Options) Outcome {
 	return out
 }
 
+// injectSolveFault applies the "smt.solve" chaos hook. Panics propagate to
+// the caller's recover boundary (internal/core isolates them per query);
+// injected errors and early deadlines come back as a terminal Outcome.
+func injectSolveFault() (Outcome, bool) {
+	if !faultinject.Enabled() {
+		return Outcome{}, false
+	}
+	switch f := faultinject.Check("smt.solve"); {
+	case f.Deadline:
+		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded}, true
+	case f.Err != "":
+		return Outcome{Status: StatusUnknown, Reason: f.Err}, true
+	}
+	return Outcome{}, false
+}
+
 // observe folds one completed Solve call into the span and the metrics
 // registry (both optional).
 func (o *Options) observe(span *obs.Span, out Outcome) {
@@ -96,6 +124,9 @@ func (o *Options) observe(span *obs.Span, out Outcome) {
 		}
 		if out.Reason == budgetExhausted {
 			m.Counter("smt.budget_hits").Inc()
+		}
+		if out.Reason == Canceled {
+			m.Counter("smt.cancel_hits").Inc()
 		}
 		m.Histogram("smt.query.steps").Observe(out.Steps)
 		m.Histogram("smt.query.depth").Observe(int64(out.Effort.MaxDepth))
@@ -117,6 +148,9 @@ func (o *Options) observe(span *obs.Span, out Outcome) {
 }
 
 func solveProblem(p *Problem, o Options) Outcome {
+	if out, injected := injectSolveFault(); injected {
+		return out
+	}
 	if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
 		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded}
 	}
@@ -124,6 +158,12 @@ func solveProblem(p *Problem, o Options) Outcome {
 		f:    p.Field,
 		opts: o,
 		rng:  rand.New(rand.NewSource(o.Seed ^ 0x7f4a7c15)),
+	}
+	if o.Ctx != nil {
+		if o.Ctx.Err() != nil {
+			return Outcome{Status: StatusUnknown, Reason: Canceled}
+		}
+		s.done = o.Ctx.Done()
 	}
 	st := &state{f: p.Field, complete: true}
 	seen := map[string]bool{}
@@ -183,6 +223,9 @@ type solver struct {
 	steps  int64
 	eff    Effort
 	reason string
+	// done is Options.Ctx.Done(), cached so the step loop pays one channel
+	// poll instead of an interface method call per check.
+	done <-chan struct{}
 	// halted latches budget/deadline exhaustion so the search loops can
 	// abandon their remaining branches without cloning state for each one;
 	// unwinding then costs O(depth), keeping a deadline overshoot within one
@@ -200,10 +243,36 @@ func (s *solver) step() bool {
 		s.halted = true
 		return false
 	}
-	if !s.opts.Deadline.IsZero() && s.steps%deadlineCheckEvery == 0 && !time.Now().Before(s.opts.Deadline) {
-		s.reason = DeadlineExceeded
-		s.halted = true
-		return false
+	if s.steps%deadlineCheckEvery == 0 {
+		// Wall-clock bounds, cancellation and the chaos hook share one
+		// cadence: a single query overshoots any of them by at most one
+		// check interval of work.
+		if !s.opts.Deadline.IsZero() && !time.Now().Before(s.opts.Deadline) {
+			s.reason = DeadlineExceeded
+			s.halted = true
+			return false
+		}
+		if s.done != nil {
+			select {
+			case <-s.done:
+				s.reason = Canceled
+				s.halted = true
+				return false
+			default:
+			}
+		}
+		if faultinject.Enabled() {
+			switch f := faultinject.Check("smt.step"); {
+			case f.Deadline:
+				s.reason = DeadlineExceeded
+				s.halted = true
+				return false
+			case f.Err != "":
+				s.reason = f.Err
+				s.halted = true
+				return false
+			}
+		}
 	}
 	return true
 }

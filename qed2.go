@@ -29,6 +29,7 @@
 package qed2
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -122,15 +123,37 @@ func Analyze(prog *Program, cfg *Config) *Report {
 	return core.Analyze(prog.System, cfg)
 }
 
+// AnalyzeContext is Analyze with cancellation: when ctx is canceled (or its
+// deadline — unified with cfg.Timeout, whichever is earlier — fires), the
+// analysis stops at the next query boundary and returns a partial report
+// with Verdict Unknown and Reason "canceled" instead of the undecided part.
+// Decided safe/unsafe verdicts are never revoked by cancellation.
+func AnalyzeContext(ctx context.Context, prog *Program, cfg *Config) *Report {
+	return core.AnalyzeContext(ctx, prog.System, cfg)
+}
+
 // AnalyzeSystem runs the analysis directly on a constraint system (e.g. one
 // parsed from the text format rather than compiled from source).
 func AnalyzeSystem(sys *System, cfg *Config) *Report {
 	return core.Analyze(sys, cfg)
 }
 
+// AnalyzeSystemContext is AnalyzeSystem with cancellation (see
+// AnalyzeContext for the semantics).
+func AnalyzeSystemContext(ctx context.Context, sys *System, cfg *Config) *Report {
+	return core.AnalyzeContext(ctx, sys, cfg)
+}
+
 // AnalyzeSource compiles and analyzes in one step. The library may be nil;
 // includes then resolve against the bundled circomlib subset.
 func AnalyzeSource(src string, library map[string]string, cfg *Config) (*Report, error) {
+	return AnalyzeSourceContext(context.Background(), src, library, cfg)
+}
+
+// AnalyzeSourceContext is AnalyzeSource with cancellation (see
+// AnalyzeContext for the semantics). Compilation itself is not interrupted;
+// the context governs the analysis phase.
+func AnalyzeSourceContext(ctx context.Context, src string, library map[string]string, cfg *Config) (*Report, error) {
 	lib := CircomLib()
 	for k, v := range library {
 		lib[k] = v
@@ -139,7 +162,7 @@ func AnalyzeSource(src string, library map[string]string, cfg *Config) (*Report,
 	if err != nil {
 		return nil, err
 	}
-	return core.Analyze(prog.System, cfg), nil
+	return core.AnalyzeContext(ctx, prog.System, cfg), nil
 }
 
 // CircomLib returns the bundled circomlib-subset sources (comparators,
