@@ -290,10 +290,13 @@ func runWitness(stdout, stderr io.Writer, prog *circom.Program, spec string) int
 
 // jsonReport is the machine-readable analysis summary.
 type jsonReport struct {
-	Circuit     string       `json:"circuit"`
-	Main        string       `json:"main_template"`
-	Verdict     string       `json:"verdict"`
-	Reason      string       `json:"reason,omitempty"`
+	Circuit string `json:"circuit"`
+	Main    string `json:"main_template"`
+	Verdict string `json:"verdict"`
+	Reason  string `json:"reason,omitempty"`
+	// Degraded is non-empty ("canceled" / "internal-error") when an unknown
+	// verdict is a fault-tolerance artifact rather than a budget outcome.
+	Degraded    string       `json:"degraded,omitempty"`
 	Signals     int          `json:"signals"`
 	Constraints int          `json:"constraints"`
 	Stats       jsonStats    `json:"stats"`
@@ -327,6 +330,7 @@ func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *cor
 		Main:        prog.MainTemplate,
 		Verdict:     report.Verdict.String(),
 		Reason:      report.Reason,
+		Degraded:    string(report.Degraded),
 		Signals:     report.Stats.SignalsTotal,
 		Constraints: report.Stats.Constraints,
 		Stats: jsonStats{

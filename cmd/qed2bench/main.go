@@ -14,6 +14,10 @@
 //	qed2bench -checkpoint ck.jsonl           # persist per-instance results as they complete
 //	qed2bench -checkpoint ck.jsonl -resume   # skip instances the checkpoint already decided
 //
+// A checkpoint's first line stamps the analyzer configuration; -resume
+// refuses a checkpoint written under different budgets, seed, or mode
+// instead of silently mixing records from incomparable runs.
+//
 // SIGINT/SIGTERM cancel the run gracefully: in-flight analyses stop at
 // their next query boundary, not-yet-started instances are stamped
 // "unknown (canceled)", and every requested artifact (tables, -json record,
@@ -157,7 +161,7 @@ func main() {
 		o := opts(baseCfg)
 		if *checkpoint != "" {
 			if *resume {
-				completed, err := bench.LoadCheckpoint(*checkpoint)
+				completed, err := bench.LoadCheckpoint(*checkpoint, baseCfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "qed2bench:", err)
 					os.Exit(1)
@@ -170,7 +174,7 @@ func main() {
 				// A fresh (non-resume) run starts a fresh checkpoint.
 				os.Remove(*checkpoint)
 			}
-			w, err := bench.NewCheckpointWriter(*checkpoint)
+			w, err := bench.NewCheckpointWriter(*checkpoint, baseCfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "qed2bench:", err)
 				os.Exit(1)

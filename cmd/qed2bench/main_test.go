@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qed2/internal/bench"
+	"qed2/internal/core"
 )
 
 // buildBench compiles the qed2bench binary once per test binary.
@@ -88,8 +89,9 @@ func TestSIGINTYieldsPartialCheckpointAndResumeConverges(t *testing.T) {
 		t.Fatalf("interrupted qed2bench exit = %d, want 130", code)
 	}
 
-	// The partial checkpoint must parse and be genuinely partial.
-	completed, err := bench.LoadCheckpoint(ck)
+	// The partial checkpoint must parse (against the matching config stamp)
+	// and be genuinely partial.
+	completed, err := bench.LoadCheckpoint(ck, core.Config{QuerySteps: 500, GlobalSteps: 10_000, Seed: 1})
 	if err != nil {
 		t.Fatalf("partial checkpoint unparseable: %v", err)
 	}
@@ -98,8 +100,8 @@ func TestSIGINTYieldsPartialCheckpointAndResumeConverges(t *testing.T) {
 		t.Fatalf("checkpoint has %d records, want a partial set in [3, %d)", len(completed), suiteSize)
 	}
 	for name, rec := range completed {
-		if rec.Verdict == "unknown" && rec.Reason == "canceled" {
-			t.Fatalf("checkpoint persisted a cancellation-degraded verdict for %s", name)
+		if rec.Degraded == string(core.DegradedCanceled) {
+			t.Fatalf("checkpoint persisted a cancellation-degraded verdict for %s (reason %q)", name, rec.Reason)
 		}
 	}
 	// The partial -json run record must parse too.

@@ -15,8 +15,47 @@ import (
 // Checkpointing: qed2bench persists one JSON InstanceRecord per line as
 // instances complete, so a crashed or interrupted suite run can resume
 // (-resume) from the instances already decided instead of restarting. The
-// format is append-only JSONL — a kill can at worst tear the final line,
-// which LoadCheckpoint tolerates by discarding it.
+// first line of the file is a header stamping the analyzer configuration
+// (like GoldenFile.Config): resuming under different budgets, seed, or mode
+// would silently mix records from incomparable runs, so LoadCheckpoint
+// refuses a mismatched stamp. Record lines are append-only JSONL — a kill
+// can at worst tear the final line, which LoadCheckpoint tolerates by
+// discarding it.
+
+// CheckpointConfig pins the analyzer configuration a checkpoint's records
+// were produced under. It covers every Config field that determines
+// verdicts deterministically; Workers is deliberately absent (reports are
+// identical for any worker count) and so is the wall-clock Timeout (like
+// GoldenConfig: suite runs use a timeout far above what any instance needs,
+// so the step budgets decide).
+type CheckpointConfig struct {
+	Mode        string `json:"mode"`
+	SliceRadius int    `json:"slice_radius"`
+	QuerySteps  int64  `json:"query_steps"`
+	GlobalSteps int64  `json:"global_steps"`
+	Seed        int64  `json:"seed"`
+	NoSolveRule bool   `json:"no_solve_rule,omitempty"`
+	NoBitsRule  bool   `json:"no_bits_rule,omitempty"`
+}
+
+// checkpointConfigOf derives the stamp from an analyzer configuration.
+func checkpointConfigOf(cfg core.Config) CheckpointConfig {
+	return CheckpointConfig{
+		Mode:        cfg.Mode.String(),
+		SliceRadius: cfg.SliceRadius,
+		QuerySteps:  cfg.QuerySteps,
+		GlobalSteps: cfg.GlobalSteps,
+		Seed:        cfg.Seed,
+		NoSolveRule: cfg.DisableSolveRule,
+		NoBitsRule:  cfg.DisableBitsRule,
+	}
+}
+
+// checkpointHeader is the first line of a checkpoint file. The non-nil
+// Config discriminates it from InstanceRecord lines (which require "name").
+type checkpointHeader struct {
+	Config *CheckpointConfig `json:"config"`
+}
 
 // CheckpointWriter appends instance records to a JSONL checkpoint file.
 // Append is safe for concurrent use by the bench worker pool. Write errors
@@ -30,10 +69,29 @@ type CheckpointWriter struct {
 }
 
 // NewCheckpointWriter opens (creating or appending to) the checkpoint file.
-func NewCheckpointWriter(path string) (*CheckpointWriter, error) {
+// A fresh (empty or new) file gets a header line stamping cfg; appending to
+// a resumed file keeps the existing header — LoadCheckpoint has already
+// verified it matches before the writer is opened.
+func NewCheckpointWriter(path string, cfg core.Config) (*CheckpointWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("bench: opening checkpoint %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: opening checkpoint %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		stamp := checkpointConfigOf(cfg)
+		b, err := json.Marshal(checkpointHeader{Config: &stamp})
+		if err == nil {
+			_, err = f.Write(append(b, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("bench: writing checkpoint header %s: %w", path, err)
+		}
 	}
 	return &CheckpointWriter{f: f}, nil
 }
@@ -78,12 +136,15 @@ func (w *CheckpointWriter) Close() error {
 	return w.f.Close()
 }
 
-// LoadCheckpoint reads a checkpoint file back into a name-keyed record map.
-// A missing file is an empty checkpoint (resume of a run that never
-// started). A torn final line — the signature of a mid-write kill — is
-// discarded; malformed lines anywhere else are an error, since they mean
-// the file is not a checkpoint.
-func LoadCheckpoint(path string) (map[string]InstanceRecord, error) {
+// LoadCheckpoint reads a checkpoint file back into a name-keyed record map,
+// refusing one whose header stamps a configuration different from cfg —
+// rehydrating records produced under different budgets, seed, or mode would
+// silently mix incomparable runs into one result set. A missing file is an
+// empty checkpoint (resume of a run that never started). A torn final line
+// — the signature of a mid-write kill — is discarded; malformed lines
+// anywhere else (including an unparseable or missing header) are an error,
+// since they mean the file is not a checkpoint of this run.
+func LoadCheckpoint(path string, cfg core.Config) (map[string]InstanceRecord, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -96,20 +157,34 @@ func LoadCheckpoint(path string) (map[string]InstanceRecord, error) {
 	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
 		lines = lines[:len(lines)-1]
 	}
-	out := make(map[string]InstanceRecord, len(lines))
-	for i, line := range lines {
+	if len(lines) == 0 {
+		return map[string]InstanceRecord{}, nil
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Config == nil {
+		return nil, fmt.Errorf("bench: checkpoint %s has no config header (corrupt, or predates config stamping) — delete it and rerun", path)
+	}
+	if want := checkpointConfigOf(cfg); *hdr.Config != want {
+		return nil, fmt.Errorf("bench: checkpoint %s was written under config %+v but this run uses %+v — delete it or rerun with matching flags", path, *hdr.Config, want)
+	}
+	out := make(map[string]InstanceRecord, len(lines)-1)
+	for i, line := range lines[1:] {
+		lineNo := i + 2 // 1-based, after the header
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
 		var rec InstanceRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			if i == len(lines)-1 {
+			if lineNo == len(lines) {
 				break // torn final line from an interrupted write
 			}
-			return nil, fmt.Errorf("bench: checkpoint %s line %d: %w", path, i+1, err)
+			return nil, fmt.Errorf("bench: checkpoint %s line %d: %w", path, lineNo, err)
 		}
 		if rec.Name == "" {
-			return nil, fmt.Errorf("bench: checkpoint %s line %d: record without instance name", path, i+1)
+			return nil, fmt.Errorf("bench: checkpoint %s line %d: record without instance name", path, lineNo)
+		}
+		if _, ok := core.ParseVerdict(rec.Verdict); !ok && rec.Verdict != "compile-error" {
+			return nil, fmt.Errorf("bench: checkpoint %s line %d: unrecognized verdict %q", path, lineNo, rec.Verdict)
 		}
 		out[rec.Name] = rec
 	}
@@ -119,7 +194,8 @@ func LoadCheckpoint(path string) (map[string]InstanceRecord, error) {
 // resultFromRecord rehydrates a checkpointed record into a Result carrying
 // everything the tables, tallies and golden diff consume. Witnesses and the
 // compiled system statistics are not persisted; the rehydrated Result
-// reflects that (System is zero, Report.Counter is nil).
+// reflects that (System is zero, Report.Counter is nil). rec.Verdict has
+// been validated by LoadCheckpoint.
 func resultFromRecord(inst Instance, rec InstanceRecord) Result {
 	res := Result{
 		Instance:    inst,
@@ -130,7 +206,7 @@ func resultFromRecord(inst Instance, rec InstanceRecord) Result {
 		return res
 	}
 	v, _ := core.ParseVerdict(rec.Verdict)
-	res.Report = &core.Report{Verdict: v, Reason: rec.Reason}
+	res.Report = &core.Report{Verdict: v, Reason: rec.Reason, Degraded: core.Degradation(rec.Degraded)}
 	res.Report.Stats.Queries = rec.Queries
 	res.Report.Stats.SolverSteps = rec.SolverSteps
 	res.Report.Stats.CacheHits = rec.CacheHits

@@ -3,20 +3,28 @@ package bench
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"qed2/internal/core"
 )
 
+// ckCfg is the analyzer configuration checkpoint tests stamp and resume
+// under.
+func ckCfg() core.Config {
+	return core.Config{QuerySteps: 500, GlobalSteps: 10_000, Seed: 1}
+}
+
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	w, err := NewCheckpointWriter(path)
+	w, err := NewCheckpointWriter(path, ckCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
 	w.Append(InstanceRecord{Name: "a", Verdict: "safe", Queries: 3})
 	w.Append(InstanceRecord{Name: "b", Verdict: "unsafe", CEOutput: "out", CESignals: []string{"out", "tmp"}})
 	w.Append(InstanceRecord{Name: "c", Verdict: "compile-error", Reason: "bench: c: boom"})
+	w.Append(InstanceRecord{Name: "d", Verdict: "unknown", Reason: "internal error: boom", Degraded: string(core.DegradedInternal)})
 	if err := w.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -24,12 +32,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, err := LoadCheckpoint(path)
+	got, err := LoadCheckpoint(path, ckCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("loaded %d records, want 3", len(got))
+	if len(got) != 4 {
+		t.Fatalf("loaded %d records, want 4", len(got))
 	}
 	if got["a"].Verdict != "safe" || got["a"].Queries != 3 {
 		t.Fatalf("record a = %+v", got["a"])
@@ -46,17 +54,145 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if res.CompileErr == nil || res.Report != nil {
 		t.Fatalf("rehydrated c = %+v", res)
 	}
+	res = resultFromRecord(Instance{Name: "d"}, got["d"])
+	if res.Report == nil || res.Report.Degraded != core.DegradedInternal {
+		t.Fatalf("rehydrated d lost its degradation flag: %+v", res.Report)
+	}
+}
+
+// TestCheckpointHeaderWrittenOncePerFile pins the append contract: reopening
+// an existing checkpoint (the -resume path) must not write a second header.
+func TestCheckpointHeaderWrittenOncePerFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	for i := 0; i < 2; i++ {
+		w, err := NewCheckpointWriter(path, ckCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(InstanceRecord{Name: string(rune('a' + i)), Verdict: "safe"})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), `"config"`); n != 1 {
+		t.Fatalf("checkpoint has %d header lines after two sessions, want 1:\n%s", n, b)
+	}
+	got, err := LoadCheckpoint(path, ckCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(got))
+	}
+}
+
+// TestLoadCheckpointRejectsConfigMismatch: resuming under different budgets,
+// seed, or mode must refuse the checkpoint instead of silently rehydrating
+// records produced under another configuration.
+func TestLoadCheckpointRejectsConfigMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := NewCheckpointWriter(path, ckCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(InstanceRecord{Name: "a", Verdict: "safe"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"query steps", func(c *core.Config) { c.QuerySteps = 9_999 }},
+		{"global steps", func(c *core.Config) { c.GlobalSteps = 1 }},
+		{"seed", func(c *core.Config) { c.Seed = 2 }},
+		{"mode", func(c *core.Config) { c.Mode = core.ModeSMTOnly }},
+		{"slice radius", func(c *core.Config) { c.SliceRadius = 3 }},
+		{"rule ablation", func(c *core.Config) { c.DisableBitsRule = true }},
+	} {
+		cfg := ckCfg()
+		tc.mutate(&cfg)
+		if _, err := LoadCheckpoint(path, cfg); err == nil {
+			t.Errorf("%s mismatch accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "written under config") {
+			t.Errorf("%s mismatch: unhelpful error %v", tc.name, err)
+		}
+	}
+	// Workers and Timeout do not change step-budget-decided verdicts and
+	// must not be stamped — a run interrupted at -workers 8 resumes at
+	// -workers 1.
+	cfg := ckCfg()
+	cfg.Workers = 8
+	cfg.Timeout = 1
+	if _, err := LoadCheckpoint(path, cfg); err != nil {
+		t.Errorf("workers/timeout change rejected: %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsMissingHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	content := `{"name":"a","verdict":"safe"}
+{"name":"b","verdict":"unsafe"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path, ckCfg())
+	if err == nil {
+		t.Fatal("headerless checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "no config header") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestLoadCheckpointRejectsCorruptVerdict: a record whose verdict string is
+// valid JSON but not a verdict ("Safe", "safe ") must fail loading instead
+// of silently rehydrating as unknown.
+func TestLoadCheckpointRejectsCorruptVerdict(t *testing.T) {
+	for _, bad := range []string{"Safe", "safe ", "", "undecided"} {
+		path := filepath.Join(t.TempDir(), "ck.jsonl")
+		w, err := NewCheckpointWriter(path, ckCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(InstanceRecord{Name: "a", Verdict: bad})
+		w.Append(InstanceRecord{Name: "b", Verdict: "safe"})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(path, ckCfg()); err == nil {
+			t.Errorf("verdict %q accepted", bad)
+		}
+	}
 }
 
 func TestLoadCheckpointTornFinalLine(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	content := `{"name":"a","verdict":"safe"}
-{"name":"b","verdict":"unsafe"}
-{"name":"c","verd`
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	w, err := NewCheckpointWriter(path, ckCfg())
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadCheckpoint(path)
+	w.Append(InstanceRecord{Name: "a", Verdict: "safe"})
+	w.Append(InstanceRecord{Name: "b", Verdict: "unsafe"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"name":"c","verd`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path, ckCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +205,7 @@ func TestLoadCheckpointTornFinalLine(t *testing.T) {
 }
 
 func TestLoadCheckpointMissingFileIsEmpty(t *testing.T) {
-	got, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.jsonl"))
+	got, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.jsonl"), ckCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,14 +216,25 @@ func TestLoadCheckpointMissingFileIsEmpty(t *testing.T) {
 
 func TestLoadCheckpointRejectsGarbageMidFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	content := `{"name":"a","verdict":"safe"}
-not json at all
-{"name":"b","verdict":"unsafe"}
-`
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	w, err := NewCheckpointWriter(path, ckCfg())
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadCheckpoint(path); err == nil {
+	w.Append(InstanceRecord{Name: "a", Verdict: "safe"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json at all\n" + `{"name":"b","verdict":"unsafe"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, ckCfg()); err == nil {
 		t.Fatal("mid-file garbage accepted")
 	}
 }

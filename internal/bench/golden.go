@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
 	"qed2/internal/core"
 )
@@ -31,10 +30,15 @@ type GoldenConfig struct {
 type GoldenVerdict struct {
 	Name    string `json:"name"`
 	Verdict string `json:"verdict"`
-	// Reason is recorded for unknown verdicts so the diff can distinguish
-	// degradation (canceled, internal error) from a genuine budget outcome.
-	// Reasons are never compared for equality.
+	// Reason is recorded for unknown verdicts as human-readable context in
+	// diff output. Reasons are never compared for equality and never
+	// classified: degradation is carried by the machine-readable Degraded
+	// flag below.
 	Reason string `json:"reason,omitempty"`
+	// Degraded carries core.Report.Degraded ("canceled" or
+	// "internal-error") for unknown verdicts that are fault-tolerance
+	// artifacts; see IsDegraded.
+	Degraded string `json:"degraded,omitempty"`
 	// CEOutput and CESignals pin the counterexample shape for unsafe
 	// verdicts: the differing output and the full set of signals on which
 	// the witness pair disagrees.
@@ -66,6 +70,7 @@ func GoldenFromResults(cfg core.Config, results []Result) *GoldenFile {
 		}
 		if gv.Verdict == core.VerdictUnknown.String() {
 			gv.Reason = ir.Reason
+			gv.Degraded = ir.Degraded
 		}
 		g.Verdicts = append(g.Verdicts, gv)
 	}
@@ -95,25 +100,18 @@ func LoadGolden(path string) (*GoldenFile, error) {
 	return g, nil
 }
 
-// Degraded reports whether a fresh verdict is a fault-tolerance degradation
-// rather than an analysis outcome: unknown because the run was canceled or
-// because a query was quarantined after a panic. The golden gate reports
-// these separately and non-fatally, so a chaos schedule or an interrupted
-// run composes with the regression gate instead of tripping it.
-func (v GoldenVerdict) Degraded() bool {
-	return v.Verdict == core.VerdictUnknown.String() &&
-		(v.Reason == DegradedCanceled || strings.HasPrefix(v.Reason, DegradedInternalPrefix))
+// IsDegraded reports whether a fresh verdict is a fault-tolerance
+// degradation rather than an analysis outcome: unknown because the run was
+// canceled or because a query was quarantined after a panic. The golden
+// gate reports these separately and non-fatally, so a chaos schedule or an
+// interrupted run composes with the regression gate instead of tripping it.
+// Classification is by the structured Degraded flag (core.Report.Degraded
+// carried through InstanceRecord), never by parsing the Reason string —
+// core wraps the underlying cause into "output X undecided: …" phrases
+// that substring heuristics would have to chase.
+func (v GoldenVerdict) IsDegraded() bool {
+	return v.Verdict == core.VerdictUnknown.String() && v.Degraded != ""
 }
-
-// Degraded-reason vocabulary (shared with core/smt; duplicated here so the
-// golden format is self-describing).
-const (
-	// DegradedCanceled is the Reason of verdicts cut short by cancellation.
-	DegradedCanceled = "canceled"
-	// DegradedInternalPrefix prefixes the Reason of panic-quarantined
-	// verdicts.
-	DegradedInternalPrefix = "internal error"
-)
 
 // DiffGolden compares a fresh snapshot against the golden one and returns
 // one readable line per real discrepancy (empty slice = identical) plus one
@@ -141,7 +139,7 @@ func DiffGolden(golden, fresh *GoldenFile) (diffs, degraded []string) {
 			continue
 		}
 		if g.Verdict != f.Verdict {
-			if f.Degraded() {
+			if f.IsDegraded() {
 				degraded = append(degraded, fmt.Sprintf("%s: degraded %s -> unknown (%s)", f.Name, g.Verdict, f.Reason))
 				continue
 			}

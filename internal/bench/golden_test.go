@@ -35,9 +35,14 @@ func TestDiffGoldenDetectsVerdictFlip(t *testing.T) {
 }
 
 func TestDiffGoldenDegradedVerdictsAreNotFailures(t *testing.T) {
+	// The Reason strings are deliberately the wrapped human-readable forms
+	// core emits for mid-round cancellations and quarantines: classification
+	// must come from the Degraded flag, never from parsing Reason.
 	fresh := goldenFixture()
-	fresh.Verdicts[0] = GoldenVerdict{Name: "a", Verdict: "unknown", Reason: "canceled"}
-	fresh.Verdicts[1] = GoldenVerdict{Name: "b", Verdict: "unknown", Reason: "internal error: forced panic"}
+	fresh.Verdicts[0] = GoldenVerdict{Name: "a", Verdict: "unknown",
+		Reason: "output main.out undecided: canceled", Degraded: "canceled"}
+	fresh.Verdicts[1] = GoldenVerdict{Name: "b", Verdict: "unknown",
+		Reason: "output main.out undecided: internal error: forced panic", Degraded: "internal-error"}
 	diffs, degraded := DiffGolden(goldenFixture(), fresh)
 	if len(diffs) != 0 {
 		t.Fatalf("degraded verdicts reported as failing diffs: %v", diffs)
@@ -46,16 +51,18 @@ func TestDiffGoldenDegradedVerdictsAreNotFailures(t *testing.T) {
 		t.Fatalf("expected 2 degraded entries, got %v", degraded)
 	}
 	joined := strings.Join(degraded, "\n")
-	if !strings.Contains(joined, "a: degraded safe -> unknown (canceled)") ||
-		!strings.Contains(joined, "b: degraded unsafe -> unknown (internal error: forced panic)") {
+	if !strings.Contains(joined, "a: degraded safe -> unknown (output main.out undecided: canceled)") ||
+		!strings.Contains(joined, "b: degraded unsafe -> unknown (output main.out undecided: internal error: forced panic)") {
 		t.Fatalf("unexpected degraded lines: %v", degraded)
 	}
-	// An unknown with a plain budget reason is still a real flip.
+	// An unknown with a budget reason and no degradation flag is still a
+	// real flip — even when the reason happens to mention "canceled".
 	fresh = goldenFixture()
 	fresh.Verdicts[0] = GoldenVerdict{Name: "a", Verdict: "unknown", Reason: "global budget exhausted"}
+	fresh.Verdicts[1] = GoldenVerdict{Name: "b", Verdict: "unknown", Reason: "a reason mentioning canceled"}
 	diffs, degraded = DiffGolden(goldenFixture(), fresh)
-	if len(diffs) != 1 || len(degraded) != 0 {
-		t.Fatalf("budget unknown should be a failing flip, got %v / %v", diffs, degraded)
+	if len(diffs) != 2 || len(degraded) != 0 {
+		t.Fatalf("unflagged unknowns should be failing flips, got %v / %v", diffs, degraded)
 	}
 }
 

@@ -70,10 +70,15 @@ type SectionRecord struct {
 // the counterexample signal set (what the golden gate diffs), and the
 // per-instance effort.
 type InstanceRecord struct {
-	Name      string   `json:"name"`
-	Category  string   `json:"category"`
-	Verdict   string   `json:"verdict"`
-	Reason    string   `json:"reason,omitempty"`
+	Name     string `json:"name"`
+	Category string `json:"category"`
+	Verdict  string `json:"verdict"`
+	Reason   string `json:"reason,omitempty"`
+	// Degraded carries core.Report.Degraded: non-empty when an unknown
+	// verdict is a fault-tolerance artifact (cancellation, panic
+	// quarantine) rather than a budget outcome. Machine-readable so
+	// consumers never classify by parsing Reason.
+	Degraded  string   `json:"degraded,omitempty"`
 	CEOutput  string   `json:"ce_output,omitempty"`
 	CESignals []string `json:"ce_signals,omitempty"`
 
@@ -97,6 +102,7 @@ func instanceRecordOf(r Result) InstanceRecord {
 	}
 	ir.Verdict = r.Report.Verdict.String()
 	ir.Reason = r.Report.Reason
+	ir.Degraded = string(r.Report.Degraded)
 	ir.CEOutput = r.CEOutput
 	ir.CESignals = r.CEDiffers
 	ir.Queries = r.Report.Stats.Queries

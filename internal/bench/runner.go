@@ -130,6 +130,7 @@ func RunContext(ctx context.Context, insts []Instance, opts *RunOptions) []Resul
 				}
 				if ctx.Err() != nil {
 					results[i] = canceledResult(insts[i])
+					progress(i)
 					continue
 				}
 				results[i] = runOne(ctx, insts[i], o.Config, o.Obs, rs, o.Metrics)
@@ -149,17 +150,22 @@ func RunContext(ctx context.Context, insts []Instance, opts *RunOptions) []Resul
 func canceledResult(inst Instance) Result {
 	return Result{
 		Instance: inst,
-		Report:   &core.Report{Verdict: core.VerdictUnknown, Reason: smt.Canceled},
+		Report: &core.Report{
+			Verdict:  core.VerdictUnknown,
+			Reason:   smt.Canceled,
+			Degraded: core.DegradedCanceled,
+		},
 	}
 }
 
 // degradedByCancel reports whether a result's unknown verdict is an
 // artifact of cancellation rather than a real budget outcome. Such results
-// must not be checkpointed — resuming re-analyzes them.
+// must not be checkpointed — resuming re-analyzes them. The check is on the
+// structured Report.Degraded flag, not the Reason string: core wraps
+// mid-round cancellations into "output X undecided: canceled" phrases that
+// no string equality would survive.
 func degradedByCancel(r Result) bool {
-	return r.Report != nil &&
-		r.Report.Verdict == core.VerdictUnknown &&
-		r.Report.Reason == smt.Canceled
+	return r.Report != nil && r.Report.Degraded == core.DegradedCanceled
 }
 
 func runOne(ctx context.Context, inst Instance, cfg core.Config, tr *obs.Tracer, parent *obs.Span, metrics *obs.Metrics) Result {
@@ -190,8 +196,9 @@ func runInstance(ctx context.Context, inst Instance, res *Result, cfg core.Confi
 				return
 			}
 			res.Report = &core.Report{
-				Verdict: core.VerdictUnknown,
-				Reason:  fmt.Sprintf("internal error: %v", r),
+				Verdict:  core.VerdictUnknown,
+				Reason:   fmt.Sprintf("internal error: %v", r),
+				Degraded: core.DegradedInternal,
 			}
 			verdict = core.VerdictUnknown.String()
 		}

@@ -216,6 +216,26 @@ type Stats struct {
 	Duration time.Duration
 }
 
+// Degradation classifies an Unknown verdict that is a fault-tolerance
+// artifact — the analysis was cut short by cancellation, or an output was
+// left undecided by a panic-quarantined query — as opposed to a genuine
+// budget outcome. It is machine-readable on purpose: consumers (the bench
+// checkpoint, the golden-verdict gate) must never have to parse the
+// human-oriented Reason string, which wraps and rephrases the underlying
+// cause, to tell the two apart.
+type Degradation string
+
+// Degradations.
+const (
+	// DegradedNone marks a genuine analysis outcome.
+	DegradedNone Degradation = ""
+	// DegradedCanceled marks a verdict cut short by context cancellation.
+	DegradedCanceled Degradation = "canceled"
+	// DegradedInternal marks a verdict left undecided by a quarantined
+	// query panic (or, in the bench runner, an instance-level panic).
+	DegradedInternal Degradation = "internal-error"
+)
+
 // Report is the output of Analyze.
 type Report struct {
 	Verdict Verdict
@@ -223,7 +243,12 @@ type Report struct {
 	Counter *CounterExample
 	// Reason explains Unknown verdicts.
 	Reason string
-	Stats  Stats
+	// Degraded is non-empty when an Unknown verdict is an artifact of fault
+	// tolerance rather than an exhausted budget; see Degradation. Safe and
+	// Unsafe verdicts are never degraded — faults only ever move a verdict
+	// toward Unknown.
+	Degraded Degradation
+	Stats    Stats
 }
 
 // analysis carries the mutable state of one Analyze call. The solver-step
@@ -326,6 +351,13 @@ func AnalyzeContext(ctx context.Context, sys *r1cs.System, cfg *Config) *Report 
 	default:
 		a.prop = uniq.NewWithOptions(sys, uopts)
 		a.runFull()
+	}
+	// Cancellation wins over whatever reason wording the loops assembled: an
+	// Unknown verdict out of a canceled analysis is a degradation artifact
+	// (re-running may well decide it), no matter which undecided output or
+	// budget phrase was captured first.
+	if a.report.Verdict == VerdictUnknown && a.ctx.Err() != nil {
+		a.report.Degraded = DegradedCanceled
 	}
 	a.report.Stats.Duration = time.Since(a.start)
 	a.report.Stats.QueryPanics = int(a.nPanics.Load())
@@ -516,6 +548,7 @@ func (a *analysis) finalOutputsStage() {
 	}
 	lastTried := map[int]int{}
 	var reason string
+	var degraded Degradation
 	for {
 		if a.prop.OutputsUnique() {
 			a.report.Verdict = VerdictSafe
@@ -554,10 +587,14 @@ func (a *analysis) finalOutputsStage() {
 				if a.confirmCounterexample(t.sig, t.out.Model) {
 					return
 				}
+				// Deterministic internal inconsistency, not a transient
+				// fault: re-running reproduces it, so it is not degraded.
 				reason = "solver model failed confirmation (internal)"
+				degraded = DegradedNone
 			default:
 				if reason == "" {
 					reason = fmt.Sprintf("output %s undecided: %s", a.sys.Name(t.sig), t.out.Reason)
+					degraded = outcomeDegradation(t.out)
 				}
 			}
 		}
@@ -574,6 +611,7 @@ func (a *analysis) finalOutputsStage() {
 		reason = "outputs undecided"
 	}
 	a.report.Reason = reason
+	a.report.Degraded = degraded
 }
 
 // runSMTOnly is the monolithic baseline: one full-circuit query per output,
@@ -588,11 +626,15 @@ func (a *analysis) runSMTOnly() {
 		allCons[i] = i
 	}
 	undecided := ""
+	var degraded Degradation
 	safe := true
 	for _, o := range a.sys.Outputs() {
 		if a.outOfBudget() {
 			safe = false
 			undecided = a.stopReason("analysis budget exhausted")
+			// Keep the flag paired with the reason; the ctx-canceled case is
+			// restored by AnalyzeContext's cancellation-wins classification.
+			degraded = DegradedNone
 			break
 		}
 		p := buildUniquenessProblem(a.sys, allCons, func(v int) bool { return shared[v] }, o)
@@ -606,10 +648,12 @@ func (a *analysis) runSMTOnly() {
 			}
 			safe = false
 			undecided = "solver model failed confirmation (internal)"
+			degraded = DegradedNone
 		default:
 			safe = false
 			if undecided == "" {
 				undecided = fmt.Sprintf("output %s undecided: %s", a.sys.Name(o), out.Reason)
+				degraded = outcomeDegradation(out)
 			}
 		}
 	}
@@ -619,6 +663,7 @@ func (a *analysis) runSMTOnly() {
 	}
 	a.report.Verdict = VerdictUnknown
 	a.report.Reason = undecided
+	a.report.Degraded = degraded
 }
 
 // confirmCounterexample turns a SAT model of a full-circuit query into a

@@ -287,6 +287,14 @@ func TestAnalyzeSurvivesInjectedQueryPanics(t *testing.T) {
 	if r.Verdict != VerdictUnknown {
 		t.Fatalf("verdict under total query panic = %v (%s), want unknown", r.Verdict, r.Reason)
 	}
+	// The report reason is the wrapped human-readable form; the structured
+	// flag must still classify the unknown as panic-degraded.
+	if !strings.Contains(r.Reason, "internal error") {
+		t.Fatalf("reason = %q, want a quarantine reason", r.Reason)
+	}
+	if r.Degraded != DegradedInternal {
+		t.Fatalf("Degraded = %q (reason %q), want %q", r.Degraded, r.Reason, DegradedInternal)
+	}
 	if r.Stats.QueryPanics == 0 {
 		t.Fatal("Stats.QueryPanics = 0, want > 0")
 	}
@@ -296,5 +304,44 @@ func TestAnalyzeSurvivesInjectedQueryPanics(t *testing.T) {
 	if r.Stats.QueryPanics != 2*r.Stats.QueryRetries {
 		t.Fatalf("panics = %d, retries = %d: with every=1 each retry must panic exactly once more",
 			r.Stats.QueryPanics, r.Stats.QueryRetries)
+	}
+}
+
+// TestOutcomeDegradationClassification pins the classifier's vocabulary: it
+// runs on raw query-outcome reasons (exact smt.Canceled, the quarantine
+// prefix), and decided outcomes are never degraded.
+func TestOutcomeDegradationClassification(t *testing.T) {
+	for _, tc := range []struct {
+		out  smt.Outcome
+		want Degradation
+	}{
+		{smt.Outcome{Status: smt.StatusUnknown, Reason: smt.Canceled}, DegradedCanceled},
+		{smt.Outcome{Status: smt.StatusUnknown, Reason: "internal error: boom"}, DegradedInternal},
+		{smt.Outcome{Status: smt.StatusUnknown, Reason: "step budget exhausted"}, DegradedNone},
+		{smt.Outcome{Status: smt.StatusUnknown, Reason: smt.DeadlineExceeded}, DegradedNone},
+		{smt.Outcome{Status: smt.StatusUnknown, Reason: "injected solver fault mentioning canceled"}, DegradedNone},
+		{smt.Outcome{Status: smt.StatusUnsat, Reason: smt.Canceled}, DegradedNone},
+	} {
+		if got := outcomeDegradation(tc.out); got != tc.want {
+			t.Errorf("outcomeDegradation(%v/%q) = %q, want %q", tc.out.Status, tc.out.Reason, got, tc.want)
+		}
+	}
+}
+
+// TestAnalyzeCanceledReportsDegradedCanceled: every Unknown report out of a
+// canceled analysis must carry the structured cancellation flag, whatever
+// reason wording the mode's loop assembled.
+func TestAnalyzeCanceledReportsDegradedCanceled(t *testing.T) {
+	p := compile(t, isZeroBuggy)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{ModeFull, ModeSMTOnly} {
+		r := AnalyzeContext(ctx, p.System, &Config{Mode: mode, Workers: 1, Seed: 1})
+		if r.Verdict != VerdictUnknown {
+			t.Fatalf("%s: verdict under canceled ctx = %v, want unknown", mode, r.Verdict)
+		}
+		if r.Degraded != DegradedCanceled {
+			t.Fatalf("%s: Degraded = %q (reason %q), want %q", mode, r.Degraded, r.Reason, DegradedCanceled)
+		}
 	}
 }

@@ -116,6 +116,31 @@ func (a *analysis) admit(t *queryTask, sigs []int, snap *uniq.Snapshot) {
 	a.hSliceSigs.Observe(int64(len(sigs)))
 }
 
+// internalErrPrefix prefixes the Reason of outcomes fabricated by the
+// panic-quarantine boundary (runQuery, and the bench runner's instance
+// boundary). It is the vocabulary outcomeDegradation classifies on, so the
+// composer and the classifier can never drift apart.
+const internalErrPrefix = "internal error"
+
+// outcomeDegradation classifies one query outcome against the reason
+// vocabulary this package and smt emit: exactly smt.Canceled for
+// cancellation, the quarantine prefix for recovered panics. It runs on the
+// raw outcome reason — before the report loops wrap it into a human-readable
+// "output X undecided: …" phrase — so rewording a report can never defeat
+// the classification.
+func outcomeDegradation(out smt.Outcome) Degradation {
+	if out.Status != smt.StatusUnknown {
+		return DegradedNone
+	}
+	switch {
+	case out.Reason == smt.Canceled:
+		return DegradedCanceled
+	case strings.HasPrefix(out.Reason, internalErrPrefix):
+		return DegradedInternal
+	}
+	return DegradedNone
+}
+
 // runQuery invokes the solver for one query inside the per-query fault
 // boundary: a panic anywhere in problem construction or solving is recovered
 // into an Unknown outcome with reason "internal error: …" (with a truncated
@@ -134,7 +159,7 @@ func (a *analysis) runQuery(build func() *smt.Problem, sig, consLen int, full bo
 			a.cfg.Obs.Event(a.span, "core.query.panic",
 				obs.KV("sig", sig), obs.KV("panic", fmt.Sprint(r)),
 				obs.KV("stack", truncStack(debug.Stack())))
-			out = smt.Outcome{Status: smt.StatusUnknown, Reason: fmt.Sprintf("internal error: %v", r)}
+			out = smt.Outcome{Status: smt.StatusUnknown, Reason: fmt.Sprintf("%s: %v", internalErrPrefix, r)}
 		}
 		// End the span here so a panic cannot leave it unbalanced.
 		qs.End(obs.KV("status", out.Status.String()), obs.KV("steps", out.Steps))
