@@ -13,6 +13,8 @@
 // is 2. A second signal force-kills.
 //
 // Exit status: 0 safe, 1 unsafe, 2 unknown, 3 usage/compile error.
+// With -lint: 0 no error-severity findings, 1 at least one error-severity
+// finding, 3 usage/compile error.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"qed2/internal/faultinject"
 	"qed2/internal/obs"
 	"qed2/internal/r1cs"
+	"qed2/internal/sa"
 )
 
 func main() {
@@ -67,6 +70,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers     = fs.Int("workers", 0, "parallel slice-query workers (0 = GOMAXPROCS)")
 		dumpR1CS    = fs.Bool("r1cs", false, "dump the compiled constraint system and exit")
 		statsOnly   = fs.Bool("stats", false, "print circuit statistics and exit")
+		lint        = fs.Bool("lint", false, "run only the static-analysis pass and print its findings, then exit")
 		quiet       = fs.Bool("q", false, "print only the verdict")
 		jsonOut     = fs.Bool("json", false, "emit the analysis report as JSON")
 		witness     = fs.String("witness", "", `generate and check a witness for the given inputs, e.g. "a=3,in[0]=7", then exit`)
@@ -138,6 +142,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	sys := prog.System
 	if *witness != "" {
 		return runWitness(stdout, stderr, prog, *witness)
+	}
+	if *lint {
+		return runLint(stdout, stderr, path, prog, *jsonOut, *quiet)
 	}
 	if *dumpR1CS {
 		if _, err := sys.WriteTo(stdout); err != nil {
@@ -219,6 +226,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			report.Stats.SolverSteps, report.Stats.Workers)
 		fmt.Fprintf(stdout, "uniqueness:   %d/%d signals proven unique (%d by propagation, %d by SMT)\n",
 			report.Stats.UniqueTotal, st.Signals, report.Stats.PropagationUnique, report.Stats.SMTUnique)
+		if s := report.Stats; s.StaticUnique > 0 || s.StaticQueriesAvoided > 0 {
+			fmt.Fprintf(stdout, "static pass:  %d extra signals proven determined, %d SMT queries avoided\n",
+				s.StaticUnique, s.StaticQueriesAvoided)
+		}
 		if ce := report.Counter; ce != nil {
 			printCounterexample(stdout, prog, ce)
 		}
@@ -231,6 +242,70 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	default:
 		return 2
 	}
+}
+
+// runLint executes only the static-analysis pass and prints its findings:
+// one "loc: severity[detector]: message" line each, or a JSON document with
+// -json. Exit status: 0 when no error-severity finding, 1 otherwise. A lint
+// error is a strong under-constraint candidate, but only the full analysis
+// (without -lint) can confirm it with a witness pair.
+func runLint(stdout, stderr io.Writer, path string, prog *circom.Program, asJSON, quiet bool) int {
+	res := sa.AnalyzeProgram(prog, nil)
+	errs, warns, infos := 0, 0, 0
+	for _, f := range res.Findings {
+		switch f.Severity {
+		case sa.SeverityError:
+			errs++
+		case sa.SeverityWarning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	if asJSON {
+		out := jsonLint{
+			Circuit:  path,
+			Main:     prog.MainTemplate,
+			Findings: res.Findings,
+			Errors:   errs,
+			Warnings: warns,
+			Infos:    infos,
+		}
+		if out.Findings == nil {
+			out.Findings = []sa.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "qed2:", err)
+			return 3
+		}
+	} else {
+		for _, f := range res.Findings {
+			if quiet && f.Severity < sa.SeverityWarning {
+				continue
+			}
+			fmt.Fprintln(stdout, f.String())
+		}
+		if !quiet {
+			fmt.Fprintf(stdout, "%d findings (%d errors, %d warnings, %d infos)\n",
+				len(res.Findings), errs, warns, infos)
+		}
+	}
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonLint is the machine-readable lint report.
+type jsonLint struct {
+	Circuit  string       `json:"circuit"`
+	Main     string       `json:"main_template"`
+	Findings []sa.Finding `json:"findings"`
+	Errors   int          `json:"errors"`
+	Warnings int          `json:"warnings"`
+	Infos    int          `json:"infos"`
 }
 
 // printCounterexample renders a checked witness pair compactly: the shared
@@ -313,6 +388,10 @@ type jsonStats struct {
 	SolverSteps       int64 `json:"solver_steps"`
 	Workers           int   `json:"workers"`
 	DurationMS        int64 `json:"duration_ms"`
+	// StaticUnique and StaticQueriesAvoided report the static pre-pass's
+	// contribution (zero when the pass is disabled or not in qed2 mode).
+	StaticUnique         int `json:"static_unique"`
+	StaticQueriesAvoided int `json:"static_queries_avoided"`
 }
 
 type jsonCounter struct {
@@ -334,15 +413,17 @@ func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *cor
 		Signals:     report.Stats.SignalsTotal,
 		Constraints: report.Stats.Constraints,
 		Stats: jsonStats{
-			UniqueTotal:       report.Stats.UniqueTotal,
-			PropagationUnique: report.Stats.PropagationUnique,
-			BitsUnique:        report.Stats.BitsUnique,
-			SMTUnique:         report.Stats.SMTUnique,
-			Queries:           report.Stats.Queries,
-			CacheHits:         report.Stats.CacheHits,
-			SolverSteps:       report.Stats.SolverSteps,
-			Workers:           report.Stats.Workers,
-			DurationMS:        report.Stats.Duration.Milliseconds(),
+			UniqueTotal:          report.Stats.UniqueTotal,
+			PropagationUnique:    report.Stats.PropagationUnique,
+			BitsUnique:           report.Stats.BitsUnique,
+			SMTUnique:            report.Stats.SMTUnique,
+			Queries:              report.Stats.Queries,
+			CacheHits:            report.Stats.CacheHits,
+			SolverSteps:          report.Stats.SolverSteps,
+			Workers:              report.Stats.Workers,
+			DurationMS:           report.Stats.Duration.Milliseconds(),
+			StaticUnique:         report.Stats.StaticUnique,
+			StaticQueriesAvoided: report.Stats.StaticQueriesAvoided,
 		},
 	}
 	if ce := report.Counter; ce != nil {

@@ -239,6 +239,95 @@ component main = Pass();
 	}
 }
 
+const freeOutputSrc = `
+pragma circom 2.0.0;
+template Free() {
+    signal input in;
+    signal output out;
+    out <-- in * in;
+}
+component main = Free();
+`
+
+func TestCLILint(t *testing.T) {
+	path := writeCircuit(t, "free.circom", freeOutputSrc)
+	code, out, _ := runCLI(t, "-lint", path)
+	if code != 1 {
+		t.Fatalf("lint exit = %d, want 1 (error finding)\n%s", code, out)
+	}
+	for _, want := range []string{"error[unconstrained-hint]", "Free:", "findings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lint output missing %q:\n%s", want, out)
+		}
+	}
+	// A clean circuit lints clean.
+	code, out, _ = runCLI(t, "-lint", writeCircuit(t, "mul.circom", safeSrc))
+	if code != 0 || !strings.Contains(out, "0 errors") {
+		t.Fatalf("clean lint exit = %d:\n%s", code, out)
+	}
+}
+
+func TestCLILintJSONAndDeterminism(t *testing.T) {
+	path := writeCircuit(t, "free.circom", freeOutputSrc)
+	var runs [2]string
+	for i := range runs {
+		code, out, _ := runCLI(t, "-lint", "-json", path)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1", code)
+		}
+		runs[i] = out
+	}
+	if runs[0] != runs[1] {
+		t.Errorf("lint JSON not deterministic:\n%s\n%s", runs[0], runs[1])
+	}
+	var rep jsonLint
+	if err := json.Unmarshal([]byte(runs[0]), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, runs[0])
+	}
+	if rep.Errors == 0 || len(rep.Findings) == 0 {
+		t.Fatalf("json lint report incomplete: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Detector == "" || f.SeverityName == "" || f.Loc == "" || f.Message == "" {
+		t.Errorf("finding missing fields: %+v", f)
+	}
+}
+
+func TestCLILintOnR1CSDump(t *testing.T) {
+	// Source locations and <-- metadata survive the .r1cs round trip, so
+	// linting a dump finds the same unconstrained output, source-located.
+	path := writeCircuit(t, "free.circom", freeOutputSrc)
+	code, dump, _ := runCLI(t, "-r1cs", path)
+	if code != 0 {
+		t.Fatalf("dump failed (exit %d)", code)
+	}
+	r1csPath := filepath.Join(filepath.Dir(path), "free.r1cs")
+	if err := os.WriteFile(r1csPath, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "-lint", r1csPath)
+	if code != 1 || !strings.Contains(out, "error[unconstrained-hint]") {
+		t.Fatalf("lint on .r1cs exit = %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "Free:") {
+		t.Errorf("source location lost in .r1cs round trip:\n%s", out)
+	}
+}
+
+func TestCLIStaticStatsInJSON(t *testing.T) {
+	// A pure Num2Bits-style circuit is discharged by propagation; the static
+	// pre-pass runs alongside and its stats fields must be present (zero is
+	// fine) and the verdict unchanged.
+	path := writeCircuit(t, "mul.circom", safeSrc)
+	code, out, _ := runCLI(t, "-json", path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "static_unique") || !strings.Contains(out, "static_queries_avoided") {
+		t.Errorf("json stats missing static fields:\n%s", out)
+	}
+}
+
 func TestCLICanceledContextYieldsUnknown(t *testing.T) {
 	// The buggy circuit needs SMT queries to decide; a pre-canceled context
 	// skips them all, so the verdict degrades to unknown (canceled). (A

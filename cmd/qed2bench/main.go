@@ -11,6 +11,7 @@
 //	qed2bench -table 2 -json r.json  # also write a machine-readable run record
 //	qed2bench -trace run.jsonl    # also write a JSONL trace of the pipeline
 //	qed2bench -golden testdata/golden_verdicts.json  # CI verdict-regression gate
+//	qed2bench -findings-golden testdata/golden_findings.json  # CI lint-findings gate (no SMT, fast)
 //	qed2bench -checkpoint ck.jsonl           # persist per-instance results as they complete
 //	qed2bench -checkpoint ck.jsonl -resume   # skip instances the checkpoint already decided
 //
@@ -50,27 +51,29 @@ import (
 
 func main() {
 	var (
-		table        = flag.Int("table", 0, "regenerate one table (1..4)")
-		fig          = flag.Int("fig", 0, "regenerate one figure (1..4)")
-		all          = flag.Bool("all", false, "regenerate every table and figure")
-		list         = flag.Bool("list", false, "list suite instances and exit")
-		workers      = flag.Int("workers", 0, "instances analyzed concurrently (0 = GOMAXPROCS)")
-		queryWorkers = flag.Int("query-workers", 1, "parallel slice-query workers within one analysis (0 = GOMAXPROCS); 1 keeps per-instance timings comparable")
-		querySteps   = flag.Int64("query-steps", 20_000, "solver step budget per SMT query")
-		globalSteps  = flag.Int64("global-steps", 400_000, "total solver step budget per instance")
-		timeout      = flag.Duration("timeout", 5*time.Second, "wall-clock budget per instance")
-		seed         = flag.Int64("seed", 1, "deterministic solver seed")
-		verbose      = flag.Bool("v", false, "print per-instance progress")
-		jsonOut      = flag.String("json", "", "write a machine-readable run record (timings, tallies, solver counters) to this file")
-		trace        = flag.String("trace", "", "write a JSONL trace of the pipeline (per-instance and per-query spans) to this file")
-		printMetrics = flag.Bool("metrics", false, "print pipeline counters and histograms to stderr after the run")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and a /metrics snapshot on this address (e.g. localhost:6060) for long runs")
-		golden       = flag.String("golden", "", "diff the full-run per-instance verdicts against this golden file; exit 1 on any flip")
-		goldenOut    = flag.String("golden-out", "", "write the full-run per-instance verdicts to this golden file")
-		baseline     = flag.String("baseline", "", "compare run:full analysis time against this earlier -json run record")
-		maxSlowdown  = flag.Float64("max-slowdown", 2.0, "fail when run:full analysis time exceeds the -baseline record by this factor")
-		checkpoint   = flag.String("checkpoint", "", "append per-instance results of the full run to this JSONL file as they complete")
-		resume       = flag.Bool("resume", false, "skip instances already decided in the -checkpoint file instead of re-analyzing them")
+		table          = flag.Int("table", 0, "regenerate one table (1..4)")
+		fig            = flag.Int("fig", 0, "regenerate one figure (1..4)")
+		all            = flag.Bool("all", false, "regenerate every table and figure")
+		list           = flag.Bool("list", false, "list suite instances and exit")
+		workers        = flag.Int("workers", 0, "instances analyzed concurrently (0 = GOMAXPROCS)")
+		queryWorkers   = flag.Int("query-workers", 1, "parallel slice-query workers within one analysis (0 = GOMAXPROCS); 1 keeps per-instance timings comparable")
+		querySteps     = flag.Int64("query-steps", 20_000, "solver step budget per SMT query")
+		globalSteps    = flag.Int64("global-steps", 400_000, "total solver step budget per instance")
+		timeout        = flag.Duration("timeout", 5*time.Second, "wall-clock budget per instance")
+		seed           = flag.Int64("seed", 1, "deterministic solver seed")
+		verbose        = flag.Bool("v", false, "print per-instance progress")
+		jsonOut        = flag.String("json", "", "write a machine-readable run record (timings, tallies, solver counters) to this file")
+		trace          = flag.String("trace", "", "write a JSONL trace of the pipeline (per-instance and per-query spans) to this file")
+		printMetrics   = flag.Bool("metrics", false, "print pipeline counters and histograms to stderr after the run")
+		pprofAddr      = flag.String("pprof", "", "serve net/http/pprof and a /metrics snapshot on this address (e.g. localhost:6060) for long runs")
+		golden         = flag.String("golden", "", "diff the full-run per-instance verdicts against this golden file; exit 1 on any flip")
+		goldenOut      = flag.String("golden-out", "", "write the full-run per-instance verdicts to this golden file")
+		findingsGolden = flag.String("findings-golden", "", "diff the static-analysis findings of every suite instance against this golden file; exit 1 on any change (solver-free, no full run)")
+		findingsOut    = flag.String("findings-out", "", "write the static-analysis findings of every suite instance to this golden file")
+		baseline       = flag.String("baseline", "", "compare run:full analysis time against this earlier -json run record")
+		maxSlowdown    = flag.Float64("max-slowdown", 2.0, "fail when run:full analysis time exceeds the -baseline record by this factor")
+		checkpoint     = flag.String("checkpoint", "", "append per-instance results of the full run to this JSONL file as they complete")
+		resume         = flag.Bool("resume", false, "skip instances already decided in the -checkpoint file instead of re-analyzing them")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -82,7 +85,10 @@ func main() {
 		os.Exit(1)
 	}
 	gateRun := *golden != "" || *goldenOut != "" || *baseline != "" || *checkpoint != ""
-	if !*all && *table == 0 && *fig == 0 && !*list && !gateRun {
+	// The findings gate is solver-free (compile + static pass only); on its
+	// own it never triggers the full analysis run.
+	lintRun := *findingsGolden != "" || *findingsOut != ""
+	if !*all && *table == 0 && *fig == 0 && !*list && !gateRun && !lintRun {
 		*all = true
 	}
 	insts := bench.Suite()
@@ -289,6 +295,40 @@ func main() {
 		t0 = time.Now()
 		fmt.Println(bench.Figure4(byConfig, []string{"full rule set", "without R-Bits", "no rules (SMT)"}))
 		record("fig4", t0, full)
+	}
+	if lintRun {
+		fresh, err := bench.CollectFindings(insts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		if *findingsOut != "" {
+			b, err := fresh.Marshal()
+			if err == nil {
+				err = os.WriteFile(*findingsOut, b, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *findingsOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "golden findings written to %s (%d instances)\n", *findingsOut, len(fresh.Instances))
+		}
+		if *findingsGolden != "" {
+			gold, err := bench.LoadFindings(*findingsGolden)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qed2bench:", err)
+				os.Exit(1)
+			}
+			if diffs := bench.DiffFindings(gold, fresh); len(diffs) > 0 {
+				fmt.Fprintf(os.Stderr, "qed2bench: %d golden-finding regression(s) against %s:\n", len(diffs), *findingsGolden)
+				for _, d := range diffs {
+					fmt.Fprintln(os.Stderr, "  "+d)
+				}
+				exit = 1
+			} else {
+				fmt.Fprintf(os.Stderr, "golden findings: %d instances match %s\n", len(fresh.Instances), *findingsGolden)
+			}
+		}
 	}
 	if *goldenOut != "" {
 		g := bench.GoldenFromResults(baseCfg, full)

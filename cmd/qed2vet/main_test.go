@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeUnit(t *testing.T, cfg vetConfig, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.GoFiles = []string{goFile}
+	if cfg.VetxOutput == "" {
+		cfg.VetxOutput = filepath.Join(dir, "out.vetx")
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}
+
+const offendingSrc = `package ff
+import "math/big"
+var x big.Int
+`
+
+func TestRunUnitReportsDiagnostics(t *testing.T) {
+	cfg := vetConfig{ImportPath: "qed2/internal/ff"}
+	path := writeUnit(t, cfg, offendingSrc)
+	if code := runUnit(path); code != 2 {
+		t.Fatalf("exit = %d, want 2 (diagnostics)", code)
+	}
+}
+
+func TestRunUnitCleanPackage(t *testing.T) {
+	cfg := vetConfig{ImportPath: "qed2/internal/ff"}
+	path := writeUnit(t, cfg, "package ff\nvar x int\n")
+	if code := runUnit(path); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestRunUnitWritesVetxEvenForUncheckedPackages(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "facts.vetx")
+	cfg := vetConfig{ImportPath: "some/other/pkg", VetxOutput: vetx}
+	path := writeUnit(t, cfg, offendingSrc)
+	if code := runUnit(path); code != 0 {
+		t.Fatalf("exit = %d, want 0 (package not in the checked set)", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+func TestRunUnitVetxOnlySkipsDiagnostics(t *testing.T) {
+	cfg := vetConfig{ImportPath: "qed2/internal/ff", VetxOnly: true}
+	path := writeUnit(t, cfg, offendingSrc)
+	if code := runUnit(path); code != 0 {
+		t.Fatalf("exit = %d, want 0 (VetxOnly dependency scan)", code)
+	}
+}
+
+func TestRunUnitBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runUnit(path); code != 1 {
+		t.Fatalf("exit = %d, want 1 (driver error)", code)
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"qed2/internal/sa"
+)
+
+// The golden-findings regression gate: a checked-in snapshot of the static
+// analysis pass's findings for every suite instance, diffed against a fresh
+// run in CI (testdata/golden_findings.json). The static pass is solver-free
+// and deterministic, so unlike the verdict gate this one needs no pinned
+// budgets — any change in detectors, the abstract interpretation, or the
+// compiler's source-location plumbing shows up as a findings diff and must
+// be acknowledged by regenerating the file (qed2bench -findings-out).
+
+// InstanceFindings is one instance's pinned lint output.
+type InstanceFindings struct {
+	Name     string       `json:"name"`
+	Findings []sa.Finding `json:"findings"`
+}
+
+// FindingsFile is the checked-in findings snapshot.
+type FindingsFile struct {
+	Instances []InstanceFindings `json:"instances"`
+}
+
+// CollectFindings compiles every instance and runs the static pass,
+// returning the snapshot sorted by instance name. Compilation failures are
+// errors: every suite instance must compile.
+func CollectFindings(insts []Instance) (*FindingsFile, error) {
+	out := &FindingsFile{}
+	for _, inst := range insts {
+		prog, err := inst.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("bench: compiling %s: %w", inst.Name, err)
+		}
+		res := sa.AnalyzeProgram(prog, nil)
+		findings := res.Findings
+		if findings == nil {
+			findings = []sa.Finding{}
+		}
+		out.Instances = append(out.Instances, InstanceFindings{Name: inst.Name, Findings: findings})
+	}
+	sort.Slice(out.Instances, func(i, j int) bool { return out.Instances[i].Name < out.Instances[j].Name })
+	return out, nil
+}
+
+// Marshal renders the findings file as indented JSON.
+func (f *FindingsFile) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadFindings reads a findings file from disk.
+func LoadFindings(path string) (*FindingsFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &FindingsFile{}
+	if err := json.Unmarshal(b, f); err != nil {
+		return nil, fmt.Errorf("bench: parsing findings file %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// DiffFindings compares a fresh snapshot against the golden one, returning
+// one readable line per discrepancy (empty = identical). The gate fails
+// closed: a missing instance, an extra instance, a dropped finding, a new
+// finding, and any field change (severity, location, message, …) all count.
+// Instances are matched by name; findings are compared positionally, which
+// is exact because sa fixes a canonical total order on findings.
+func DiffFindings(golden, fresh *FindingsFile) []string {
+	var diffs []string
+	goldenBy := map[string][]sa.Finding{}
+	for _, inst := range golden.Instances {
+		goldenBy[inst.Name] = inst.Findings
+	}
+	seen := map[string]bool{}
+	for _, f := range fresh.Instances {
+		seen[f.Name] = true
+		g, ok := goldenBy[f.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: new instance (%d findings) not in golden file — regenerate with -findings-out", f.Name, len(f.Findings)))
+			continue
+		}
+		if len(g) != len(f.Findings) {
+			diffs = append(diffs, fmt.Sprintf("%s: finding count changed %d -> %d", f.Name, len(g), len(f.Findings)))
+			continue
+		}
+		for i := range g {
+			a, _ := json.Marshal(g[i])
+			b, _ := json.Marshal(f.Findings[i])
+			if string(a) != string(b) {
+				diffs = append(diffs, fmt.Sprintf("%s: finding #%d changed %s -> %s", f.Name, i, a, b))
+			}
+		}
+	}
+	for _, inst := range golden.Instances {
+		if !seen[inst.Name] {
+			diffs = append(diffs, fmt.Sprintf("%s: instance missing from fresh run (%d golden findings)", inst.Name, len(inst.Findings)))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs
+}

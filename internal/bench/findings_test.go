@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qed2/internal/sa"
+)
+
+func twoInstanceFindings() *FindingsFile {
+	return &FindingsFile{Instances: []InstanceFindings{
+		{Name: "A()", Findings: []sa.Finding{
+			{Detector: "unconstrained-hint", SeverityName: "warning", Signal: "x", SignalID: 3,
+				Constraint: -1, Loc: "A:4:5", Message: "m"},
+		}},
+		{Name: "B()", Findings: []sa.Finding{}},
+	}}
+}
+
+func TestDiffFindingsIdentical(t *testing.T) {
+	if diffs := DiffFindings(twoInstanceFindings(), twoInstanceFindings()); len(diffs) != 0 {
+		t.Fatalf("identical files diff: %v", diffs)
+	}
+}
+
+// TestDiffFindingsFailsClosed perturbs the fresh snapshot every way a
+// regression could manifest and demands the gate notices each one.
+func TestDiffFindingsFailsClosed(t *testing.T) {
+	perturb := map[string]func(f *FindingsFile){
+		"dropped finding": func(f *FindingsFile) { f.Instances[0].Findings = nil },
+		"extra finding": func(f *FindingsFile) {
+			f.Instances[1].Findings = append(f.Instances[1].Findings, sa.Finding{Detector: "d"})
+		},
+		"severity changed":   func(f *FindingsFile) { f.Instances[0].Findings[0].SeverityName = "error" },
+		"location changed":   func(f *FindingsFile) { f.Instances[0].Findings[0].Loc = "A:9:9" },
+		"message changed":    func(f *FindingsFile) { f.Instances[0].Findings[0].Message = "other" },
+		"detector changed":   func(f *FindingsFile) { f.Instances[0].Findings[0].Detector = "other" },
+		"signal changed":     func(f *FindingsFile) { f.Instances[0].Findings[0].Signal = "y" },
+		"instance missing":   func(f *FindingsFile) { f.Instances = f.Instances[:1] },
+		"instance renamed":   func(f *FindingsFile) { f.Instances[1].Name = "C()" },
+		"constraint changed": func(f *FindingsFile) { f.Instances[0].Findings[0].Constraint = 7 },
+	}
+	for name, mutate := range perturb {
+		fresh := twoInstanceFindings()
+		mutate(fresh)
+		if diffs := DiffFindings(twoInstanceFindings(), fresh); len(diffs) == 0 {
+			t.Errorf("%s: gate passed a perturbed snapshot", name)
+		}
+	}
+}
+
+func TestFindingsRoundTrip(t *testing.T) {
+	f := twoInstanceFindings()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "findings.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFindings(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffFindings(f, loaded); len(diffs) != 0 {
+		t.Fatalf("round trip not faithful: %v", diffs)
+	}
+}
+
+func TestLoadFindingsErrors(t *testing.T) {
+	if _, err := LoadFindings(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFindings(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+// TestCheckedInFindingsMatchSuite is the gate itself: the static pass over
+// the current suite must reproduce testdata/golden_findings.json exactly.
+// On a legitimate detector change, regenerate with
+// `go run ./cmd/qed2bench -findings-out testdata/golden_findings.json`
+// and review the diff like any other code change.
+func TestCheckedInFindingsMatchSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiling the full suite is slow")
+	}
+	golden, err := LoadFindings(filepath.Join("..", "..", "testdata", "golden_findings.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := CollectFindings(Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := DiffFindings(golden, fresh)
+	for _, d := range diffs {
+		t.Error(d)
+	}
+}

@@ -166,15 +166,22 @@ func CompileFile(file *File, opts *CompileOptions) (prog *Program, err error) {
 	}
 	c.prog.MainTemplate = file.Main.Call.Name
 	_ = inst
-	// Every non-input signal must have a witness-generation rule.
-	var unassigned []string
+	// Every non-input signal must have a witness-generation rule. Each
+	// offender gets its own diagnostic pointing at the declaration site,
+	// rather than one aggregated location-free message.
+	var unassigned []error
 	for id := 1; id < c.sys.NumSignals(); id++ {
-		if !c.assignedSig[id] && c.sys.Signal(id).Kind != r1cs.KindInput {
-			unassigned = append(unassigned, c.sys.Name(id))
+		sig := c.sys.Signal(id)
+		if !c.assignedSig[id] && sig.Kind != r1cs.KindInput {
+			if sig.Loc.IsZero() {
+				unassigned = append(unassigned, fmt.Errorf("circom: signal %s has no assignment (<== or <--)", sig.Name))
+			} else {
+				unassigned = append(unassigned, fmt.Errorf("circom: %s: signal %s declared here has no assignment (<== or <--)", sig.Loc, sig.Name))
+			}
 		}
 	}
 	if len(unassigned) > 0 {
-		return nil, fmt.Errorf("circom: signals with no assignment (<== or <--): %s", strings.Join(unassigned, ", "))
+		return nil, errors.Join(unassigned...)
 	}
 	return c.prog, nil
 }
@@ -305,6 +312,16 @@ type env struct {
 
 func (e *env) pushScope() { e.scopes = append(e.scopes, map[string]any{}) }
 func (e *env) popScope()  { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+// loc converts a source position into the r1cs metadata form, naming the
+// template currently being instantiated.
+func (e *env) loc(pos Pos) r1cs.SourceLoc {
+	tmpl := ""
+	if e.inst != nil {
+		tmpl = e.inst.tmplName
+	}
+	return r1cs.SourceLoc{Template: tmpl, Line: pos.Line, Col: pos.Col}
+}
 
 func (e *env) lookup(name string) (any, bool) {
 	for i := len(e.scopes) - 1; i >= 0; i-- {
@@ -567,6 +584,7 @@ func (e *env) execSignalDecl(st *SignalDecl) error {
 				return errAt(d.Pos, "signal budget exceeded (%d)", e.c.opts.MaxSignals)
 			}
 			id := e.c.sys.AddSignal(fullName, kind)
+			e.c.sys.SetSignalLoc(id, e.loc(d.Pos))
 			e.c.assignedSig = append(e.c.assignedSig, false)
 			g.ids = append(g.ids, id)
 			if e.isTop {
@@ -998,7 +1016,7 @@ func (e *env) execSignalAssign(st *AssignStmt) error {
 				poly.ConstInt(e.c.f, 1),
 				sym.lin,
 				poly.Var(e.c.f, id),
-				tag, st.Pos,
+				tag, st.Pos, id,
 			); err != nil {
 				return err
 			}
@@ -1010,7 +1028,7 @@ func (e *env) execSignalAssign(st *AssignStmt) error {
 				sym.qa,
 				sym.qb,
 				poly.Var(e.c.f, id).Sub(sym.qc),
-				tag, st.Pos,
+				tag, st.Pos, id,
 			); err != nil {
 				return err
 			}
@@ -1023,7 +1041,9 @@ func (e *env) execSignalAssign(st *AssignStmt) error {
 
 	// <-- : assign only. This is the dangerous operator: no constraint is
 	// emitted, so the prover is free to pick any value unless separate ===
-	// constraints pin it down.
+	// constraints pin it down. The hint flag survives into the R1CS so the
+	// static-analysis pass can key detectors off it.
+	e.c.sys.MarkHinted(id)
 	wx, err := e.buildWExpr(st.RHS)
 	if err != nil {
 		return err
@@ -1034,11 +1054,18 @@ func (e *env) execSignalAssign(st *AssignStmt) error {
 	return nil
 }
 
-func (e *env) emitConstraint(a, b, c *poly.LinComb, tag string, pos Pos) error {
+// emitConstraint appends a constraint with source metadata; def is the
+// signal a `<==` assignment defined with it (0 for pure === checks).
+func (e *env) emitConstraint(a, b, c *poly.LinComb, tag string, pos Pos, def int) error {
 	if e.c.sys.NumConstraints() >= e.c.opts.MaxConstraints {
 		return errAt(pos, "constraint budget exceeded (%d)", e.c.opts.MaxConstraints)
 	}
 	e.c.sys.AddConstraint(a, b, c, tag)
+	ci := e.c.sys.NumConstraints() - 1
+	e.c.sys.SetConstraintLoc(ci, e.loc(pos))
+	if def != 0 {
+		e.c.sys.SetConstraintDef(ci, def)
+	}
 	return nil
 }
 
@@ -1067,9 +1094,9 @@ func (e *env) execConstraint(st *ConstraintStmt) error {
 	}
 	tag := fmt.Sprintf("=== @%s", st.Pos)
 	if d.lin != nil {
-		return e.emitConstraint(poly.ConstInt(e.c.f, 1), d.lin, poly.NewLinComb(e.c.f), tag, st.Pos)
+		return e.emitConstraint(poly.ConstInt(e.c.f, 1), d.lin, poly.NewLinComb(e.c.f), tag, st.Pos, 0)
 	}
-	return e.emitConstraint(d.qa, d.qb, d.qc.Neg(), tag, st.Pos)
+	return e.emitConstraint(d.qa, d.qb, d.qc.Neg(), tag, st.Pos, 0)
 }
 
 func (e *env) execAssert(st *AssertStmt) error {

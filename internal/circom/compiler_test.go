@@ -639,3 +639,92 @@ func TestCompilePanicBoundaryWrapsInternalErrors(t *testing.T) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }
+
+func TestUnassignedSignalsGetPerSignalDiagnostics(t *testing.T) {
+	// Two offenders must yield two separately source-located diagnostics,
+	// not one aggregated message.
+	_, err := Compile(`
+template T() {
+    signal input x;
+    signal output o;
+    signal m;
+    signal n;
+    o <== x;
+    m * m === x;
+    n * n === x;
+}
+component main = T();`, nil)
+	if err == nil {
+		t.Fatal("unassigned signals accepted")
+	}
+	msg := err.Error()
+	for _, sig := range []string{"m", "n"} {
+		want := fmt.Sprintf("signal %s declared here has no assignment", sig)
+		if !strings.Contains(msg, want) {
+			t.Errorf("missing diagnostic for %s in:\n%s", sig, msg)
+		}
+	}
+	if !strings.Contains(msg, "T:5:") || !strings.Contains(msg, "T:6:") {
+		t.Errorf("diagnostics not source-located:\n%s", msg)
+	}
+	// errors.Join preserves the individual errors for programmatic access.
+	if u, ok := err.(interface{ Unwrap() []error }); !ok || len(u.Unwrap()) != 2 {
+		t.Errorf("want a joined error with 2 entries, got %T: %v", err, err)
+	}
+}
+
+func TestCompileRecordsSourceMetadata(t *testing.T) {
+	p := mustCompile(t, `
+template Meta() {
+    signal input x;
+    signal output out;
+    signal h;
+    h <-- x + 1;
+    h === x + 1;
+    out <== h * x;
+}
+component main = Meta();`)
+	sys := p.System
+	byName := func(name string) r1cs.Signal {
+		sig, ok := sys.SignalByName(name)
+		if !ok {
+			t.Fatalf("no signal %s", name)
+		}
+		return sig
+	}
+	h, out := byName("h"), byName("out")
+	if !h.Hinted {
+		t.Error("h not marked hinted despite <--")
+	}
+	if out.Hinted {
+		t.Error("out marked hinted despite <==")
+	}
+	for _, sig := range []r1cs.Signal{h, out} {
+		if sig.Loc.IsZero() || sig.Loc.Template != "Meta" {
+			t.Errorf("signal %s missing declaration loc: %+v", sig.Name, sig.Loc)
+		}
+	}
+	// The <== constraint must carry Def=out and a statement location; the
+	// pure === constraint must carry a location but no Def.
+	defCons, eqCons := -1, -1
+	for i := 0; i < sys.NumConstraints(); i++ {
+		c := sys.Constraint(i)
+		if c.Def == out.ID {
+			defCons = i
+		} else if c.Def == 0 {
+			eqCons = i
+		}
+	}
+	if defCons == -1 {
+		t.Fatal("no constraint with Def=out")
+	}
+	if sys.Constraint(defCons).Loc.IsZero() {
+		t.Error("<== constraint missing loc")
+	}
+	if eqCons == -1 {
+		t.Fatal("no pure === constraint")
+	}
+	if sys.Constraint(eqCons).Loc.IsZero() {
+		t.Error("=== constraint missing loc")
+	}
+}

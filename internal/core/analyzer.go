@@ -28,6 +28,7 @@ import (
 
 	"qed2/internal/obs"
 	"qed2/internal/r1cs"
+	"qed2/internal/sa"
 	"qed2/internal/smt"
 	"qed2/internal/uniq"
 )
@@ -137,6 +138,12 @@ type Config struct {
 	// seeds inputs and issues sliced SMT queries.
 	DisableSolveRule bool
 	DisableBitsRule  bool
+	// DisableStatic switches off the static-analysis pre-pass (internal/sa)
+	// that otherwise runs before the SMT rounds of ModeFull, pruning,
+	// ordering and shrinking the scheduler's queries. The baselines
+	// (ModePropagationOnly, ModeSMTOnly) never run the pre-pass so they stay
+	// faithful to the systems the paper compares against.
+	DisableStatic bool
 	// Obs, when non-nil, receives hierarchical spans for every phase of
 	// the analysis (rounds, queries, confirmations); ObsParent optionally
 	// nests the whole analysis under a caller-owned span (the bench runner
@@ -210,6 +217,14 @@ type Stats struct {
 	// degrade a verdict to Unknown, never flip it — see DESIGN.md §11.
 	QueryPanics  int
 	QueryRetries int
+	// StaticUnique counts signals the static-analysis pre-pass proved
+	// determined beyond what propagation derives on its own (provenance
+	// RuleStatic), and StaticQueriesAvoided counts slice queries skipped
+	// because the pre-pass proved the target lives in a component no output
+	// verdict can observe. Both are zero when the pre-pass is disabled or
+	// its replay check failed — see DESIGN.md §12.
+	StaticUnique         int
+	StaticQueriesAvoided int
 	// Workers records the degree of query parallelism used.
 	Workers int
 	// Duration is wall-clock analysis time.
@@ -248,7 +263,12 @@ type Report struct {
 	// Unsafe verdicts are never degraded — faults only ever move a verdict
 	// toward Unknown.
 	Degraded Degradation
-	Stats    Stats
+	// Static is the static-analysis pre-pass result (lint findings,
+	// dependency graph, abstract state); nil when the pre-pass did not run
+	// (baselines, DisableStatic). Findings are advisory context — they never
+	// decide the Verdict.
+	Static *sa.Result
+	Stats  Stats
 }
 
 // analysis carries the mutable state of one Analyze call. The solver-step
@@ -276,6 +296,13 @@ type analysis struct {
 	// set, shared-signal mask) so re-propagation rounds do not re-solve
 	// structurally identical queries. Accessed only at round barriers.
 	cache map[string]smt.Outcome
+	// staticPruned marks signals whose slice queries the static pre-pass
+	// proved irrelevant to every output verdict (nil when the pass did not
+	// run); staticUnreachable lists outputs the reachability analysis wants
+	// queried first in the final whole-circuit stage. Both written once
+	// before the first round, read-only afterwards.
+	staticPruned      map[int]bool
+	staticUnreachable []int
 	// span is the root "core.analyze" span; the observability handles
 	// below are nil-safe no-ops when Config.Obs / Config.Metrics are unset.
 	span            *obs.Span
@@ -350,6 +377,12 @@ func AnalyzeContext(ctx context.Context, sys *r1cs.System, cfg *Config) *Report 
 		a.runSMTOnly()
 	default:
 		a.prop = uniq.NewWithOptions(sys, uopts)
+		// Rule-ablation configs suppress the pre-pass too: its abstract
+		// interpretation re-derives the same rule classes (D-Solve ≈ R-Solve,
+		// D-Bits ≈ R-Bits), so leaving it on would quietly undo the ablation.
+		if !c.DisableStatic && !c.DisableSolveRule && !c.DisableBitsRule {
+			a.runStaticPrePass()
+		}
 		a.runFull()
 	}
 	// Cancellation wins over whatever reason wording the loops assembled: an
@@ -480,6 +513,9 @@ func (a *analysis) runFull() {
 		snap := a.prop.Snapshot()
 		var tasks []*queryTask
 		for _, s := range a.prop.Unknown() {
+			if a.skipPruned(s) {
+				continue // no output verdict can observe this signal
+			}
 			if lastTried[s] == snap.NumUnique() {
 				continue // nothing new since the last attempt
 			}
@@ -556,7 +592,7 @@ func (a *analysis) finalOutputsStage() {
 		}
 		snap := a.prop.Snapshot()
 		var tasks []*queryTask
-		for _, o := range a.sys.Outputs() {
+		for _, o := range a.orderFinalOutputs() {
 			if snap.IsUnique(o) {
 				continue
 			}

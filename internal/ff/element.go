@@ -1,7 +1,7 @@
 package ff
 
 import (
-	"math/big"
+	"math/big" //qed2:allow-mathbig — boundary conversions (SetBig/Big), not hot-path arithmetic
 	"math/bits"
 )
 

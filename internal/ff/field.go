@@ -19,7 +19,7 @@ package ff
 import (
 	"errors"
 	"fmt"
-	"math/big"
+	"math/big" //qed2:allow-mathbig — modulus bookkeeping and *Big reference ops, cold path
 	"sync"
 )
 

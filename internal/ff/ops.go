@@ -3,7 +3,7 @@ package ff
 import (
 	"crypto/rand"
 	"fmt"
-	"math/big"
+	"math/big" //qed2:allow-mathbig — string/rand conversions at the API boundary, cold path
 	"math/bits"
 )
 

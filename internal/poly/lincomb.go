@@ -15,7 +15,7 @@ package poly
 
 import (
 	"fmt"
-	"math/big"
+	"math/big" //qed2:allow-mathbig — rendering and signed-magnitude display only
 	"sort"
 	"strings"
 

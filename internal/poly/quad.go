@@ -2,7 +2,7 @@ package poly
 
 import (
 	"fmt"
-	"math/big"
+	"math/big" //qed2:allow-mathbig — rendering and signed-magnitude display only
 	"sort"
 	"strings"
 
@@ -218,6 +218,14 @@ func (q *Quad) CoeffPair(i, j int) ff.Element {
 
 // NumQuadTerms returns the number of distinct bilinear monomials.
 func (q *Quad) NumQuadTerms() int { return len(q.quad) }
+
+// VisitQuadTerms calls fn for every bilinear monomial in canonical
+// (sorted-pair) order, so iteration is deterministic.
+func (q *Quad) VisitQuadTerms(fn func(p VarPair, coeff ff.Element)) {
+	for _, pr := range q.sortedPairs() {
+		fn(pr, q.quad[pr])
+	}
+}
 
 // Equal reports canonical equality of two quadratic polynomials.
 func (q *Quad) Equal(other *Quad) bool {

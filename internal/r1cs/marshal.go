@@ -40,14 +40,20 @@ func parseBig(s string) (*big.Int, bool) {
 //
 //	r1cs v1
 //	prime <decimal modulus>
-//	signal <id> <kind> <name>
+//	signal <id> <kind> <name> [loc=<template>:<line>:<col>] [hint]
 //	...
-//	constraint [<lc>] [<lc>] [<lc>] # optional tag
+//	constraint [<lc>] [<lc>] [<lc>] [@ <template>:<line>:<col>] [# tag]
 //
 // where <lc> is "<const>|<var>:<coeff>,<var>:<coeff>,..." with all numbers
 // decimal and normalized. It exists so compiled circuits can be saved,
 // diffed in tests, and fed back to the analyzer without re-running the
 // front-end.
+//
+// The loc= / hint signal tokens and the "@ loc" constraint segment carry the
+// compiler's source locations and `<--` witness-only-assignment origin flag
+// through serialization; they are optional, so pre-metadata files still
+// parse, and older parsers of this format would only have broken on them if
+// they rejected trailing tokens (signal names cannot contain spaces).
 
 // WriteTo serializes the system in the text format.
 func (s *System) WriteTo(w io.Writer) (int64, error) {
@@ -61,13 +67,26 @@ func (s *System) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, sig := range s.signals {
-		if err := count(fmt.Fprintf(bw, "signal %d %s %s\n", sig.ID, sig.Kind, sig.Name)); err != nil {
+		line := fmt.Sprintf("signal %d %s %s", sig.ID, sig.Kind, sig.Name)
+		if !sig.Loc.IsZero() {
+			line += " loc=" + sig.Loc.String()
+		}
+		if sig.Hinted {
+			line += " hint"
+		}
+		if err := count(fmt.Fprintln(bw, line)); err != nil {
 			return n, err
 		}
 	}
 	for i := range s.constraints {
 		c := &s.constraints[i]
 		line := fmt.Sprintf("constraint [%s] [%s] [%s]", marshalLC(c.A), marshalLC(c.B), marshalLC(c.C))
+		if c.Def != 0 {
+			line += fmt.Sprintf(" def=%d", c.Def)
+		}
+		if !c.Loc.IsZero() {
+			line += " @ " + c.Loc.String()
+		}
 		if c.Tag != "" {
 			line += " # " + c.Tag
 		}
@@ -187,10 +206,29 @@ func Parse(r io.Reader) (*System, error) {
 		}
 		switch {
 		case strings.HasPrefix(line, "signal "):
-			var id int
-			var kind, name string
-			if _, err := fmt.Sscanf(line, "signal %d %s %s", &id, &kind, &name); err != nil {
-				return nil, fmt.Errorf("r1cs: line %d: bad signal: %v", lineNo, err)
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("r1cs: line %d: bad signal: want 'signal <id> <kind> <name>'", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("r1cs: line %d: bad signal ID %q", lineNo, fields[1])
+			}
+			kind, name := fields[2], fields[3]
+			var loc SourceLoc
+			hinted := false
+			for _, extra := range fields[4:] {
+				switch {
+				case strings.HasPrefix(extra, "loc="):
+					loc, err = parseLoc(strings.TrimPrefix(extra, "loc="))
+					if err != nil {
+						return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
+					}
+				case extra == "hint":
+					hinted = true
+				default:
+					return nil, fmt.Errorf("r1cs: line %d: unknown signal attribute %q", lineNo, extra)
+				}
 			}
 			if kind == "one" {
 				if id != OneID || name != "one" {
@@ -219,11 +257,38 @@ func Parse(r io.Reader) (*System, error) {
 			if got := sys.AddSignal(name, k); got != id {
 				return nil, fmt.Errorf("r1cs: line %d: signal IDs out of order (got %d want %d)", lineNo, got, id)
 			}
+			if !loc.IsZero() {
+				sys.SetSignalLoc(id, loc)
+			}
+			if hinted {
+				sys.MarkHinted(id)
+			}
 		case strings.HasPrefix(line, "constraint "):
 			body := strings.TrimPrefix(line, "constraint ")
 			tag := ""
 			if i := strings.Index(body, " # "); i >= 0 {
 				tag = body[i+3:]
+				body = body[:i]
+			}
+			// The optional " @ loc" segment sits between the bracket bodies
+			// and the tag; bracket bodies contain no spaces, so the marker
+			// cannot occur inside them.
+			var loc SourceLoc
+			if i := strings.Index(body, " @ "); i >= 0 {
+				var err error
+				loc, err = parseLoc(body[i+3:])
+				if err != nil {
+					return nil, fmt.Errorf("r1cs: line %d: %v", lineNo, err)
+				}
+				body = body[:i]
+			}
+			def := 0
+			if i := strings.Index(body, " def="); i >= 0 {
+				var err error
+				def, err = strconv.Atoi(strings.TrimSpace(body[i+5:]))
+				if err != nil || def <= 0 || def >= sys.NumSignals() {
+					return nil, fmt.Errorf("r1cs: line %d: bad def signal %q", lineNo, strings.TrimSpace(body[i+5:]))
+				}
 				body = body[:i]
 			}
 			parts, err := splitBracketed(body)
@@ -241,6 +306,12 @@ func Parse(r io.Reader) (*System, error) {
 				}
 			}
 			sys.AddConstraint(lcs[0], lcs[1], lcs[2], tag)
+			if !loc.IsZero() {
+				sys.SetConstraintLoc(sys.NumConstraints()-1, loc)
+			}
+			if def != 0 {
+				sys.SetConstraintDef(sys.NumConstraints()-1, def)
+			}
 		default:
 			return nil, fmt.Errorf("r1cs: line %d: unrecognized line %q", lineNo, line)
 		}
@@ -249,6 +320,27 @@ func Parse(r io.Reader) (*System, error) {
 		return nil, err
 	}
 	return sys, nil
+}
+
+// parseLoc parses a "<template>:<line>:<col>" source location token. The
+// template name is everything before the last two colon-separated integers,
+// so dotted or otherwise exotic template names round-trip as long as they
+// contain no whitespace (which the writer never emits).
+func parseLoc(s string) (SourceLoc, error) {
+	j := strings.LastIndexByte(s, ':')
+	if j < 0 {
+		return SourceLoc{}, fmt.Errorf("r1cs: malformed source location %q", s)
+	}
+	i := strings.LastIndexByte(s[:j], ':')
+	if i < 0 {
+		return SourceLoc{}, fmt.Errorf("r1cs: malformed source location %q", s)
+	}
+	line, err1 := strconv.Atoi(s[i+1 : j])
+	col, err2 := strconv.Atoi(s[j+1:])
+	if err1 != nil || err2 != nil || line < 0 || col < 0 || line > 1<<30 || col > 1<<30 {
+		return SourceLoc{}, fmt.Errorf("r1cs: malformed source location %q", s)
+	}
+	return SourceLoc{Template: s[:i], Line: line, Col: col}, nil
 }
 
 // ParseString is Parse over a string.

@@ -335,3 +335,64 @@ func TestConstraintString(t *testing.T) {
 		t.Errorf("Constraint.String = %q", got)
 	}
 }
+
+func TestMarshalMetadataRoundTrip(t *testing.T) {
+	s, a, b, out := buildMulSystem(t)
+	s.SetSignalLoc(a, SourceLoc{Template: "Mul", Line: 3, Col: 7})
+	s.MarkHinted(b)
+	s.SetSignalLoc(b, SourceLoc{Template: "Mul", Line: 4, Col: 2})
+	s.SetConstraintLoc(0, SourceLoc{Template: "Mul", Line: 6, Col: 9})
+	s.SetConstraintDef(0, out)
+	text := s.MarshalText()
+	s2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if s2.MarshalText() != text {
+		t.Errorf("metadata round trip not stable:\n%s\nvs\n%s", text, s2.MarshalText())
+	}
+	if got := s2.Signal(a).Loc; got != (SourceLoc{Template: "Mul", Line: 3, Col: 7}) {
+		t.Errorf("signal loc lost: %+v", got)
+	}
+	if !s2.Signal(b).Hinted {
+		t.Error("hint flag lost")
+	}
+	if s2.Signal(a).Hinted {
+		t.Error("hint flag leaked to unhinted signal")
+	}
+	c := s2.Constraint(0)
+	if c.Def != out {
+		t.Errorf("constraint def lost: %d", c.Def)
+	}
+	if c.Loc != (SourceLoc{Template: "Mul", Line: 6, Col: 9}) {
+		t.Errorf("constraint loc lost: %+v", c.Loc)
+	}
+	if c.Tag != "mul" {
+		t.Errorf("tag lost alongside metadata: %q", c.Tag)
+	}
+}
+
+func TestParseMetadataErrors(t *testing.T) {
+	base := "r1cs v1\nprime 97\nsignal 0 one one\nsignal 1 input a\n"
+	for _, tc := range []struct{ name, text string }{
+		{"bad loc", base + "signal 2 output o loc=nocolons\n"},
+		{"unknown attribute", base + "signal 2 output o zebra\n"},
+		{"bad def target", base + "signal 2 output o\nconstraint [0|1:1] [0|2:1] [0|2:1] def=9\n"},
+		{"bad constraint loc", base + "signal 2 output o\nconstraint [0|1:1] [0|2:1] [0|2:1] @ nocolons\n"},
+	} {
+		if _, err := ParseString(tc.text); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestSourceLoc(t *testing.T) {
+	var zero SourceLoc
+	if !zero.IsZero() || zero.String() != "" {
+		t.Errorf("zero loc: IsZero=%v String=%q", zero.IsZero(), zero.String())
+	}
+	l := SourceLoc{Template: "T", Line: 12, Col: 3}
+	if l.IsZero() || l.String() != "T:12:3" {
+		t.Errorf("loc: IsZero=%v String=%q", l.IsZero(), l.String())
+	}
+}

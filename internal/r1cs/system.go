@@ -47,11 +47,41 @@ func (k SignalKind) String() string {
 	}
 }
 
+// SourceLoc points into the circom source that produced a signal or a
+// constraint: the template the construct was written in and its line:column
+// position within the (include-merged) source of that template. The zero
+// value means "no location recorded" — hand-built systems and pre-metadata
+// .r1cs files simply omit it.
+type SourceLoc struct {
+	Template string
+	Line     int
+	Col      int
+}
+
+// IsZero reports whether no location was recorded.
+func (l SourceLoc) IsZero() bool { return l.Template == "" && l.Line == 0 && l.Col == 0 }
+
+// String renders "Template:line:col" ("" for the zero location).
+func (l SourceLoc) String() string {
+	if l.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("%s:%d:%d", l.Template, l.Line, l.Col)
+}
+
 // Signal is a named wire of the circuit.
 type Signal struct {
 	ID   int
 	Name string
 	Kind SignalKind
+	// Loc is the declaration site in the circom source, if compiled.
+	Loc SourceLoc
+	// Hinted records that the signal was assigned with the witness-only
+	// `<--` operator: the compiler emitted a generation rule but no
+	// constraint, so nothing pins the value unless separate === constraints
+	// do. This is the canonical origin of under-constrained circuits and
+	// the static-analysis pass keys several detectors off it.
+	Hinted bool
 }
 
 // Constraint is a single rank-1 constraint ⟨A,s⟩·⟨B,s⟩ = ⟨C,s⟩.
@@ -59,6 +89,15 @@ type Constraint struct {
 	A, B, C *poly.LinComb
 	// Tag records provenance (template/source construct) for diagnostics.
 	Tag string
+	// Loc is the source position of the statement that emitted the
+	// constraint, if compiled.
+	Loc SourceLoc
+	// Def is the signal a `<==` assignment defined with this constraint
+	// (the compiler emits one constraint per <==), or 0 when the constraint
+	// came from a pure === check or the origin is unknown. 0 is unambiguous
+	// because the constant-one signal is never an assignment target. The
+	// static-analysis dependency graph uses Def to orient edges.
+	Def int
 }
 
 // Quad returns the canonical expanded polynomial A·B − C, which is zero on
@@ -157,6 +196,43 @@ func (s *System) AddConstraint(a, b, c *poly.LinComb, tag string) {
 	}
 	s.constraints = append(s.constraints, Constraint{A: a, B: b, C: c, Tag: tag})
 	s.sigToCons = nil
+}
+
+// SetSignalLoc records the source location of a signal's declaration.
+func (s *System) SetSignalLoc(id int, loc SourceLoc) {
+	if id <= 0 || id >= len(s.signals) {
+		panic(fmt.Sprintf("r1cs: SetSignalLoc on unknown signal %d", id))
+	}
+	s.signals[id].Loc = loc
+}
+
+// MarkHinted records that a signal was assigned with the witness-only `<--`
+// operator.
+func (s *System) MarkHinted(id int) {
+	if id <= 0 || id >= len(s.signals) {
+		panic(fmt.Sprintf("r1cs: MarkHinted on unknown signal %d", id))
+	}
+	s.signals[id].Hinted = true
+}
+
+// SetConstraintLoc records the source location of the i-th constraint.
+func (s *System) SetConstraintLoc(i int, loc SourceLoc) {
+	if i < 0 || i >= len(s.constraints) {
+		panic(fmt.Sprintf("r1cs: SetConstraintLoc on unknown constraint %d", i))
+	}
+	s.constraints[i].Loc = loc
+}
+
+// SetConstraintDef records that the i-th constraint was emitted by a `<==`
+// assignment defining signal def.
+func (s *System) SetConstraintDef(i, def int) {
+	if i < 0 || i >= len(s.constraints) {
+		panic(fmt.Sprintf("r1cs: SetConstraintDef on unknown constraint %d", i))
+	}
+	if def <= 0 || def >= len(s.signals) {
+		panic(fmt.Sprintf("r1cs: SetConstraintDef with unknown signal %d", def))
+	}
+	s.constraints[i].Def = def
 }
 
 // NumSignals returns the number of signals including the constant one.
@@ -304,6 +380,9 @@ func (e *UnsatisfiedError) Error() string {
 	tag := e.Constraint.Tag
 	if tag != "" {
 		tag = " [" + tag + "]"
+	}
+	if !e.Constraint.Loc.IsZero() {
+		tag += " at " + e.Constraint.Loc.String()
 	}
 	named := func(x int) string { return e.System.Name(x) }
 	return fmt.Sprintf("r1cs: constraint #%d violated%s: (%s) * (%s) = (%s)",

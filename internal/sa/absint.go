@@ -1,0 +1,305 @@
+package sa
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+// AbsState is the result of an abstract interpretation of the constraint
+// system over F_p. Three interacting domains are tracked per signal:
+//
+//   - Const: the signal provably takes one fixed value in every satisfying
+//     assignment (derived by constant propagation through constraints).
+//   - Bool: some constraint forces the signal into {0,1} (the s·(s−1)=0
+//     pattern, possibly after constant substitution).
+//   - Determined: the signal is a deterministic function of the inputs —
+//     every pair of satisfying assignments agreeing on the inputs agrees on
+//     it. Inputs and constants seed the domain; linear chains of determined
+//     signals and binary decompositions extend it.
+//
+// Every fact is a theorem about the constraint set, derived by rules whose
+// soundness arguments live in DESIGN.md §12; Verify replays the constant
+// facts against the original constraints as an independent consistency
+// check before anything downstream is allowed to act on them.
+type AbsState struct {
+	sys *r1cs.System
+	// constVal[id] is the proven constant (valid iff isConst[id]).
+	constVal []ff.Element
+	isConst  []bool
+	isBool   []bool
+	isDet    []bool
+	// residual[ci] is constraint ci's Quad with every proven constant
+	// substituted.
+	residual []*poly.Quad
+}
+
+// Interpret runs the abstract interpretation to fixpoint. The iteration
+// order is deterministic (ascending constraint index per round), so equal
+// systems produce identical states.
+func Interpret(sys *r1cs.System, g *Graph) *AbsState {
+	n := sys.NumSignals()
+	st := &AbsState{
+		sys:      sys,
+		constVal: make([]ff.Element, n),
+		isConst:  make([]bool, n),
+		isBool:   make([]bool, n),
+		isDet:    make([]bool, n),
+		residual: make([]*poly.Quad, sys.NumConstraints()),
+	}
+	st.setConst(r1cs.OneID, sys.Field().One())
+	for _, in := range sys.Inputs() {
+		st.isDet[in] = true
+	}
+	for ci := 0; ci < sys.NumConstraints(); ci++ {
+		st.residual[ci] = sys.Constraint(ci).Quad()
+	}
+	// Round-based fixpoint: scan all constraints in index order until a
+	// full round derives nothing new. The domains are finite and facts are
+	// never retracted, so this terminates in O(signals) rounds.
+	for changed := true; changed; {
+		changed = false
+		for ci := range st.residual {
+			if st.visit(ci) {
+				changed = true
+			}
+		}
+	}
+	return st
+}
+
+// visit applies every rule to one constraint residual; reports progress.
+func (st *AbsState) visit(ci int) bool {
+	q := st.applyConsts(ci)
+	changed := false
+
+	// Rule C-Solve: residual k·x + c = 0 with k ≠ 0 pins x = −c/k in every
+	// satisfying assignment.
+	if x, v, ok := constOf(q); ok {
+		if st.setConst(x, v) {
+			changed = true
+		}
+	}
+	// Rule B-Range: residual k·(x² − x) = 0 forces x ∈ {0,1}.
+	if x, ok := booleanOf(q); ok && !st.isBool[x] {
+		st.isBool[x] = true
+		changed = true
+	}
+	// Rule D-Solve: if exactly one variable x of the residual is not yet
+	// determined, x occurs only linearly with a constant nonzero
+	// coefficient, then x = f(determined signals) is determined.
+	if x, ok := st.detSolve(q); ok && !st.isDet[x] {
+		st.isDet[x] = true
+		changed = true
+	}
+	// Rule D-Bits: a linear residual whose undetermined variables are all
+	// boolean with super-increasing coefficient magnitudes summing below
+	// the modulus has at most one {0,1}-solution per value of the
+	// determined part — every bit becomes determined.
+	for _, x := range st.detBits(q) {
+		if !st.isDet[x] {
+			st.isDet[x] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// applyConsts substitutes newly-proven constants into a residual, caching
+// the result.
+func (st *AbsState) applyConsts(ci int) *poly.Quad {
+	q := st.residual[ci]
+	// The constant-one signal is itself a constant fact (value 1), so an
+	// explicit var-0 occurrence folds away here like any other constant.
+	for {
+		substituted := false
+		for _, v := range q.Vars() {
+			if st.isConst[v] {
+				q = q.SubstituteValue(v, st.constVal[v])
+				substituted = true
+				break
+			}
+		}
+		if !substituted {
+			break
+		}
+	}
+	st.residual[ci] = q
+	return q
+}
+
+// setConst records a constant fact (constants are also determined).
+func (st *AbsState) setConst(id int, v ff.Element) bool {
+	if st.isConst[id] {
+		return false
+	}
+	st.isConst[id] = true
+	st.constVal[id] = v
+	st.isDet[id] = true
+	return true
+}
+
+// constOf recognizes a single-variable linear residual k·x + c = 0.
+func constOf(q *poly.Quad) (x int, v ff.Element, ok bool) {
+	if !q.IsLinear() {
+		return 0, ff.Element{}, false
+	}
+	lin := q.Lin()
+	x, single := lin.IsSingleVar()
+	if !single {
+		return 0, ff.Element{}, false
+	}
+	f := q.Field()
+	k := lin.Coeff(x)
+	if k.IsZero() {
+		return 0, ff.Element{}, false
+	}
+	return x, f.Mul(f.Neg(lin.Constant()), f.MustInv(k)), true
+}
+
+// booleanOf recognizes a boolean-forcing residual: a nonzero multiple of
+// x² − x for a single variable x (same shape as uniq's R-Bits precondition,
+// but evaluated on the constant-substituted residual).
+func booleanOf(q *poly.Quad) (int, bool) {
+	vars := q.Vars()
+	if len(vars) != 1 || q.NumQuadTerms() != 1 {
+		return 0, false
+	}
+	x := vars[0]
+	c := q.CoeffPair(x, x)
+	if c.IsZero() || !q.Lin().Constant().IsZero() {
+		return 0, false
+	}
+	if q.Lin().Coeff(x) != q.Field().Neg(c) {
+		return 0, false
+	}
+	return x, true
+}
+
+// detSolve finds the unique undetermined variable of a residual, provided
+// it occurs only linearly with a constant nonzero coefficient.
+func (st *AbsState) detSolve(q *poly.Quad) (int, bool) {
+	x := -1
+	for _, v := range q.Vars() {
+		if v == r1cs.OneID || st.isDet[v] {
+			continue
+		}
+		if x != -1 {
+			return 0, false
+		}
+		x = v
+	}
+	if x == -1 {
+		return 0, false
+	}
+	for _, y := range q.Vars() {
+		if !q.CoeffPair(x, y).IsZero() {
+			return 0, false
+		}
+	}
+	if q.Lin().Coeff(x).IsZero() {
+		return 0, false
+	}
+	return x, true
+}
+
+// detBits implements the binary-decomposition rule over the determined
+// domain; it returns the bits that become determined (nil if the rule does
+// not fire).
+func (st *AbsState) detBits(q *poly.Quad) []int {
+	if !q.IsLinear() {
+		return nil
+	}
+	f := q.Field()
+	var unknowns []int
+	for _, v := range q.Vars() {
+		if v == r1cs.OneID || st.isDet[v] {
+			continue
+		}
+		if !st.isBool[v] {
+			return nil
+		}
+		unknowns = append(unknowns, v)
+	}
+	if len(unknowns) == 0 {
+		return nil
+	}
+	mags := make([]*big.Int, 0, len(unknowns))
+	for _, x := range unknowns {
+		c := q.Lin().Coeff(x)
+		if c.IsZero() {
+			return nil
+		}
+		mags = append(mags, new(big.Int).Abs(f.Signed(c)))
+	}
+	sort.Slice(mags, func(i, j int) bool { return mags[i].Cmp(mags[j]) < 0 })
+	sum := new(big.Int)
+	for _, m := range mags {
+		if m.Cmp(sum) <= 0 {
+			return nil
+		}
+		sum.Add(sum, m)
+	}
+	if sum.Cmp(f.Modulus()) >= 0 {
+		return nil
+	}
+	return unknowns
+}
+
+// Determined reports whether a signal is proven uniquely determined by the
+// inputs.
+func (st *AbsState) Determined(id int) bool { return st.isDet[id] }
+
+// Bool reports whether a signal is proven ∈ {0,1}.
+func (st *AbsState) Bool(id int) bool { return st.isBool[id] }
+
+// Const returns a signal's proven constant value, if any.
+func (st *AbsState) Const(id int) (ff.Element, bool) {
+	return st.constVal[id], st.isConst[id]
+}
+
+// NumConst counts constant facts (excluding the constant-one signal).
+func (st *AbsState) NumConst() int { return st.count(st.isConst) - 1 }
+
+// NumBool counts boolean facts.
+func (st *AbsState) NumBool() int { return st.count(st.isBool) }
+
+// NumDetermined counts determined facts (inputs and constants included,
+// the constant-one signal excluded).
+func (st *AbsState) NumDetermined() int { return st.count(st.isDet) - 1 }
+
+func (st *AbsState) count(bits []bool) int {
+	n := 0
+	for _, b := range bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Verify replays the constant facts against the original constraints: with
+// every proven constant substituted, no constraint may reduce to a nonzero
+// constant (which would mean a derivation produced a value no satisfying
+// assignment can take — i.e. an absint bug, or an unsatisfiable system).
+// Downstream consumers (core's pre-phase) refuse to inject facts when the
+// replay fails, keeping the soundness contract "hints may only skip work
+// when the proof is replayed" mechanical rather than aspirational.
+func (st *AbsState) Verify() error {
+	for ci := 0; ci < st.sys.NumConstraints(); ci++ {
+		q := st.sys.Constraint(ci).Quad()
+		for _, v := range q.Vars() {
+			if st.isConst[v] {
+				q = q.SubstituteValue(v, st.constVal[v])
+			}
+		}
+		if c, isConst := q.IsConst(); isConst && !c.IsZero() {
+			return fmt.Errorf("sa: constant replay failed on constraint #%d: residual %s ≠ 0", ci, st.sys.Field().String(c))
+		}
+	}
+	return nil
+}

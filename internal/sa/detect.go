@@ -1,0 +1,226 @@
+package sa
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+// runDetectors evaluates the Circomspect-style pattern detectors plus the
+// reachability analysis, appending findings (and the reachability
+// candidates) to res. All detectors are pure functions of the system, the
+// graph, and the abstract state, so finding sets are deterministic.
+func runDetectors(sys *r1cs.System, g *Graph, abs *AbsState, res *Result) {
+	detectReachability(sys, g, abs, res)
+	detectHints(sys, res)
+	detectUnused(sys, res)
+	detectDangling(sys, g, res)
+	detectNonBinarySelector(sys, abs, res)
+	detectNonBinaryDecomposition(sys, abs, res)
+}
+
+// detectReachability flags outputs with no constraint path from any input.
+// An output that is statically determined (e.g. pinned to a constant by
+// `out === 5`) is excluded: it has no input path either, yet it is
+// perfectly constrained. The remaining outputs are definite
+// under-constraint candidates — any satisfying assignment can be perturbed
+// on the output's component without touching the inputs — but the verdict
+// is still core's to make: the finding is a prioritization hint, and core
+// must confirm a concrete witness pair before reporting unsafe.
+func detectReachability(sys *r1cs.System, g *Graph, abs *AbsState, res *Result) {
+	for _, out := range sys.Outputs() {
+		if g.ComponentHasInput(out) || abs.Determined(out) {
+			continue
+		}
+		sig := sys.Signal(out)
+		msg := fmt.Sprintf("output %s has no constraint path from any input and is not statically determined: the prover can vary it freely (candidate witness pair: any two values)", sig.Name)
+		if g.ConstraintsOn(out) == 0 {
+			msg = fmt.Sprintf("output %s appears in no constraint at all: the prover can assign it any value", sig.Name)
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "unreachable-output", SeverityError, out, -1, sig.Loc, msg))
+		res.UnreachableOutputs = append(res.UnreachableOutputs, out)
+	}
+}
+
+// detectHints flags `<--` signals: every use advisorily (the Circomspect
+// "signal assignment" warning), and as an error when the signal appears in
+// no constraint at all — nothing can pin such a value.
+func detectHints(sys *r1cs.System, res *Result) {
+	for id := 1; id < sys.NumSignals(); id++ {
+		sig := sys.Signal(id)
+		if !sig.Hinted {
+			continue
+		}
+		if len(sys.ConstraintsOf(id)) == 0 {
+			sev := SeverityWarning
+			note := "no constraint mentions it, so the prover may choose any value"
+			if sig.Kind == r1cs.KindOutput {
+				sev = SeverityError
+				note = "no constraint mentions this output, so the circuit is under-constrained"
+			}
+			res.Findings = append(res.Findings,
+				newFinding(sys, "unconstrained-hint", sev, id, -1, sig.Loc,
+					fmt.Sprintf("signal %s is assigned with <-- but %s", sig.Name, note)))
+			continue
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "hinted-signal", SeverityInfo, id, -1, sig.Loc,
+				fmt.Sprintf("signal %s is assigned with <-- (witness-only): verify the constraints mentioning it pin the value", sig.Name)))
+	}
+}
+
+// detectUnused flags non-hinted signals that no constraint mentions:
+// unused inputs (dead parameters weaken the interface contract) and
+// floating internals from metadata-free .r1cs files.
+func detectUnused(sys *r1cs.System, res *Result) {
+	for id := 1; id < sys.NumSignals(); id++ {
+		sig := sys.Signal(id)
+		if sig.Hinted || sig.Kind == r1cs.KindOutput || len(sys.ConstraintsOf(id)) > 0 {
+			continue
+		}
+		what := "internal signal"
+		if sig.Kind == r1cs.KindInput {
+			what = "input signal"
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "unused-signal", SeverityWarning, id, -1, sig.Loc,
+				fmt.Sprintf("%s %s appears in no constraint", what, sig.Name)))
+	}
+}
+
+// detectDangling flags constraints whose entire signal set lives in
+// components containing neither inputs nor outputs: they constrain wires
+// that cannot influence or be influenced by the circuit's interface.
+func detectDangling(sys *r1cs.System, g *Graph, res *Result) {
+	for ci := 0; ci < sys.NumConstraints(); ci++ {
+		c := sys.Constraint(ci)
+		relevant := false
+		seen := false
+		for _, v := range c.Vars() {
+			if v == r1cs.OneID {
+				continue
+			}
+			seen = true
+			comp := g.ComponentOf(v)
+			if comp >= 0 && (g.compHasInput[comp] || g.compHasOutput[comp]) {
+				relevant = true
+				break
+			}
+		}
+		if !seen || relevant {
+			continue
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "dangling-constraint", SeverityWarning, 0, ci, c.Loc,
+				fmt.Sprintf("constraint #%d touches no signal connected to an input or output%s", ci, tagSuffix(c.Tag))))
+	}
+}
+
+// detectNonBinarySelector flags the mux shape s·(a−b)+b where the selector
+// s is not boolean-constrained: a malicious prover can pick s outside
+// {0,1} and produce an output that is neither branch. The R1CS shape is a
+// constraint whose A side is a single variable s and whose B side is a
+// constant-free difference (coefficients summing to zero).
+func detectNonBinarySelector(sys *r1cs.System, abs *AbsState, res *Result) {
+	f := sys.Field()
+	for ci := 0; ci < sys.NumConstraints(); ci++ {
+		c := sys.Constraint(ci)
+		s, single := c.A.IsSingleVar()
+		if !single || s == r1cs.OneID || c.B.IsConst() || c.B.NumTerms() < 2 {
+			continue
+		}
+		if !c.B.Constant().IsZero() {
+			continue
+		}
+		sum := f.Zero()
+		c.B.VisitTerms(func(_ int, coeff ff.Element) { sum = f.Add(sum, coeff) })
+		if !sum.IsZero() {
+			continue
+		}
+		if abs.Bool(s) {
+			continue
+		}
+		if _, isConst := abs.Const(s); isConst {
+			continue
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "non-binary-selector", SeverityWarning, s, ci, c.Loc,
+				fmt.Sprintf("signal %s selects between branches in constraint #%d but is not constrained to {0,1}%s", sys.Name(s), ci, tagSuffix(c.Tag))))
+	}
+}
+
+// detectNonBinaryDecomposition flags binary-decomposition constraints —
+// linear equations with super-increasing coefficients over signals intended
+// as bits — in which some "bit" has no boolean constraint: the subset-sum
+// uniqueness argument collapses and the decomposition admits multiple
+// solutions (the classic buggy-Num2Bits pattern).
+func detectNonBinaryDecomposition(sys *r1cs.System, abs *AbsState, res *Result) {
+	for ci := 0; ci < sys.NumConstraints(); ci++ {
+		c := sys.Constraint(ci)
+		q := c.Quad()
+		if !q.IsLinear() {
+			continue
+		}
+		// Candidate bit positions: variables that are boolean OR look like
+		// they were meant to be (the shape fires only when ≥ 2 variables
+		// have strictly super-increasing magnitudes and most are boolean).
+		var bits, nonBool []int
+		for _, v := range q.Vars() {
+			if v == r1cs.OneID || abs.Determined(v) && !abs.Bool(v) {
+				continue
+			}
+			bits = append(bits, v)
+			if !abs.Bool(v) {
+				nonBool = append(nonBool, v)
+			}
+		}
+		if len(bits) < 2 || len(nonBool) == 0 || len(nonBool)*2 > len(bits) {
+			continue // not decomposition-shaped, or too few bools to tell
+		}
+		if !superIncreasing(q, bits) {
+			continue
+		}
+		for _, v := range nonBool {
+			res.Findings = append(res.Findings,
+				newFinding(sys, "non-binary-in-decomposition", SeverityWarning, v, ci, c.Loc,
+					fmt.Sprintf("signal %s is used as a bit in decomposition constraint #%d but is never constrained to {0,1}: the decomposition is not unique%s", sys.Name(v), ci, tagSuffix(c.Tag))))
+		}
+	}
+}
+
+// superIncreasing reports whether the linear coefficients of the given
+// variables have strictly super-increasing signed magnitudes (each exceeds
+// the sum of all smaller ones) — the shape of a binary decomposition.
+func superIncreasing(q *poly.Quad, vars []int) bool {
+	f := q.Field()
+	mags := make([]*big.Int, 0, len(vars))
+	for _, v := range vars {
+		c := q.Lin().Coeff(v)
+		if c.IsZero() {
+			return false
+		}
+		mags = append(mags, new(big.Int).Abs(f.Signed(c)))
+	}
+	sort.Slice(mags, func(i, j int) bool { return mags[i].Cmp(mags[j]) < 0 })
+	sum := new(big.Int)
+	for _, m := range mags {
+		if m.Cmp(sum) <= 0 {
+			return false
+		}
+		sum.Add(sum, m)
+	}
+	return true
+}
+
+// tagSuffix renders a constraint tag for messages.
+func tagSuffix(tag string) string {
+	if tag == "" {
+		return ""
+	}
+	return " [" + tag + "]"
+}

@@ -1,0 +1,243 @@
+// Package sa is the circuit static-analysis pass: cheap, solver-free
+// structural reasoning over an R1CS that runs before (and independently of)
+// the SMT-driven core analysis. It builds a signal-dependency graph with
+// SCC/topological decomposition, runs an abstract interpretation over F_p
+// (constant propagation, a boolean domain, and a determinedness domain),
+// checks input→output reachability, and evaluates a set of
+// Circomspect-style pattern detectors producing source-located findings.
+//
+// The pass plays two roles:
+//
+//   - As a pre-phase of core.Analyze, its facts prune, order, and shrink
+//     the scheduler's SMT queries. Facts may only skip a query when they
+//     are replay-verified proofs (see Result.Verify); reachability "unsafe"
+//     hints never decide a verdict — they only prioritize the full-circuit
+//     queries whose SAT models core confirms into checked witness pairs.
+//   - Standalone, as `qed2 -lint`: deterministic human- and
+//     machine-readable findings over a .circom file or a parsed .r1cs.
+package sa
+
+import (
+	"fmt"
+	"sort"
+
+	"qed2/internal/obs"
+	"qed2/internal/r1cs"
+)
+
+// Severity ranks findings.
+type Severity int
+
+// Severities, ascending.
+const (
+	// SeverityInfo marks advisory findings (e.g. every `<--` use).
+	SeverityInfo Severity = iota
+	// SeverityWarning marks likely defects that need human judgment.
+	SeverityWarning
+	// SeverityError marks findings that are definite defects pending only
+	// counterexample confirmation (e.g. unreachable outputs).
+	SeverityError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Finding is one deterministic, source-located lint result.
+type Finding struct {
+	// Detector is the stable kebab-case detector identifier.
+	Detector string   `json:"detector"`
+	Severity Severity `json:"-"`
+	// SeverityName is Severity rendered for JSON output.
+	SeverityName string `json:"severity"`
+	// Signal names the offending signal ("" for constraint-level findings).
+	Signal string `json:"signal,omitempty"`
+	// SignalID is the offending signal's ID (0 when Signal == "").
+	SignalID int `json:"signal_id,omitempty"`
+	// Constraint is the index of the offending constraint (-1 if none).
+	Constraint int `json:"constraint,omitempty"`
+	// Loc points at the circom source when location metadata survived
+	// compilation (template:line:col), rendered empty otherwise.
+	Loc string `json:"loc,omitempty"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// String renders "loc: severity[detector]: message".
+func (f Finding) String() string {
+	loc := f.Loc
+	if loc == "" {
+		loc = "<unknown>"
+	}
+	return fmt.Sprintf("%s: %s[%s]: %s", loc, f.Severity, f.Detector, f.Message)
+}
+
+// Options configures the pass. All fields are optional; observability
+// handles are nil-safe.
+type Options struct {
+	Obs       *obs.Tracer
+	ObsParent *obs.Span
+	Metrics   *obs.Metrics
+}
+
+func (o *Options) withDefaults() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// Result is the output of one static-analysis pass.
+type Result struct {
+	// Findings are the detector results, in deterministic order.
+	Findings []Finding
+	// Graph is the signal-dependency graph with its SCC decomposition.
+	Graph *Graph
+	// Abs is the final abstract state.
+	Abs *AbsState
+	// DeterminedOutputs lists outputs the abstract interpretation proved
+	// uniquely determined by the inputs — discharged without any SMT call.
+	DeterminedOutputs []int
+	// DeterminedSignals lists every signal proven determined (sorted;
+	// includes inputs, constants, and DeterminedOutputs).
+	DeterminedSignals []int
+	// UnreachableOutputs lists outputs with no constraint path from any
+	// input that the abstract interpretation could not discharge either:
+	// candidates for definite under-constraint. core treats these as
+	// prioritization hints only — an unsafe verdict still requires a
+	// confirmed witness pair from a full-circuit query.
+	UnreachableOutputs []int
+	// PrunedSignals lists signals whose slice queries are sound to skip:
+	// they live in constraint-graph components containing no output, so
+	// their uniqueness can never influence an output verdict (uniqueness
+	// propagation and slicing are component-local).
+	PrunedSignals []int
+}
+
+// DeterminedSet returns the determined signals as a membership set.
+func (r *Result) DeterminedSet() map[int]bool {
+	out := make(map[int]bool, len(r.DeterminedSignals))
+	for _, s := range r.DeterminedSignals {
+		out[s] = true
+	}
+	return out
+}
+
+// PrunedSet returns the pruned signals as a membership set.
+func (r *Result) PrunedSet() map[int]bool {
+	out := make(map[int]bool, len(r.PrunedSignals))
+	for _, s := range r.PrunedSignals {
+		out[s] = true
+	}
+	return out
+}
+
+// MaxSeverity returns the highest severity among the findings
+// (SeverityInfo when there are none).
+func (r *Result) MaxSeverity() Severity {
+	max := SeverityInfo
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// Analyze runs the full static pass over a system. It never mutates sys
+// (beyond forcing the lazy adjacency index) and is deterministic: equal
+// systems produce byte-identical results regardless of concurrency in the
+// surrounding process.
+func Analyze(sys *r1cs.System, opts *Options) *Result {
+	o := opts.withDefaults()
+	span := o.Obs.Start(o.ObsParent, "sa.analyze",
+		obs.KV("signals", sys.NumSignals()), obs.KV("constraints", sys.NumConstraints()))
+
+	gs := o.Obs.Start(span, "sa.graph")
+	g := BuildGraph(sys)
+	gs.End(obs.KV("sccs", len(g.SCCs)), obs.KV("components", g.NumComponents))
+
+	as := o.Obs.Start(span, "sa.absint")
+	abs := Interpret(sys, g)
+	as.End(obs.KV("consts", abs.NumConst()), obs.KV("bools", abs.NumBool()),
+		obs.KV("determined", abs.NumDetermined()))
+
+	ds := o.Obs.Start(span, "sa.detect")
+	res := &Result{Graph: g, Abs: abs}
+	runDetectors(sys, g, abs, res)
+	ds.End(obs.KV("findings", len(res.Findings)))
+
+	for id := 1; id < sys.NumSignals(); id++ {
+		if abs.Determined(id) {
+			res.DeterminedSignals = append(res.DeterminedSignals, id)
+		}
+	}
+	for _, out := range sys.Outputs() {
+		if abs.Determined(out) {
+			res.DeterminedOutputs = append(res.DeterminedOutputs, out)
+		}
+	}
+	res.PrunedSignals = g.SignalsWithoutOutputComponent()
+	sortFindings(res.Findings)
+
+	o.Metrics.Counter("sa.findings").Add(int64(len(res.Findings)))
+	o.Metrics.Counter("sa.outputs.discharged").Add(int64(len(res.DeterminedOutputs)))
+	o.Metrics.Counter("sa.outputs.unreachable").Add(int64(len(res.UnreachableOutputs)))
+	span.End(obs.KV("findings", len(res.Findings)),
+		obs.KV("outputs_discharged", len(res.DeterminedOutputs)),
+		obs.KV("outputs_unreachable", len(res.UnreachableOutputs)),
+		obs.KV("signals_pruned", len(res.PrunedSignals)))
+	return res
+}
+
+// sortFindings fixes the canonical finding order: severity descending, then
+// location, detector, signal ID, constraint index, and message — a total
+// order, so output is reproducible across runs and worker counts.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		if a.Detector != b.Detector {
+			return a.Detector < b.Detector
+		}
+		if a.SignalID != b.SignalID {
+			return a.SignalID < b.SignalID
+		}
+		if a.Constraint != b.Constraint {
+			return a.Constraint < b.Constraint
+		}
+		return a.Message < b.Message
+	})
+}
+
+// newFinding fills the derived fields of a Finding.
+func newFinding(sys *r1cs.System, detector string, sev Severity, sigID, cons int, loc r1cs.SourceLoc, msg string) Finding {
+	f := Finding{
+		Detector:     detector,
+		Severity:     sev,
+		SeverityName: sev.String(),
+		Constraint:   cons,
+		Loc:          loc.String(),
+		Message:      msg,
+	}
+	if sigID > 0 {
+		f.Signal = sys.Name(sigID)
+		f.SignalID = sigID
+	}
+	return f
+}

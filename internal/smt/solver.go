@@ -1029,6 +1029,9 @@ func (s *solver) pickValueAvoiding(forbidden map[ff.Element]bool) (ff.Element, b
 		}
 		return ff.Element{}, false
 	}
+	// Terminates within |forbidden|+1 iterations: a set of n elements cannot
+	// exclude n+1 distinct candidates.
+	//qed2:allow-unpolled-loop
 	for i := int64(0); ; i++ {
 		c := s.f.NewElement(i)
 		if !forbidden[c] {

@@ -47,6 +47,10 @@ const (
 	RuleBits Rule = "bits"
 	// RuleExternal marks facts injected by the caller (e.g. SMT queries).
 	RuleExternal Rule = "external"
+	// RuleStatic marks facts injected by the static-analysis pre-pass
+	// (internal/sa): outputs and intermediates proven determined by
+	// constant propagation / abstract interpretation before any SMT query.
+	RuleStatic Rule = "static"
 )
 
 // Source records the provenance of a uniqueness fact.
@@ -238,6 +242,12 @@ func (p *Propagator) AddUnique(id int, src Source) bool {
 // AddUniqueExternal is AddUnique with RuleExternal provenance.
 func (p *Propagator) AddUniqueExternal(id int) bool {
 	return p.AddUnique(id, Source{Rule: RuleExternal, Constraint: -1})
+}
+
+// AddUniqueStatic is AddUnique with RuleStatic provenance (facts from the
+// static-analysis pre-pass).
+func (p *Propagator) AddUniqueStatic(id int) bool {
+	return p.AddUnique(id, Source{Rule: RuleStatic, Constraint: -1})
 }
 
 // fixpoint applies R-Solve until no constraint fires. If dirty is nil every
