@@ -71,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dumpR1CS    = fs.Bool("r1cs", false, "dump the compiled constraint system and exit")
 		statsOnly   = fs.Bool("stats", false, "print circuit statistics and exit")
 		lint        = fs.Bool("lint", false, "run only the static-analysis pass and print its findings, then exit")
+		noInc       = fs.Bool("no-incremental", false, "disable incremental slice solving (shared base states, learned facts); every query solved from scratch")
 		quiet       = fs.Bool("q", false, "print only the verdict")
 		jsonOut     = fs.Bool("json", false, "emit the analysis report as JSON")
 		witness     = fs.String("witness", "", `generate and check a witness for the given inputs, e.g. "a=3,in[0]=7", then exit`)
@@ -166,12 +167,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := &core.Config{
-		SliceRadius: *radius,
-		QuerySteps:  *querySteps,
-		GlobalSteps: *globalSteps,
-		Timeout:     *timeout,
-		Seed:        *seed,
-		Workers:     *workers,
+		SliceRadius:        *radius,
+		QuerySteps:         *querySteps,
+		GlobalSteps:        *globalSteps,
+		Timeout:            *timeout,
+		Seed:               *seed,
+		Workers:            *workers,
+		DisableIncremental: *noInc,
 	}
 	switch *mode {
 	case "qed2":
@@ -229,6 +231,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if s := report.Stats; s.StaticUnique > 0 || s.StaticQueriesAvoided > 0 {
 			fmt.Fprintf(stdout, "static pass:  %d extra signals proven determined, %d SMT queries avoided\n",
 				s.StaticUnique, s.StaticQueriesAvoided)
+		}
+		if s := report.Stats; s.BatchGroups > 0 || s.IncrementalFallbacks > 0 {
+			fmt.Fprintf(stdout, "incremental:  %d batch groups, %d reused queries, %d extends, %d fallbacks, %d base steps, %d facts learned\n",
+				s.BatchGroups, s.IncrementalReuses, s.IncrementalExtends,
+				s.IncrementalFallbacks, s.IncrementalBaseSteps, s.LearnedFacts)
 		}
 		if ce := report.Counter; ce != nil {
 			printCounterexample(stdout, prog, ce)
@@ -392,6 +399,14 @@ type jsonStats struct {
 	// contribution (zero when the pass is disabled or not in qed2 mode).
 	StaticUnique         int `json:"static_unique"`
 	StaticQueriesAvoided int `json:"static_queries_avoided"`
+	// Incremental-solving attribution (all zero with -no-incremental).
+	BatchGroups          int   `json:"batch_groups"`
+	IncrementalReuses    int   `json:"incremental_reuses"`
+	IncrementalExtends   int   `json:"incremental_extends"`
+	IncrementalFallbacks int   `json:"incremental_fallbacks"`
+	IncrementalBaseSteps int64 `json:"incremental_base_steps"`
+	LearnedFacts         int   `json:"learned_facts"`
+	FactsInjected        int   `json:"facts_injected"`
 }
 
 type jsonCounter struct {
@@ -424,6 +439,13 @@ func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *cor
 			DurationMS:           report.Stats.Duration.Milliseconds(),
 			StaticUnique:         report.Stats.StaticUnique,
 			StaticQueriesAvoided: report.Stats.StaticQueriesAvoided,
+			BatchGroups:          report.Stats.BatchGroups,
+			IncrementalReuses:    report.Stats.IncrementalReuses,
+			IncrementalExtends:   report.Stats.IncrementalExtends,
+			IncrementalFallbacks: report.Stats.IncrementalFallbacks,
+			IncrementalBaseSteps: report.Stats.IncrementalBaseSteps,
+			LearnedFacts:         report.Stats.LearnedFacts,
+			FactsInjected:        report.Stats.FactsInjected,
 		},
 	}
 	if ce := report.Counter; ce != nil {

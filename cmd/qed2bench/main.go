@@ -72,6 +72,7 @@ func main() {
 		findingsOut    = flag.String("findings-out", "", "write the static-analysis findings of every suite instance to this golden file")
 		baseline       = flag.String("baseline", "", "compare run:full analysis time against this earlier -json run record")
 		maxSlowdown    = flag.Float64("max-slowdown", 2.0, "fail when run:full analysis time exceeds the -baseline record by this factor")
+		noIncremental  = flag.Bool("no-incremental", false, "disable incremental slice solving (shared base states, learned facts); every query solved from scratch")
 		checkpoint     = flag.String("checkpoint", "", "append per-instance results of the full run to this JSONL file as they complete")
 		resume         = flag.Bool("resume", false, "skip instances already decided in the -checkpoint file instead of re-analyzing them")
 	)
@@ -125,11 +126,12 @@ func main() {
 	}
 
 	baseCfg := core.Config{
-		QuerySteps:  *querySteps,
-		GlobalSteps: *globalSteps,
-		Timeout:     *timeout,
-		Seed:        *seed,
-		Workers:     *queryWorkers,
+		QuerySteps:         *querySteps,
+		GlobalSteps:        *globalSteps,
+		Timeout:            *timeout,
+		Seed:               *seed,
+		Workers:            *queryWorkers,
+		DisableIncremental: *noIncremental,
 	}
 	started := time.Now()
 	var rec *bench.RunRecord

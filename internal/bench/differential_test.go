@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"qed2/internal/core"
+	"qed2/internal/obs"
+)
+
+// TestIncrementalDifferentialSuite is the whole-suite differential gate for
+// incremental slice solving: every instance is analyzed twice, once with
+// the shared-base/learned-fact machinery disabled and once enabled, at the
+// pinned golden budgets but with no wall-clock timeout (outcomes are then
+// fully deterministic, bounded by GlobalSteps alone). Verdicts, reasons and
+// counterexample summaries must be byte-identical instance by instance, and
+// the enabled pass must demonstrably reuse base states — otherwise the
+// comparison is vacuous.
+func TestIncrementalDifferentialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential run skipped with -short")
+	}
+	insts := Suite()
+	run := func(disable bool) ([]Result, *obs.Metrics) {
+		reg := obs.NewMetrics()
+		cfg := core.Config{
+			QuerySteps:         20_000,
+			GlobalSteps:        400_000,
+			Seed:               1,
+			Workers:            1,
+			DisableIncremental: disable,
+			Metrics:            reg,
+		}
+		return Run(insts, &RunOptions{Config: cfg, Metrics: reg}), reg
+	}
+	off, offReg := run(true)
+	on, onReg := run(false)
+
+	if len(off) != len(on) {
+		t.Fatalf("result counts differ: %d vs %d", len(off), len(on))
+	}
+	for i := range off {
+		a, b := off[i], on[i]
+		name := a.Instance.Name
+		if (a.CompileErr == nil) != (b.CompileErr == nil) {
+			t.Errorf("%s: compile outcome differs", name)
+			continue
+		}
+		if a.Report == nil || b.Report == nil {
+			continue
+		}
+		if a.Report.Verdict != b.Report.Verdict || a.Report.Reason != b.Report.Reason {
+			t.Errorf("%s: verdict differs: disabled (%v, %q), enabled (%v, %q)",
+				name, a.Report.Verdict, a.Report.Reason, b.Report.Verdict, b.Report.Reason)
+		}
+		if a.CEOutput != b.CEOutput || a.CEVal1 != b.CEVal1 || a.CEVal2 != b.CEVal2 ||
+			!reflect.DeepEqual(a.CEDiffers, b.CEDiffers) {
+			t.Errorf("%s: counterexample summary differs:\ndisabled %s=%s/%s %v\nenabled  %s=%s/%s %v",
+				name, a.CEOutput, a.CEVal1, a.CEVal2, a.CEDiffers, b.CEOutput, b.CEVal1, b.CEVal2, b.CEDiffers)
+		}
+		if !reflect.DeepEqual(a.Report.Counter, b.Report.Counter) {
+			t.Errorf("%s: counterexample witnesses differ", name)
+		}
+	}
+
+	if v := offReg.Counter("smt.incremental.reuses").Value(); v != 0 {
+		t.Errorf("disabled pass recorded %d incremental reuses", v)
+	}
+	if v := onReg.Counter("smt.incremental.reuses").Value(); v == 0 {
+		t.Error("enabled pass recorded no incremental reuses — differential check is vacuous")
+	}
+	saved := offReg.Counter("smt.steps").Value() - onReg.Counter("smt.steps").Value()
+	t.Logf("suite steps: disabled %d, enabled %d (%d saved; %d reuses, %d batch groups, %d fallbacks)",
+		offReg.Counter("smt.steps").Value(), onReg.Counter("smt.steps").Value(), saved,
+		onReg.Counter("smt.incremental.reuses").Value(),
+		onReg.Counter("core.batch.groups").Value(),
+		onReg.Counter("core.batch.fallbacks").Value())
+
+	// Lint findings are produced by the static pass, which the incremental
+	// solver must not influence at all.
+	f1, err1 := CollectFindings(insts)
+	f2, err2 := CollectFindings(insts)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("collect findings: %v / %v", err1, err2)
+	}
+	if diffs := DiffFindings(f1, f2); len(diffs) != 0 {
+		t.Errorf("lint findings unstable across runs: %v", diffs)
+	}
+}

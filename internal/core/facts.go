@@ -1,0 +1,103 @@
+package core
+
+// The learned-fact store.
+//
+// When a batch group's base state reaches its propagation fixpoint, every
+// substitution it derived — target variable := linear expression over the
+// remaining variables — is a *universal consequence* of the base
+// constraints: it holds in every solution of C(x) ∧ C(x′) under that
+// shared-signal mask, independent of any target disequality. Such facts
+// are replay-safe in two directions:
+//
+//   - into sibling queries over the SAME slice that cannot use the shared
+//     session (fallback after a poisoned or budget-starved base): adding
+//     the fact as a linear equation prunes the search without changing the
+//     solution set;
+//   - under a GROWN mask: sharing more signals only adds constraints, so a
+//     consequence of the smaller system remains one of the larger. The
+//     converse does not hold, which is why lookup requires the recorded
+//     mask to be covered by the requesting mask.
+//
+// Facts are never injected into full-circuit queries: those produce the
+// counterexample models the report prints, and extra (redundant) equations
+// can steer the solver to a different — equally valid but not
+// byte-identical — model. Slice queries only contribute verdicts, where
+// solution-set equality is all that matters. See DESIGN §13.
+
+import (
+	"qed2/internal/poly"
+	"qed2/internal/smt"
+	"qed2/internal/uniq"
+)
+
+// factEntry is the recorded fixpoint knowledge for one constraint subset.
+type factEntry struct {
+	mask  string
+	facts []smt.Fact
+}
+
+// factStore maps constraint-subset keys to their latest recorded facts.
+type factStore struct {
+	byCons map[string]factEntry
+}
+
+func newFactStore() *factStore {
+	return &factStore{byCons: map[string]factEntry{}}
+}
+
+// record stores the facts derived for (consKey, mask), superseding any
+// earlier entry (masks only grow, so later entries subsume earlier ones
+// for every future lookup). Returns how many facts were recorded.
+func (s *factStore) record(consKey, mask string, facts []smt.Fact) int {
+	if len(facts) == 0 {
+		return 0
+	}
+	s.byCons[consKey] = factEntry{mask: mask, facts: facts}
+	return len(facts)
+}
+
+// lookup returns the facts recorded for consKey provided they were derived
+// under a mask covered by (sharing no more than) the requesting mask.
+func (s *factStore) lookup(consKey, mask string) []smt.Fact {
+	e, ok := s.byCons[consKey]
+	if !ok {
+		return nil
+	}
+	if e.mask != mask && !maskGrew(e.mask, mask) {
+		return nil
+	}
+	return e.facts
+}
+
+// injectFacts adds the recorded facts for the task's slice to a
+// from-scratch fallback problem as linear equations, returning how many
+// were added. Facts recorded under an older (smaller) mask may mention
+// primed copies v+n of signals that are shared now; those variables no
+// longer exist in the current problem, so they are renamed back to their
+// base copy — exactly the identification the grown mask asserts.
+func (a *analysis) injectFacts(p *smt.Problem, t *queryTask, snap *uniq.Snapshot) int {
+	facts := a.facts.lookup(t.consKey, t.mask)
+	if len(facts) == 0 {
+		return 0
+	}
+	n := a.sys.NumSignals()
+	f := a.sys.Field()
+	rename := func(v int) int {
+		if v >= n && snap.IsUnique(v-n) {
+			return v - n
+		}
+		return v
+	}
+	count := 0
+	for _, fact := range facts {
+		lin := poly.Var(f, rename(fact.Var)).Sub(fact.Expr.RenameVars(rename))
+		if len(lin.Vars()) == 0 {
+			// The renaming collapsed the fact to a constant identity (e.g.
+			// v := v′ after v became shared); nothing to add.
+			continue
+		}
+		p.AddLinearEq(lin)
+		count++
+	}
+	return count
+}

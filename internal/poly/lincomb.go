@@ -107,6 +107,16 @@ func (lc *LinComb) VisitTerms(fn func(x int, coeff ff.Element)) {
 	}
 }
 
+// VisitTermsUnordered calls fn for every (variable, coefficient) pair in
+// unspecified order. Unlike VisitTerms it neither sorts nor allocates, so
+// it is safe in hot paths as long as the caller folds the visits with an
+// order-independent operation (a multiset hash, a minimum, a sum).
+func (lc *LinComb) VisitTermsUnordered(fn func(x int, coeff ff.Element)) {
+	for v, c := range lc.terms {
+		fn(v, c)
+	}
+}
+
 // IsZero reports whether the combination is identically zero.
 func (lc *LinComb) IsZero() bool { return lc.konst.IsZero() && len(lc.terms) == 0 }
 

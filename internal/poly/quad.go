@@ -227,6 +227,15 @@ func (q *Quad) VisitQuadTerms(fn func(p VarPair, coeff ff.Element)) {
 	}
 }
 
+// VisitQuadTermsUnordered calls fn for every bilinear monomial in
+// unspecified order. Unlike VisitQuadTerms it neither sorts nor allocates;
+// callers must fold the visits with an order-independent operation.
+func (q *Quad) VisitQuadTermsUnordered(fn func(p VarPair, coeff ff.Element)) {
+	for p, c := range q.quad {
+		fn(p, c)
+	}
+}
+
 // Equal reports canonical equality of two quadratic polynomials.
 func (q *Quad) Equal(other *Quad) bool {
 	if !q.f.SameField(other.f) || !q.lin.Equal(other.lin) || len(q.quad) != len(other.quad) {

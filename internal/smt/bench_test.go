@@ -50,6 +50,29 @@ func BenchmarkSolverCore(b *testing.B) {
 			}
 		}
 	})
+	b.Run("incremental-continuation", func(b *testing.B) {
+		// The batch-dispatch shape: sibling targets over one shared base.
+		// Each iteration answers both targets as continuations of a single
+		// propagated session instead of two from-scratch solves.
+		f := ff.BN254()
+		x, xp, y, yp, k := poly.Var(f, 0), poly.Var(f, 1), poly.Var(f, 2), poly.Var(f, 3), poly.Var(f, 4)
+		base := NewProblem(f)
+		base.AddEq(x, k, poly.ConstInt(f, 1))
+		base.AddEq(xp, k, poly.ConstInt(f, 1))
+		base.AddEq(y, k, poly.ConstInt(f, 2))
+		base.AddEq(yp, k, poly.ConstInt(f, 2))
+		for i := 0; i < b.N; i++ {
+			sess := NewSession(base, &Options{Seed: 1})
+			if sess.Poisoned() {
+				b.Fatalf("session poisoned: %s", sess.PoisonReason())
+			}
+			for _, nq := range []*poly.LinComb{x.Sub(xp), y.Sub(yp)} {
+				if out := sess.Solve([]*poly.LinComb{nq}, &Options{Seed: 1}); out.Status != StatusUnsat {
+					b.Fatalf("status = %v", out.Status)
+				}
+			}
+		}
+	})
 	b.Run("small-field-enumeration", func(b *testing.B) {
 		f := f97
 		for i := 0; i < b.N; i++ {
@@ -62,6 +85,58 @@ func BenchmarkSolverCore(b *testing.B) {
 			p.AddNeq(y)
 			if out := Solve(p, &Options{Seed: 1}); out.Status != StatusSat {
 				b.Fatalf("status = %v", out.Status)
+			}
+		}
+	})
+}
+
+// BenchmarkEquationFingerprint measures the structural dedup keys on the
+// solver hot path (they replaced string-building keys; the fingerprints
+// must stay allocation-free per equation apart from the one expanded Quad).
+func BenchmarkEquationFingerprint(b *testing.B) {
+	f := ff.BN254()
+	mk := func(shift int) Equation {
+		a := poly.ConstInt(f, 3)
+		c := poly.ConstInt(f, 7)
+		for v := 0; v < 8; v++ {
+			a = a.AddTerm(v+shift, f.NewElement(int64(2*v+1)))
+			c = c.AddTerm(v+shift+8, f.NewElement(int64(v+5)))
+		}
+		return Equation{A: a, B: poly.Var(f, 40+shift), C: c}
+	}
+	eqs := []Equation{mk(0), mk(4), mk(9)}
+	quads := make([]*poly.Quad, len(eqs))
+	for i, e := range eqs {
+		quads[i] = expandEq(e)
+	}
+
+	b.Run("shape", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= quadShapeFingerprint(quads[i%len(quads)])
+		}
+		_ = sink
+	})
+	b.Run("part", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink ^= quadPartFingerprint(quads[i%len(quads)])
+		}
+		_ = sink
+	})
+	b.Run("dedup-set", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := newQuadSet()
+			for _, e := range eqs {
+				set.add(expandEq(e))
+			}
+			for _, e := range eqs {
+				if set.add(expandEq(e)) {
+					b.Fatal("duplicate not detected")
+				}
 			}
 		}
 	})

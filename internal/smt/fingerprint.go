@@ -1,0 +1,171 @@
+package smt
+
+// Allocation-free structural fingerprints for equation deduplication and
+// pair-derivation bucketing. The solver's inner loops used to build
+// canonical *string* keys (NormalizeSign + raw-byte Key) for every
+// equation they wanted to compare — a field inversion, a byte buffer and a
+// string-map insertion per equation. The fingerprints here replace that
+// with 64-bit multiset hashes folded over the unordered term maps:
+//
+//   - quadShapeFingerprint hashes only the *shape* of a polynomial (which
+//     monomials occur, not their coefficients), making it invariant under
+//     nonzero scaling — the equivalence the old NormalizeSign().Key()
+//     computed. Equality is confirmed exactly inside a bucket by
+//     equalModScale, so a fingerprint collision can never change the
+//     deduplication result.
+//   - quadPartFingerprint hashes the bilinear monomials *with* their
+//     coefficients, replacing quadPartKey for deriveQuadDiff's bucketing.
+//     Equal quadratic parts always hash equally, so no candidate pair is
+//     ever missed; an (astronomically unlikely, but deterministic) bucket
+//     collision is harmless because the pair scan re-checks that the
+//     difference is linear before using it.
+//
+// Multiset (commutative) folding is what lets the hashes run off the raw
+// Go maps via the Unordered visitors: per-term hashes are combined with
+// addition, so map iteration order cannot leak into the result.
+
+import (
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
+// spreads structured inputs (small var IDs, field limbs) over 64 bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashElem folds the raw limbs of e into h.
+func hashElem(h uint64, e ff.Element) uint64 {
+	for i := 0; i < ff.ElementLimbs; i++ {
+		h = mix64(h ^ e[i])
+	}
+	return h
+}
+
+// quadShapeFingerprint returns a scale-invariant fingerprint of q: two
+// polynomials that are nonzero scalar multiples of each other always get
+// the same value. Only monomial identities (variable pairs, linear
+// variables, a constant-present flag) are hashed — coefficients change
+// under scaling and must not contribute.
+func quadShapeFingerprint(q *poly.Quad) uint64 {
+	var quadSum, linSum uint64
+	var nQuad, nLin uint64
+	q.VisitQuadTermsUnordered(func(p poly.VarPair, _ ff.Element) {
+		quadSum += mix64(uint64(p.X)<<32 ^ uint64(p.Y) ^ 0x9e3779b97f4a7c15)
+		nQuad++
+	})
+	lin := q.Lin()
+	lin.VisitTermsUnordered(func(x int, _ ff.Element) {
+		linSum += mix64(uint64(x) ^ 0xd1b54a32d192ed03)
+		nLin++
+	})
+	h := mix64(quadSum ^ mix64(linSum))
+	h = mix64(h ^ nQuad<<1 ^ nLin<<33)
+	if !lin.Constant().IsZero() {
+		h = mix64(h ^ 0x2545f4914f6cdd1d)
+	}
+	return h
+}
+
+// quadPartFingerprint returns an exact fingerprint of q's bilinear
+// monomials (variable pairs and coefficients, ignoring the linear part).
+// Polynomials with identical quadratic parts always collide, which is the
+// grouping deriveQuadDiff needs.
+func quadPartFingerprint(q *poly.Quad) uint64 {
+	var sum uint64
+	var n uint64
+	q.VisitQuadTermsUnordered(func(p poly.VarPair, c ff.Element) {
+		h := mix64(uint64(p.X)<<32 ^ uint64(p.Y) ^ 0x9e3779b97f4a7c15)
+		sum += hashElem(h, c)
+		n++
+	})
+	return mix64(sum ^ n)
+}
+
+// leadCoeff returns the coefficient NormalizeSign would divide by: the
+// first bilinear monomial in canonical pair order, else the first linear
+// coefficient, else the constant. Zero only for the zero polynomial.
+func leadCoeff(q *poly.Quad) ff.Element {
+	if q.NumQuadTerms() > 0 {
+		var best poly.VarPair
+		var bestC ff.Element
+		first := true
+		q.VisitQuadTermsUnordered(func(p poly.VarPair, c ff.Element) {
+			if first || p.X < best.X || (p.X == best.X && p.Y < best.Y) {
+				best, bestC, first = p, c, false
+			}
+		})
+		return bestC
+	}
+	lin := q.Lin()
+	if lin.NumTerms() > 0 {
+		bestV := -1
+		var bestC ff.Element
+		lin.VisitTermsUnordered(func(x int, c ff.Element) {
+			if bestV < 0 || x < bestV {
+				bestV, bestC = x, c
+			}
+		})
+		return bestC
+	}
+	return lin.Constant()
+}
+
+// equalModScale reports whether a = k·b for some nonzero field constant k.
+// This is exactly the equivalence the old NormalizeSign().Key() string
+// comparison decided, but with two scalings instead of a field inversion.
+func equalModScale(a, b *poly.Quad) bool {
+	la, lb := leadCoeff(a), leadCoeff(b)
+	if la.IsZero() || lb.IsZero() {
+		// A zero lead means the whole polynomial is zero (coefficient maps
+		// never store zeros), so the only match is zero = zero.
+		return la.IsZero() && lb.IsZero()
+	}
+	return a.Scale(lb).Equal(b.Scale(la))
+}
+
+// quadSet is a set of polynomials modulo nonzero scaling: the structure
+// behind equation deduplication and derivePairs' derived-equation memory.
+// Membership is decided by exact equalModScale confirmation within a
+// fingerprint bucket, so hash collisions cannot drop equations.
+type quadSet struct {
+	buckets map[uint64][]*poly.Quad
+}
+
+func newQuadSet() *quadSet {
+	return &quadSet{buckets: map[uint64][]*poly.Quad{}}
+}
+
+// add inserts q, reporting whether it was absent. Stored polynomials are
+// never mutated afterwards (Quad operations are persistent), so clones may
+// share them.
+func (s *quadSet) add(q *poly.Quad) bool {
+	fp := quadShapeFingerprint(q)
+	for _, m := range s.buckets[fp] {
+		if equalModScale(m, q) {
+			return false
+		}
+	}
+	s.buckets[fp] = append(s.buckets[fp], q)
+	return true
+}
+
+func (s *quadSet) clone() *quadSet {
+	out := &quadSet{buckets: make(map[uint64][]*poly.Quad, len(s.buckets))}
+	for k, v := range s.buckets {
+		out.buckets[k] = append([]*poly.Quad(nil), v...)
+	}
+	return out
+}
+
+// expandEq returns the polynomial A·B − C of an equation, the canonical
+// object both fingerprints operate on.
+func expandEq(e Equation) *poly.Quad {
+	return poly.MulLin(e.A, e.B).Sub(poly.QuadFromLin(e.C))
+}

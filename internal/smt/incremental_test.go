@@ -1,0 +1,354 @@
+package smt
+
+import (
+	"testing"
+
+	"qed2/internal/faultinject"
+	"qed2/internal/poly"
+)
+
+// incCase is one base/disequality split used by the continuation tests.
+// The full problem is base ∧ neqs; the session is built from base alone.
+type incCase struct {
+	name string
+	base func() *Problem
+	neqs func() []*poly.LinComb
+}
+
+func incCases() []incCase {
+	return []incCase{
+		{
+			// Determined linear chain; the disequality contradicts it.
+			name: "linear-unsat",
+			base: func() *Problem {
+				p := NewProblem(f97)
+				p.AddLinearEq(lc(f97, -10, 0, 1, 1, 1)) // x0 + x1 = 10
+				p.AddLinearEq(lc(f97, -4, 0, 1, 1, -1)) // x0 - x1 = 4
+				return p
+			},
+			neqs: func() []*poly.LinComb { return []*poly.LinComb{lc(f97, -7, 0, 1)} }, // x0 ≠ 7
+		},
+		{
+			// Same chain, satisfiable disequality.
+			name: "linear-sat",
+			base: func() *Problem {
+				p := NewProblem(f97)
+				p.AddLinearEq(lc(f97, -10, 0, 1, 1, 1))
+				p.AddLinearEq(lc(f97, -4, 0, 1, 1, -1))
+				return p
+			},
+			neqs: func() []*poly.LinComb { return []*poly.LinComb{lc(f97, -1, 0, 1)} }, // x0 ≠ 1
+		},
+		{
+			// Boolean constraint with a branch split.
+			name: "boolean",
+			base: func() *Problem {
+				p := NewProblem(f97)
+				p.AddEq(lc(f97, 0, 0, 1), lc(f97, -1, 0, 1), poly.NewLinComb(f97)) // x0(x0-1)=0
+				return p
+			},
+			neqs: func() []*poly.LinComb { return []*poly.LinComb{lc(f97, 0, 0, 1)} }, // x0 ≠ 0
+		},
+		{
+			// Two-copy uniqueness shape: shared input x0 drives both copies,
+			// outputs x1 (original) and x2 (primed) must differ.
+			name: "two-copy",
+			base: func() *Problem {
+				p := NewProblem(f97)
+				p.AddEq(lc(f97, 0, 0, 1), lc(f97, 0, 0, 1), lc(f97, 0, 1, 1)) // x0² = x1
+				p.AddEq(lc(f97, 0, 0, 1), lc(f97, 0, 0, 1), lc(f97, 0, 2, 1)) // x0² = x2
+				return p
+			},
+			neqs: func() []*poly.LinComb { return []*poly.LinComb{lc(f97, 0, 1, 1, 2, -1)} }, // x1 ≠ x2
+		},
+		{
+			// Underdetermined: free variables survive the base fixpoint.
+			name: "underdetermined",
+			base: func() *Problem {
+				p := NewProblem(f97)
+				p.AddLinearEq(lc(f97, -5, 0, 2, 1, 3)) // 2x0 + 3x1 = 5
+				return p
+			},
+			neqs: func() []*poly.LinComb { return []*poly.LinComb{lc(f97, 0, 1, 1, 3, -1)} }, // x1 ≠ x3
+		},
+		{
+			// Small field with a quadratic core that needs enumeration.
+			name: "quadratic-smallfield",
+			base: func() *Problem {
+				p := NewProblem(f13)
+				p.AddEq(lc(f13, 0, 0, 1), lc(f13, 0, 1, 1), lc(f13, -3, 2, 1)) // x0·x1 = x2 + 3
+				p.AddEq(lc(f13, 0, 0, 1), lc(f13, 0, 0, 1), lc(f13, 0, 3, 1))  // x0² = x3
+				return p
+			},
+			neqs: func() []*poly.LinComb { return []*poly.LinComb{lc(f13, 0, 2, 1, 3, -1)} }, // x2 ≠ x3
+		},
+	}
+}
+
+func modelsEqual(a, b Model) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, e := range a {
+		if b[v] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// fullProblem conjoins a case's base and disequalities.
+func (c incCase) fullProblem() *Problem {
+	p := c.base()
+	for _, nq := range c.neqs() {
+		p.AddNeq(nq)
+	}
+	return p
+}
+
+// TestSessionContinuationMatchesFromScratch is the core exactness contract:
+// on an unextended session, a continuation returns the same status, reason
+// and model bytes as a from-scratch solve of base ∧ neqs, and the step
+// ledgers agree (base steps + continuation steps − the re-executed fixpoint
+// pass = from-scratch steps).
+func TestSessionContinuationMatchesFromScratch(t *testing.T) {
+	for _, c := range incCases() {
+		t.Run(c.name, func(t *testing.T) {
+			opts := &Options{Seed: 1}
+			want := Solve(c.fullProblem(), opts)
+
+			sess := NewSession(c.base(), opts)
+			if sess.Poisoned() {
+				t.Fatalf("session poisoned: %s", sess.PoisonReason())
+			}
+			if !sess.Exact() {
+				t.Fatal("fresh session not exact")
+			}
+			got := sess.Solve(c.neqs(), opts)
+
+			if got.Status != want.Status || got.Reason != want.Reason {
+				t.Fatalf("continuation = (%v, %q), from-scratch = (%v, %q)",
+					got.Status, got.Reason, want.Status, want.Reason)
+			}
+			if !modelsEqual(got.Model, want.Model) {
+				t.Errorf("models differ: continuation %v, from-scratch %v", got.Model, want.Model)
+			}
+			if total := sess.BaseSteps() - 1 + got.Steps; total != want.Steps {
+				t.Errorf("step ledger: base %d + continuation %d - 1 = %d, from-scratch %d",
+					sess.BaseSteps(), got.Steps, total, want.Steps)
+			}
+			// A second continuation on the same session must be unaffected by
+			// the first (Solve only clones).
+			again := sess.Solve(c.neqs(), opts)
+			if again.Status != got.Status || again.Steps != got.Steps || !modelsEqual(again.Model, got.Model) {
+				t.Errorf("second continuation diverged: (%v, %d) vs (%v, %d)",
+					again.Status, again.Steps, got.Status, got.Steps)
+			}
+		})
+	}
+}
+
+// TestSessionStepParityBudget sweeps the step budget and checks that the
+// continuation and the from-scratch solve halt identically at every grant:
+// same status, same reason, same models. This pins the stepBias ledger — an
+// off-by-one would shift the exhaustion point of some budget in the sweep.
+func TestSessionStepParityBudget(t *testing.T) {
+	for _, c := range incCases() {
+		t.Run(c.name, func(t *testing.T) {
+			ref := Solve(c.fullProblem(), &Options{Seed: 1})
+			limit := ref.Steps + 2
+			for b := int64(1); b <= limit; b++ {
+				opts := &Options{Seed: 1, MaxSteps: b}
+				want := Solve(c.fullProblem(), opts)
+				sess := NewSession(c.base(), opts)
+				if sess.Poisoned() {
+					// The base itself exceeded this budget; from-scratch must
+					// have halted inside the same prefix.
+					if want.Status != StatusUnknown {
+						t.Fatalf("budget %d: base poisoned (%s) but from-scratch decided %v",
+							b, sess.PoisonReason(), want.Status)
+					}
+					continue
+				}
+				got := sess.Solve(c.neqs(), opts)
+				if got.Status != want.Status || got.Reason != want.Reason {
+					t.Fatalf("budget %d: continuation = (%v, %q), from-scratch = (%v, %q)",
+						b, got.Status, got.Reason, want.Status, want.Reason)
+				}
+				if !modelsEqual(got.Model, want.Model) {
+					t.Fatalf("budget %d: models differ", b)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionConflictBase checks the short-circuit for bases that are
+// unsatisfiable on their own: every continuation is UNSAT without search.
+func TestSessionConflictBase(t *testing.T) {
+	p := NewProblem(f97)
+	p.AddLinearEq(lc(f97, -1, 0, 1, 1, 1)) // x0 + x1 = 1
+	p.AddLinearEq(lc(f97, -2, 0, 1, 1, 1)) // x0 + x1 = 2
+	sess := NewSession(p, &Options{Seed: 1})
+	if sess.Poisoned() {
+		t.Fatalf("session poisoned: %s", sess.PoisonReason())
+	}
+	out := sess.Solve([]*poly.LinComb{lc(f97, 0, 0, 1)}, &Options{Seed: 1})
+	if out.Status != StatusUnsat {
+		t.Fatalf("status = %v, want unsat", out.Status)
+	}
+	if out.Steps != 0 {
+		t.Errorf("conflict continuation consumed %d steps, want 0", out.Steps)
+	}
+	// Extending a conflicting base keeps it conflicting.
+	if !sess.Extend([]VarMerge{{Keep: 0, Drop: 1}}, &Options{Seed: 1}) {
+		t.Fatalf("extend on conflict base failed: %s", sess.PoisonReason())
+	}
+	if out := sess.Solve([]*poly.LinComb{lc(f97, 0, 0, 1)}, &Options{Seed: 1}); out.Status != StatusUnsat {
+		t.Errorf("post-extend status = %v, want unsat", out.Status)
+	}
+}
+
+// TestSessionRejectsDisequalityBase checks that a base problem carrying
+// disequalities poisons the session instead of silently mis-sharing
+// per-query state.
+func TestSessionRejectsDisequalityBase(t *testing.T) {
+	p := NewProblem(f97)
+	p.AddLinearEq(lc(f97, -10, 0, 1, 1, 1))
+	p.AddNeq(lc(f97, 0, 0, 1))
+	sess := NewSession(p, &Options{Seed: 1})
+	if !sess.Poisoned() {
+		t.Fatal("session accepted a base with disequalities")
+	}
+	out := sess.Solve([]*poly.LinComb{lc(f97, 0, 1, 1)}, &Options{Seed: 1})
+	if out.Status != StatusUnknown || !out.ResourceLimited {
+		t.Fatalf("poisoned solve = (%v, limited=%v), want resource-limited unknown", out.Status, out.ResourceLimited)
+	}
+}
+
+// TestSessionExtendMergeEquivalence checks the Extend contract: after
+// merging newly shared signals, continuations decide exactly like a
+// from-scratch solve of the base plus the merge equations. Verdicts must
+// match; models need not (and full queries are therefore never routed to
+// extended sessions by the scheduler).
+func TestSessionExtendMergeEquivalence(t *testing.T) {
+	// Two-copy shape over x0,x1 with primed copies x2,x3:
+	//   x0² = x1   and   x2² = x3.
+	base := func() *Problem {
+		p := NewProblem(f97)
+		p.AddEq(lc(f97, 0, 0, 1), lc(f97, 0, 0, 1), lc(f97, 0, 1, 1))
+		p.AddEq(lc(f97, 0, 2, 1), lc(f97, 0, 2, 1), lc(f97, 0, 3, 1))
+		return p
+	}
+	// The input became shared: x2 (the primed x0) merges into x0.
+	merges := []VarMerge{{Keep: 0, Drop: 2}}
+	neqs := []*poly.LinComb{lc(f97, 0, 1, 1, 3, -1)} // x1 ≠ x3
+
+	ref := base()
+	ref.AddLinearEq(lc(f97, 0, 2, 1, 0, -1)) // x2 - x0 = 0
+	for _, nq := range neqs {
+		ref.AddNeq(nq)
+	}
+	want := Solve(ref, &Options{Seed: 1})
+	if want.Status != StatusUnsat {
+		t.Fatalf("reference verdict = %v, want unsat (squaring is deterministic)", want.Status)
+	}
+
+	sess := NewSession(base(), &Options{Seed: 1})
+	if sess.Poisoned() {
+		t.Fatalf("session poisoned: %s", sess.PoisonReason())
+	}
+	if !sess.Extend(merges, &Options{Seed: 1}) {
+		t.Fatalf("extend failed: %s", sess.PoisonReason())
+	}
+	if sess.Exact() {
+		t.Fatal("session still exact after Extend")
+	}
+	if got := sess.Solve(neqs, &Options{Seed: 1}); got.Status != want.Status {
+		t.Fatalf("extended continuation = %v, from-scratch = %v", got.Status, want.Status)
+	}
+
+	// The satisfiable direction: without the output merge, x1 ≠ x3 stays
+	// reachable only if the inputs may differ — merge both and it's UNSAT,
+	// merge nothing and it's SAT.
+	sess2 := NewSession(base(), &Options{Seed: 1})
+	if got := sess2.Solve(neqs, &Options{Seed: 1}); got.Status != StatusSat {
+		t.Fatalf("unmerged continuation = %v, want sat", got.Status)
+	}
+}
+
+// TestSessionFactsAreConsequences checks the learned-fact contract: every
+// fact x := e exposed by a session is a universal consequence of the base
+// equations — base ∧ (x − e ≠ 0) must be unsatisfiable.
+func TestSessionFactsAreConsequences(t *testing.T) {
+	for _, c := range incCases() {
+		t.Run(c.name, func(t *testing.T) {
+			sess := NewSession(c.base(), &Options{Seed: 1})
+			if sess.Poisoned() {
+				t.Fatalf("session poisoned: %s", sess.PoisonReason())
+			}
+			for _, fact := range sess.Facts() {
+				p := c.base()
+				p.AddNeq(poly.Var(p.Field, fact.Var).Sub(fact.Expr))
+				if out := Solve(p, &Options{Seed: 1}); out.Status != StatusUnsat {
+					t.Errorf("fact x%d := %s is not a consequence: refutation = %v",
+						fact.Var, fact.Expr, out.Status)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionSurvivesInjectedFaults drives the "smt.incremental" chaos site
+// through its error and deadline kinds: sessions poison instead of
+// half-working, continuations degrade to resource-limited Unknown, and a
+// rebuilt session works once injection is disarmed.
+func TestSessionSurvivesInjectedFaults(t *testing.T) {
+	c := incCases()[0]
+
+	faultinject.Enable(&faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Site: "smt.incremental", Kind: faultinject.KindError, Every: 1, Msg: "injected incremental fault"},
+	}})
+	sess := NewSession(c.base(), &Options{Seed: 1})
+	if !sess.Poisoned() {
+		faultinject.Disable()
+		t.Fatal("error injection did not poison NewSession")
+	}
+	out := sess.Solve(c.neqs(), &Options{Seed: 1})
+	if out.Status != StatusUnknown || !out.ResourceLimited {
+		faultinject.Disable()
+		t.Fatalf("poisoned continuation = (%v, limited=%v)", out.Status, out.ResourceLimited)
+	}
+	faultinject.Disable()
+
+	faultinject.Enable(&faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Site: "smt.incremental", Kind: faultinject.KindDeadline, Every: 1},
+	}})
+	if sess := NewSession(c.base(), &Options{Seed: 1}); !sess.Poisoned() || sess.PoisonReason() != DeadlineExceeded {
+		faultinject.Disable()
+		t.Fatalf("deadline injection: poisoned=%v reason=%q", sess.Poisoned(), sess.PoisonReason())
+	}
+	faultinject.Disable()
+
+	// Extend is a chaos point too: a healthy session poisoned mid-extend
+	// reports unusable so the caller falls back.
+	sess = NewSession(c.base(), &Options{Seed: 1})
+	faultinject.Enable(&faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Site: "smt.incremental", Kind: faultinject.KindError, Every: 1, Msg: "injected extend fault"},
+	}})
+	ok := sess.Extend([]VarMerge{{Keep: 0, Drop: 1}}, &Options{Seed: 1})
+	faultinject.Disable()
+	if ok || !sess.Poisoned() {
+		t.Fatalf("extend under injection: ok=%v poisoned=%v", ok, sess.Poisoned())
+	}
+
+	// Disarmed: everything works again.
+	sess = NewSession(c.base(), &Options{Seed: 1})
+	if sess.Poisoned() {
+		t.Fatalf("post-chaos session poisoned: %s", sess.PoisonReason())
+	}
+	want := Solve(c.fullProblem(), &Options{Seed: 1})
+	if got := sess.Solve(c.neqs(), &Options{Seed: 1}); got.Status != want.Status {
+		t.Fatalf("post-chaos continuation = %v, want %v", got.Status, want.Status)
+	}
+}

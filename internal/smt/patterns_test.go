@@ -156,16 +156,16 @@ func TestQuadDiffDetectsContradiction(t *testing.T) {
 	}
 }
 
-func TestQuadPartKeyBuckets(t *testing.T) {
+func TestQuadPartFingerprintBuckets(t *testing.T) {
 	f := f97
 	x, y := poly.Var(f, 0), poly.Var(f, 1)
 	q1 := poly.MulLin(x, y)                          // xy
 	q2 := poly.MulLin(x, y).Add(poly.QuadFromLin(x)) // xy + x
 	q3 := poly.MulLin(x.Scale(f.NewElement(2)), y)   // 2xy
-	if quadPartKey(q1) != quadPartKey(q2) {
+	if quadPartFingerprint(q1) != quadPartFingerprint(q2) {
 		t.Error("same quadratic part bucketed differently")
 	}
-	if quadPartKey(q1) == quadPartKey(q3) {
+	if quadPartFingerprint(q1) == quadPartFingerprint(q3) {
 		t.Error("different quadratic parts share a bucket")
 	}
 }

@@ -175,4 +175,11 @@ type Outcome struct {
 	// Reason is a short human-readable note (budget exhausted, incomplete
 	// enumeration, …) for Unknown outcomes.
 	Reason string
+	// ResourceLimited marks Unknown outcomes caused by an exhaustible
+	// resource — step budget, wall-clock deadline, cancellation, or an
+	// injected fault — rather than by the search being inherently
+	// incomplete on this problem. Resource-limited outcomes are not
+	// replay-safe: a re-run with a bigger budget could decide the query, so
+	// memo caches must not retain them (see core/scheduler.go).
+	ResourceLimited bool
 }

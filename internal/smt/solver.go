@@ -102,9 +102,9 @@ func injectSolveFault() (Outcome, bool) {
 	}
 	switch f := faultinject.Check("smt.solve"); {
 	case f.Deadline:
-		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded}, true
+		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded, ResourceLimited: true}, true
 	case f.Err != "":
-		return Outcome{Status: StatusUnknown, Reason: f.Err}, true
+		return Outcome{Status: StatusUnknown, Reason: f.Err, ResourceLimited: true}, true
 	}
 	return Outcome{}, false
 }
@@ -152,7 +152,7 @@ func solveProblem(p *Problem, o Options) Outcome {
 		return out
 	}
 	if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
-		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded}
+		return Outcome{Status: StatusUnknown, Reason: DeadlineExceeded, ResourceLimited: true}
 	}
 	s := &solver{
 		f:    p.Field,
@@ -161,33 +161,26 @@ func solveProblem(p *Problem, o Options) Outcome {
 	}
 	if o.Ctx != nil {
 		if o.Ctx.Err() != nil {
-			return Outcome{Status: StatusUnknown, Reason: Canceled}
+			return Outcome{Status: StatusUnknown, Reason: Canceled, ResourceLimited: true}
 		}
 		s.done = o.Ctx.Done()
 	}
-	st := &state{f: p.Field, complete: true}
-	seen := map[string]bool{}
-	for _, e := range p.Eqs {
-		key := eqKey(e)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		st.eqs = append(st.eqs, Equation{A: e.A.Clone(), B: e.B.Clone(), C: e.C.Clone()})
-	}
-	for _, n := range p.Neqs {
-		st.neqs = append(st.neqs, n.Clone())
-	}
-	st.freeHint = p.Vars()
+	st := newState(p)
 	res, model := s.solve(st, 0)
+	return s.outcome(res, model, func(m Model) error { return p.Check(m) })
+}
+
+// outcome assembles the Outcome for a finished search. check re-verifies a
+// SAT model against the original constraints (defensive: a model that does
+// not check is a solver bug; better to degrade to Unknown than to report a
+// bogus SAT).
+func (s *solver) outcome(res resultKind, model Model, check func(Model) error) Outcome {
 	out := Outcome{Steps: s.steps, Effort: s.eff}
 	switch res {
 	case rSat:
 		out.Status = StatusSat
 		out.Model = model
-		// Defensive: a model that does not check is a solver bug; better to
-		// degrade to Unknown than to report a bogus SAT.
-		if err := p.Check(model); err != nil {
+		if err := check(model); err != nil {
 			out.Status = StatusUnknown
 			out.Model = nil
 			out.Reason = "internal: model check failed: " + err.Error()
@@ -197,6 +190,7 @@ func solveProblem(p *Problem, o Options) Outcome {
 	default:
 		out.Status = StatusUnknown
 		out.Reason = s.reason
+		out.ResourceLimited = s.limited
 		if out.Reason == "" {
 			out.Reason = "search incomplete"
 		}
@@ -204,8 +198,24 @@ func solveProblem(p *Problem, o Options) Outcome {
 	return out
 }
 
-func eqKey(e Equation) string {
-	return poly.MulLin(e.A, e.B).Sub(poly.QuadFromLin(e.C)).NormalizeSign().Key()
+// newState builds the root search state for p: equations deduplicated
+// modulo nonzero scaling, freeHint set to the problem's variables. Shared
+// by the from-scratch path and the incremental sessions so both start from
+// an identical state. The problem's LinCombs are referenced, not cloned:
+// the solver never mutates a LinComb in place (all poly operations are
+// copy-on-write), so sharing them with the caller is safe.
+func newState(p *Problem) *state {
+	st := &state{f: p.Field, complete: true}
+	seen := newQuadSet()
+	for _, e := range p.Eqs {
+		if !seen.add(expandEq(e)) {
+			continue
+		}
+		st.eqs = append(st.eqs, e)
+	}
+	st.neqs = append(st.neqs, p.Neqs...)
+	st.freeHint = p.Vars()
+	return st
 }
 
 type resultKind int
@@ -231,6 +241,18 @@ type solver struct {
 	// unwinding then costs O(depth), keeping a deadline overshoot within one
 	// check interval of work.
 	halted bool
+	// limited records that halting was caused by an exhaustible resource
+	// (budget, deadline, cancellation, injected fault); it feeds
+	// Outcome.ResourceLimited.
+	limited bool
+	// stepBias is added to steps for budget accounting and check cadence
+	// only. Incremental continuations (incremental.go) set it to the steps
+	// the shared base already consumed minus the one redundant fixpoint
+	// pass, so a continuation exhausts its per-query budget at exactly the
+	// same point in the search tree as a from-scratch solve would — the
+	// step parity behind the byte-identical-outcome guarantee. Reported
+	// Outcome.Steps stay unbiased (steps actually executed).
+	stepBias int64
 }
 
 func (s *solver) step() bool {
@@ -238,18 +260,20 @@ func (s *solver) step() bool {
 		return false
 	}
 	s.steps++
-	if s.steps > s.opts.MaxSteps {
+	if s.steps+s.stepBias > s.opts.MaxSteps {
 		s.reason = budgetExhausted
 		s.halted = true
+		s.limited = true
 		return false
 	}
-	if s.steps%deadlineCheckEvery == 0 {
+	if (s.steps+s.stepBias)%deadlineCheckEvery == 0 {
 		// Wall-clock bounds, cancellation and the chaos hook share one
 		// cadence: a single query overshoots any of them by at most one
 		// check interval of work.
 		if !s.opts.Deadline.IsZero() && !time.Now().Before(s.opts.Deadline) {
 			s.reason = DeadlineExceeded
 			s.halted = true
+			s.limited = true
 			return false
 		}
 		if s.done != nil {
@@ -257,6 +281,7 @@ func (s *solver) step() bool {
 			case <-s.done:
 				s.reason = Canceled
 				s.halted = true
+				s.limited = true
 				return false
 			default:
 			}
@@ -266,10 +291,12 @@ func (s *solver) step() bool {
 			case f.Deadline:
 				s.reason = DeadlineExceeded
 				s.halted = true
+				s.limited = true
 				return false
 			case f.Err != "":
 				s.reason = f.Err
 				s.halted = true
+				s.limited = true
 				return false
 			}
 		}
@@ -294,30 +321,25 @@ type state struct {
 	complete bool
 	// freeHint lists the problem's original variables (model domain).
 	freeHint []int
-	// derived remembers the canonical keys of difference equations already
-	// added on this branch, so pair derivation terminates.
-	derived map[string]bool
+	// derived remembers (as a fingerprinted set modulo scaling) the
+	// difference equations already added on this branch, so pair derivation
+	// terminates.
+	derived *quadSet
 }
 
+// clone copies the state shallowly: the slices are fresh (both sides
+// overwrite elements in place), but the LinComb values they point at are
+// shared. That sharing is safe because every poly.LinComb operation is
+// copy-on-write — the solver only ever replaces an element with a newly
+// built expression, never mutates one it already holds. derived is the one
+// in-place-mutable structure (a fingerprint set) and is deep-copied.
 func (st *state) clone() *state {
 	out := &state{f: st.f, complete: st.complete, freeHint: st.freeHint}
-	out.eqs = make([]Equation, len(st.eqs))
-	for i, e := range st.eqs {
-		out.eqs[i] = Equation{A: e.A.Clone(), B: e.B.Clone(), C: e.C.Clone()}
-	}
-	out.neqs = make([]*poly.LinComb, len(st.neqs))
-	for i, n := range st.neqs {
-		out.neqs[i] = n.Clone()
-	}
-	out.subs = make([]subEntry, len(st.subs))
-	for i, e := range st.subs {
-		out.subs[i] = subEntry{v: e.v, expr: e.expr.Clone()}
-	}
+	out.eqs = append([]Equation(nil), st.eqs...)
+	out.neqs = append([]*poly.LinComb(nil), st.neqs...)
+	out.subs = append([]subEntry(nil), st.subs...)
 	if st.derived != nil {
-		out.derived = make(map[string]bool, len(st.derived))
-		for k := range st.derived {
-			out.derived[k] = true
-		}
+		out.derived = st.derived.clone()
 	}
 	return out
 }
@@ -468,6 +490,13 @@ func constOf(lc *poly.LinComb) (ff.Element, bool) {
 // which keeps substitution fill-in low and leaves structural variables
 // (inputs, shared signals) available for the pattern rules. Ties break on
 // smallest ID for determinism.
+//
+// Only equations are tallied, never disequalities. This is what makes the
+// incremental slice sessions (incremental.go) exact: the elimination order
+// of the shared base state — which carries no per-target disequality — is
+// then identical to the order a from-scratch solve of base ∧ (target ≠
+// target′) would pick, so a batched continuation explores the same search
+// tree and finds the same model as the monolithic path.
 func pickPivot(st *state, lin *poly.LinComb) int {
 	vars := lin.Vars()
 	if len(vars) == 1 {
@@ -488,9 +517,6 @@ func pickPivot(st *state, lin *poly.LinComb) int {
 		tally(e.A)
 		tally(e.B)
 		tally(e.C)
-	}
-	for _, n := range st.neqs {
-		tally(n)
 	}
 	best, bestN := vars[0], counts[vars[0]]
 	for _, v := range vars[1:] {
@@ -617,7 +643,7 @@ func (s *solver) derivePairs(st *state) bool {
 	if st.derived != nil || len(st.eqs) > maxDeriveEqs {
 		return false
 	}
-	st.derived = map[string]bool{}
+	st.derived = newQuadSet()
 	type half struct{ factor, other, c *poly.LinComb }
 	views := func(e Equation) []half {
 		return []half{
@@ -643,11 +669,9 @@ func (s *solver) derivePairs(st *state) bool {
 						continue // 0 = 0, vacuous
 					}
 					ne := Equation{A: diff, B: hi.factor.Clone(), C: cDiff}
-					key := eqKey(ne)
-					if st.derived[key] {
+					if !st.derived.add(expandEq(ne)) {
 						continue
 					}
-					st.derived[key] = true
 					st.eqs = append(st.eqs, ne)
 					added = true
 				}
@@ -666,16 +690,19 @@ func (s *solver) deriveQuadDiff(st *state) bool {
 	if n < 2 || n > maxDeriveEqs {
 		return false
 	}
-	// Bucket by the canonical key of the quadratic monomial part: only
+	// Bucket by a fingerprint of the quadratic monomial part: only
 	// equations with identical quadratic parts can have a linear
 	// difference, so the scan is near-linear instead of O(n²) expansions.
+	// Identical parts always share a fingerprint, so no pair is missed;
+	// the d.IsLinear() re-check below makes a collision-merged bucket
+	// harmless.
 	quads := make([]*poly.Quad, n)
-	buckets := map[string][]int{}
-	var keys []string
+	buckets := map[uint64][]int{}
+	var keys []uint64
 	for i, e := range st.eqs {
-		q := poly.MulLin(e.A, e.B).Sub(poly.QuadFromLin(e.C))
+		q := expandEq(e)
 		quads[i] = q
-		k := quadPartKey(q)
+		k := quadPartFingerprint(q)
 		if _, ok := buckets[k]; !ok {
 			keys = append(keys, k)
 		}
@@ -714,12 +741,6 @@ func (s *solver) deriveQuadDiff(st *state) bool {
 // quadratic expansions dominate solving time (only the monolithic baseline
 // builds systems that large, and it is meant to demonstrate non-scaling).
 const maxDeriveEqs = 256
-
-// quadPartKey returns a canonical key of q's quadratic monomials.
-func quadPartKey(q *poly.Quad) string {
-	lin := q.Lin()
-	return q.Sub(poly.QuadFromLin(lin)).Key()
-}
 
 // splitLinear explores st ∧ (l = 0) for each l in branches. The split is
 // logically complete: the disjunction of the branches covers st.
