@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"qed2/internal/bench"
+	"qed2/internal/buildinfo"
 	"qed2/internal/circom"
 	"qed2/internal/core"
 	"qed2/internal/faultinject"
@@ -77,9 +78,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		witness     = fs.String("witness", "", `generate and check a witness for the given inputs, e.g. "a=3,in[0]=7", then exit`)
 		trace       = fs.String("trace", "", "write a JSONL trace of the analysis pipeline (spans, counters) to this file")
 		metrics     = fs.Bool("metrics", false, "print pipeline counters and histograms to stderr after the analysis")
+		version     = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 3
+	}
+	if *version {
+		fmt.Fprintln(stdout, "qed2", buildinfo.Get().String())
+		return 0
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: qed2 [flags] circuit.circom")
@@ -199,6 +205,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 3
 		}
 		tracer.AttachMetrics(reg)
+		bi := buildinfo.Get()
+		tracer.Meta("qed2",
+			obs.Attr{Key: "version", Val: bi.Version},
+			obs.Attr{Key: "revision", Val: bi.Revision},
+			obs.Attr{Key: "go", Val: bi.GoVersion})
 		cfg.Obs = tracer
 	}
 	t0 := time.Now()

@@ -345,3 +345,13 @@ func TestCLICanceledContextYieldsUnknown(t *testing.T) {
 		t.Fatalf("canceled run output missing unknown (canceled):\n%s", out.String())
 	}
 }
+
+func TestCLIVersionFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "-version")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.HasPrefix(out, "qed2 ") || !strings.Contains(out, "go1") {
+		t.Fatalf("unexpected -version output %q", out)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"qed2/internal/bench"
+	"qed2/internal/buildinfo"
 	"qed2/internal/core"
 	"qed2/internal/faultinject"
 	"qed2/internal/obs"
@@ -75,8 +76,13 @@ func main() {
 		noIncremental  = flag.Bool("no-incremental", false, "disable incremental slice solving (shared base states, learned facts); every query solved from scratch")
 		checkpoint     = flag.String("checkpoint", "", "append per-instance results of the full run to this JSONL file as they complete")
 		resume         = flag.Bool("resume", false, "skip instances already decided in the -checkpoint file instead of re-analyzing them")
+		version        = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("qed2bench", buildinfo.Get().String())
+		return
+	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "qed2bench: -resume requires -checkpoint")
 		os.Exit(1)
@@ -119,6 +125,11 @@ func main() {
 			os.Exit(1)
 		}
 		tracer.AttachMetrics(reg)
+		bi := buildinfo.Get()
+		tracer.Meta("qed2bench",
+			obs.Attr{Key: "version", Val: bi.Version},
+			obs.Attr{Key: "revision", Val: bi.Revision},
+			obs.Attr{Key: "go", Val: bi.GoVersion})
 		stopSampler = tracer.StartRuntimeSampler(time.Second)
 	}
 	if *pprofAddr != "" {

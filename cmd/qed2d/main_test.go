@@ -1,0 +1,441 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"qed2/internal/bench"
+	"qed2/internal/core"
+)
+
+// buildDaemon compiles the qed2d binary into a temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qed2d")
+	out, err := exec.Command("go", "build", "-o", bin, "qed2/cmd/qed2d").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building qed2d: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves a TCP port so two daemon generations (pre- and
+// post-drain) can share one address the replay client keeps dialing.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// daemon wraps a running qed2d subprocess.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	exited chan error
+	out    *strings.Builder
+	outMu  *sync.Mutex
+}
+
+// startDaemon launches qed2d and waits for its listening line.
+func startDaemon(t *testing.T, bin, addr string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, exited: make(chan error, 1), out: &strings.Builder{}, outMu: &sync.Mutex{}}
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			d.outMu.Lock()
+			d.out.WriteString(line + "\n")
+			d.outMu.Unlock()
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				select {
+				case ready <- line[i+len("listening on "):]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { d.exited <- cmd.Wait() }()
+	select {
+	case base := <-ready:
+		d.base = base
+	case err := <-d.exited:
+		t.Fatalf("qed2d exited before listening: %v\noutput:\n%s", err, d.output())
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("qed2d did not start listening within 30s\noutput:\n%s", d.output())
+	}
+	return d
+}
+
+func (d *daemon) output() string {
+	d.outMu.Lock()
+	defer d.outMu.Unlock()
+	return d.out.String()
+}
+
+// terminate sends SIGTERM and waits for a clean exit.
+func (d *daemon) terminate(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-d.exited:
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("qed2d did not exit within 60s of SIGTERM\noutput:\n%s", d.output())
+	}
+	if code := d.cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("qed2d exit = %d, want 0\noutput:\n%s", code, d.output())
+	}
+}
+
+// getJSON fetches a URL into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+const e2eCircuit = `
+template IsZero() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    in*out === 0;
+}
+component main = IsZero();
+`
+
+// submit POSTs a circuit and decodes the job response.
+func submit(t *testing.T, base, tenant, body string) (map[string]any, int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/analyze", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-QED2-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return v, resp.StatusCode
+}
+
+// pollDone polls a job until terminal, returning its final view.
+func pollDone(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var v map[string]any
+		getJSON(t, base+"/v1/jobs/"+id, &v)
+		switch v["status"] {
+		case "done", "failed", "canceled":
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func TestVersionFlag(t *testing.T) {
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("qed2d -version: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "qed2d ") || !strings.Contains(string(out), "go1") {
+		t.Fatalf("version output = %q", out)
+	}
+}
+
+// TestStoreHitSecondSubmission is the e2e acceptance check: two sequential
+// submissions of the same circuit cost one solver run and one store hit,
+// visible in the obs counters.
+func TestStoreHitSecondSubmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a daemon subprocess")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, freePort(t), "-query-steps", "5000", "-global-steps", "100000", "-seed", "1")
+	defer d.terminate(t)
+	base := d.base
+
+	// Health first: the daemon reports its build and an ok status.
+	var hz map[string]any
+	getJSON(t, base+"/healthz", &hz)
+	if hz["status"] != "ok" || hz["go"] == "" || hz["revision"] == "" {
+		t.Fatalf("healthz = %v", hz)
+	}
+
+	j1, code := submit(t, base, "alice", e2eCircuit)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("first submit = %d: %v", code, j1)
+	}
+	v1 := pollDone(t, base, j1["id"].(string))
+	rep1 := v1["report"].(map[string]any)
+	if v1["status"] != "done" || rep1["verdict"] != "safe" {
+		t.Fatalf("first job = %v", v1)
+	}
+	if v1["cached"] == true {
+		t.Fatal("first submission claims a cache hit")
+	}
+
+	// Second submission: answered 200 from the store, no analysis.
+	j2, code := submit(t, base, "bob", e2eCircuit)
+	if code != http.StatusOK {
+		t.Fatalf("second submit = %d (want 200 immediate): %v", code, j2)
+	}
+	if j2["cached"] != true || j2["status"] != "done" {
+		t.Fatalf("second submission not served from store: %v", j2)
+	}
+	if rep2 := j2["report"].(map[string]any); rep2["verdict"] != rep1["verdict"] {
+		t.Fatalf("cached verdict %v != fresh %v", rep2["verdict"], rep1["verdict"])
+	}
+
+	var m struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	getJSON(t, base+"/metrics", &m)
+	if m.Counters["service.store.misses"] != 1 || m.Counters["service.store.hits"] != 1 {
+		t.Fatalf("store counters = %v, want exactly 1 miss + 1 hit", m.Counters)
+	}
+	if m.Counters["service.jobs.analyzed"] != 1 || m.Counters["service.jobs.cached"] != 1 {
+		t.Fatalf("job counters = %v, want 1 analyzed + 1 cached", m.Counters)
+	}
+
+	// The event stream replays the job's lifecycle as NDJSON.
+	resp, err := http.Get(base + "/v1/jobs/" + j1["id"].(string) + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("event stream too short: %q", body)
+	}
+	var last struct {
+		Kind   string `json:"kind"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("last event line unparseable: %v (%q)", err, lines[len(lines)-1])
+	}
+	if last.Kind != "status" || last.Status != "done" {
+		t.Fatalf("last streamed event = %+v, want status/done", last)
+	}
+}
+
+// e2eConfig mirrors the daemon flags below for in-process comparison runs
+// and drain-checkpoint parsing.
+func e2eConfig() core.Config {
+	return core.Config{QuerySteps: 500, GlobalSteps: 10_000, Seed: 1, Workers: 1}
+}
+
+func e2eArgs(ckpt string) []string {
+	return []string{
+		"-query-steps", "500", "-global-steps", "10000", "-seed", "1",
+		"-query-workers", "1", "-workers", "2", "-queue-depth", "64",
+		"-checkpoint", ckpt,
+	}
+}
+
+// TestDrainRestartReplayConverges is the graceful-drain e2e: a suite replay
+// over HTTP is interrupted by SIGTERM mid-run, the daemon checkpoints its
+// in-flight jobs and exits 0, a restarted daemon resumes them, and the
+// replayed verdict set is identical to an in-process run of the same
+// instances under the same configuration.
+func TestDrainRestartReplayConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e drain/restart takes ~20s")
+	}
+	bin := buildDaemon(t)
+	addr := freePort(t)
+	ckpt := filepath.Join(t.TempDir(), "drain.ckpt")
+	insts := bench.Suite()[:24]
+
+	d1 := startDaemon(t, bin, addr, e2eArgs(ckpt)...)
+	base := "http://" + addr
+
+	var done atomic.Int64
+	replayDone := make(chan struct{})
+	var results []bench.Result
+	var replayErr error
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	go func() {
+		defer close(replayDone)
+		results, replayErr = bench.ReplayHTTP(ctx, insts, bench.ReplayOptions{
+			BaseURL:      base,
+			Inflight:     4,
+			PollInterval: 10 * time.Millisecond,
+			Progress:     func(int, int, bench.Result) { done.Add(1) },
+		})
+	}()
+
+	// Let some instances complete, then pull the rug.
+	waitUntil := time.Now().Add(60 * time.Second)
+	for done.Load() < 3 {
+		if time.Now().After(waitUntil) {
+			t.Fatalf("replay made no progress (done=%d)", done.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d1.terminate(t)
+	if !strings.Contains(d1.output(), "draining") {
+		t.Fatalf("daemon did not report draining:\n%s", d1.output())
+	}
+
+	// Restart on the same address; the replay client rides out the gap.
+	d2 := startDaemon(t, bin, addr, e2eArgs(ckpt)...)
+	defer d2.terminate(t)
+
+	select {
+	case <-replayDone:
+	case <-time.After(4 * time.Minute):
+		t.Fatal("replay did not complete after restart")
+	}
+	if replayErr != nil {
+		t.Fatalf("replay failed: %v", replayErr)
+	}
+
+	// The interrupted-and-resumed service run must converge to the exact
+	// verdict set of an uninterrupted in-process run.
+	want := bench.GoldenFromResults(e2eConfig(), bench.Run(insts, &bench.RunOptions{Config: e2eConfig(), Workers: 2}))
+	got := bench.GoldenFromResults(e2eConfig(), results)
+	diffs, degraded := bench.DiffGolden(want, got)
+	if len(diffs) != 0 || len(degraded) != 0 {
+		t.Fatalf("service replay diverged from in-process run:\ndiffs: %v\ndegraded: %v", diffs, degraded)
+	}
+}
+
+// TestServiceGoldenReplay replays the full 163-instance suite over HTTP
+// under the golden configuration and diffs against the checked-in golden
+// verdicts, with a SIGTERM drain/restart in the middle. Heavy: enabled via
+// QED2D_GOLDEN=1 (the service CI job sets it).
+func TestServiceGoldenReplay(t *testing.T) {
+	if os.Getenv("QED2D_GOLDEN") == "" {
+		t.Skip("set QED2D_GOLDEN=1 to run the full golden replay")
+	}
+	bin := buildDaemon(t)
+	addr := freePort(t)
+	ckpt := filepath.Join(t.TempDir(), "drain.ckpt")
+	args := []string{
+		"-query-steps", "20000", "-global-steps", "400000", "-seed", "1",
+		"-timeout", "120s", "-query-workers", "1", "-workers", "4",
+		"-queue-depth", "200", "-checkpoint", ckpt,
+	}
+	insts := bench.Suite()
+
+	d1 := startDaemon(t, bin, addr, args...)
+	base := "http://" + addr
+
+	var done atomic.Int64
+	replayDone := make(chan struct{})
+	var results []bench.Result
+	var replayErr error
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	go func() {
+		defer close(replayDone)
+		results, replayErr = bench.ReplayHTTP(ctx, insts, bench.ReplayOptions{
+			BaseURL:      base,
+			Inflight:     8,
+			PollInterval: 20 * time.Millisecond,
+			Progress: func(n, total int, _ bench.Result) {
+				if n%20 == 0 {
+					fmt.Printf("replay %d/%d\n", n, total)
+				}
+				done.Add(1)
+			},
+		})
+	}()
+
+	// SIGTERM mid-run, restart, converge.
+	waitUntil := time.Now().Add(5 * time.Minute)
+	for done.Load() < 20 {
+		if time.Now().After(waitUntil) {
+			t.Fatalf("replay made no progress (done=%d)", done.Load())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d1.terminate(t)
+	d2 := startDaemon(t, bin, addr, args...)
+	defer d2.terminate(t)
+
+	select {
+	case <-replayDone:
+	case <-ctx.Done():
+		t.Fatal("golden replay did not complete")
+	}
+	if replayErr != nil {
+		t.Fatalf("replay failed: %v", replayErr)
+	}
+
+	goldenCfg := core.Config{QuerySteps: 20_000, GlobalSteps: 400_000, Seed: 1}
+	golden, err := bench.LoadGolden(filepath.Join("..", "..", "testdata", "golden_verdicts.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := bench.GoldenFromResults(goldenCfg, results)
+	diffs, degraded := bench.DiffGolden(golden, fresh)
+	if len(diffs) != 0 {
+		t.Fatalf("service replay diverged from golden verdicts:\n%s", strings.Join(diffs, "\n"))
+	}
+	if len(degraded) != 0 {
+		t.Fatalf("service replay left degraded verdicts after restart:\n%s", strings.Join(degraded, "\n"))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"qed2/internal/buildinfo"
 	"qed2/internal/core"
 )
 
@@ -38,6 +39,12 @@ type CheckpointConfig struct {
 	NoBitsRule  bool   `json:"no_bits_rule,omitempty"`
 }
 
+// StampOf derives the configuration stamp from an analyzer configuration.
+// It is shared with the qed2d service layer, whose drain checkpoint and
+// content-addressed report store key on the same stamp — one definition of
+// "same configuration" across every persisted artifact.
+func StampOf(cfg core.Config) CheckpointConfig { return checkpointConfigOf(cfg) }
+
 // checkpointConfigOf derives the stamp from an analyzer configuration.
 func checkpointConfigOf(cfg core.Config) CheckpointConfig {
 	return CheckpointConfig{
@@ -53,8 +60,12 @@ func checkpointConfigOf(cfg core.Config) CheckpointConfig {
 
 // checkpointHeader is the first line of a checkpoint file. The non-nil
 // Config discriminates it from InstanceRecord lines (which require "name").
+// Version stamps the build that wrote the file; it is informational —
+// resumability is decided by the config stamp alone, since verdicts are
+// deterministic per configuration across builds of the same source.
 type checkpointHeader struct {
-	Config *CheckpointConfig `json:"config"`
+	Config  *CheckpointConfig `json:"config"`
+	Version string            `json:"version,omitempty"`
 }
 
 // CheckpointWriter appends instance records to a JSONL checkpoint file.
@@ -84,7 +95,7 @@ func NewCheckpointWriter(path string, cfg core.Config) (*CheckpointWriter, error
 	}
 	if st.Size() == 0 {
 		stamp := checkpointConfigOf(cfg)
-		b, err := json.Marshal(checkpointHeader{Config: &stamp})
+		b, err := json.Marshal(checkpointHeader{Config: &stamp, Version: buildinfo.Get().String()})
 		if err == nil {
 			_, err = f.Write(append(b, '\n'))
 		}

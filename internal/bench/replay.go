@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"qed2/internal/core"
+)
+
+// HTTP suite replay: drives the benchmark suite through a running qed2d
+// daemon instead of in-process analysis, returning the same []Result shape
+// Run produces, so the golden gate (GoldenFromResults + DiffGolden) applies
+// unchanged to service-path verdicts. The client is deliberately built on
+// its own wire structs — it speaks the daemon's JSON API, it does not
+// import the service package — and it retries everything the service
+// contract declares transient: 429 admission rejections, 503 draining,
+// connection errors while the daemon restarts, and jobs shed as retriable
+// cancellations by a drain. A replay that spans a SIGTERM drain therefore
+// converges to the same verdict set as an uninterrupted one.
+
+// ReplayOptions configures ReplayHTTP.
+type ReplayOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant is sent as X-QED2-Tenant (default "bench").
+	Tenant string
+	// Inflight bounds concurrently outstanding instances (default 8).
+	Inflight int
+	// PollInterval is the job-status poll cadence (default 50ms).
+	PollInterval time.Duration
+	// FailureRetries bounds resubmissions of jobs that end failed (internal
+	// error) before the instance is recorded as a degraded unknown
+	// (default 3). Retriable cancellations are not counted against it.
+	FailureRetries int
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Progress, when non-nil, is called after each instance completes;
+	// invocations are serialized and done is strictly monotone.
+	Progress func(done, total int, r Result)
+}
+
+func (o ReplayOptions) withDefaults() ReplayOptions {
+	if o.Tenant == "" {
+		o.Tenant = "bench"
+	}
+	if o.Inflight <= 0 {
+		o.Inflight = 8
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 50 * time.Millisecond
+	}
+	if o.FailureRetries <= 0 {
+		o.FailureRetries = 3
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// replayJob mirrors the daemon's JobView wire shape (the fields the replay
+// consumes).
+type replayJob struct {
+	ID        string        `json:"id"`
+	Status    string        `json:"status"`
+	Retriable bool          `json:"retriable"`
+	Error     string        `json:"error"`
+	Report    *replayReport `json:"report"`
+}
+
+// replayReport mirrors the daemon's report wire shape.
+type replayReport struct {
+	Verdict     string    `json:"verdict"`
+	Reason      string    `json:"reason"`
+	Degraded    string    `json:"degraded"`
+	CEOutput    string    `json:"ce_output"`
+	CEValues    [2]string `json:"ce_values"`
+	CESignals   []string  `json:"ce_signals"`
+	Queries     int       `json:"queries"`
+	SolverSteps int64     `json:"solver_steps"`
+	CacheHits   int       `json:"cache_hits"`
+	DurationMS  float64   `json:"duration_ms"`
+}
+
+// ReplayHTTP analyzes every instance through the daemon at opts.BaseURL,
+// preserving input order. It returns an error only when ctx expires or an
+// instance exhausts its retry budget against a persistently failing daemon;
+// per-instance compile rejections (HTTP 400) become CompileErr results like
+// the in-process runner's.
+func ReplayHTTP(ctx context.Context, insts []Instance, opts ReplayOptions) ([]Result, error) {
+	o := opts.withDefaults()
+	results := make([]Result, len(insts))
+	errs := make([]error, len(insts))
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		done       int
+	)
+	sem := make(chan struct{}, o.Inflight)
+	for i := range insts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-sem }()
+			results[i], errs[i] = replayOne(ctx, insts[i], o)
+			progressMu.Lock()
+			done++
+			if o.Progress != nil && errs[i] == nil {
+				o.Progress(done, len(insts), results[i])
+			}
+			progressMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("bench: replay %s: %w", insts[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+// replayOne drives one instance to a terminal, non-retriable outcome.
+func replayOne(ctx context.Context, inst Instance, o ReplayOptions) (Result, error) {
+	src := inst.Source()
+	t0 := time.Now()
+	failures := 0
+	for {
+		job, status, err := submit(ctx, o, src)
+		switch {
+		case err != nil:
+			// Daemon unreachable (restarting) — wait and resubmit.
+			if err := sleepCtx(ctx, o.PollInterval); err != nil {
+				return Result{}, err
+			}
+			continue
+		case status == http.StatusBadRequest:
+			return Result{Instance: inst, CompileErr: fmt.Errorf("bench: %s: %s", inst.Name, job.Error)}, nil
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			if err := sleepCtx(ctx, o.PollInterval); err != nil {
+				return Result{}, err
+			}
+			continue
+		case status != http.StatusOK && status != http.StatusAccepted:
+			return Result{}, fmt.Errorf("unexpected HTTP %d from submit", status)
+		}
+
+		final, err := pollJob(ctx, o, job)
+		if err != nil {
+			return Result{}, err
+		}
+		switch final.Status {
+		case "done":
+			return resultFromReplay(inst, final.Report, time.Since(t0)), nil
+		case "canceled":
+			if final.Retriable {
+				// Shed by a drain; the restarted daemon takes the resubmit.
+				if err := sleepCtx(ctx, o.PollInterval); err != nil {
+					return Result{}, err
+				}
+				continue
+			}
+			return Result{}, fmt.Errorf("job %s canceled non-retriably: %s", final.ID, final.Error)
+		case "failed":
+			failures++
+			if failures <= o.FailureRetries {
+				continue
+			}
+			// Persistently failing instance: record the degradation rather
+			// than wedge the suite, mirroring the in-process panic boundary.
+			res := Result{Instance: inst, AnalyzeTime: time.Since(t0)}
+			res.Report = &core.Report{
+				Verdict:  core.VerdictUnknown,
+				Reason:   final.Error,
+				Degraded: core.DegradedInternal,
+			}
+			return res, nil
+		default:
+			return Result{}, fmt.Errorf("job %s reached unexpected status %q", final.ID, final.Status)
+		}
+	}
+}
+
+// submit POSTs the circuit source. A non-nil error means the request never
+// got an HTTP response (connection refused mid-restart).
+func submit(ctx context.Context, o ReplayOptions, src string) (replayJob, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		o.BaseURL+"/v1/analyze", strings.NewReader(src))
+	if err != nil {
+		return replayJob{}, 0, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-QED2-Tenant", o.Tenant)
+	resp, err := o.Client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return replayJob{}, 0, ctx.Err()
+		}
+		return replayJob{}, 0, err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var job replayJob
+	// Error statuses may carry a plain-text body; tolerate non-JSON there.
+	_ = json.Unmarshal(b, &job)
+	if job.Error == "" && resp.StatusCode >= 400 {
+		job.Error = strings.TrimSpace(string(b))
+	}
+	if (resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted) && job.ID == "" {
+		// A 2xx without a job ID is a torn response (daemon killed
+		// mid-write); report it as unreachable so the caller resubmits.
+		return replayJob{}, 0, fmt.Errorf("torn submit response")
+	}
+	return job, resp.StatusCode, nil
+}
+
+// pollJob follows a job to a terminal status, resubmitting-friendly: a 404
+// (daemon restarted without this job) or a connection error is reported as
+// a retriable canceled job so the caller loops back to submit.
+func pollJob(ctx context.Context, o ReplayOptions, job replayJob) (replayJob, error) {
+	for {
+		if terminalStatus(job.Status) {
+			return job, nil
+		}
+		if err := sleepCtx(ctx, o.PollInterval); err != nil {
+			return replayJob{}, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			o.BaseURL+"/v1/jobs/"+job.ID, nil)
+		if err != nil {
+			return replayJob{}, err
+		}
+		resp, err := o.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return replayJob{}, ctx.Err()
+			}
+			return replayJob{ID: job.ID, Status: "canceled", Retriable: true, Error: "daemon unreachable"}, nil
+		}
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		var next replayJob
+		derr := rerr
+		if derr == nil {
+			derr = json.Unmarshal(b, &next)
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			return replayJob{ID: job.ID, Status: "canceled", Retriable: true, Error: "job lost across restart"}, nil
+		case resp.StatusCode != http.StatusOK:
+			return replayJob{}, fmt.Errorf("polling job %s: HTTP %d", job.ID, resp.StatusCode)
+		case derr != nil:
+			return replayJob{}, fmt.Errorf("polling job %s: %w", job.ID, derr)
+		}
+		job = next
+	}
+}
+
+func terminalStatus(s string) bool {
+	return s == "done" || s == "failed" || s == "canceled"
+}
+
+// resultFromReplay rehydrates a wire report into the Result shape the
+// golden gate consumes (mirroring resultFromRecord: witnesses and system
+// stats are not carried over HTTP).
+func resultFromReplay(inst Instance, rep *replayReport, elapsed time.Duration) Result {
+	res := Result{Instance: inst, AnalyzeTime: elapsed}
+	if rep == nil {
+		res.Report = &core.Report{Verdict: core.VerdictUnknown, Reason: "daemon returned no report", Degraded: core.DegradedInternal}
+		return res
+	}
+	v, _ := core.ParseVerdict(rep.Verdict)
+	res.Report = &core.Report{Verdict: v, Reason: rep.Reason, Degraded: core.Degradation(rep.Degraded)}
+	res.Report.Stats.Queries = rep.Queries
+	res.Report.Stats.SolverSteps = rep.SolverSteps
+	res.Report.Stats.CacheHits = rep.CacheHits
+	res.CEOutput = rep.CEOutput
+	res.CEVal1 = rep.CEValues[0]
+	res.CEVal2 = rep.CEValues[1]
+	res.CEDiffers = rep.CESignals
+	return res
+}
+
+// sleepCtx sleeps, honoring cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,83 @@
+// Package buildinfo resolves the module version and VCS revision of the
+// running binary from the build metadata the Go toolchain embeds
+// (debug.ReadBuildInfo). Every user-facing surface that stamps an artifact
+// with "which build produced this" — `qed2 -version`, `qed2bench -version`,
+// the qed2d /healthz endpoint, checkpoint headers and trace meta events —
+// goes through this package so the stamps cannot drift apart.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info describes the running build. Fields are best-effort: binaries built
+// outside a VCS checkout (or with -buildvcs=false, as `go test` binaries
+// are) carry no revision, and a non-module build has no version at all.
+type Info struct {
+	// Version is the module version ("(devel)" for a source build).
+	Version string
+	// Revision is the VCS revision the binary was built from ("" when the
+	// toolchain embedded no VCS metadata).
+	Revision string
+	// Modified reports uncommitted changes in the build's working tree.
+	Modified bool
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get resolves the build info once and caches it (the underlying lookup
+// parses the embedded metadata on every call).
+func Get() Info {
+	once.Do(func() {
+		cached = Info{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			cached.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			cached.GoVersion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.modified":
+				cached.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}
+
+// ShortRevision returns the revision truncated to 12 characters (plus a
+// "+dirty" suffix for modified trees), or "" when none was embedded.
+func (i Info) ShortRevision() string {
+	r := i.Revision
+	if len(r) > 12 {
+		r = r[:12]
+	}
+	if r != "" && i.Modified {
+		r += "+dirty"
+	}
+	return r
+}
+
+// String renders a one-line human-readable stamp, e.g.
+// "(devel) a1b2c3d4e5f6+dirty go1.22.0".
+func (i Info) String() string {
+	s := i.Version
+	if r := i.ShortRevision(); r != "" {
+		s += " " + r
+	}
+	return s + " " + i.GoVersion
+}

@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetPopulatesStableStamp(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("Get not stable: %+v vs %+v", a, b)
+	}
+	if a.Version == "" {
+		t.Fatal("empty Version (want at least a placeholder)")
+	}
+	if a.GoVersion == "" || !strings.HasPrefix(a.GoVersion, "go") {
+		t.Fatalf("bad GoVersion %q", a.GoVersion)
+	}
+	if got := a.String(); !strings.Contains(got, a.Version) || !strings.Contains(got, a.GoVersion) {
+		t.Fatalf("String() = %q does not include version and toolchain", got)
+	}
+}
+
+func TestShortRevisionTruncatesAndMarksDirty(t *testing.T) {
+	i := Info{Revision: "0123456789abcdef0123", Modified: true}
+	if got, want := i.ShortRevision(), "0123456789ab+dirty"; got != want {
+		t.Fatalf("ShortRevision = %q, want %q", got, want)
+	}
+	if got := (Info{}).ShortRevision(); got != "" {
+		t.Fatalf("empty revision rendered as %q", got)
+	}
+	// A clean short hash passes through untouched.
+	i = Info{Revision: "abc123"}
+	if got := i.ShortRevision(); got != "abc123" {
+		t.Fatalf("ShortRevision = %q, want abc123", got)
+	}
+}

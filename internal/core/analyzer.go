@@ -164,6 +164,33 @@ type Config struct {
 	Obs       *obs.Tracer
 	ObsParent *obs.Span
 	Metrics   *obs.Metrics
+	// Progress, when non-nil, receives coarse milestone events of the
+	// analysis: the static pre-pass, each slice-query round barrier, each
+	// final-stage round, and a terminal "done" event carrying the verdict.
+	// Like Obs/Metrics it is a pure observer — it never changes verdicts,
+	// stats or determinism. It is invoked sequentially from the analysis
+	// goroutine at round barriers (never from query workers), so it needs no
+	// locking of its own, but it must not block: the analysis stalls while
+	// the callback runs. qed2d feeds per-job event streams from this hook.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one milestone reported through Config.Progress.
+type ProgressEvent struct {
+	// Phase is "static" (pre-pass finished), "round" (a slice-query round
+	// barrier), "final" (a final-outputs-stage round barrier) or "done"
+	// (analysis finished; Verdict is set).
+	Phase string
+	// Round is the 1-based round number within its phase ("round"/"final").
+	Round int
+	// Tasks is the number of queries dispatched in the reported round.
+	Tasks int
+	// UniqueTotal/Queries/SolverSteps snapshot the analysis effort so far.
+	UniqueTotal int
+	Queries     int
+	SolverSteps int64
+	// Verdict is the final verdict string, set only on "done".
+	Verdict string
 }
 
 func (c *Config) withDefaults() Config {
@@ -426,6 +453,7 @@ func AnalyzeContext(ctx context.Context, sys *r1cs.System, cfg *Config) *Report 
 		// D-Bits ≈ R-Bits), so leaving it on would quietly undo the ablation.
 		if !c.DisableStatic && !c.DisableSolveRule && !c.DisableBitsRule {
 			a.runStaticPrePass()
+			a.emitProgress("static", 0, 0, "")
 		}
 		a.runFull()
 	}
@@ -452,7 +480,28 @@ func AnalyzeContext(ctx context.Context, sys *r1cs.System, cfg *Config) *Report 
 		obs.KV("cache_hits", a.report.Stats.CacheHits),
 		obs.KV("solver_steps", a.report.Stats.SolverSteps),
 		obs.KV("unique_total", a.report.Stats.UniqueTotal))
+	a.emitProgress("done", 0, 0, a.report.Verdict.String())
 	return a.report
+}
+
+// emitProgress reports one milestone through Config.Progress (no-op when
+// the hook is unset). Only called from the sequential analysis goroutine.
+func (a *analysis) emitProgress(phase string, round, tasks int, verdict string) {
+	if a.cfg.Progress == nil {
+		return
+	}
+	ev := ProgressEvent{
+		Phase:       phase,
+		Round:       round,
+		Tasks:       tasks,
+		Queries:     a.report.Stats.Queries,
+		SolverSteps: a.report.Stats.SolverSteps,
+		Verdict:     verdict,
+	}
+	if a.prop != nil {
+		ev.UniqueTotal = a.prop.NumUnique()
+	}
+	a.cfg.Progress(ev)
 }
 
 // outOfBudget reports whether the analysis must stop: global step budget
@@ -601,6 +650,7 @@ func (a *analysis) runFull() {
 			}
 		}
 		rs.End(obs.KV("new_unique", a.prop.NumUnique()-before))
+		a.emitProgress("round", round, len(tasks), "")
 		if a.prop.NumUnique() == before {
 			// Slices are exhausted: decide the remaining outputs globally.
 			a.finalOutputsStage()
@@ -629,6 +679,7 @@ func (a *analysis) finalOutputsStage() {
 	lastTried := map[int]int{}
 	var reason string
 	var degraded Degradation
+	round := 0
 	for {
 		if a.prop.OutputsUnique() {
 			a.report.Verdict = VerdictSafe
@@ -656,6 +707,7 @@ func (a *analysis) finalOutputsStage() {
 			a.report.Reason = a.stopReason("analysis budget exhausted before deciding all outputs")
 			return
 		}
+		round++
 		a.runRound(tasks, snap)
 		before := a.prop.NumUnique()
 		for _, t := range tasks {
@@ -678,6 +730,7 @@ func (a *analysis) finalOutputsStage() {
 				}
 			}
 		}
+		a.emitProgress("final", round, len(tasks), "")
 		if a.prop.NumUnique() == before {
 			break
 		}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProgressHookMilestones checks the Config.Progress contract on a
+// circuit that needs SMT rounds: events arrive in phase order, the terminal
+// event carries the verdict, and snapshots are monotone.
+func TestProgressHookMilestones(t *testing.T) {
+	p := compile(t, isZeroSafe)
+	var events []ProgressEvent
+	cfg := &Config{Progress: func(ev ProgressEvent) { events = append(events, ev) }}
+	r := Analyze(p.System, cfg)
+	if r.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v (%s)", r.Verdict, r.Reason)
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d progress events, want at least static/round + done", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Phase != "done" || last.Verdict != "safe" {
+		t.Fatalf("terminal event = %+v, want done/safe", last)
+	}
+	sawRound := false
+	var prevSteps int64
+	for i, ev := range events {
+		switch ev.Phase {
+		case "static", "round", "final":
+			if ev.Verdict != "" {
+				t.Errorf("event %d (%s) carries a verdict %q", i, ev.Phase, ev.Verdict)
+			}
+		case "done":
+			if i != len(events)-1 {
+				t.Errorf("done event at index %d of %d", i, len(events))
+			}
+		default:
+			t.Errorf("unknown phase %q", ev.Phase)
+		}
+		if ev.Phase == "round" || ev.Phase == "final" {
+			sawRound = true
+			if ev.Round < 1 || ev.Tasks < 1 {
+				t.Errorf("event %d: round=%d tasks=%d", i, ev.Round, ev.Tasks)
+			}
+		}
+		if ev.SolverSteps < prevSteps {
+			t.Errorf("event %d: solver steps went backwards %d -> %d", i, prevSteps, ev.SolverSteps)
+		}
+		prevSteps = ev.SolverSteps
+	}
+	if !sawRound {
+		t.Error("no round-barrier events for a circuit that needs SMT queries")
+	}
+	if last.UniqueTotal != r.Stats.UniqueTotal {
+		t.Errorf("done event UniqueTotal = %d, report says %d", last.UniqueTotal, r.Stats.UniqueTotal)
+	}
+	if last.Queries != r.Stats.Queries || last.SolverSteps != r.Stats.SolverSteps {
+		t.Errorf("done event effort (%d, %d) != report (%d, %d)",
+			last.Queries, last.SolverSteps, r.Stats.Queries, r.Stats.SolverSteps)
+	}
+}
+
+// TestProgressHookIsPureObserver pins that attaching the hook changes
+// nothing about the analysis: verdict, reason and stats are identical with
+// and without it, for any worker count.
+func TestProgressHookIsPureObserver(t *testing.T) {
+	p := compile(t, isZeroBuggy)
+	base := Analyze(p.System, &Config{Workers: 1, Seed: 1})
+	for _, workers := range []int{1, 8} {
+		hooked := Analyze(p.System, &Config{
+			Workers:  workers,
+			Seed:     1,
+			Progress: func(ProgressEvent) {},
+		})
+		base.Stats.Duration, hooked.Stats.Duration = 0, 0
+		base.Stats.Workers, hooked.Stats.Workers = 0, 0
+		if hooked.Verdict != base.Verdict || hooked.Reason != base.Reason {
+			t.Fatalf("workers=%d: verdict changed under Progress hook: %v/%q vs %v/%q",
+				workers, hooked.Verdict, hooked.Reason, base.Verdict, base.Reason)
+		}
+		if !reflect.DeepEqual(hooked.Stats, base.Stats) {
+			t.Fatalf("workers=%d: stats changed under Progress hook:\n%+v\nvs\n%+v", workers, hooked.Stats, base.Stats)
+		}
+	}
+}
+
+// TestProgressHookFiresOnBaselines covers the modes without rounds: the
+// done event must still arrive.
+func TestProgressHookFiresOnBaselines(t *testing.T) {
+	p := compile(t, isZeroSafe)
+	for _, mode := range []Mode{ModePropagationOnly, ModeSMTOnly} {
+		var events []ProgressEvent
+		Analyze(p.System, &Config{Mode: mode, Progress: func(ev ProgressEvent) { events = append(events, ev) }})
+		if len(events) == 0 || events[len(events)-1].Phase != "done" {
+			t.Errorf("mode %v: missing terminal done event (got %v)", mode, events)
+		}
+	}
+}

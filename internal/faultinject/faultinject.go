@@ -21,6 +21,10 @@
 //	core.query      — per-query worker wrapper in the analysis engine (panic, latency)
 //	circom.compile  — front-end entry (panic; exercises the recover boundary)
 //	bench.instance  — per-instance bench runner (panic; exercises instance isolation)
+//	service.enqueue — qed2d job admission (error/deadline reject as retriable overload)
+//	service.store.get — report-store lookup (error/deadline degrade to a cache miss)
+//	service.store.put — report-store insert (error/deadline surface as a put failure)
+//	service.handler — qed2d HTTP handler entry (panic; exercises the handler recover boundary)
 package faultinject
 
 import (

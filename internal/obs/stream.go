@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Stream is an io.Writer trace sink that fans complete JSONL lines out to
+// dynamically attached subscribers, with a bounded replay ring so a late
+// subscriber still sees the recent past. It is the bridge between the
+// tracer's buffered writer and the qed2d per-job event feeds: a job's
+// tracer writes into a Stream, and every client streaming the job's events
+// gets the lines pushed to its channel.
+//
+// Delivery is strictly non-blocking: a subscriber whose channel is full
+// loses lines (counted per subscriber and in aggregate) rather than ever
+// stalling the producer — a slow HTTP client must not be able to slow the
+// analysis down. Partial writes are buffered until their newline arrives,
+// so line framing survives the bufio flushes above.
+type Stream struct {
+	mu      sync.Mutex
+	partial []byte
+	ring    [][]byte // last ringCap complete lines, oldest first
+	ringCap int
+	subs    map[int]*streamSub
+	nextSub int
+	dropped int64
+}
+
+type streamSub struct {
+	ch      chan []byte
+	dropped int64
+}
+
+// NewStream creates a stream retaining the last ringCap lines for replay
+// (minimum 1).
+func NewStream(ringCap int) *Stream {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	return &Stream{ringCap: ringCap, subs: map[int]*streamSub{}}
+}
+
+// Write implements io.Writer: it splits the byte stream into lines and
+// broadcasts each complete line. It never fails and never blocks on
+// subscribers.
+func (s *Stream) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partial = append(s.partial, p...)
+	for {
+		i := bytes.IndexByte(s.partial, '\n')
+		if i < 0 {
+			break
+		}
+		line := make([]byte, i)
+		copy(line, s.partial[:i])
+		s.partial = s.partial[i+1:]
+		s.broadcastLocked(line)
+	}
+	return len(p), nil
+}
+
+func (s *Stream) broadcastLocked(line []byte) {
+	if len(s.ring) == s.ringCap {
+		copy(s.ring, s.ring[1:])
+		s.ring[len(s.ring)-1] = line
+	} else {
+		s.ring = append(s.ring, line)
+	}
+	for _, sub := range s.subs {
+		select {
+		case sub.ch <- line:
+		default:
+			sub.dropped++
+			s.dropped++
+		}
+	}
+}
+
+// Subscribe attaches a subscriber: the returned channel first replays the
+// retained ring, then receives live lines. buffer sizes the live-delivery
+// headroom beyond the replay (minimum 1). cancel detaches the subscriber
+// and closes the channel; it is idempotent.
+func (s *Stream) Subscribe(buffer int) (lines <-chan []byte, cancel func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s.mu.Lock()
+	sub := &streamSub{ch: make(chan []byte, buffer+len(s.ring))}
+	for _, line := range s.ring {
+		sub.ch <- line
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = sub
+	s.mu.Unlock()
+	return sub.ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(sub.ch)
+		}
+	}
+}
+
+// Dropped returns the total number of line deliveries lost to full
+// subscriber channels.
+func (s *Stream) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

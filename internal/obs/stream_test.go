@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func collect(ch <-chan []byte, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, string(<-ch))
+	}
+	return out
+}
+
+func TestStreamSplitsLinesAcrossWrites(t *testing.T) {
+	s := NewStream(8)
+	ch, cancel := s.Subscribe(8)
+	defer cancel()
+	// One line delivered in three writes, then two lines in one write.
+	s.Write([]byte(`{"a":`))
+	s.Write([]byte(`1`))
+	s.Write([]byte("}\n"))
+	s.Write([]byte("line2\nline3\n"))
+	got := collect(ch, 3)
+	want := []string{`{"a":1}`, "line2", "line3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamReplaysRingToLateSubscriber(t *testing.T) {
+	s := NewStream(2)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(s, "line%d\n", i)
+	}
+	ch, cancel := s.Subscribe(1)
+	defer cancel()
+	got := collect(ch, 2)
+	if got[0] != "line3" || got[1] != "line4" {
+		t.Fatalf("replay = %v, want last two lines", got)
+	}
+}
+
+func TestStreamDropsOnFullSubscriber(t *testing.T) {
+	s := NewStream(1)
+	_, cancel := s.Subscribe(1) // capacity 1 (+0 replay), never drained
+	defer cancel()
+	s.Write([]byte("a\nb\nc\n"))
+	if d := s.Dropped(); d != 2 {
+		t.Fatalf("Dropped = %d, want 2 (capacity-1 subscriber saw 3 lines)", d)
+	}
+}
+
+func TestStreamCancelIsIdempotentAndClosesChannel(t *testing.T) {
+	s := NewStream(4)
+	ch, cancel := s.Subscribe(1)
+	cancel()
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	s.Write([]byte("after\n")) // must not panic on a removed subscriber
+}
+
+func TestTracerMetaRoundTrip(t *testing.T) {
+	s := NewStream(4)
+	ch, cancel := s.Subscribe(4)
+	defer cancel()
+	tr := New(s)
+	tr.Meta("qed2-test", KV("version", "v1.2.3"))
+	sp := tr.Start(nil, "work")
+	sp.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := collect(ch, 3)
+	var meta struct {
+		Ev      string `json:"ev"`
+		Name    string `json:"name"`
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line %q: %v", lines[0], err)
+	}
+	if meta.Ev != "meta" || meta.Name != "qed2-test" || meta.Version != "v1.2.3" {
+		t.Fatalf("meta = %+v", meta)
+	}
+	// Nil tracer: Meta is a no-op, like every other method.
+	var nilT *Tracer
+	nilT.Meta("x")
+}

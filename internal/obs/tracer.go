@@ -13,6 +13,7 @@
 //
 // Trace schema (one JSON object per line):
 //
+//	{"ev":"meta","name":S,"t_us":N, ...attrs}           (opt-in, see Meta)
 //	{"ev":"span_start","id":N,"parent":N,"name":S,"t_us":N, ...attrs}
 //	{"ev":"span_end","id":N,"name":S,"t_us":N,"dur_us":N, ...attrs}
 //	{"ev":"event","parent":N,"name":S,"t_us":N, ...attrs}
@@ -84,6 +85,18 @@ func (t *Tracer) AttachMetrics(m *Metrics) {
 
 // Enabled reports whether events are being recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Meta emits a {"ev":"meta","name":name,...} header line carrying
+// run-level annotations (the CLIs and qed2d stamp the build version and
+// revision here). It is opt-in — New does not emit one — so traces written
+// by library users and tests keep their exact line layout; callers that
+// want a stamped trace call Meta first, before any span opens.
+func (t *Tracer) Meta(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.emit("meta", -1, -1, name, time.Now(), -1, attrs)
+}
 
 // Span is one timed, named region of the pipeline. A nil *Span is valid:
 // End is a no-op and child spans started under it become roots.

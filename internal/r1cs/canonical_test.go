@@ -1,0 +1,138 @@
+package r1cs
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+// metadataSystem builds a small system exercising every serialized feature:
+// named signals of all kinds, source locations, a hinted signal, a def
+// attribution and a tag.
+func metadataSystem(t testing.TB) *System {
+	t.Helper()
+	f, err := ff.NewField(big.NewInt(97))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSystem(f)
+	in := s.AddSignal("in", KindInput)
+	h := s.AddSignal("h", KindInternal)
+	out := s.AddSignal("out", KindOutput)
+	s.SetSignalLoc(in, SourceLoc{Template: "T", Line: 1, Col: 2})
+	s.MarkHinted(h)
+	v := func(x int) *poly.LinComb { return poly.Var(f, x) }
+	one := poly.Const(f, f.One())
+	s.AddConstraint(v(in), v(in), v(h), "sq")
+	s.AddConstraint(v(h), one, v(out), "copy")
+	s.SetConstraintLoc(0, SourceLoc{Template: "T", Line: 3, Col: 4})
+	s.SetConstraintDef(1, out)
+	return s
+}
+
+// shuffleConstraintLines deterministically permutes the constraint lines of
+// a marshaled system (an LCG-driven Fisher–Yates), leaving header and
+// signal lines in place — the text-format equivalent of a compiler emitting
+// constraints in a different order.
+func shuffleConstraintLines(text string, seed uint64) string {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	first := len(lines)
+	for i, l := range lines {
+		if strings.HasPrefix(l, "constraint ") {
+			first = i
+			break
+		}
+	}
+	cons := lines[first:]
+	state := seed*2862933555777941757 + 3037000493
+	for i := len(cons) - 1; i > 0; i-- {
+		state = state*2862933555777941757 + 3037000493
+		j := int(state % uint64(i+1))
+		cons[i], cons[j] = cons[j], cons[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestCanonicalByteIdenticalAcrossRenders(t *testing.T) {
+	s := metadataSystem(t)
+	a, b := s.CanonicalText(), s.CanonicalText()
+	if a != b {
+		t.Fatalf("CanonicalText not deterministic:\n%q\nvs\n%q", a, b)
+	}
+	if s.Digest() != s.Digest() {
+		t.Fatal("Digest not deterministic")
+	}
+	// The canonical form is itself valid text format and a fixed point of
+	// canonicalization.
+	reparsed, err := ParseString(a)
+	if err != nil {
+		t.Fatalf("canonical form does not parse: %v", err)
+	}
+	if got := reparsed.CanonicalText(); got != a {
+		t.Fatalf("canonicalization not idempotent:\n%q\nvs\n%q", got, a)
+	}
+}
+
+func TestDigestInvariantUnderConstraintShuffle(t *testing.T) {
+	s := metadataSystem(t)
+	text := s.MarshalText()
+	want := s.Digest()
+	for seed := uint64(1); seed <= 5; seed++ {
+		shuffled, err := ParseString(shuffleConstraintLines(text, seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := shuffled.Digest(); got != want {
+			t.Fatalf("seed %d: digest changed under constraint shuffle: %s vs %s", seed, got, want)
+		}
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := metadataSystem(t).Digest()
+	// A different coefficient is a different circuit.
+	mut := metadataSystem(t)
+	f := mut.Field()
+	mut.AddConstraint(poly.Var(f, 1), poly.Const(f, f.One()), poly.Var(f, 2), "")
+	if mut.Digest() == base {
+		t.Fatal("adding a constraint did not change the digest")
+	}
+	// Metadata is part of the address too: a hint flag flips the digest, so
+	// the store never serves one circuit's diagnostics for a metadata twin.
+	mut2 := metadataSystem(t)
+	mut2.MarkHinted(3)
+	if mut2.Digest() == base {
+		t.Fatal("hint metadata did not change the digest")
+	}
+}
+
+// FuzzCanonicalShuffle feeds arbitrary text through the parser and checks
+// the two core canonical-form invariants on everything that parses: digests
+// are invariant under constraint-line shuffles, and canonicalization is a
+// parse/render fixed point.
+func FuzzCanonicalShuffle(f *testing.F) {
+	f.Add(metadataSystem(f).MarshalText(), uint64(1))
+	f.Add("r1cs v1\nprime 13\nsignal 1 input a\nsignal 2 output b\nconstraint [0|1:1] [1|] [0|2:1]\nconstraint [0|2:1] [0|2:1] [0|1:1]\n", uint64(7))
+	f.Fuzz(func(t *testing.T, text string, seed uint64) {
+		sys, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		want := sys.Digest()
+		if shuffled, err := ParseString(shuffleConstraintLines(sys.MarshalText(), seed%64+1)); err == nil {
+			if got := shuffled.Digest(); got != want {
+				t.Fatalf("digest not shuffle-invariant: %s vs %s", got, want)
+			}
+		}
+		canon, err := ParseString(sys.CanonicalText())
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v", err)
+		}
+		if got := canon.Digest(); got != want {
+			t.Fatalf("canonical re-parse changed digest: %s vs %s", got, want)
+		}
+	})
+}

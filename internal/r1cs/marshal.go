@@ -67,34 +67,46 @@ func (s *System) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, sig := range s.signals {
-		line := fmt.Sprintf("signal %d %s %s", sig.ID, sig.Kind, sig.Name)
-		if !sig.Loc.IsZero() {
-			line += " loc=" + sig.Loc.String()
-		}
-		if sig.Hinted {
-			line += " hint"
-		}
-		if err := count(fmt.Fprintln(bw, line)); err != nil {
+		if err := count(fmt.Fprintln(bw, signalLine(sig))); err != nil {
 			return n, err
 		}
 	}
 	for i := range s.constraints {
-		c := &s.constraints[i]
-		line := fmt.Sprintf("constraint [%s] [%s] [%s]", marshalLC(c.A), marshalLC(c.B), marshalLC(c.C))
-		if c.Def != 0 {
-			line += fmt.Sprintf(" def=%d", c.Def)
-		}
-		if !c.Loc.IsZero() {
-			line += " @ " + c.Loc.String()
-		}
-		if c.Tag != "" {
-			line += " # " + c.Tag
-		}
-		if err := count(fmt.Fprintln(bw, line)); err != nil {
+		if err := count(fmt.Fprintln(bw, constraintLine(&s.constraints[i]))); err != nil {
 			return n, err
 		}
 	}
 	return n, bw.Flush()
+}
+
+// signalLine renders one "signal ..." line of the text format.
+func signalLine(sig Signal) string {
+	line := fmt.Sprintf("signal %d %s %s", sig.ID, sig.Kind, sig.Name)
+	if !sig.Loc.IsZero() {
+		line += " loc=" + sig.Loc.String()
+	}
+	if sig.Hinted {
+		line += " hint"
+	}
+	return line
+}
+
+// constraintLine renders one "constraint ..." line of the text format. The
+// rendering is deterministic: marshalLC visits terms in ascending variable
+// order, so equal constraints always produce equal lines — the property the
+// canonical digest (canonical.go) builds on.
+func constraintLine(c *Constraint) string {
+	line := fmt.Sprintf("constraint [%s] [%s] [%s]", marshalLC(c.A), marshalLC(c.B), marshalLC(c.C))
+	if c.Def != 0 {
+		line += fmt.Sprintf(" def=%d", c.Def)
+	}
+	if !c.Loc.IsZero() {
+		line += " @ " + c.Loc.String()
+	}
+	if c.Tag != "" {
+		line += " # " + c.Tag
+	}
+	return line
 }
 
 // MarshalText renders the system as a string in the text format.

@@ -1,0 +1,344 @@
+// Package store is the content-addressed report store of the qed2d analysis
+// service: it maps a circuit's canonical digest (r1cs.(*System).Digest) to
+// the cached report of a previous analysis, so re-submissions of the same
+// circuit — the dominant traffic pattern for circomlib-derived templates —
+// cost a hash lookup instead of a solver run.
+//
+// Keying and soundness. The digest covers the canonical form of the whole
+// system (constraint-order independent, metadata-sensitive), and a store is
+// opened under a configuration stamp: reports produced under different
+// budgets, seed or mode are never mixed, exactly like the bench checkpoint
+// header (DESIGN.md §11). Within one stamp, analysis is deterministic, so a
+// cache hit returns byte-for-byte the report a fresh run would produce —
+// caching can change latency, never verdicts (DESIGN.md §14).
+//
+// Verdict hygiene. Only decided, non-degraded reports are cacheable: every
+// Unknown — whether degraded (canceled, internal-error), resource-limited
+// or a genuine budget outcome — is re-analyzed on resubmission. This is the
+// whole-report analogue of the solver memo-cache cacheable split
+// (core/scheduler.go): a report that merely records "we gave up" must not
+// be replayed as if it were a proof.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"qed2/internal/buildinfo"
+	"qed2/internal/core"
+	"qed2/internal/faultinject"
+	"qed2/internal/obs"
+	"qed2/internal/r1cs"
+)
+
+// Report is the serializable summary of one analysis, the unit the store
+// caches and the jobs API returns. It carries the verdict, the
+// counterexample rendered in the same shape the bench golden gate pins
+// (output name, witnessed values, differing-signal names in ID order), and
+// an effort summary.
+type Report struct {
+	Verdict  string `json:"verdict"`
+	Reason   string `json:"reason,omitempty"`
+	Degraded string `json:"degraded,omitempty"`
+	// CEOutput/CEValues/CESignals summarize the counterexample of an unsafe
+	// verdict: the differing output with its two witnessed values, and the
+	// names of every signal on which the witness pair disagrees (ID order).
+	CEOutput  string    `json:"ce_output,omitempty"`
+	CEValues  [2]string `json:"ce_values,omitempty"`
+	CESignals []string  `json:"ce_signals,omitempty"`
+	// Circuit shape and analysis effort.
+	Signals       int     `json:"signals"`
+	Constraints   int     `json:"constraints"`
+	UniqueSignals int     `json:"unique_signals"`
+	Queries       int     `json:"queries"`
+	SolverSteps   int64   `json:"solver_steps"`
+	CacheHits     int     `json:"cache_hits"`
+	DurationMS    float64 `json:"duration_ms"`
+	// Version stamps the build that produced the report (informational).
+	Version string `json:"version,omitempty"`
+}
+
+// FromCore summarizes a core report against its system (needed to name the
+// counterexample signals).
+func FromCore(rep *core.Report, sys *r1cs.System) *Report {
+	out := &Report{
+		Verdict:       rep.Verdict.String(),
+		Reason:        rep.Reason,
+		Degraded:      string(rep.Degraded),
+		Signals:       rep.Stats.SignalsTotal,
+		Constraints:   rep.Stats.Constraints,
+		UniqueSignals: rep.Stats.UniqueTotal,
+		Queries:       rep.Stats.Queries,
+		SolverSteps:   rep.Stats.SolverSteps,
+		CacheHits:     rep.Stats.CacheHits,
+		DurationMS:    float64(rep.Stats.Duration.Microseconds()) / 1000,
+		Version:       buildinfo.Get().String(),
+	}
+	if ce := rep.Counter; ce != nil {
+		f := sys.Field()
+		out.CEOutput = sys.Name(ce.Signal)
+		out.CEValues = [2]string{f.String(ce.W1[ce.Signal]), f.String(ce.W2[ce.Signal])}
+		for id := 1; id < sys.NumSignals(); id++ {
+			if ce.W1[id] != ce.W2[id] {
+				out.CESignals = append(out.CESignals, sys.Name(id))
+			}
+		}
+	}
+	return out
+}
+
+// Cacheable reports whether a report may be served from the store: only
+// decided verdicts (safe/unsafe) that are not degraded. Every flavor of
+// Unknown re-analyzes.
+func Cacheable(r *Report) bool {
+	if r == nil || r.Degraded != "" {
+		return false
+	}
+	return r.Verdict == core.VerdictSafe.String() || r.Verdict == core.VerdictUnsafe.String()
+}
+
+// ErrUncacheable is returned by Put for reports Cacheable rejects.
+var ErrUncacheable = errors.New("store: report is not cacheable (undecided or degraded)")
+
+// Options configures Open.
+type Options struct {
+	// Capacity bounds the in-memory LRU tier (default 1024 entries).
+	Capacity int
+	// Dir, when non-empty, enables the on-disk tier: one JSON file per
+	// digest, surviving restarts. Created if missing.
+	Dir string
+	// Stamp pins the analyzer configuration the cached reports are valid
+	// for (the service uses the JSON of its checkpoint config). A disk tier
+	// written under a different stamp is refused at Open, like a mismatched
+	// bench checkpoint header.
+	Stamp string
+	// Metrics, when non-nil, receives the service.store.* counters.
+	Metrics *obs.Metrics
+}
+
+// Store is the two-tier content-addressed report cache. Safe for
+// concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // digest -> lru element
+	lru     *list.List               // front = most recently used
+	dir     string
+
+	hits, misses, puts     *obs.Counter
+	evictions, diskHits    *obs.Counter
+	rejectedPuts, putFails *obs.Counter
+}
+
+type entry struct {
+	digest string
+	rep    *Report
+}
+
+// stampFile is the disk-tier stamp marker inside Options.Dir.
+const stampFile = "store_stamp.json"
+
+// stampPayload is the JSON stored in stampFile: the configuration stamp
+// plus an informational format version and producing build.
+type stampPayload struct {
+	Format  int    `json:"format"`
+	Stamp   string `json:"stamp"`
+	Version string `json:"version,omitempty"`
+}
+
+// Open creates a store. With a Dir, the disk tier's stamp is verified
+// (written on first use): reports cached under a different analyzer
+// configuration are refused wholesale rather than filtered per entry.
+func Open(opts Options) (*Store, error) {
+	s := &Store{
+		cap:          opts.Capacity,
+		entries:      map[string]*list.Element{},
+		lru:          list.New(),
+		dir:          opts.Dir,
+		hits:         opts.Metrics.Counter("service.store.hits"),
+		misses:       opts.Metrics.Counter("service.store.misses"),
+		puts:         opts.Metrics.Counter("service.store.puts"),
+		evictions:    opts.Metrics.Counter("service.store.evictions"),
+		diskHits:     opts.Metrics.Counter("service.store.disk_hits"),
+		rejectedPuts: opts.Metrics.Counter("service.store.rejected_puts"),
+		putFails:     opts.Metrics.Counter("service.store.put_failures"),
+	}
+	if s.cap <= 0 {
+		s.cap = 1024
+	}
+	if s.dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", s.dir, err)
+	}
+	path := filepath.Join(s.dir, stampFile)
+	b, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		payload, merr := json.Marshal(stampPayload{Format: 1, Stamp: opts.Stamp, Version: buildinfo.Get().String()})
+		if merr == nil {
+			merr = os.WriteFile(path, append(payload, '\n'), 0o644)
+		}
+		if merr != nil {
+			return nil, fmt.Errorf("store: writing stamp %s: %w", path, merr)
+		}
+	case err != nil:
+		return nil, fmt.Errorf("store: reading stamp %s: %w", path, err)
+	default:
+		var have stampPayload
+		if err := json.Unmarshal(b, &have); err != nil {
+			return nil, fmt.Errorf("store: corrupt stamp %s: %w — delete the store directory to rebuild it", path, err)
+		}
+		if have.Stamp != opts.Stamp {
+			return nil, fmt.Errorf("store: %s was written under config stamp %s but this run uses %s — point -store-dir elsewhere or delete it", s.dir, have.Stamp, opts.Stamp)
+		}
+	}
+	return s, nil
+}
+
+// Get looks a digest up, memory tier first, then disk. ok is false on a
+// miss — including when fault injection (site service.store.get) poisons
+// the lookup: a store fault degrades to a re-analysis, never to a wrong or
+// missing verdict.
+func (s *Store) Get(digest string) (*Report, bool) {
+	if faultinject.Enabled() {
+		if f := faultinject.Check("service.store.get"); f.Err != "" || f.Deadline {
+			s.misses.Inc()
+			return nil, false
+		}
+	}
+	s.mu.Lock()
+	if el, ok := s.entries[digest]; ok {
+		s.lru.MoveToFront(el)
+		rep := el.Value.(*entry).rep
+		s.mu.Unlock()
+		s.hits.Inc()
+		return rep, true
+	}
+	s.mu.Unlock()
+	if rep, ok := s.diskGet(digest); ok {
+		s.installMemory(digest, rep)
+		s.diskHits.Inc()
+		s.hits.Inc()
+		return rep, true
+	}
+	s.misses.Inc()
+	return nil, false
+}
+
+func (s *Store) diskGet(digest string) (*Report, bool) {
+	if s.dir == "" || !validDigest(digest) {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, digest+".json"))
+	if err != nil {
+		return nil, false
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(b, rep); err != nil {
+		return nil, false
+	}
+	// Hygiene is enforced on the read path too: a degraded or undecided
+	// report on disk (hand-edited, or written by a buggy older build) is
+	// treated as absent, mirroring the Put-side Cacheable gate.
+	if !Cacheable(rep) {
+		return nil, false
+	}
+	return rep, true
+}
+
+// Put caches a report under a digest. Uncacheable reports (any Unknown, or
+// a set Degraded flag) are refused with ErrUncacheable — the cache-verdict
+// hygiene gate. Disk-tier write failures are reported but leave the memory
+// tier updated.
+func (s *Store) Put(digest string, rep *Report) error {
+	if !Cacheable(rep) {
+		s.rejectedPuts.Inc()
+		return ErrUncacheable
+	}
+	if faultinject.Enabled() {
+		if f := faultinject.Check("service.store.put"); f.Err != "" || f.Deadline {
+			s.putFails.Inc()
+			return fmt.Errorf("store: injected fault: %s", f.Err)
+		}
+	}
+	s.installMemory(digest, rep)
+	s.puts.Inc()
+	if s.dir == "" {
+		return nil
+	}
+	if !validDigest(digest) {
+		return fmt.Errorf("store: refusing to write non-hex digest %q to disk", digest)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		s.putFails.Inc()
+		return fmt.Errorf("store: marshaling report: %w", err)
+	}
+	// Atomic publish: never expose a torn report file to a concurrent Get
+	// or a restarted daemon.
+	final := filepath.Join(s.dir, digest+".json")
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err == nil {
+		_, err = tmp.Write(append(b, '\n'))
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), final)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}
+	if err != nil {
+		s.putFails.Inc()
+		return fmt.Errorf("store: writing %s: %w", final, err)
+	}
+	return nil
+}
+
+func (s *Store) installMemory(digest string, rep *Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[digest]; ok {
+		el.Value.(*entry).rep = rep
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[digest] = s.lru.PushFront(&entry{digest: digest, rep: rep})
+	for s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*entry).digest)
+		s.evictions.Inc()
+	}
+}
+
+// Len returns the number of entries in the memory tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// validDigest accepts exactly the lowercase-hex SHA-256 shape Digest
+// produces, keeping attacker-shaped digests out of file paths.
+func validDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"qed2/internal/core"
+	"qed2/internal/faultinject"
+	"qed2/internal/obs"
+)
+
+func safeReport(tag string) *Report {
+	return &Report{Verdict: "safe", Reason: tag, Signals: 3, Constraints: 2}
+}
+
+func digestN(n byte) string {
+	return strings.Repeat("0", 62) + strings.ToLower(string([]byte{hexDigit(n >> 4), hexDigit(n & 15)}))
+}
+
+func hexDigit(v byte) byte {
+	if v < 10 {
+		return '0' + v
+	}
+	return 'a' + v - 10
+}
+
+func TestStoreLRUEvictsOldest(t *testing.T) {
+	m := obs.NewMetrics()
+	s, err := Open(Options{Capacity: 2, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(1); i <= 3; i++ {
+		if err := s.Put(digestN(i), safeReport("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(digestN(1)); ok {
+		t.Fatal("oldest entry survived beyond capacity")
+	}
+	for i := byte(2); i <= 3; i++ {
+		if _, ok := s.Get(digestN(i)); !ok {
+			t.Fatalf("entry %d evicted early", i)
+		}
+	}
+	c := m.Counters()
+	if c["service.store.evictions"] != 1 || c["service.store.hits"] != 2 || c["service.store.misses"] != 1 {
+		t.Fatalf("counters = %v", c)
+	}
+	// Touching 2 then inserting must evict 3, not 2.
+	s.Get(digestN(2))
+	s.Put(digestN(4), safeReport("r"))
+	if _, ok := s.Get(digestN(2)); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := s.Get(digestN(3)); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+}
+
+func TestStoreRejectsUncacheableReports(t *testing.T) {
+	m := obs.NewMetrics()
+	s, err := Open(Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncacheable := []*Report{
+		nil,
+		{Verdict: "unknown", Reason: "analysis budget exhausted"},
+		{Verdict: "unknown", Reason: "canceled", Degraded: "canceled"},
+		{Verdict: "unknown", Reason: "internal error: boom", Degraded: "internal-error"},
+		// Defensive: a decided verdict with a (contract-violating) degraded
+		// flag must still be refused.
+		{Verdict: "safe", Degraded: "canceled"},
+	}
+	for i, rep := range uncacheable {
+		if err := s.Put(digestN(byte(i+1)), rep); !errors.Is(err, ErrUncacheable) {
+			t.Errorf("report %d: Put = %v, want ErrUncacheable", i, err)
+		}
+		if _, ok := s.Get(digestN(byte(i + 1))); ok {
+			t.Errorf("report %d: uncacheable report served back", i)
+		}
+	}
+	if got := m.Counters()["service.store.rejected_puts"]; got != int64(len(uncacheable)) {
+		t.Fatalf("rejected_puts = %d, want %d", got, len(uncacheable))
+	}
+	if err := s.Put(digestN(200), &Report{Verdict: "unsafe", CEOutput: "out"}); err != nil {
+		t.Fatalf("decided unsafe verdict refused: %v", err)
+	}
+}
+
+func TestStoreDiskTierRoundTripAndStamp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Stamp: `{"seed":1}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := safeReport("persisted")
+	if err := s.Put(digestN(9), want); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same dir and stamp serves the report from disk.
+	m := obs.NewMetrics()
+	s2, err := Open(Options{Dir: dir, Stamp: `{"seed":1}`, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(digestN(9))
+	if !ok || got.Reason != "persisted" {
+		t.Fatalf("disk round trip failed: %+v ok=%v", got, ok)
+	}
+	if c := m.Counters(); c["service.store.disk_hits"] != 1 {
+		t.Fatalf("counters = %v", c)
+	}
+	// A mismatched stamp is refused wholesale.
+	if _, err := Open(Options{Dir: dir, Stamp: `{"seed":2}`}); err == nil {
+		t.Fatal("mismatched stamp accepted")
+	}
+}
+
+func TestStoreDiskHygieneOnReadPath(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Stamp: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A degraded report planted directly in the disk tier (bypassing Put)
+	// must be treated as absent.
+	planted := filepath.Join(dir, digestN(7)+".json")
+	if err := os.WriteFile(planted, []byte(`{"verdict":"unknown","degraded":"canceled"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digestN(7)); ok {
+		t.Fatal("degraded report served from disk")
+	}
+	if err := os.WriteFile(planted, []byte(`{"verdict":"safe"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(digestN(7)); ok {
+		t.Fatal("torn report file served from disk")
+	}
+}
+
+func TestStoreFaultInjectionDegradesToMiss(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestN(5), safeReport("r")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(&faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Site: "service.store.get", Kind: faultinject.KindError, Every: 1},
+		{Site: "service.store.put", Kind: faultinject.KindError, Every: 1},
+	}})
+	defer faultinject.Disable()
+	if _, ok := s.Get(digestN(5)); ok {
+		t.Fatal("injected get fault did not degrade to a miss")
+	}
+	if err := s.Put(digestN(6), safeReport("r")); err == nil {
+		t.Fatal("injected put fault not surfaced")
+	}
+	faultinject.Disable()
+	if _, ok := s.Get(digestN(5)); !ok {
+		t.Fatal("entry lost after fault injection disabled")
+	}
+	if _, ok := s.Get(digestN(6)); ok {
+		t.Fatal("fault-poisoned put was applied")
+	}
+}
+
+func TestFromCoreCacheableSplit(t *testing.T) {
+	rep := &core.Report{Verdict: core.VerdictSafe}
+	rep.Stats.SignalsTotal = 4
+	rep.Stats.Duration = 1500 * time.Microsecond
+	sr := FromCore(rep, nil)
+	if !Cacheable(sr) || sr.Verdict != "safe" || sr.Signals != 4 {
+		t.Fatalf("FromCore(safe) = %+v", sr)
+	}
+	if sr.Version == "" {
+		t.Fatal("report not version-stamped")
+	}
+	deg := &core.Report{Verdict: core.VerdictUnknown, Reason: "canceled", Degraded: core.DegradedCanceled}
+	if Cacheable(FromCore(deg, nil)) {
+		t.Fatal("degraded report marked cacheable")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"math/big"
 
 	"qed2/internal/bench"
+	"qed2/internal/buildinfo"
 	"qed2/internal/circom"
 	"qed2/internal/core"
 	"qed2/internal/ff"
@@ -176,4 +177,18 @@ func CircomLib() map[string]string {
 // (*System).MarshalText / the qed2 -r1cs flag.
 func ParseSystem(text string) (*System, error) {
 	return r1cs.ParseString(text)
+}
+
+// Digest returns the content address of a constraint system: the SHA-256
+// of its canonical form, independent of constraint order. Two systems with
+// equal digests produce identical analysis reports under one configuration
+// — the keying invariant of the qed2d report store.
+func Digest(sys *System) string {
+	return sys.Digest()
+}
+
+// Version describes the build ("version revision goversion"), the same
+// stamp qed2d reports from /healthz and embeds in cached reports.
+func Version() string {
+	return buildinfo.Get().String()
 }

@@ -191,3 +191,48 @@ func TestSuiteDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestDigestStableAcrossCompilesAndAnalysis pins the content-address
+// contract the qed2d store keys on: recompiling the same source yields the
+// same digest, and analyzing a system — with any worker count — never
+// perturbs it (analysis treats the system as read-only).
+func TestDigestStableAcrossCompilesAndAnalysis(t *testing.T) {
+	const src = `
+template IsZero() {
+    signal input in;
+    signal output out;
+    signal inv;
+    inv <-- in != 0 ? 1/in : 0;
+    out <== -in*inv + 1;
+    in*out === 0;
+}
+component main = IsZero();
+`
+	p1, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Digest(p1.System)
+	if len(d) != 64 {
+		t.Fatalf("digest %q is not a hex SHA-256", d)
+	}
+	if d2 := Digest(p2.System); d2 != d {
+		t.Fatalf("recompiling the same source changed the digest: %s vs %s", d, d2)
+	}
+	for _, workers := range []int{1, 8} {
+		r := AnalyzeSystem(p1.System, &Config{Workers: workers, Seed: 1})
+		if r.Verdict != Safe {
+			t.Fatalf("workers=%d: verdict = %v (%s)", workers, r.Verdict, r.Reason)
+		}
+		if got := Digest(p1.System); got != d {
+			t.Fatalf("workers=%d: analysis mutated the system digest: %s vs %s", workers, got, d)
+		}
+	}
+	if Version() == "" {
+		t.Fatal("Version() is empty")
+	}
+}
