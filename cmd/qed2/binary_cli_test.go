@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qed2/internal/bench"
+	"qed2/internal/circom"
+)
+
+// writeBinaryExport compiles src and writes its binary .r1cs and .sym
+// companion next to each other, returning both paths.
+func writeBinaryExport(t *testing.T, src string) (r1csPath, symPath string) {
+	t.Helper()
+	prog, err := circom.Compile(src, &circom.CompileOptions{Library: bench.Library()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r1csPath = filepath.Join(dir, "c.r1cs")
+	symPath = filepath.Join(dir, "c.sym")
+	if err := os.WriteFile(r1csPath, prog.System.MarshalBinary(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(symPath, prog.System.MarshalSym(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return r1csPath, symPath
+}
+
+// TestCLIBinaryR1CSAutoDetect checks the snarkjs-format ingestion path:
+// a binary .r1cs is auto-detected, the sibling .sym restores signal names,
+// and the verdict matches the source analysis (unsafe with a named
+// counterexample output for the classic IsZero bug).
+func TestCLIBinaryR1CSAutoDetect(t *testing.T) {
+	binPath, _ := writeBinaryExport(t, buggySrc)
+	code, out, errw := runCLI(t, "-seed", "1", binPath)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (unsafe)\n%s%s", code, out, errw)
+	}
+	if !strings.Contains(out, "unsafe") {
+		t.Errorf("verdict missing:\n%s", out)
+	}
+	// The sibling .sym was picked up by convention: the counterexample
+	// names the real output signal, not a synthesized wire name.
+	if !strings.Contains(errw, "using signal names from") {
+		t.Errorf("sym autodiscovery not reported:\n%s", errw)
+	}
+	if !strings.Contains(out, "inv") {
+		t.Errorf("counterexample lost source names:\n%s", out)
+	}
+}
+
+// TestCLIBinaryR1CSWithoutSym checks the nameless fallback: analysis still
+// works, signals get synthesized w<label> names.
+func TestCLIBinaryR1CSWithoutSym(t *testing.T) {
+	binPath, symPath := writeBinaryExport(t, buggySrc)
+	if err := os.Remove(symPath); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "-seed", "1", binPath)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (unsafe)\n%s", code, out)
+	}
+	if strings.Contains(out, "inv") {
+		t.Errorf("expected synthesized wire names, got source names:\n%s", out)
+	}
+}
+
+// TestCLIBinaryR1CSExplicitSym checks -sym with a non-sibling path, plus
+// the -sym-on-text rejection.
+func TestCLIBinaryR1CSExplicitSym(t *testing.T) {
+	binPath, symPath := writeBinaryExport(t, buggySrc)
+	moved := filepath.Join(t.TempDir(), "elsewhere.sym")
+	data, err := os.ReadFile(symPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(moved, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(symPath); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "-seed", "1", "-sym", moved, binPath)
+	if code != 1 || !strings.Contains(out, "inv") {
+		t.Fatalf("explicit -sym failed (exit %d):\n%s", code, out)
+	}
+
+	// -sym is meaningless for the text format, which carries its own names.
+	textPath := writeCircuit(t, "mul.circom", safeSrc)
+	code, dump, _ := runCLI(t, "-r1cs", textPath)
+	if code != 0 {
+		t.Fatal("text dump failed")
+	}
+	textR1CS := filepath.Join(filepath.Dir(textPath), "mul.r1cs")
+	if err := os.WriteFile(textR1CS, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw := runCLI(t, "-sym", moved, textR1CS)
+	if code != 3 || !strings.Contains(errw, "-sym") {
+		t.Errorf("-sym on text format: exit %d, stderr %q", code, errw)
+	}
+}

@@ -76,6 +76,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quiet       = fs.Bool("q", false, "print only the verdict")
 		jsonOut     = fs.Bool("json", false, "emit the analysis report as JSON")
 		witness     = fs.String("witness", "", `generate and check a witness for the given inputs, e.g. "a=3,in[0]=7", then exit`)
+		symPath     = fs.String("sym", "", "circom .sym file with signal names for a binary .r1cs input (default: the input path with a .sym extension, if present)")
 		trace       = fs.String("trace", "", "write a JSONL trace of the analysis pipeline (spans, counters) to this file")
 		metrics     = fs.Bool("metrics", false, "print pipeline counters and histograms to stderr after the analysis")
 		version     = fs.Bool("version", false, "print the build version and exit")
@@ -98,8 +99,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "qed2:", err)
 		return 3
 	}
-	// A pre-compiled constraint system (as produced by -r1cs) can be
-	// analyzed directly.
+	// A pre-compiled constraint system — this tool's own text dump (as
+	// produced by -r1cs) or a binary snarkjs/circom export, auto-detected —
+	// can be analyzed directly.
 	var prog *circom.Program
 	if strings.HasSuffix(path, ".r1cs") {
 		if *witness != "" {
@@ -108,19 +110,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "qed2: -witness needs a .circom source; a .r1cs dump has no witness-generation instructions")
 			return 3
 		}
-		sys, err := r1cs.ParseString(string(src))
+		// Binary exports carry no signal names; the circom .sym companion
+		// file restores them (explicit -sym, or <input>.sym by convention).
+		var sym []byte
+		if r1cs.IsBinaryR1CS(src) {
+			sp := *symPath
+			if sp == "" {
+				cand := strings.TrimSuffix(path, ".r1cs") + ".sym"
+				if _, err := os.Stat(cand); err == nil {
+					sp = cand
+				}
+			}
+			if sp != "" {
+				sym, err = os.ReadFile(sp)
+				if err != nil {
+					fmt.Fprintln(stderr, "qed2:", err)
+					return 3
+				}
+				fmt.Fprintf(stderr, "qed2: using signal names from %s\n", sp)
+			}
+		} else if *symPath != "" {
+			fmt.Fprintln(stderr, "qed2: -sym only applies to binary .r1cs inputs (the text format carries its own names)")
+			return 3
+		}
+		sys, err := r1cs.ParseAutoWithSym(src, sym)
 		if err != nil {
 			fmt.Fprintln(stderr, "qed2:", err)
 			return 3
 		}
-		prog = &circom.Program{System: sys, InputNames: map[string]int{}, OutputNames: map[string]int{}}
-		for _, id := range sys.Inputs() {
-			prog.InputNames[sys.Name(id)] = id
-		}
-		for _, id := range sys.Outputs() {
-			prog.OutputNames[sys.Name(id)] = id
-		}
-		prog.MainTemplate = "(from " + path + ")"
+		prog = circom.ProgramFromSystem(sys, "(from "+path+")")
 	}
 	// Library: bundled circomlib subset + sibling files of the input.
 	lib := bench.Library()

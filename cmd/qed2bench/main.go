@@ -15,6 +15,19 @@
 //	qed2bench -checkpoint ck.jsonl           # persist per-instance results as they complete
 //	qed2bench -checkpoint ck.jsonl -resume   # skip instances the checkpoint already decided
 //
+// Corpus-scale runs (see DESIGN.md §15):
+//
+//	qed2bench -corpus testdata/corpus/manifest.json -golden testdata/golden_verdicts.json
+//	    # golden gate over suite ∪ generated corpus
+//	qed2bench -corpus ... -shard 2/4 -golden-out shard_2.json
+//	    # one CI leg: analyze every 4th instance, snapshot its verdicts
+//	qed2bench -merge shard_1.json,shard_2.json,shard_3.json,shard_4.json -golden testdata/golden_verdicts.json
+//	    # recombine the legs (no analysis) and diff the union
+//	qed2bench -corpus-gen 500 -gen-seed 20260808 -mismatch-out bad_seeds.json
+//	    # nightly: generate+analyze 500 fresh instances, check ground-truth labels
+//	qed2bench -corpus-gen 1000 -gen-seed 1 -corpus-out testdata/corpus/manifest.json
+//	    # (re)generate the checked-in corpus manifest (no analysis)
+//
 // A checkpoint's first line stamps the analyzer configuration; -resume
 // refuses a checkpoint written under different budgets, seed, or mode
 // instead of silently mixing records from incomparable runs.
@@ -40,6 +53,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +61,7 @@ import (
 	"qed2/internal/buildinfo"
 	"qed2/internal/core"
 	"qed2/internal/faultinject"
+	"qed2/internal/gen"
 	"qed2/internal/obs"
 )
 
@@ -76,6 +91,13 @@ func main() {
 		noIncremental  = flag.Bool("no-incremental", false, "disable incremental slice solving (shared base states, learned facts); every query solved from scratch")
 		checkpoint     = flag.String("checkpoint", "", "append per-instance results of the full run to this JSONL file as they complete")
 		resume         = flag.Bool("resume", false, "skip instances already decided in the -checkpoint file instead of re-analyzing them")
+		corpus         = flag.String("corpus", "", "append generated-corpus instances from this manifest to the run list")
+		shard          = flag.String("shard", "", "run only the i-th of n interleaved shards of the run list (1-based), e.g. -shard 2/4")
+		merge          = flag.String("merge", "", "comma-separated per-shard golden files to recombine (no analysis run); diffed with -golden, written with -golden-out")
+		corpusGen      = flag.Int("corpus-gen", 0, "replace the suite with N freshly generated corpus instances and check verdicts against ground-truth labels (exit 1 on soundness violations)")
+		genSeed        = flag.Int64("gen-seed", 1, "base seed for -corpus-gen")
+		corpusOut      = flag.String("corpus-out", "", "write the -corpus-gen manifest to this file (and skip the analysis run unless a gate flag asks for one)")
+		mismatchOut    = flag.String("mismatch-out", "", "write ground-truth mismatches (violations and misses) of a -corpus-gen run to this JSON file")
 		version        = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -91,7 +113,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qed2bench:", err)
 		os.Exit(1)
 	}
-	gateRun := *golden != "" || *goldenOut != "" || *baseline != "" || *checkpoint != ""
+	// -merge recombines per-shard golden snapshots without any analysis.
+	if *merge != "" {
+		os.Exit(runMerge(*merge, *golden, *goldenOut))
+	}
+	gateRun := *golden != "" || *goldenOut != "" || *baseline != "" || *checkpoint != "" || *corpusGen > 0
 	// The findings gate is solver-free (compile + static pass only); on its
 	// own it never triggers the full analysis run.
 	lintRun := *findingsGolden != "" || *findingsOut != ""
@@ -99,6 +125,45 @@ func main() {
 		*all = true
 	}
 	insts := bench.Suite()
+	if *corpusGen > 0 {
+		m, err := gen.BuildManifest(*genSeed, *corpusGen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		if *corpusOut != "" {
+			if err := os.WriteFile(*corpusOut, m.Marshal(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *corpusOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "corpus manifest written to %s (%d instances, base seed %d)\n",
+				*corpusOut, len(m.Instances), *genSeed)
+			// Manifest generation alone needs no analysis run.
+			if *golden == "" && *goldenOut == "" && *mismatchOut == "" && *checkpoint == "" && *baseline == "" {
+				return
+			}
+		}
+		// Ground-truth mode replaces the suite: every instance carries a
+		// generator label the verdicts are checked against after the run.
+		insts = bench.CorpusInstances(m)
+	}
+	if *corpus != "" {
+		cinsts, err := bench.LoadCorpus(*corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		insts = append(insts, cinsts...)
+	}
+	if *shard != "" {
+		idx, n, err := bench.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			os.Exit(1)
+		}
+		insts = bench.ShardInstances(insts, idx, n)
+		fmt.Fprintf(os.Stderr, "shard %s: %d of the run list's instances\n", *shard, len(insts))
+	}
 	if *list {
 		for _, in := range insts {
 			fmt.Printf("%-26s %-12s expect=%s vuln=%v\n", in.Name, in.Category, in.Expect, in.Vuln)
@@ -343,6 +408,32 @@ func main() {
 			}
 		}
 	}
+	if *corpusGen > 0 && full != nil {
+		gt := bench.CheckGroundTruth(full)
+		fmt.Fprintf(os.Stderr, "ground truth: %d instances checked, %d violation(s), %d miss(es)\n",
+			gt.Checked, len(gt.Violations), len(gt.Misses))
+		for _, v := range gt.Violations {
+			fmt.Fprintln(os.Stderr, "  VIOLATION: "+v)
+		}
+		for _, m := range gt.Misses {
+			fmt.Fprintln(os.Stderr, "  miss: "+m)
+		}
+		if *mismatchOut != "" {
+			b, err := json.MarshalIndent(gt, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*mismatchOut, append(b, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", *mismatchOut, err)
+				os.Exit(1)
+			}
+		}
+		// Violations are unsound verdicts — always fatal. Misses are
+		// completeness regressions, reported but non-failing.
+		if len(gt.Violations) > 0 {
+			exit = 1
+		}
+	}
 	if *goldenOut != "" {
 		g := bench.GoldenFromResults(baseCfg, full)
 		b, err := g.Marshal()
@@ -360,6 +451,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qed2bench:", err)
 			os.Exit(1)
+		}
+		if *shard != "" {
+			// A shard leg runs a subset of the golden population; restrict
+			// the golden file so the missing-instance check applies to the
+			// instances this leg actually ran.
+			gold = gold.Restrict(bench.InstanceNames(insts))
 		}
 		diffs, degraded := bench.DiffGolden(gold, bench.GoldenFromResults(baseCfg, full))
 		if len(degraded) > 0 {
@@ -425,6 +522,66 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// runMerge recombines per-shard golden snapshots (comma-separated paths):
+// with -golden-out the merged snapshot is written, with -golden it is
+// diffed against the checked-in file. Returns the process exit code.
+func runMerge(parts, goldenPath, goldenOutPath string) int {
+	var files []*bench.GoldenFile
+	for _, p := range strings.Split(parts, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		g, err := bench.LoadGolden(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			return 1
+		}
+		files = append(files, g)
+	}
+	merged, err := bench.MergeGolden(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qed2bench:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "merged %d shard file(s): %d instances\n", len(files), len(merged.Verdicts))
+	if goldenOutPath != "" {
+		b, err := merged.Marshal()
+		if err == nil {
+			err = os.WriteFile(goldenOutPath, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qed2bench: writing %s: %v\n", goldenOutPath, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "merged golden verdicts written to %s\n", goldenOutPath)
+	}
+	if goldenPath != "" {
+		gold, err := bench.LoadGolden(goldenPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qed2bench:", err)
+			return 1
+		}
+		diffs, degraded := bench.DiffGolden(gold, merged)
+		if len(degraded) > 0 {
+			fmt.Fprintf(os.Stderr, "qed2bench: %d degraded verdict(s) against %s (non-failing):\n", len(degraded), goldenPath)
+			for _, d := range degraded {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+		}
+		if len(diffs) > 0 {
+			fmt.Fprintf(os.Stderr, "qed2bench: %d golden-verdict regression(s) against %s:\n", len(diffs), goldenPath)
+			for _, d := range diffs {
+				fmt.Fprintln(os.Stderr, "  "+d)
+			}
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "golden verdicts: %d instances match %s (%d degraded)\n",
+			len(gold.Verdicts)-len(degraded), goldenPath, len(degraded))
+	}
+	return 0
 }
 
 // serveDebug exposes net/http/pprof (registered on the default mux by the

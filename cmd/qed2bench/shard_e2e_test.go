@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardMergeRecombinesExactly drives the sharded golden gate end to
+// end: an unsharded corpus run's golden snapshot must be byte-identical to
+// the merge of the per-shard snapshots, the merge must diff clean against
+// the unsharded file, and a single shard leg must diff clean against the
+// full golden file (via the shard-restricted comparison).
+func TestShardMergeRecombinesExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e corpus runs skipped with -short")
+	}
+	bin := buildBench(t)
+	dir := t.TempDir()
+	// Seeds 30..35 derive 3 safe + 3 unsafe profiles — no unknown-profile
+	// instances, which would burn the whole query budget by design.
+	gen := []string{"-corpus-gen", "6", "-gen-seed", "30"}
+
+	run := func(wantExit int, extra ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, append(benchArgs(gen...), extra...)...)
+		out, err := cmd.CombinedOutput()
+		if cmd.ProcessState.ExitCode() != wantExit {
+			t.Fatalf("qed2bench %v: exit %d (want %d), err %v\n%s",
+				extra, cmd.ProcessState.ExitCode(), wantExit, err, out)
+		}
+		return string(out)
+	}
+
+	whole := filepath.Join(dir, "whole.json")
+	run(0, "-golden-out", whole)
+
+	var shardFiles []string
+	for i := 1; i <= 3; i++ {
+		sf := filepath.Join(dir, "shard_"+string(rune('0'+i))+".json")
+		shardFiles = append(shardFiles, sf)
+		run(0, "-shard", string(rune('0'+i))+"/3", "-golden-out", sf)
+	}
+
+	// A single leg diffs clean against the full golden file.
+	out := run(0, "-shard", "2/3", "-golden", whole)
+	if !strings.Contains(out, "match") {
+		t.Errorf("shard leg diff output missing match line:\n%s", out)
+	}
+
+	// Merge (no analysis) reproduces the unsharded snapshot byte for byte
+	// and diffs clean.
+	merged := filepath.Join(dir, "merged.json")
+	cmd := exec.Command(bin, "-merge", strings.Join(shardFiles, ","), "-golden", whole, "-golden-out", merged)
+	mout, err := cmd.CombinedOutput()
+	if cmd.ProcessState.ExitCode() != 0 {
+		t.Fatalf("merge: exit %d, err %v\n%s", cmd.ProcessState.ExitCode(), err, mout)
+	}
+	wantB, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantB, gotB) {
+		t.Fatalf("merged snapshot is not byte-identical to the unsharded one:\n%s\nvs\n%s", gotB, wantB)
+	}
+
+	// Overlapping shards must be rejected.
+	cmd = exec.Command(bin, "-merge", shardFiles[0]+","+shardFiles[0])
+	mout, _ = cmd.CombinedOutput()
+	if cmd.ProcessState.ExitCode() == 0 {
+		t.Fatalf("overlapping shard merge accepted:\n%s", mout)
+	}
+}
+
+// TestCorpusFlagExtendsRunList checks -corpus assembly without paying for
+// an analysis run, via -list.
+func TestCorpusFlagExtendsRunList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e binary build skipped with -short")
+	}
+	bin := buildBench(t)
+	manifest := filepath.Join(t.TempDir(), "m.json")
+	if out, err := exec.Command(bin, "-corpus-gen", "4", "-gen-seed", "100", "-corpus-out", manifest).CombinedOutput(); err != nil {
+		t.Fatalf("manifest generation: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-corpus", manifest, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-corpus -list: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"Num2Bits(1)", "gen/safe-100", "Corpus/"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+	// A truncated manifest must be rejected, not silently shrunk.
+	if err := os.WriteFile(manifest, []byte(`{"generator_version": 999, "instances": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-corpus", manifest, "-list")
+	out, _ = cmd.CombinedOutput()
+	if cmd.ProcessState.ExitCode() == 0 {
+		t.Fatalf("version-mismatched manifest accepted:\n%s", out)
+	}
+}

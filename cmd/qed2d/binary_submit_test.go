@@ -1,0 +1,58 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+
+	"qed2/internal/circom"
+	"qed2/internal/r1cs"
+)
+
+// TestBinaryR1CSSubmission posts a binary snarkjs .r1cs body to
+// POST /v1/analyze and checks it is auto-detected, analyzed, and that the
+// verdict matches the source-form submission of the same circuit. It also
+// checks that a truncated binary body is a 400, not a crash or a circom
+// parse error.
+func TestBinaryR1CSSubmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a daemon subprocess")
+	}
+	prog, err := circom.Compile(e2eCircuit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, freePort(t), "-query-steps", "5000", "-global-steps", "100000", "-seed", "1")
+	defer d.terminate(t)
+	base := d.base
+
+	body := prog.System.MarshalBinary()
+	if !r1cs.IsBinaryR1CS(body) {
+		t.Fatal("MarshalBinary output not self-identifying")
+	}
+	j, code := submit(t, base, "alice", string(body))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("binary submit = %d: %v", code, j)
+	}
+	v := pollDone(t, base, j["id"].(string))
+	if v["status"] != "done" {
+		t.Fatalf("binary job = %v", v)
+	}
+	binVerdict := v["report"].(map[string]any)["verdict"]
+
+	js, code := submit(t, base, "alice", e2eCircuit)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("source submit = %d: %v", code, js)
+	}
+	vs := pollDone(t, base, js["id"].(string))
+	srcVerdict := vs["report"].(map[string]any)["verdict"]
+	if binVerdict != srcVerdict {
+		t.Fatalf("binary verdict %v != source verdict %v", binVerdict, srcVerdict)
+	}
+
+	// Truncated binary: detected as binary, rejected as malformed.
+	bad, code := submit(t, base, "alice", string(body[:20]))
+	if code != http.StatusBadRequest {
+		t.Fatalf("truncated binary submit = %d: %v", code, bad)
+	}
+}

@@ -5,8 +5,9 @@
 //
 // API:
 //
-//	POST /v1/analyze            submit a circuit (circom source, or an
-//	                            r1cs dump as produced by qed2 -r1cs);
+//	POST /v1/analyze            submit a circuit (circom source, an r1cs
+//	                            dump as produced by qed2 -r1cs, or a binary
+//	                            snarkjs .r1cs file — auto-detected);
 //	                            tenant via X-QED2-Tenant. 200/202 with the
 //	                            job JSON, 400 on compile errors, 429 on
 //	                            admission rejection, 503 while draining.
@@ -42,6 +43,7 @@ import (
 	"qed2/internal/core"
 	"qed2/internal/faultinject"
 	"qed2/internal/obs"
+	"qed2/internal/r1cs"
 	"qed2/internal/service"
 	"qed2/internal/store"
 )
@@ -274,11 +276,22 @@ func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
 	tenant := r.Header.Get("X-QED2-Tenant")
 	text := string(body)
 	var job *service.Job
-	// An r1cs dump is self-identifying by its header line; everything else
-	// is treated as circom source.
-	if strings.HasPrefix(strings.TrimLeft(text, " \t\r\n"), "r1cs v1") {
+	// A binary snarkjs .r1cs or a text r1cs dump is self-identifying by its
+	// header; everything else is treated as circom source. Binary bodies
+	// carry no signal names (.sym cannot ride along in the same body), so
+	// they are normalized to the text form with synthesized names.
+	switch {
+	case r1cs.IsBinaryR1CS(body):
+		var sys *r1cs.System
+		sys, err = r1cs.ParseBinary(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "binary r1cs: "+err.Error())
+			return
+		}
+		job, err = s.engine.SubmitR1CS(tenant, sys.MarshalText())
+	case strings.HasPrefix(strings.TrimLeft(text, " \t\r\n"), "r1cs v1"):
 		job, err = s.engine.SubmitR1CS(tenant, text)
-	} else {
+	default:
 		job, err = s.engine.SubmitSource(tenant, text)
 	}
 	if err != nil {

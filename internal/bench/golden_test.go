@@ -118,10 +118,10 @@ func TestGoldenRoundTrip(t *testing.T) {
 }
 
 func TestCheckedInGoldenMatchesSuite(t *testing.T) {
-	// The checked-in golden file must cover exactly the current suite with
-	// the default budgets; otherwise the CI gate reports noise instead of
-	// regressions. This does not run the suite (that is CI's golden job) —
-	// it only validates shape.
+	// The checked-in golden file must cover exactly the current suite plus
+	// the pinned corpus manifest with the default budgets; otherwise the CI
+	// gate reports noise instead of regressions. This does not run the
+	// suite (that is CI's golden job) — it only validates shape.
 	path := filepath.Join("..", "..", "testdata", "golden_verdicts.json")
 	g, err := LoadGolden(path)
 	if err != nil {
@@ -131,17 +131,20 @@ func TestCheckedInGoldenMatchesSuite(t *testing.T) {
 	if g.Config != want {
 		t.Fatalf("golden config %+v does not pin the default budgets %+v", g.Config, want)
 	}
-	suite := Suite()
-	if len(g.Verdicts) != len(suite) {
-		t.Fatalf("golden file has %d instances, suite has %d — regenerate with -golden-out", len(g.Verdicts), len(suite))
+	insts := Suite()
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata", "corpus", "manifest.json"))
+	if err != nil {
+		t.Fatalf("loading pinned corpus manifest: %v", err)
 	}
-	names := map[string]bool{}
-	for _, in := range suite {
-		names[in.Name] = true
+	insts = append(insts, corpus...)
+	if len(g.Verdicts) != len(insts) {
+		t.Fatalf("golden file has %d instances, suite+corpus has %d — regenerate with -corpus testdata/corpus/manifest.json -golden-out",
+			len(g.Verdicts), len(insts))
 	}
+	names := InstanceNames(insts)
 	for _, v := range g.Verdicts {
 		if !names[v.Name] {
-			t.Errorf("golden instance %q not in suite", v.Name)
+			t.Errorf("golden instance %q not in suite or corpus", v.Name)
 		}
 		switch v.Verdict {
 		case "safe", "unsafe", "unknown":

@@ -47,6 +47,17 @@ type Instance struct {
 	Expect Expectation
 	// Vuln marks the previously-unknown-vulnerability set (Table 4).
 	Vuln bool
+	// Gen, when non-nil, builds the program directly instead of compiling
+	// Circom source — used by corpus instances backed by the property-based
+	// generator (internal/gen). Includes and Main are unused for such
+	// instances.
+	Gen func() (*circom.Program, error)
+	// CorpusLabel is the generator's ground-truth label string ("safe",
+	// "unsafe", "unknown") for corpus instances, empty for the Circom
+	// suite. Unlike Expect it distinguishes "under-constrained and
+	// expected found" from "under-constrained but expected beyond budget",
+	// which is what the nightly ground-truth gate keys on.
+	CorpusLabel string
 }
 
 // Source assembles the full compilable source of the instance.
@@ -58,8 +69,12 @@ func (in Instance) Source() string {
 	return src + in.Main + "\n"
 }
 
-// Compile compiles the instance against the bundled library.
+// Compile compiles the instance against the bundled library, or builds it
+// from its generator when the instance is corpus-backed.
 func (in Instance) Compile() (*circom.Program, error) {
+	if in.Gen != nil {
+		return in.Gen()
+	}
 	return circom.Compile(in.Source(), &circom.CompileOptions{Library: Library()})
 }
 

@@ -1,0 +1,25 @@
+package circom
+
+import "qed2/internal/r1cs"
+
+// ProgramFromSystem wraps a pre-built constraint system in a Program so
+// the rest of the pipeline (analysis, benchmarking, reporting) can treat
+// it like a compiled circuit. The system may come from a text or binary
+// .r1cs file or from the property-based generator; it carries no
+// witness-generation instructions, so Assignments and Checks stay empty
+// and witness-dependent features are unavailable.
+func ProgramFromSystem(sys *r1cs.System, mainTemplate string) *Program {
+	prog := &Program{
+		System:       sys,
+		InputNames:   map[string]int{},
+		OutputNames:  map[string]int{},
+		MainTemplate: mainTemplate,
+	}
+	for _, id := range sys.Inputs() {
+		prog.InputNames[sys.Name(id)] = id
+	}
+	for _, id := range sys.Outputs() {
+		prog.OutputNames[sys.Name(id)] = id
+	}
+	return prog
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ManifestEntry pins one corpus instance: the seed and profile that
+// regenerate it, and the ground-truth label recorded at generation time.
+// The circuit itself is not stored — Generate is deterministic, so the
+// (generator version, seed, profile) triple is the instance.
+type ManifestEntry struct {
+	Name    string `json:"name"`
+	Seed    int64  `json:"seed"`
+	Profile string `json:"profile"`
+	Label   string `json:"label"`
+}
+
+// Spec returns the generation spec for the entry.
+func (e ManifestEntry) Spec() Spec {
+	return Spec{Seed: e.Seed, Profile: e.Profile}
+}
+
+// Manifest is the checked-in corpus index (testdata/corpus/manifest.json).
+type Manifest struct {
+	// GeneratorVersion must equal gen.GeneratorVersion; a mismatch means
+	// the entries were produced by a different generation algorithm and
+	// the labels cannot be trusted for the current code.
+	GeneratorVersion int             `json:"generator_version"`
+	BaseSeed         int64           `json:"base_seed"`
+	Instances        []ManifestEntry `json:"instances"`
+}
+
+// BuildManifest deterministically enumerates n instances starting at
+// baseSeed, with profiles drawn from the DefaultMix and labels recorded
+// from actual generation (which self-validates each ground truth).
+func BuildManifest(baseSeed int64, n int) (*Manifest, error) {
+	m := &Manifest{GeneratorVersion: GeneratorVersion, BaseSeed: baseSeed}
+	for i := 0; i < n; i++ {
+		spec := Spec{Seed: baseSeed + int64(i)}
+		c, err := Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		m.Instances = append(m.Instances, ManifestEntry{
+			Name:    c.Name,
+			Seed:    spec.Seed,
+			Profile: c.Label.String(), // profile == label string for all profiles
+			Label:   c.Label.String(),
+		})
+	}
+	return m, nil
+}
+
+// Marshal renders the manifest as indented JSON with a trailing newline.
+func (m *Manifest) Marshal() []byte {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		panic(err) // plain data, cannot fail
+	}
+	return append(data, '\n')
+}
+
+// maxManifestInstances bounds manifest loading, mirroring the parser caps.
+const maxManifestInstances = 1 << 20
+
+// ParseManifest decodes and validates a manifest: generator version match,
+// parseable profiles and labels, unique names, and name/seed/profile
+// consistency.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("gen: manifest: %v", err)
+	}
+	if m.GeneratorVersion != GeneratorVersion {
+		return nil, fmt.Errorf("gen: manifest written by generator version %d, this binary is version %d — regenerate the corpus",
+			m.GeneratorVersion, GeneratorVersion)
+	}
+	if len(m.Instances) > maxManifestInstances {
+		return nil, fmt.Errorf("gen: manifest has %d instances (limit %d)", len(m.Instances), maxManifestInstances)
+	}
+	seen := make(map[string]bool, len(m.Instances))
+	for i, e := range m.Instances {
+		if _, err := ParseLabel(e.Label); err != nil {
+			return nil, fmt.Errorf("gen: manifest instance %d: %v", i, err)
+		}
+		if e.Profile != ProfileSafe && e.Profile != ProfileUnsafe && e.Profile != ProfileUnknown {
+			return nil, fmt.Errorf("gen: manifest instance %d: unknown profile %q", i, e.Profile)
+		}
+		if want := e.Spec().Name(); e.Name != want {
+			return nil, fmt.Errorf("gen: manifest instance %d: name %q does not match spec (%q)", i, e.Name, want)
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("gen: manifest: duplicate instance %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	return &m, nil
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseManifest(data)
+}

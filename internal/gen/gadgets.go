@@ -1,0 +1,457 @@
+package gen
+
+import (
+	"fmt"
+	"math/big"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+	"qed2/internal/r1cs"
+)
+
+// A bug records the deliberate under-constraint planted by a buggy gadget:
+// the alternate assignments for its internal signals (everything outside
+// the gadget keeps its honest value — bug outputs never enter the builder
+// pool, so nothing downstream consumes them except the collector), and the
+// carrier signal whose divergence the collector forwards to an output.
+type bug struct {
+	alt     map[int]ff.Element
+	carrier int
+}
+
+// gadgetIsZero emits the full circomlib IsZero core on a pool signal:
+//
+//	x*inv = 1 - out
+//	x*out = 0
+//
+// Both constraints together pin out to [x == 0]; out joins the boolean pool.
+func (b *builder) gadgetIsZero() {
+	f := b.f
+	x := b.pick()
+	var inv, out ff.Element
+	if b.vals[x].IsZero() {
+		out = f.One()
+	} else {
+		inv = f.MustInv(b.vals[x])
+	}
+	invID := b.fresh("isz.inv", r1cs.KindInternal, inv)
+	outID := b.fresh("isz.out", r1cs.KindInternal, out)
+	b.sys.MarkHinted(invID)
+	b.sys.AddConstraint(poly.Var(f, x), poly.Var(f, invID),
+		poly.ConstInt(f, 1).Sub(poly.Var(f, outID)), "iszero")
+	b.sys.AddConstraint(poly.Var(f, x), poly.Var(f, outID), poly.NewLinComb(f), "iszero-check")
+	b.pool = append(b.pool, outID)
+	b.boolPool = append(b.boolPool, outID)
+}
+
+// bugIsZero is gadgetIsZero with the x*out = 0 check dropped — the classic
+// circomlib-shaped bug. With x ≠ 0 the honest branch gives out = 0, but
+// inv = 0, out = 1 also satisfies the surviving constraint.
+func (b *builder) bugIsZero() *bug {
+	f := b.f
+	x := b.pickNonzero()
+	inv := f.MustInv(b.vals[x])
+	invID := b.fresh("bisz.inv", r1cs.KindInternal, inv)
+	outID := b.fresh("bisz.out", r1cs.KindInternal, f.Zero())
+	b.sys.MarkHinted(invID)
+	b.sys.MarkHinted(outID)
+	b.sys.AddConstraint(poly.Var(f, x), poly.Var(f, invID),
+		poly.ConstInt(f, 1).Sub(poly.Var(f, outID)), "iszero")
+	return &bug{
+		alt:     map[int]ff.Element{invID: f.Zero(), outID: f.One()},
+		carrier: outID,
+	}
+}
+
+// gadgetMul emits out = a*b.
+func (b *builder) gadgetMul() {
+	f := b.f
+	a, c := b.pick(), b.pick()
+	out := b.fresh("mul.out", r1cs.KindInternal, f.Mul(b.vals[a], b.vals[c]))
+	b.sys.AddConstraint(poly.Var(f, a), poly.Var(f, c), poly.Var(f, out), "mul")
+	b.pool = append(b.pool, out)
+}
+
+// gadgetLinear emits an affine combination out = k1*a + k2*c + k0.
+func (b *builder) gadgetLinear() {
+	f := b.f
+	a, c := b.pick(), b.pick()
+	k1 := f.NewElement(1 + b.rng.Int63n(9))
+	k2 := f.NewElement(1 + b.rng.Int63n(9))
+	k0 := f.NewElement(b.rng.Int63n(16) - 8)
+	lc := poly.Term(f, a, k1).AddTerm(c, k2).AddConst(k0)
+	val := f.Add(f.Add(f.Mul(k1, b.vals[a]), f.Mul(k2, b.vals[c])), k0)
+	out := b.fresh("lin.out", r1cs.KindInternal, val)
+	b.sys.AddConstraint(lc, poly.ConstInt(f, 1), poly.Var(f, out), "linear")
+	b.pool = append(b.pool, out)
+}
+
+// gadgetBits emits a sound Num2Bits: a fresh input x (honest value below
+// 2^n) decomposed into n boolean bits with booleanness on every bit and the
+// recomposition sum. The bits are hinted (circom assigns them with <--) but
+// fully determined; they feed the boolean pool.
+func (b *builder) gadgetBits(n int) {
+	f := b.f
+	v := b.rng.Int63n(int64(1) << uint(n))
+	x := b.input(f.NewElement(v))
+	sum := poly.NewLinComb(f)
+	for i := 0; i < n; i++ {
+		bit := b.fresh("bits.b", r1cs.KindInternal, f.NewElement((v>>uint(i))&1))
+		b.sys.MarkHinted(bit)
+		b.sys.AddConstraint(poly.Var(f, bit),
+			poly.Var(f, bit).AddConst(f.NewElement(-1)),
+			poly.NewLinComb(f), "boolean")
+		sum = sum.AddTerm(bit, f.NewElement(int64(1)<<uint(i)))
+		b.pool = append(b.pool, bit)
+		b.boolPool = append(b.boolPool, bit)
+	}
+	b.sys.AddConstraint(sum, poly.ConstInt(f, 1), poly.Var(f, x), "recompose")
+}
+
+// bugBits is gadgetBits with the booleanness constraint on one bit j
+// dropped. The honest value is arranged so bit j is set alongside at least
+// one lower bit; the alternate witness zeroes every other bit and absorbs
+// the whole value into the free bit j (b_j' = x / 2^j in the field), which
+// still satisfies the recomposition sum.
+func (b *builder) bugBits(n int) *bug {
+	f := b.f
+	j := b.rng.Intn(n)
+	// x = 2^j + r with r nonzero and bit j of r clear, so the honest and
+	// alternate assignments of bit j differ (1 vs 1 + r/2^j).
+	var r int64
+	for r == 0 {
+		r = b.rng.Int63n(int64(1)<<uint(n)) &^ (int64(1) << uint(j))
+	}
+	v := int64(1)<<uint(j) + r
+	x := b.input(f.NewElement(v))
+	sum := poly.NewLinComb(f)
+	ids := make([]int, n)
+	alt := map[int]ff.Element{}
+	for i := 0; i < n; i++ {
+		bit := b.fresh("bbits.b", r1cs.KindInternal, f.NewElement((v>>uint(i))&1))
+		ids[i] = bit
+		b.sys.MarkHinted(bit)
+		if i != j {
+			b.sys.AddConstraint(poly.Var(f, bit),
+				poly.Var(f, bit).AddConst(f.NewElement(-1)),
+				poly.NewLinComb(f), "boolean")
+		}
+		sum = sum.AddTerm(bit, f.NewElement(int64(1)<<uint(i)))
+	}
+	b.sys.AddConstraint(sum, poly.ConstInt(f, 1), poly.Var(f, x), "recompose")
+	for i, bit := range ids {
+		if i == j {
+			alt[bit] = f.Mul(f.NewElement(v), f.MustInv(f.NewElement(int64(1)<<uint(j))))
+		} else if (v>>uint(i))&1 == 1 {
+			alt[bit] = f.Zero()
+		}
+	}
+	return &bug{alt: alt, carrier: ids[j]}
+}
+
+// gadgetSelector emits a sound binary selector out = s*(a-c) + c with a
+// determined boolean s from the boolean pool.
+func (b *builder) gadgetSelector() {
+	f := b.f
+	s := b.pickBool()
+	a, c := b.pick(), b.pick()
+	val := b.vals[c]
+	if !b.vals[s].IsZero() {
+		val = b.vals[a]
+	}
+	out := b.fresh("sel.out", r1cs.KindInternal, val)
+	b.sys.AddConstraint(poly.Var(f, s),
+		poly.Var(f, a).Sub(poly.Var(f, c)),
+		poly.Var(f, out).Sub(poly.Var(f, c)), "select")
+	b.pool = append(b.pool, out)
+}
+
+// bugSelector is a selector whose selector signal is a hint-only internal
+// with no constraint at all — neither booleanness nor a defining equation —
+// so out slides anywhere along the a–c line.
+func (b *builder) bugSelector() *bug {
+	f := b.f
+	a := b.pick()
+	c := b.pickDistinct(a)
+	sv := f.NewElement(b.rng.Int63n(2))
+	s := b.fresh("bsel.s", r1cs.KindInternal, sv)
+	b.sys.MarkHinted(s)
+	diff := f.Sub(b.vals[a], b.vals[c])
+	out := b.fresh("bsel.out", r1cs.KindInternal, f.Add(f.Mul(sv, diff), b.vals[c]))
+	b.sys.MarkHinted(out)
+	b.sys.AddConstraint(poly.Var(f, s),
+		poly.Var(f, a).Sub(poly.Var(f, c)),
+		poly.Var(f, out).Sub(poly.Var(f, c)), "select")
+	sv2 := f.Add(sv, f.One())
+	return &bug{
+		alt:     map[int]ff.Element{s: sv2, out: f.Add(f.Mul(sv2, diff), b.vals[c])},
+		carrier: out,
+	}
+}
+
+// gadgetDiv emits a guarded division out = num/den: the denominator is
+// pinned nonzero by den*invden = 1 before out*den = num defines out.
+func (b *builder) gadgetDiv() {
+	f := b.f
+	num, den := b.pick(), b.pickNonzero()
+	invdenVal := f.MustInv(b.vals[den])
+	invden := b.fresh("div.invden", r1cs.KindInternal, invdenVal)
+	b.sys.MarkHinted(invden)
+	out := b.fresh("div.out", r1cs.KindInternal, f.Mul(b.vals[num], invdenVal))
+	b.sys.MarkHinted(out)
+	b.sys.AddConstraint(poly.Var(f, den), poly.Var(f, invden), poly.ConstInt(f, 1), "nonzero")
+	b.sys.AddConstraint(poly.Var(f, out), poly.Var(f, den), poly.Var(f, num), "div")
+	b.pool = append(b.pool, out)
+}
+
+// bugDiv is the 0/0 trap: a fresh zero-valued input z and the single
+// constraint out*z = z with no nonzero guard, leaving out completely free.
+func (b *builder) bugDiv() *bug {
+	f := b.f
+	z := b.input(f.Zero())
+	v := f.NewElement(1 + b.rng.Int63n(1_000_000))
+	out := b.fresh("bdiv.out", r1cs.KindInternal, v)
+	b.sys.MarkHinted(out)
+	b.sys.AddConstraint(poly.Var(f, out), poly.Var(f, z), poly.Var(f, z), "div")
+	return &bug{
+		alt:     map[int]ff.Element{out: f.Add(v, f.One())},
+		carrier: out,
+	}
+}
+
+// gadgetLadder emits a sound Montgomery-ladder step fragment: t = x²,
+// out = bit ? t : x with a determined boolean bit.
+func (b *builder) gadgetLadder() {
+	f := b.f
+	bit := b.pickBool()
+	x := b.pick()
+	t := b.fresh("lad.t", r1cs.KindInternal, f.Square(b.vals[x]))
+	b.sys.AddConstraint(poly.Var(f, x), poly.Var(f, x), poly.Var(f, t), "square")
+	val := b.vals[x]
+	if !b.vals[bit].IsZero() {
+		val = b.vals[t]
+	}
+	out := b.fresh("lad.out", r1cs.KindInternal, val)
+	b.sys.AddConstraint(poly.Var(f, bit),
+		poly.Var(f, t).Sub(poly.Var(f, x)),
+		poly.Var(f, out).Sub(poly.Var(f, x)), "select")
+	b.pool = append(b.pool, t, out)
+}
+
+// bugLadder is the curve-addition chord-slope bug: the slope lam is
+// hint-assigned and only constrained by lam*(x2-x1) = y2-y1. When the two
+// points coincide (x1 = x2, y1 = y2 — which the honest inputs arrange),
+// the constraint degenerates to 0 = 0 and lam is free; xout = lam² - x1 - x2
+// carries the divergence.
+func (b *builder) bugLadder() *bug {
+	f := b.f
+	pv := f.NewElement(1 + b.rng.Int63n(1_000_000))
+	qv := f.NewElement(1 + b.rng.Int63n(1_000_000))
+	x1 := b.input(pv)
+	y1 := b.input(qv)
+	x2 := b.input(pv)
+	y2 := b.input(qv)
+	lv := f.NewElement(b.rng.Int63n(1_000_000))
+	lam := b.fresh("blad.lam", r1cs.KindInternal, lv)
+	b.sys.MarkHinted(lam)
+	b.sys.AddConstraint(poly.Var(f, lam),
+		poly.Var(f, x2).Sub(poly.Var(f, x1)),
+		poly.Var(f, y2).Sub(poly.Var(f, y1)), "slope")
+	t := b.fresh("blad.t", r1cs.KindInternal, f.Square(lv))
+	b.sys.AddConstraint(poly.Var(f, lam), poly.Var(f, lam), poly.Var(f, t), "square")
+	xoutVal := f.Sub(f.Sub(b.vals[t], pv), pv)
+	xout := b.fresh("blad.xout", r1cs.KindInternal, xoutVal)
+	b.sys.AddConstraint(poly.Var(f, t).Sub(poly.Var(f, x1)).Sub(poly.Var(f, x2)),
+		poly.ConstInt(f, 1), poly.Var(f, xout), "xout")
+	lv2 := f.Add(lv, f.One())
+	t2 := f.Square(lv2)
+	return &bug{
+		alt: map[int]ff.Element{
+			lam:  lv2,
+			t:    t2,
+			xout: f.Sub(f.Sub(t2, pv), pv),
+		},
+		carrier: xout,
+	}
+}
+
+// pickDistinct returns a pool signal whose honest value differs from ref's,
+// minting a fresh input if every pool value coincides.
+func (b *builder) pickDistinct(ref int) int {
+	var cands []int
+	for _, id := range b.pool {
+		if b.vals[id] != b.vals[ref] {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return b.input(b.f.Add(b.vals[ref], b.f.One()))
+	}
+	return cands[b.rng.Intn(len(cands))]
+}
+
+// safeGadget appends one randomly chosen sound gadget.
+func (b *builder) safeGadget() {
+	switch b.rng.Intn(7) {
+	case 0:
+		b.gadgetIsZero()
+	case 1:
+		b.gadgetMul()
+	case 2:
+		b.gadgetLinear()
+	case 3:
+		b.gadgetBits(2 + b.rng.Intn(5))
+	case 4:
+		b.gadgetSelector()
+	case 5:
+		b.gadgetDiv()
+	default:
+		b.gadgetLadder()
+	}
+}
+
+// buggyGadget appends one randomly chosen under-constrained gadget.
+func (b *builder) buggyGadget() *bug {
+	switch b.rng.Intn(5) {
+	case 0:
+		return b.bugIsZero()
+	case 1:
+		return b.bugBits(2 + b.rng.Intn(5))
+	case 2:
+		return b.bugSelector()
+	case 3:
+		return b.bugDiv()
+	default:
+		return b.bugLadder()
+	}
+}
+
+// generateComposed builds a safe or unsafe circuit over BN254: a few
+// inputs, a chain of sound gadgets, for the unsafe profile exactly one bug
+// gadget, then copy-outputs and a collector output summing a subset of the
+// determined pool — plus, for unsafe, the bug's carrier signal with
+// coefficient one, so the planted divergence reaches an output unmasked.
+func generateComposed(seed int64, profile string) *Circuit {
+	b := newBuilder(seed, ff.BN254())
+	f := b.f
+	for i, n := 0, 2+b.rng.Intn(3); i < n; i++ {
+		b.input(f.NewElement(1 + b.rng.Int63n(int64(1)<<32)))
+	}
+	for i, n := 0, 2+b.rng.Intn(4); i < n; i++ {
+		b.safeGadget()
+	}
+	var bg *bug
+	if profile == ProfileUnsafe {
+		bg = b.buggyGadget()
+		if b.rng.Intn(2) == 1 {
+			b.safeGadget()
+		}
+	}
+
+	// Copy a couple of determined pool signals to dedicated outputs.
+	for i, n := 0, b.rng.Intn(3); i < n; i++ {
+		src := b.pick()
+		out := b.fresh("out", r1cs.KindOutput, b.vals[src])
+		b.sys.AddConstraint(poly.Var(f, src), poly.ConstInt(f, 1), poly.Var(f, out), "copy")
+	}
+
+	// Collector: out = Σ chosen pool signals (+ carrier for unsafe). Pool
+	// signals hold identical values in both planted witnesses, so the
+	// collector's divergence equals the carrier's — it cannot cancel.
+	lc := poly.NewLinComb(f)
+	val := f.Zero()
+	perm := b.rng.Perm(len(b.pool))
+	k := 1 + b.rng.Intn(3)
+	if k > len(perm) {
+		k = len(perm)
+	}
+	for _, pi := range perm[:k] {
+		id := b.pool[pi]
+		lc = lc.AddTerm(id, f.One())
+		val = f.Add(val, b.vals[id])
+	}
+	if bg != nil {
+		lc = lc.AddTerm(bg.carrier, f.One())
+		val = f.Add(val, b.vals[bg.carrier])
+	}
+	outID := b.fresh("out", r1cs.KindOutput, val)
+	b.sys.AddConstraint(lc, poly.ConstInt(f, 1), poly.Var(f, outID), "collect")
+
+	c := &Circuit{System: b.sys, Label: LabelSafe}
+	if bg != nil {
+		c.Label = LabelUnsafe
+		c.W1 = b.witness()
+		c.W2 = c.W1.Clone()
+		for id, v := range bg.alt {
+			c.W2[id] = v
+		}
+		c.W2[outID] = lc.Eval(func(x int) ff.Element { return c.W2[x] })
+		c.PlantedOutput = outID
+	}
+	return c
+}
+
+// aliasModulus is 2^62 - 57, the largest 62-bit prime: every 62-bit
+// decomposition sum with honest value below 2^62 - p = 57 has exactly one
+// alias (the value plus p), and the only subset of the distinct power-of-two
+// coefficients summing to 0 mod p is the full carry chain of that alias —
+// there is no short bit-flip relation a bounded search could stumble on.
+const aliasModulus = int64(1)<<62 - 57
+
+// aliasBits is the decomposition width for the unknown profile.
+const aliasBits = 62
+
+// generateAlias builds the unknown-profile circuit: a Num2Bits whose width
+// exceeds the field's bit length. Every constraint a sound Num2Bits has is
+// present — booleanness on all bits, the recomposition sum — yet the
+// circuit is under-constrained because 2^62 > p: the planted input value v
+// (below 57) also decomposes as the 62-bit integer v + p. Proving or
+// refuting uniqueness needs range reasoning across the full 62-bit carry
+// chain, which is beyond the solver's step budget, so the expected verdict
+// is unknown; the ground-truth label still carries the alias pair.
+func generateAlias(seed int64) *Circuit {
+	f, err := ff.SmallField(aliasModulus)
+	if err != nil {
+		panic(fmt.Sprintf("gen: alias modulus rejected: %v", err))
+	}
+	b := newBuilder(seed, f)
+	v := 1 + b.rng.Int63n(int64(1)<<62-aliasModulus-1)
+	x := b.input(f.NewElement(v))
+	v2 := new(big.Int).Add(big.NewInt(v), big.NewInt(aliasModulus))
+	sum := poly.NewLinComb(f)
+	ids := make([]int, aliasBits)
+	for i := 0; i < aliasBits; i++ {
+		bit := b.fresh("b", r1cs.KindInternal, f.NewElement((v>>uint(i))&1))
+		ids[i] = bit
+		b.sys.MarkHinted(bit)
+		b.sys.AddConstraint(poly.Var(f, bit),
+			poly.Var(f, bit).AddConst(f.NewElement(-1)),
+			poly.NewLinComb(f), "boolean")
+		sum = sum.AddTerm(bit, f.FromBig(new(big.Int).Lsh(big.NewInt(1), uint(i))))
+	}
+	b.sys.AddConstraint(sum, poly.ConstInt(f, 1), poly.Var(f, x), "recompose")
+
+	// Expose the lowest bit on which the two decompositions differ.
+	j := 0
+	for ; j < aliasBits; j++ {
+		if uint(v>>uint(j))&1 != v2.Bit(j) {
+			break
+		}
+	}
+	outID := b.fresh("out", r1cs.KindOutput, f.NewElement((v>>uint(j))&1))
+	b.sys.AddConstraint(poly.Var(f, ids[j]), poly.ConstInt(f, 1), poly.Var(f, outID), "copy")
+
+	w1 := b.witness()
+	w2 := w1.Clone()
+	for i := 0; i < aliasBits; i++ {
+		w2[ids[i]] = f.FromUint64(uint64(v2.Bit(i)))
+	}
+	w2[outID] = w2[ids[j]]
+	return &Circuit{
+		System:        b.sys,
+		Label:         LabelUnknown,
+		W1:            w1,
+		W2:            w2,
+		PlantedOutput: outID,
+	}
+}

@@ -1,0 +1,282 @@
+// Package gen is a seeded property-based circuit generator: it composes
+// known-verdict gadgets (IsZero cores, binary selectors, bit
+// decompositions, Montgomery-ladder fragments, 0/0 divisions) into whole
+// R1CS circuits with ground-truth labels, deterministically per seed.
+//
+// The generator is the corpus workhorse behind the thousand-instance golden
+// gate (testdata/corpus) and the nightly fresh-seed soundness run: because
+// every circuit is built from gadgets whose uniqueness status is known by
+// construction, each instance carries a label the analyzer's verdict can be
+// judged against — and for under-constrained instances, a concrete planted
+// witness pair that CheckWitness accepts on both sides, so the ground truth
+// itself is machine-checked rather than asserted.
+//
+// Determinism contract: Generate is a pure function of its Spec. The same
+// (seed, profile) produces a byte-identical circuit (same signal names and
+// IDs, same constraint order, same planted witnesses) across runs,
+// processes, and architectures; the corpus manifest pins GeneratorVersion
+// so a generator change cannot silently re-label checked-in seeds.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qed2/internal/ff"
+	"qed2/internal/r1cs"
+)
+
+// GeneratorVersion identifies the generation algorithm. Any change to the
+// gadget set, the composition logic, or the rng draw order that alters
+// generated circuits must bump it; LoadManifest refuses manifests written
+// by a different version instead of silently re-labeling seeds.
+const GeneratorVersion = 1
+
+// Label is the ground-truth classification of a generated circuit.
+type Label int
+
+const (
+	// LabelSafe marks circuits that are properly constrained by
+	// construction: every output is a deterministic function of the inputs.
+	LabelSafe Label = iota
+	// LabelUnsafe marks circuits with a deliberately dropped or weakened
+	// constraint and a planted witness pair the analyzer is expected to
+	// find: verdict unsafe is expected, verdict safe is unsound.
+	LabelUnsafe
+	// LabelUnknown marks circuits that are genuinely under-constrained
+	// (a planted pair exists and is attached) but whose discovery needs
+	// range reasoning beyond the solver's budget — an aliased bit
+	// decomposition over a field narrower than the bit width. Verdict
+	// unknown is expected; safe is unsound; unsafe is a (welcome)
+	// completeness win.
+	LabelUnknown
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	switch l {
+	case LabelSafe:
+		return "safe"
+	case LabelUnsafe:
+		return "unsafe"
+	case LabelUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// ParseLabel inverts String.
+func ParseLabel(s string) (Label, error) {
+	switch s {
+	case "safe":
+		return LabelSafe, nil
+	case "unsafe":
+		return LabelUnsafe, nil
+	case "unknown":
+		return LabelUnknown, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown label %q", s)
+	}
+}
+
+// Profiles selectable in a Spec.
+const (
+	// ProfileSafe composes only sound gadgets.
+	ProfileSafe = "safe"
+	// ProfileUnsafe composes sound gadgets plus exactly one bug gadget
+	// whose divergence is wired into the collector output.
+	ProfileUnsafe = "unsafe"
+	// ProfileUnknown builds an aliased bit decomposition: every input has
+	// two decompositions, but finding the second needs range reasoning.
+	ProfileUnknown = "unknown"
+)
+
+// Spec selects one deterministic circuit.
+type Spec struct {
+	// Seed drives every random choice.
+	Seed int64
+	// Profile is one of the Profile constants; empty derives a profile
+	// from the seed with the DefaultMix.
+	Profile string
+}
+
+// DefaultMix is the profile distribution used when a Spec leaves Profile
+// empty, chosen to mirror a realistic corpus: mostly sound circuits, a
+// solid tail of findable bugs, a thin band of beyond-budget instances.
+// Out of every 20 seeds: 13 safe, 6 unsafe, 1 unknown.
+func DefaultMix(seed int64) string {
+	switch m := uint64(seed) % 20; {
+	case m < 13:
+		return ProfileSafe
+	case m < 19:
+		return ProfileUnsafe
+	default:
+		return ProfileUnknown
+	}
+}
+
+// Circuit is one generated instance.
+type Circuit struct {
+	// Name is the canonical display name: "gen/<profile>-<seed>".
+	Name string
+	// System is the generated constraint system.
+	System *r1cs.System
+	// Label is the ground truth.
+	Label Label
+	// W1 and W2 are the planted witness pair for LabelUnsafe and
+	// LabelUnknown circuits: both satisfy every constraint, they agree on
+	// every input, and they differ on PlantedOutput. Nil for LabelSafe.
+	W1, W2 r1cs.Witness
+	// PlantedOutput is the output signal ID on which W1 and W2 differ
+	// (0 for LabelSafe).
+	PlantedOutput int
+}
+
+// Name renders the canonical instance name of a spec (with the profile
+// resolved), without generating the circuit.
+func (s Spec) Name() string {
+	p := s.Profile
+	if p == "" {
+		p = DefaultMix(s.Seed)
+	}
+	return fmt.Sprintf("gen/%s-%d", p, s.Seed)
+}
+
+// Generate builds the circuit selected by spec. It validates its own
+// ground truth before returning: for unsafe and unknown labels the planted
+// pair is CheckWitness-verified on both sides, input-agreement and
+// output-divergence included. A validation failure is a generator bug and
+// panics rather than silently mislabeling a corpus instance.
+func Generate(spec Spec) (*Circuit, error) {
+	profile := spec.Profile
+	if profile == "" {
+		profile = DefaultMix(spec.Seed)
+	}
+	var c *Circuit
+	switch profile {
+	case ProfileSafe, ProfileUnsafe:
+		c = generateComposed(spec.Seed, profile)
+	case ProfileUnknown:
+		c = generateAlias(spec.Seed)
+	default:
+		return nil, fmt.Errorf("gen: unknown profile %q", spec.Profile)
+	}
+	c.Name = fmt.Sprintf("gen/%s-%d", profile, spec.Seed)
+	if err := c.validate(); err != nil {
+		panic(fmt.Sprintf("gen: seed %d profile %s: ground truth failed self-validation: %v", spec.Seed, profile, err))
+	}
+	return c, nil
+}
+
+// validate machine-checks the ground truth attached to the circuit.
+func (c *Circuit) validate() error {
+	if c.Label == LabelSafe {
+		if c.W1 != nil || c.W2 != nil {
+			return fmt.Errorf("safe circuit carries a witness pair")
+		}
+		return nil
+	}
+	if c.W1 == nil || c.W2 == nil {
+		return fmt.Errorf("%s circuit without a planted pair", c.Label)
+	}
+	if err := c.System.CheckWitness(c.W1); err != nil {
+		return fmt.Errorf("W1 rejected: %v", err)
+	}
+	if err := c.System.CheckWitness(c.W2); err != nil {
+		return fmt.Errorf("W2 rejected: %v", err)
+	}
+	if !r1cs.AgreeOn(c.W1, c.W2, c.System.Inputs()) {
+		return fmt.Errorf("planted pair disagrees on an input")
+	}
+	if c.System.Signal(c.PlantedOutput).Kind != r1cs.KindOutput {
+		return fmt.Errorf("planted signal %d is not an output", c.PlantedOutput)
+	}
+	if c.W1[c.PlantedOutput] == c.W2[c.PlantedOutput] {
+		return fmt.Errorf("planted pair agrees on the planted output")
+	}
+	return nil
+}
+
+// builder accumulates a circuit under construction, tracking the honest
+// witness value of every signal as it is created.
+type builder struct {
+	rng *rand.Rand
+	f   *ff.Field
+	sys *r1cs.System
+	// vals is the honest witness value per signal ID.
+	vals map[int]ff.Element
+	// pool lists signals usable as gadget inputs (inputs and determined
+	// gadget outputs — never bug-divergent signals, so a planted second
+	// witness only ever differs inside its own gadget and the collector).
+	pool []int
+	// boolPool lists pool signals that are constrained booleans with both
+	// a determined value (bit-decomposition outputs).
+	boolPool []int
+	// names counts per-prefix allocations for unique signal names.
+	names map[string]int
+}
+
+func newBuilder(seed int64, f *ff.Field) *builder {
+	return &builder{
+		rng:   rand.New(rand.NewSource(seed)),
+		f:     f,
+		sys:   r1cs.NewSystem(f),
+		vals:  map[int]ff.Element{r1cs.OneID: f.One()},
+		names: map[string]int{},
+	}
+}
+
+// fresh allocates a uniquely named signal with a known honest value.
+func (b *builder) fresh(prefix string, kind r1cs.SignalKind, val ff.Element) int {
+	n := b.names[prefix]
+	b.names[prefix] = n + 1
+	id := b.sys.AddSignal(fmt.Sprintf("%s%d", prefix, n), kind)
+	b.vals[id] = val
+	return id
+}
+
+// input allocates a fresh input signal with the given honest value.
+func (b *builder) input(val ff.Element) int {
+	id := b.fresh("in", r1cs.KindInput, val)
+	b.pool = append(b.pool, id)
+	return id
+}
+
+// pick returns a random pool signal.
+func (b *builder) pick() int {
+	return b.pool[b.rng.Intn(len(b.pool))]
+}
+
+// pickNonzero returns a random pool signal whose honest value is nonzero,
+// minting a fresh input if the pool has none.
+func (b *builder) pickNonzero() int {
+	var nz []int
+	for _, id := range b.pool {
+		if !b.vals[id].IsZero() {
+			nz = append(nz, id)
+		}
+	}
+	if len(nz) == 0 {
+		return b.input(b.f.NewElement(1 + b.rng.Int63n(1_000_000)))
+	}
+	return nz[b.rng.Intn(len(nz))]
+}
+
+// pickBool returns a determined boolean signal, building a small bit
+// decomposition first if none exists yet.
+func (b *builder) pickBool() int {
+	if len(b.boolPool) == 0 {
+		b.gadgetBits(2 + b.rng.Intn(3))
+	}
+	return b.boolPool[b.rng.Intn(len(b.boolPool))]
+}
+
+// witness materializes the honest witness.
+func (b *builder) witness() r1cs.Witness {
+	w := b.sys.NewWitness()
+	for id, v := range b.vals {
+		w[id] = v
+	}
+	return w
+}

@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"qed2/internal/r1cs"
+)
+
+// TestGenerateDeterminism checks the determinism contract: the same spec
+// yields a byte-identical circuit (text serialization covers names, IDs,
+// kinds, hints, constraint order, and coefficients) and identical planted
+// witnesses.
+func TestGenerateDeterminism(t *testing.T) {
+	for _, profile := range []string{ProfileSafe, ProfileUnsafe, ProfileUnknown, ""} {
+		for seed := int64(0); seed < 25; seed++ {
+			spec := Spec{Seed: seed, Profile: profile}
+			a, err := Generate(spec)
+			if err != nil {
+				t.Fatalf("Generate(%+v): %v", spec, err)
+			}
+			b, err := Generate(spec)
+			if err != nil {
+				t.Fatalf("Generate(%+v) again: %v", spec, err)
+			}
+			if a.Name != b.Name || a.Label != b.Label {
+				t.Fatalf("%+v: identity diverged: %s/%s vs %s/%s", spec, a.Name, a.Label, b.Name, b.Label)
+			}
+			if a.System.MarshalText() != b.System.MarshalText() {
+				t.Fatalf("%+v: circuit text diverged between runs", spec)
+			}
+			if !witnessEqual(a.W1, b.W1) || !witnessEqual(a.W2, b.W2) {
+				t.Fatalf("%+v: planted witnesses diverged between runs", spec)
+			}
+			if a.PlantedOutput != b.PlantedOutput {
+				t.Fatalf("%+v: planted output diverged: %d vs %d", spec, a.PlantedOutput, b.PlantedOutput)
+			}
+		}
+	}
+}
+
+func witnessEqual(a, b r1cs.Witness) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLabelSoundness re-checks the planted ground truth from the outside
+// (Generate also self-validates, but this pins the contract in a test):
+// for every unsafe and unknown instance, both planted witnesses satisfy
+// every constraint, agree on all inputs, and differ on an output.
+func TestLabelSoundness(t *testing.T) {
+	unsafeSeen, unknownSeen := 0, 0
+	for seed := int64(0); seed < 120; seed++ {
+		c, err := Generate(Spec{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		switch c.Label {
+		case LabelSafe:
+			if c.W1 != nil || c.W2 != nil {
+				t.Errorf("%s: safe instance carries a witness pair", c.Name)
+			}
+			continue
+		case LabelUnsafe:
+			unsafeSeen++
+		case LabelUnknown:
+			unknownSeen++
+		}
+		if err := c.System.CheckWitness(c.W1); err != nil {
+			t.Errorf("%s: W1 rejected: %v", c.Name, err)
+		}
+		if err := c.System.CheckWitness(c.W2); err != nil {
+			t.Errorf("%s: W2 rejected: %v", c.Name, err)
+		}
+		if !r1cs.AgreeOn(c.W1, c.W2, c.System.Inputs()) {
+			t.Errorf("%s: planted pair disagrees on an input", c.Name)
+		}
+		if sig := c.System.Signal(c.PlantedOutput); sig.Kind != r1cs.KindOutput {
+			t.Errorf("%s: planted signal %d is %s, not an output", c.Name, c.PlantedOutput, sig.Kind)
+		}
+		if c.W1[c.PlantedOutput] == c.W2[c.PlantedOutput] {
+			t.Errorf("%s: planted pair agrees on the planted output", c.Name)
+		}
+	}
+	if unsafeSeen == 0 || unknownSeen == 0 {
+		t.Fatalf("mix did not cover all labels: %d unsafe, %d unknown", unsafeSeen, unknownSeen)
+	}
+}
+
+// TestEveryBugGadgetCovered drives enough unsafe seeds that every buggy
+// gadget appears (they are identifiable by their signal name prefixes).
+func TestEveryBugGadgetCovered(t *testing.T) {
+	prefixes := map[string]bool{"bisz": false, "bbits": false, "bsel": false, "bdiv": false, "blad": false}
+	for seed := int64(0); seed < 60; seed++ {
+		c, err := Generate(Spec{Seed: seed, Profile: ProfileUnsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sig := range c.System.Signals() {
+			for p := range prefixes {
+				if len(sig.Name) > len(p) && sig.Name[:len(p)] == p && sig.Name[len(p)] == '.' {
+					prefixes[p] = true
+				}
+			}
+		}
+	}
+	for p, seen := range prefixes {
+		if !seen {
+			t.Errorf("bug gadget %q never generated in 60 unsafe seeds", p)
+		}
+	}
+}
+
+// TestManifestRoundTrip checks Build → Marshal → Parse and the validation
+// rejections.
+func TestManifestRoundTrip(t *testing.T) {
+	m, err := BuildManifest(1000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Instances) != 40 {
+		t.Fatalf("got %d instances, want 40", len(m.Instances))
+	}
+	got, err := ParseManifest(m.Marshal())
+	if err != nil {
+		t.Fatalf("ParseManifest: %v", err)
+	}
+	if !bytes.Equal(got.Marshal(), m.Marshal()) {
+		t.Fatal("manifest round trip changed content")
+	}
+	// Regenerating from a manifest entry reproduces the recorded label.
+	for _, e := range got.Instances[:10] {
+		c, err := Generate(e.Spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Label.String() != e.Label || c.Name != e.Name {
+			t.Fatalf("%s: regenerated as %s/%s", e.Name, c.Name, c.Label)
+		}
+	}
+
+	bad := func(name string, mutate func(*Manifest)) {
+		t.Helper()
+		m2, err := ParseManifest(m.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(m2)
+		if _, err := ParseManifest(m2.Marshal()); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	bad("version mismatch", func(m *Manifest) { m.GeneratorVersion = GeneratorVersion + 1 })
+	bad("bad label", func(m *Manifest) { m.Instances[0].Label = "maybe" })
+	bad("bad profile", func(m *Manifest) { m.Instances[0].Profile = "spicy" })
+	bad("name mismatch", func(m *Manifest) { m.Instances[0].Name = "gen/safe-999999" })
+	bad("duplicate name", func(m *Manifest) { m.Instances[1] = m.Instances[0] })
+}
+
+// TestDefaultMixCoversProfiles sanity-checks the documented 13/6/1 split.
+func TestDefaultMixCoversProfiles(t *testing.T) {
+	counts := map[string]int{}
+	for seed := int64(0); seed < 20; seed++ {
+		counts[DefaultMix(seed)]++
+	}
+	if counts[ProfileSafe] != 13 || counts[ProfileUnsafe] != 6 || counts[ProfileUnknown] != 1 {
+		t.Fatalf("mix per 20 seeds = %v, want 13/6/1", counts)
+	}
+}

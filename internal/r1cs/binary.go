@@ -1,0 +1,544 @@
+package r1cs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"qed2/internal/ff"
+	"qed2/internal/poly"
+)
+
+// Binary snarkjs .r1cs interchange format (the iden3 r1csfile spec, v1),
+// the form the Circom/snarkjs toolchain exports and every downstream zk
+// tool consumes. The layout is section-framed:
+//
+//	magic "r1cs" | u32 version=1 | u32 nSections
+//	per section: u32 type | u64 byte size | body
+//
+// with three section types this reader understands (custom-gate sections 4
+// and 5 are skipped, any other unknown type is tolerated and ignored):
+//
+//	1 header:      u32 n8 (bytes per field element) | prime (n8 bytes LE)
+//	               u32 nWires | u32 nPubOut | u32 nPubIn | u32 nPrvIn
+//	               u64 nLabels | u32 nConstraints
+//	2 constraints: per constraint, for each of A, B, C:
+//	               u32 nTerms | nTerms × (u32 wireID | coeff n8 bytes LE)
+//	3 wire2label:  nWires × u64 label
+//
+// All integers are little-endian. Wire 0 is the constant-one wire; wires
+// 1..nPubOut are the public outputs, the next nPubIn+nPrvIn wires are the
+// inputs, and the remainder are internal. Since this analysis judges
+// uniqueness relative to all inputs, public and private inputs both map to
+// KindInput.
+//
+// MarshalBinary writes the wire2label section as the identity-preserving
+// permutation back to the System's own signal IDs, so a
+// MarshalBinary→ParseBinary round trip reconstructs the exact signal
+// numbering (and therefore the exact slicing, query order, and verdicts) of
+// the original system. Files from the real toolchain use labels as indices
+// into the pre-optimization signal space — not a permutation — in which
+// case the reader falls back to wire order. Signal names do not live in the
+// binary format at all; the companion .sym file (see sym.go) carries them.
+//
+// The binary format has no slot for the compiler metadata the text format
+// round-trips (source locations, constraint tags, <== def attribution).
+// Those degrade gracefully: findings lose locations, and the dependency
+// graph treats every constraint as bidirectional. Hint flags are carried by
+// the .sym extension column, so verdict-relevant inputs survive; the
+// byte-identical-verdict differential test (internal/bench) pins that.
+
+// Binary parse hardening caps, mirroring the text-format limits: every
+// count an attacker controls is bounded before it drives an allocation.
+const (
+	binMagic = "r1cs"
+	// maxBinSections bounds the section directory (the spec uses 3-5).
+	maxBinSections = 64
+	// maxBinFieldBytes bounds n8: the ff substrate supports moduli up to
+	// 256 bits, and snarkjs pads n8 to a multiple of 8.
+	maxBinFieldBytes = 32
+)
+
+// IsBinaryR1CS reports whether data starts with the snarkjs .r1cs magic.
+// The text format's "r1cs v1" header shares the first four bytes, so the
+// version field disambiguates: the binary version is a small little-endian
+// integer, while the text header continues with " v1\n" (0x0a31_7620).
+func IsBinaryR1CS(data []byte) bool {
+	return len(data) >= 8 && string(data[:4]) == binMagic &&
+		binary.LittleEndian.Uint32(data[4:8]) <= 0xff
+}
+
+// ParseAuto parses either serialization of a constraint system, detecting
+// the snarkjs binary format by its magic number and treating everything
+// else as the text format.
+func ParseAuto(data []byte) (*System, error) {
+	if IsBinaryR1CS(data) {
+		return ParseBinary(data)
+	}
+	return ParseString(string(data))
+}
+
+// ParseAutoWithSym is ParseAuto with an optional .sym name table (ignored
+// for the text format, which carries its own names). sym may be nil.
+func ParseAutoWithSym(data, sym []byte) (*System, error) {
+	if IsBinaryR1CS(data) {
+		return ParseBinaryWithSym(data, sym)
+	}
+	return ParseString(string(data))
+}
+
+// binReader is a bounds-checked little-endian cursor over a byte slice.
+type binReader struct {
+	data []byte
+	off  int
+}
+
+func (r *binReader) remaining() int { return len(r.data) - r.off }
+
+func (r *binReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("r1cs: binary truncated at offset %d (need %d bytes, have %d)", r.off, n, r.remaining())
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *binReader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// binHeader is the decoded header section.
+type binHeader struct {
+	n8           int
+	field        *ff.Field
+	nWires       int
+	nPubOut      int
+	nPubIn       int
+	nPrvIn       int
+	nLabels      uint64
+	nConstraints int
+}
+
+// ParseBinary reads a snarkjs binary .r1cs file. Signal names are
+// synthesized ("w<label>"); use ParseBinaryWithSym to attach the circom
+// .sym name table.
+func ParseBinary(data []byte) (*System, error) {
+	return ParseBinaryWithSym(data, nil)
+}
+
+// ParseBinaryWithSym reads a snarkjs binary .r1cs file plus an optional
+// .sym table mapping labels to signal names (nil for synthesized names).
+func ParseBinaryWithSym(data, sym []byte) (*System, error) {
+	r := &binReader{data: data}
+	magic, err := r.bytes(4)
+	if err != nil || string(magic) != binMagic {
+		return nil, fmt.Errorf("r1cs: not a binary .r1cs file (bad magic)")
+	}
+	version, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("r1cs: unsupported binary format version %d (want 1)", version)
+	}
+	nSections, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nSections == 0 || nSections > maxBinSections {
+		return nil, fmt.Errorf("r1cs: implausible section count %d", nSections)
+	}
+	// Walk the section directory first: the header section must be decoded
+	// before the constraint section regardless of file order, and duplicate
+	// sections of a known type are rejected rather than silently letting
+	// one shadow the other.
+	sections := map[uint32][]byte{}
+	for i := uint32(0); i < nSections; i++ {
+		typ, err := r.u32()
+		if err != nil {
+			return nil, fmt.Errorf("r1cs: section %d: %v", i, err)
+		}
+		size, err := r.u64()
+		if err != nil {
+			return nil, fmt.Errorf("r1cs: section %d: %v", i, err)
+		}
+		if size > uint64(r.remaining()) {
+			return nil, fmt.Errorf("r1cs: section %d (type %d) claims %d bytes, only %d remain", i, typ, size, r.remaining())
+		}
+		body, _ := r.bytes(int(size))
+		switch typ {
+		case 1, 2, 3:
+			if _, dup := sections[typ]; dup {
+				return nil, fmt.Errorf("r1cs: duplicate section of type %d", typ)
+			}
+			sections[typ] = body
+		default:
+			// Custom-gate and future sections: tolerated, ignored.
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("r1cs: %d trailing bytes after the last section", r.remaining())
+	}
+	hdrBody, ok := sections[1]
+	if !ok {
+		return nil, fmt.Errorf("r1cs: missing header section")
+	}
+	hdr, err := parseBinHeader(hdrBody)
+	if err != nil {
+		return nil, err
+	}
+	consBody, ok := sections[2]
+	if !ok {
+		return nil, fmt.Errorf("r1cs: missing constraint section")
+	}
+	labels, err := parseWire2Label(sections[3], hdr)
+	if err != nil {
+		return nil, err
+	}
+	names, hints, err := parseSym(sym)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromBinary(hdr, consBody, labels, names, hints)
+}
+
+// parseBinHeader decodes and validates the header section.
+func parseBinHeader(body []byte) (*binHeader, error) {
+	r := &binReader{data: body}
+	n8u, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	if n8u == 0 || n8u > maxBinFieldBytes || n8u%8 != 0 {
+		return nil, fmt.Errorf("r1cs: header: field element size %d bytes unsupported (want a multiple of 8, at most %d)", n8u, maxBinFieldBytes)
+	}
+	n8 := int(n8u)
+	primeBytes, err := r.bytes(n8)
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	prime := leBig(primeBytes)
+	field, err := ff.NewField(prime)
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: bad prime %s: %v", prime, err)
+	}
+	hdr := &binHeader{n8: n8, field: field}
+	nWires, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	nPubOut, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	nPubIn, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	nPrvIn, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	nLabels, err := r.u64()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	nConstraints, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("r1cs: header: %v", err)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("r1cs: header: %d trailing bytes", r.remaining())
+	}
+	if nWires == 0 || nWires > maxParseSignals {
+		return nil, fmt.Errorf("r1cs: header: wire count %d out of range (limit %d)", nWires, maxParseSignals)
+	}
+	if nConstraints > maxParseConstraints {
+		return nil, fmt.Errorf("r1cs: header: constraint count %d exceeds limit %d", nConstraints, maxParseConstraints)
+	}
+	io := uint64(nPubOut) + uint64(nPubIn) + uint64(nPrvIn)
+	if io+1 > uint64(nWires) {
+		return nil, fmt.Errorf("r1cs: header: %d public/private I/O wires exceed %d total wires", io, nWires)
+	}
+	hdr.nWires = int(nWires)
+	hdr.nPubOut = int(nPubOut)
+	hdr.nPubIn = int(nPubIn)
+	hdr.nPrvIn = int(nPrvIn)
+	hdr.nLabels = nLabels
+	hdr.nConstraints = int(nConstraints)
+	return hdr, nil
+}
+
+// parseWire2Label decodes the optional wire-to-label map (nil body = no
+// section, identity mapping).
+func parseWire2Label(body []byte, hdr *binHeader) ([]uint64, error) {
+	if body == nil {
+		return nil, nil
+	}
+	if len(body) != hdr.nWires*8 {
+		return nil, fmt.Errorf("r1cs: wire2label section is %d bytes, want %d (8 per wire)", len(body), hdr.nWires*8)
+	}
+	labels := make([]uint64, hdr.nWires)
+	for i := range labels {
+		labels[i] = binary.LittleEndian.Uint64(body[i*8:])
+		if hdr.nLabels > 0 && labels[i] >= hdr.nLabels {
+			return nil, fmt.Errorf("r1cs: wire %d maps to label %d, beyond the %d declared labels", i, labels[i], hdr.nLabels)
+		}
+	}
+	return labels, nil
+}
+
+// labelPermutation reports whether the wire2label map is a permutation of
+// [0, nWires) fixing 0 — the shape MarshalBinary emits to preserve signal
+// numbering. Real snarkjs exports map into the larger pre-optimization
+// label space instead, and get wire-order numbering.
+func labelPermutation(labels []uint64) bool {
+	if labels == nil || labels[0] != 0 {
+		return false
+	}
+	seen := make([]bool, len(labels))
+	for _, l := range labels {
+		if l >= uint64(len(labels)) || seen[l] {
+			return false
+		}
+		seen[l] = true
+	}
+	return true
+}
+
+// buildFromBinary assembles the System from the decoded sections.
+func buildFromBinary(hdr *binHeader, consBody []byte, labels []uint64, names map[uint64]string, hints map[uint64]bool) (*System, error) {
+	// wireKind classifies a wire by its index per the snarkjs layout.
+	wireKind := func(w int) SignalKind {
+		switch {
+		case w == 0:
+			return KindOne
+		case w <= hdr.nPubOut:
+			return KindOutput
+		case w <= hdr.nPubOut+hdr.nPubIn+hdr.nPrvIn:
+			return KindInput
+		default:
+			return KindInternal
+		}
+	}
+	// sigOf maps a wire index to the signal ID the System will use.
+	sigOf := func(w int) int { return w }
+	sys := NewSystem(hdr.field)
+	if labelPermutation(labels) {
+		// Identity-preserving round trip: signal ID = label. Build the
+		// signal table in label order, remembering each wire's target.
+		sigOf = func(w int) int { return int(labels[w]) }
+		wireOf := make([]int, hdr.nWires) // label -> wire
+		for w, l := range labels {
+			wireOf[l] = w
+		}
+		for id := 1; id < hdr.nWires; id++ {
+			w := wireOf[id]
+			if err := addBinarySignal(sys, uint64(id), wireKind(w), names, hints); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for w := 1; w < hdr.nWires; w++ {
+			label := uint64(w)
+			if labels != nil {
+				label = labels[w]
+			}
+			if err := addBinarySignal(sys, label, wireKind(w), names, hints); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Constraint section: 3 linear combinations per constraint.
+	r := &binReader{data: consBody}
+	for ci := 0; ci < hdr.nConstraints; ci++ {
+		var lcs [3]*poly.LinComb
+		for j := 0; j < 3; j++ {
+			lc, err := parseBinaryLC(r, hdr, sigOf)
+			if err != nil {
+				return nil, fmt.Errorf("r1cs: constraint %d: %v", ci, err)
+			}
+			lcs[j] = lc
+		}
+		sys.AddConstraint(lcs[0], lcs[1], lcs[2], "")
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("r1cs: constraint section has %d trailing bytes after %d constraints", r.remaining(), hdr.nConstraints)
+	}
+	return sys, nil
+}
+
+// addBinarySignal installs one non-constant signal, naming it from the sym
+// table when present ("w<label>" otherwise) and applying the hint flag.
+func addBinarySignal(sys *System, label uint64, kind SignalKind, names map[uint64]string, hints map[uint64]bool) error {
+	name := names[label]
+	if name == "" {
+		name = fmt.Sprintf("w%d", label)
+	}
+	if _, dup := sys.SignalByName(name); dup {
+		return fmt.Errorf("r1cs: duplicate signal name %q from sym table", name)
+	}
+	id := sys.AddSignal(name, kind)
+	if hints[label] {
+		sys.MarkHinted(id)
+	}
+	return nil
+}
+
+// parseBinaryLC decodes one linear combination of the constraint section.
+func parseBinaryLC(r *binReader, hdr *binHeader, sigOf func(int) int) (*poly.LinComb, error) {
+	nTerms, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nTerms > maxParseTerms {
+		return nil, fmt.Errorf("linear combination has %d terms (limit %d)", nTerms, maxParseTerms)
+	}
+	lc := poly.NewLinComb(hdr.field)
+	for t := uint32(0); t < nTerms; t++ {
+		wire, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(wire) >= hdr.nWires {
+			return nil, fmt.Errorf("term references wire %d beyond the %d declared wires", wire, hdr.nWires)
+		}
+		coeffBytes, err := r.bytes(hdr.n8)
+		if err != nil {
+			return nil, err
+		}
+		v := leBig(coeffBytes)
+		if v.Cmp(hdr.field.Modulus()) >= 0 {
+			return nil, fmt.Errorf("coefficient %s out of range for the declared prime", v)
+		}
+		coeff := hdr.field.FromBig(v)
+		if wire == 0 {
+			lc = lc.AddConst(coeff)
+		} else {
+			lc = lc.AddTerm(sigOf(int(wire)), coeff)
+		}
+	}
+	return lc, nil
+}
+
+// --- writer ------------------------------------------------------------------
+
+// binaryWireOrder returns the snarkjs wire permutation of a system: the
+// constant one, then outputs, inputs, and internals, each in ascending
+// signal-ID order. wires[w] is the signal ID on wire w.
+func (s *System) binaryWireOrder() []int {
+	wires := make([]int, 0, len(s.signals))
+	wires = append(wires, OneID)
+	wires = append(wires, s.Outputs()...)
+	wires = append(wires, s.Inputs()...)
+	wires = append(wires, s.Internals()...)
+	return wires
+}
+
+// MarshalBinary renders the system in the snarkjs binary .r1cs format.
+// Outputs occupy the first wires, then inputs (all public), then internals;
+// the wire2label section maps every wire back to its original signal ID so
+// ParseBinary reconstructs the exact signal numbering. Names, locations,
+// tags and def attribution are not representable; pair with MarshalSym to
+// keep names and hint flags.
+func (s *System) MarshalBinary() []byte {
+	f := s.field
+	n8 := ((f.BitLen() + 63) / 64) * 8
+	wires := s.binaryWireOrder()
+	wireOf := make([]int, len(s.signals)) // signal ID -> wire
+	for w, id := range wires {
+		wireOf[id] = w
+	}
+
+	le := func(buf []byte, v *big.Int) {
+		be := v.Bytes()
+		for i, b := range be {
+			buf[len(be)-1-i] = b
+		}
+	}
+	var out []byte
+	u32 := func(v uint32) { out = binary.LittleEndian.AppendUint32(out, v) }
+	u64 := func(v uint64) { out = binary.LittleEndian.AppendUint64(out, v) }
+
+	out = append(out, binMagic...)
+	u32(1) // version
+	u32(3) // sections: header, constraints, wire2label
+
+	// Header section.
+	u32(1)
+	u64(uint64(4 + n8 + 4*4 + 8 + 4))
+	u32(uint32(n8))
+	primeLE := make([]byte, n8)
+	le(primeLE, f.Modulus())
+	out = append(out, primeLE...)
+	u32(uint32(len(wires)))
+	u32(uint32(len(s.Outputs())))
+	u32(uint32(len(s.Inputs())))
+	u32(0) // nPrvIn: this model treats every input as verifier-fixed
+	u64(uint64(len(wires)))
+	u32(uint32(len(s.constraints)))
+
+	// Constraint section.
+	var cons []byte
+	coeffBuf := make([]byte, n8)
+	appendLC := func(lc *poly.LinComb) {
+		n := lc.NumTerms()
+		if !lc.Constant().IsZero() {
+			n++
+		}
+		cons = binary.LittleEndian.AppendUint32(cons, uint32(n))
+		emit := func(wire int, coeff *big.Int) {
+			cons = binary.LittleEndian.AppendUint32(cons, uint32(wire))
+			for i := range coeffBuf {
+				coeffBuf[i] = 0
+			}
+			le(coeffBuf, coeff)
+			cons = append(cons, coeffBuf...)
+		}
+		if !lc.Constant().IsZero() {
+			emit(0, f.ToBig(lc.Constant()))
+		}
+		lc.VisitTerms(func(x int, coeff ff.Element) {
+			emit(wireOf[x], f.ToBig(coeff))
+		})
+	}
+	for i := range s.constraints {
+		c := &s.constraints[i]
+		appendLC(c.A)
+		appendLC(c.B)
+		appendLC(c.C)
+	}
+	u32(2)
+	u64(uint64(len(cons)))
+	out = append(out, cons...)
+
+	// Wire2label section: wire -> original signal ID.
+	u32(3)
+	u64(uint64(8 * len(wires)))
+	for _, id := range wires {
+		u64(uint64(id))
+	}
+	return out
+}
+
+// leBig converts little-endian bytes to a big.Int.
+func leBig(b []byte) *big.Int {
+	be := make([]byte, len(b))
+	for i, v := range b {
+		be[len(b)-1-i] = v
+	}
+	return new(big.Int).SetBytes(be)
+}

@@ -1,0 +1,116 @@
+package r1cs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzBinarySeed marshals the shared fuzz seed system in the binary format.
+func fuzzBinarySeed() []byte {
+	return fuzzSeedSystem().MarshalBinary()
+}
+
+// mutBinary returns a copy of the seed with fn applied — the seed corpus
+// mirrors the attack classes the hardening caps in ParseBinary close:
+// truncated sections, oversized counts, wrong primes, duplicate sections.
+func mutBinary(fn func([]byte) []byte) []byte {
+	return fn(bytes.Clone(fuzzBinarySeed()))
+}
+
+// FuzzParseBinary checks that ParseBinary never panics on arbitrary bytes:
+// every malformed, adversarial, or resource-hostile file must come back as
+// an error, under the same hardening caps r1cs.Parse enforces for the text
+// format (signal/constraint/term counts, bounded allocations). Anything
+// that parses must survive a marshal → re-parse round trip.
+func FuzzParseBinary(f *testing.F) {
+	valid := fuzzBinarySeed()
+	seeds := [][]byte{
+		nil,
+		[]byte("r1cs"),
+		valid,
+		// Truncations at every structural boundary: mid-magic, mid-section
+		// directory, mid-header, mid-constraint, mid-map.
+		valid[:2],
+		valid[:8],
+		valid[:12],
+		valid[:20],
+		valid[:len(valid)/2],
+		valid[:len(valid)-3],
+		// Oversized counts: wires, constraints, terms, labels.
+		mutBinary(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24+4+8:], 1<<31) // nWires (n8=8 for F_97)
+			return b
+		}),
+		mutBinary(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24+4+8+16+8:], 1<<30) // nConstraints
+			return b
+		}),
+		mutBinary(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:], 1<<20) // n8 huge
+			return b
+		}),
+		// Wrong prime: even (composite), zero, and a value the coefficients
+		// then exceed.
+		mutBinary(func(b []byte) []byte {
+			b[24+4] = 96 // 97 -> 96
+			return b
+		}),
+		mutBinary(func(b []byte) []byte {
+			b[24+4] = 0
+			return b
+		}),
+		mutBinary(func(b []byte) []byte {
+			b[24+4] = 3 // coefficients mod 97 now out of range for F_3
+			return b
+		}),
+		// Duplicate header section appended (and nSections bumped).
+		mutBinary(func(b []byte) []byte {
+			hdr := bytes.Clone(b[12 : 12+12+4+8+16+8+4])
+			b = append(b, hdr...)
+			binary.LittleEndian.PutUint32(b[8:], 4)
+			return b
+		}),
+		// Section claiming more bytes than remain.
+		mutBinary(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 1<<40) // header size
+			return b
+		}),
+		// Trailing garbage after the last section.
+		mutBinary(func(b []byte) []byte { return append(b, 0xde, 0xad) }),
+		// Version from the text format's " v1\n" bytes.
+		append([]byte("r1cs"), []byte(" v1\nprime 97\n")...),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := ParseBinary(data)
+		if err != nil {
+			return
+		}
+		// Anything that parses must round-trip through the binary format.
+		bin := sys.MarshalBinary()
+		sys2, err := ParseBinary(bin)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled system failed: %v", err)
+		}
+		if sys2.Digest() != sys.Digest() {
+			t.Fatalf("binary round trip changed the canonical form:\n%s\nvs\n%s",
+				sys.CanonicalText(), sys2.CanonicalText())
+		}
+	})
+}
+
+// FuzzParseSym checks the .sym table parser against arbitrary input paired
+// with the valid binary seed.
+func FuzzParseSym(f *testing.F) {
+	f.Add("1,1,-1,main.a\n2,2,-1,main.b\n")
+	f.Add("1,1,-1,a,hint\n")
+	f.Add("1,1,-1\n")
+	f.Add("99999999999999999999,0,-1,x\n")
+	f.Add("1,1,-1,a\n1,2,-1,b\n")
+	f.Fuzz(func(t *testing.T, sym string) {
+		_, _ = ParseBinaryWithSym(fuzzBinarySeed(), []byte(sym))
+	})
+}
