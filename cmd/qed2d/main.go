@@ -15,7 +15,17 @@
 //	GET  /v1/jobs/{id}          poll one job
 //	GET  /v1/jobs/{id}/events   stream the job's progress feed as NDJSON
 //	GET  /healthz               liveness + build/version + queue snapshot
+//	GET  /readyz                readiness: 503 while draining, with the
+//	                            queue saturated, or after a failed store
+//	                            scrub — load balancers stop routing without
+//	                            killing the process
 //	GET  /metrics               pipeline and service counters as JSON
+//
+// With -sandbox each analysis runs in a re-exec'd `qed2d worker` child
+// process (memory ceiling via -job-mem-mb, wall-clock watchdog via
+// -job-wall); a child that crashes or is killed costs one job a hard-fault
+// degradation, never the daemon. Digests that hard-fault repeatedly are
+// quarantined (422 + Retry-After) until a cooldown probe clears them.
 //
 // SIGINT/SIGTERM drain gracefully: queued jobs are shed as retriable
 // cancellations, in-flight analyses stop at their next query boundary and
@@ -34,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +60,11 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		// Sandbox child: no listener, no signal handling — the parent
+		// supervises it and SIGKILLs on overrun.
+		os.Exit(service.WorkerMain(os.Args[2:], os.Stdin, os.Stdout, os.Stderr))
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {
 		// After the first signal starts the drain, restore the default
@@ -88,6 +104,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		noStore      = fs.Bool("no-store", false, "disable the content-addressed report store")
 		checkpoint   = fs.String("checkpoint", "", "drain checkpoint path (empty = no drain persistence)")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs to stop")
+		sandbox      = fs.Bool("sandbox", false, "run each analysis in an isolated worker subprocess")
+		jobMemMB     = fs.Int("job-mem-mb", 0, "per-job memory ceiling in MiB for sandbox workers (0 = none)")
+		jobWall      = fs.Duration("job-wall", 5*time.Minute, "wall-clock watchdog per sandboxed job")
+		quarFaults   = fs.Int("quarantine-faults", 3, "consecutive hard faults before a digest is quarantined")
+		quarCooldown = fs.Duration("quarantine-cooldown", 30*time.Second, "quarantine duration before a half-open probe")
 		version      = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,8 +156,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Metrics:        metrics,
 		CheckpointPath: *checkpoint,
 	}
+	if *sandbox {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(stderr, "qed2d: resolving own binary for -sandbox:", err)
+			return 3
+		}
+		sb := &service.Sandbox{
+			Binary:  exe,
+			MemMB:   *jobMemMB,
+			Wall:    *jobWall,
+			Metrics: metrics,
+		}
+		engineCfg.Runner = sb.Run
+		engineCfg.QuarantineThreshold = *quarFaults
+		engineCfg.QuarantineCooldown = *quarCooldown
+	}
+	var st *store.Store
 	if !*noStore {
-		st, err := store.Open(store.Options{
+		var err error
+		st, err = store.Open(store.Options{
 			Capacity: *storeSize,
 			Dir:      *storeDir,
 			Stamp:    service.Stamp(cfg),
@@ -147,6 +186,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 3
 		}
 		engineCfg.Store = st
+		if rep, ok := st.LastScrub(); ok && (rep.Corrupt > 0 || rep.TempRemoved > 0 || rep.Err != "") {
+			fmt.Fprintf(stdout, "qed2d: store scrub: %d scanned, %d corrupt quarantined, %d temp removed\n",
+				rep.Scanned, rep.Corrupt, rep.TempRemoved)
+		}
 	}
 	engine := service.New(engineCfg)
 	if n, err := engine.Resume(); err != nil {
@@ -163,7 +206,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		engine.Close()
 		return 3
 	}
-	srv := &http.Server{Handler: newHandler(engine, metrics, stderr)}
+	srv := &http.Server{Handler: newHandler(engine, st, metrics, stderr)}
 	fmt.Fprintf(stdout, "qed2d %s listening on http://%s\n", buildinfo.Get().ShortRevision(), ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -205,18 +248,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // server bundles the handler dependencies.
 type server struct {
 	engine  *service.Engine
+	store   *store.Store // nil with -no-store
 	metrics *obs.Metrics
 	errlog  io.Writer
 }
 
-func newHandler(engine *service.Engine, metrics *obs.Metrics, errlog io.Writer) http.Handler {
-	s := &server{engine: engine, metrics: metrics, errlog: errlog}
+func newHandler(engine *service.Engine, st *store.Store, metrics *obs.Metrics, errlog io.Writer) http.Handler {
+	s := &server{engine: engine, store: st, metrics: metrics, errlog: errlog}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.analyze)
 	mux.HandleFunc("GET /v1/jobs", s.jobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
 	return s.recoverMiddleware(mux)
 }
@@ -302,6 +347,16 @@ func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrTenantQuota):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, service.ErrQuarantined):
+			// Poison digest: fail fast with the remaining breaker cooldown so
+			// well-behaved clients retry exactly when a probe can be admitted.
+			retry := 1
+			var qe *service.QuarantineError
+			if errors.As(err, &qe) && qe.RetryAfter > 0 {
+				retry = int((qe.RetryAfter + time.Second - 1) / time.Second)
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
 		default:
 			writeError(w, http.StatusBadRequest, err.Error())
 		}
@@ -396,6 +451,52 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		"queue":    st,
 		"stamp":    json.RawMessage(s.engine.ConfigStamp()),
 	}
+	if n := s.engine.QuarantineOpenCount(); n > 0 {
+		out["quarantine_open"] = n
+	}
+	if s.store != nil {
+		if rep, ok := s.store.LastScrub(); ok {
+			out["scrub"] = rep
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// readyz is GET /readyz: the routing decision /healthz deliberately does
+// not make. The daemon is alive but not ready while draining, while the
+// queue is at its admission bound, or after a store scrub failed outright —
+// all states where sending fresh traffic elsewhere beats killing a process
+// that is still finishing real work. The breaker-open count is reported for
+// operators but does not fail readiness: quarantine is per-digest, not
+// global.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	var reasons []string
+	if st.Draining {
+		reasons = append(reasons, "draining")
+	}
+	if st.Queued >= st.Depth {
+		reasons = append(reasons, "queue saturated")
+	}
+	out := map[string]any{"queue": st}
+	if s.store != nil {
+		if rep, ok := s.store.LastScrub(); ok {
+			out["scrub"] = rep
+			if rep.Err != "" {
+				reasons = append(reasons, "store scrub failed: "+rep.Err)
+			}
+		}
+	}
+	if n := s.engine.QuarantineOpenCount(); n > 0 {
+		out["quarantine_open"] = n
+	}
+	if len(reasons) > 0 {
+		out["ready"] = false
+		out["reasons"] = reasons
+		writeJSON(w, http.StatusServiceUnavailable, out)
+		return
+	}
+	out["ready"] = true
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -58,8 +58,18 @@ type daemon struct {
 // startDaemon launches qed2d and waits for its listening line.
 func startDaemon(t *testing.T, bin, addr string, extra ...string) *daemon {
 	t.Helper()
+	return startDaemonEnv(t, bin, addr, nil, extra...)
+}
+
+// startDaemonEnv is startDaemon with extra environment entries (chaos
+// schedules via QED2_FAULTS).
+func startDaemonEnv(t *testing.T, bin, addr string, env []string, extra ...string) *daemon {
+	t.Helper()
 	args := append([]string{"-addr", addr}, extra...)
 	cmd := exec.Command(bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -35,9 +36,19 @@ type ReplayOptions struct {
 	// PollInterval is the job-status poll cadence (default 50ms).
 	PollInterval time.Duration
 	// FailureRetries bounds resubmissions of jobs that end failed (internal
-	// error) before the instance is recorded as a degraded unknown
-	// (default 3). Retriable cancellations are not counted against it.
+	// error or a sandbox hard fault) before the instance is recorded as a
+	// degraded unknown (default 3). Retriable cancellations and admission
+	// rejections (429/503/422) are not counted against it.
 	FailureRetries int
+	// BackoffCap caps the exponential retry backoff (default 2s). Retries
+	// wait PollInterval, 2×, 4×, ... up to the cap, each with deterministic
+	// jitter in [d/2, d]; an explicit Retry-After from the daemon overrides
+	// the schedule for that wait.
+	BackoffCap time.Duration
+	// JitterSeed seeds the deterministic retry jitter (default 1), so two
+	// replays of the same suite against the same daemon behavior wait
+	// identically — chaos runs stay reproducible.
+	JitterSeed int64
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
 	// Progress, when non-nil, is called after each instance completes;
@@ -57,6 +68,12 @@ func (o ReplayOptions) withDefaults() ReplayOptions {
 	}
 	if o.FailureRetries <= 0 {
 		o.FailureRetries = 3
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
 	}
 	if o.Client == nil {
 		o.Client = http.DefaultClient
@@ -137,25 +154,34 @@ func replayOne(ctx context.Context, inst Instance, o ReplayOptions) (Result, err
 	src := inst.Source()
 	t0 := time.Now()
 	failures := 0
+	bo := newReplayBackoff(o, inst.Name)
 	for {
-		job, status, err := submit(ctx, o, src)
+		job, status, retryAfter, err := submit(ctx, o, src)
 		switch {
 		case err != nil:
-			// Daemon unreachable (restarting) — wait and resubmit.
-			if err := sleepCtx(ctx, o.PollInterval); err != nil {
+			// Daemon unreachable (restarting) — back off and resubmit.
+			if err := sleepCtx(ctx, bo.next(0)); err != nil {
 				return Result{}, err
 			}
 			continue
 		case status == http.StatusBadRequest:
 			return Result{Instance: inst, CompileErr: fmt.Errorf("bench: %s: %s", inst.Name, job.Error)}, nil
-		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
-			if err := sleepCtx(ctx, o.PollInterval); err != nil {
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable ||
+			status == http.StatusUnprocessableEntity:
+			// Transient admission rejections: overload (429), drain (503),
+			// or a quarantined digest (422) whose Retry-After is the
+			// remaining breaker cooldown — waiting it out lands the resubmit
+			// as the half-open probe.
+			if err := sleepCtx(ctx, bo.next(retryAfter)); err != nil {
 				return Result{}, err
 			}
 			continue
 		case status != http.StatusOK && status != http.StatusAccepted:
 			return Result{}, fmt.Errorf("unexpected HTTP %d from submit", status)
 		}
+		// Admission succeeded — the daemon is healthy, so the next retriable
+		// event starts a fresh backoff ramp.
+		bo.reset()
 
 		final, err := pollJob(ctx, o, job)
 		if err != nil {
@@ -167,7 +193,7 @@ func replayOne(ctx context.Context, inst Instance, o ReplayOptions) (Result, err
 		case "canceled":
 			if final.Retriable {
 				// Shed by a drain; the restarted daemon takes the resubmit.
-				if err := sleepCtx(ctx, o.PollInterval); err != nil {
+				if err := sleepCtx(ctx, bo.next(0)); err != nil {
 					return Result{}, err
 				}
 				continue
@@ -176,6 +202,9 @@ func replayOne(ctx context.Context, inst Instance, o ReplayOptions) (Result, err
 		case "failed":
 			failures++
 			if failures <= o.FailureRetries {
+				if err := sleepCtx(ctx, bo.next(0)); err != nil {
+					return Result{}, err
+				}
 				continue
 			}
 			// Persistently failing instance: record the degradation rather
@@ -193,22 +222,84 @@ func replayOne(ctx context.Context, inst Instance, o ReplayOptions) (Result, err
 	}
 }
 
-// submit POSTs the circuit source. A non-nil error means the request never
-// got an HTTP response (connection refused mid-restart).
-func submit(ctx context.Context, o ReplayOptions, src string) (replayJob, int, error) {
+// replayBackoff is the per-instance retry schedule: capped exponential
+// growth from PollInterval with deterministic jitter. Jitter decorrelates
+// the retry storms of instances rejected by the same overload burst without
+// sacrificing reproducibility — the wait for (seed, instance, attempt) is a
+// pure function.
+type replayBackoff struct {
+	base, cap time.Duration
+	seed      uint64
+	attempt   uint
+}
+
+func newReplayBackoff(o ReplayOptions, name string) *replayBackoff {
+	return &replayBackoff{
+		base: o.PollInterval,
+		cap:  o.BackoffCap,
+		seed: uint64(o.JitterSeed) ^ hashName(name),
+	}
+}
+
+func (b *replayBackoff) reset() { b.attempt = 0 }
+
+// next returns the wait before the next retry. A positive retryAfter (the
+// daemon's explicit Retry-After) overrides the exponential schedule — the
+// server knows its own cooldowns — but still advances the attempt counter.
+func (b *replayBackoff) next(retryAfter time.Duration) time.Duration {
+	attempt := b.attempt
+	if b.attempt < 30 {
+		b.attempt++
+	}
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := b.base << attempt
+	if d > b.cap || d <= 0 {
+		d = b.cap
+	}
+	// Deterministic jitter in [d/2, d].
+	half := d / 2
+	span := uint64(d-half) + 1
+	return half + time.Duration(mix64(b.seed^uint64(attempt)*0x9E3779B97F4A7C15)%span)
+}
+
+// hashName is FNV-1a over the instance name.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// submit POSTs the circuit source, returning the parsed job, the HTTP
+// status, and any Retry-After the daemon attached to a rejection. A non-nil
+// error means the request never got an HTTP response (connection refused
+// mid-restart).
+func submit(ctx context.Context, o ReplayOptions, src string) (replayJob, int, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		o.BaseURL+"/v1/analyze", strings.NewReader(src))
 	if err != nil {
-		return replayJob{}, 0, err
+		return replayJob{}, 0, 0, err
 	}
 	req.Header.Set("Content-Type", "text/plain")
 	req.Header.Set("X-QED2-Tenant", o.Tenant)
 	resp, err := o.Client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return replayJob{}, 0, ctx.Err()
+			return replayJob{}, 0, 0, ctx.Err()
 		}
-		return replayJob{}, 0, err
+		return replayJob{}, 0, 0, err
 	}
 	defer resp.Body.Close()
 	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -221,9 +312,23 @@ func submit(ctx context.Context, o ReplayOptions, src string) (replayJob, int, e
 	if (resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted) && job.ID == "" {
 		// A 2xx without a job ID is a torn response (daemon killed
 		// mid-write); report it as unreachable so the caller resubmits.
-		return replayJob{}, 0, fmt.Errorf("torn submit response")
+		return replayJob{}, 0, 0, fmt.Errorf("torn submit response")
 	}
-	return job, resp.StatusCode, nil
+	return job, resp.StatusCode, retryAfterOf(resp), nil
+}
+
+// retryAfterOf parses a delay-seconds Retry-After header (the only form the
+// daemon emits); absent or unparsable yields zero.
+func retryAfterOf(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // pollJob follows a job to a terminal status, resubmitting-friendly: a 404

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func backoffOpts() ReplayOptions {
+	return ReplayOptions{
+		PollInterval: 50 * time.Millisecond,
+		BackoffCap:   2 * time.Second,
+		JitterSeed:   1,
+	}.withDefaults()
+}
+
+func TestReplayBackoffGrowsAndCaps(t *testing.T) {
+	bo := newReplayBackoff(backoffOpts(), "inst-a")
+	prevMax := time.Duration(0)
+	for attempt := 0; attempt < 12; attempt++ {
+		d := bo.next(0)
+		ideal := 50 * time.Millisecond << attempt
+		if ideal > 2*time.Second || ideal <= 0 {
+			ideal = 2 * time.Second
+		}
+		if d < ideal/2 || d > ideal {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, d, ideal/2, ideal)
+		}
+		if ideal == 2*time.Second {
+			prevMax = d
+		}
+	}
+	if prevMax > 2*time.Second {
+		t.Fatalf("capped wait %v exceeds cap", prevMax)
+	}
+	// Far past the shift width the schedule must not overflow or stall.
+	bo.attempt = 30
+	if d := bo.next(0); d < time.Second || d > 2*time.Second {
+		t.Fatalf("saturated attempt: wait %v outside [1s, 2s]", d)
+	}
+}
+
+func TestReplayBackoffDeterministic(t *testing.T) {
+	a := newReplayBackoff(backoffOpts(), "inst-a")
+	b := newReplayBackoff(backoffOpts(), "inst-a")
+	for i := 0; i < 8; i++ {
+		if wa, wb := a.next(0), b.next(0); wa != wb {
+			t.Fatalf("attempt %d: same (seed, instance) waited %v vs %v", i, wa, wb)
+		}
+	}
+	// Different instances decorrelate; different seeds too.
+	c := newReplayBackoff(backoffOpts(), "inst-b")
+	oSeed := backoffOpts()
+	oSeed.JitterSeed = 99
+	d := newReplayBackoff(oSeed, "inst-a")
+	a.reset()
+	var diffName, diffSeed bool
+	for i := 0; i < 8; i++ {
+		w := a.next(0)
+		if w != c.next(0) {
+			diffName = true
+		}
+		if w != d.next(0) {
+			diffSeed = true
+		}
+	}
+	if !diffName || !diffSeed {
+		t.Fatalf("jitter failed to decorrelate (name=%v seed=%v)", diffName, diffSeed)
+	}
+}
+
+func TestReplayBackoffResetRestartsRamp(t *testing.T) {
+	bo := newReplayBackoff(backoffOpts(), "inst-a")
+	first := bo.next(0)
+	for i := 0; i < 5; i++ {
+		bo.next(0)
+	}
+	bo.reset()
+	if again := bo.next(0); again != first {
+		t.Fatalf("post-reset wait %v != initial %v", again, first)
+	}
+}
+
+func TestReplayBackoffHonorsRetryAfter(t *testing.T) {
+	bo := newReplayBackoff(backoffOpts(), "inst-a")
+	if d := bo.next(3 * time.Second); d != 3*time.Second {
+		t.Fatalf("Retry-After override: wait %v, want 3s", d)
+	}
+	// The override still advanced the ramp: the next implicit wait reflects
+	// attempt 1, not attempt 0.
+	if d := bo.next(0); d < 50*time.Millisecond || d > 100*time.Millisecond {
+		t.Fatalf("post-override wait %v outside [50ms, 100ms]", d)
+	}
+}
+
+func TestRetryAfterOf(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0}, // http-date form: ignored, not misparsed
+	}
+	for _, c := range cases {
+		if got := retryAfterOf(mk(c.header)); got != c.want {
+			t.Errorf("retryAfterOf(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

@@ -304,6 +304,13 @@ const (
 	// DegradedInternal marks a verdict left undecided by a quarantined
 	// query panic (or, in the bench runner, an instance-level panic).
 	DegradedInternal Degradation = "internal-error"
+	// DegradedHardFault marks a verdict lost to a hard fault of an isolated
+	// worker process — an OOM kill, a fatal runtime error, or a watchdog
+	// SIGKILL of a wedged or over-limit sandbox child (qed2d -sandbox). The
+	// analysis itself never produces this value: it is synthesized by the
+	// supervisor that observed the worker die. Like every degradation it is
+	// never cacheable and never golden-comparable.
+	DegradedHardFault Degradation = "hard-fault"
 )
 
 // Report is the output of Analyze.

@@ -25,6 +25,14 @@
 //	service.store.get — report-store lookup (error/deadline degrade to a cache miss)
 //	service.store.put — report-store insert (error/deadline surface as a put failure)
 //	service.handler — qed2d HTTP handler entry (panic; exercises the handler recover boundary)
+//	worker.kill     — sandbox worker spawn (error/deadline SIGKILLs the child
+//	                  mid-analysis; checked in the parent so hit counters
+//	                  advance across jobs, applied in the child)
+//	worker.hang     — sandbox worker spawn (error/deadline wedges the child
+//	                  mid-analysis until the wall-clock watchdog kills it)
+//	store.corrupt   — disk-tier entry read (error/deadline flips a byte of
+//	                  the file before decoding; exercises checksum
+//	                  verification and corrupt-file quarantine)
 package faultinject
 
 import (

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Poison-job quarantine. A circuit that hard-faults its sandbox worker —
+// OOM, fatal runtime error, watchdog kill — will almost certainly do it
+// again on resubmission, and clients retry failed jobs by design. Without a
+// breaker, one poison circuit burns a worker slot per retry forever. The
+// quarantine is a per-digest circuit breaker: after Threshold consecutive
+// hard faults the digest trips open and submissions fail fast with a typed
+// 422 (QuarantineError) instead of reaching the queue; after Cooldown one
+// half-open probe is admitted, and its outcome decides between closing the
+// breaker (transient pressure, e.g. a co-tenant's memory spike) and
+// re-opening it (genuinely poisonous input). Verdict-producing runs and
+// cache hits are unaffected — only the hard-fault path feeds the counter.
+
+// ErrQuarantined is the sentinel under every QuarantineError, for
+// errors.Is. The HTTP layer maps it to 422 Unprocessable Entity with a
+// Retry-After of the remaining cooldown.
+var ErrQuarantined = errors.New("service: digest is quarantined after repeated hard faults")
+
+// QuarantineError is the typed admission failure for a quarantined digest.
+type QuarantineError struct {
+	Digest string
+	// Faults is how many consecutive hard faults tripped the breaker.
+	Faults int
+	// RetryAfter is the remaining cooldown (zero when a half-open probe is
+	// already in flight — retry once it settles).
+	RetryAfter time.Duration
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("service: digest %s quarantined after %d hard faults (retry in %s)",
+		e.Digest, e.Faults, e.RetryAfter.Round(time.Second))
+}
+
+func (e *QuarantineError) Unwrap() error { return ErrQuarantined }
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breakerEntry struct {
+	state    int
+	faults   int       // consecutive hard faults
+	openedAt time.Time // when the breaker last tripped
+}
+
+// breaker tracks per-digest hard-fault history. All methods are safe for
+// concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		entries:   map[string]*breakerEntry{},
+	}
+}
+
+// allow decides admission for a digest: nil when closed or when this call
+// wins the single half-open probe slot, a *QuarantineError otherwise.
+func (b *breaker) allow(digest string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ent := b.entries[digest]
+	if ent == nil || ent.state == breakerClosed {
+		return nil
+	}
+	if ent.state == breakerOpen {
+		if remaining := ent.openedAt.Add(b.cooldown).Sub(b.now()); remaining > 0 {
+			return &QuarantineError{Digest: digest, Faults: ent.faults, RetryAfter: remaining}
+		}
+		// Cooldown elapsed: this submission becomes the half-open probe.
+		ent.state = breakerHalfOpen
+		return nil
+	}
+	// Half-open with the probe still in flight: fail fast, don't stack
+	// probes (the engine's digest dedup catches most of these already; this
+	// covers a probe that finished queueing but whose outcome is pending).
+	return &QuarantineError{Digest: digest, Faults: ent.faults}
+}
+
+// recordFault notes a hard fault for a digest and returns true when this
+// fault tripped (or re-tripped) the breaker open.
+func (b *breaker) recordFault(digest string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ent := b.entries[digest]
+	if ent == nil {
+		ent = &breakerEntry{}
+		b.entries[digest] = ent
+	}
+	ent.faults++
+	if ent.state == breakerHalfOpen || ent.faults >= b.threshold {
+		ent.state = breakerOpen
+		ent.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// recordSuccess resets a digest after a run that produced a verdict (or any
+// non-hard-fault outcome): the input has proven it can execute, so its
+// history is cleared entirely.
+func (b *breaker) recordSuccess(digest string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.entries, digest)
+}
+
+// OpenCount reports how many digests are currently quarantined (open or
+// probing), for /readyz and /metrics.
+func (b *breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, ent := range b.entries {
+		if ent.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The breaker unit tests drive the state machine with a hand-cranked clock:
+// closed → open after the threshold, fail-fast with a shrinking RetryAfter
+// during the cooldown, a single half-open probe after it, and the probe's
+// outcome deciding between closed and re-open.
+
+func testBreaker() (*breaker, *time.Time) {
+	b := newBreaker(3, 10*time.Second)
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := testBreaker()
+	const d = "digest-a"
+	for i := 0; i < 2; i++ {
+		if tripped := b.recordFault(d); tripped {
+			t.Fatalf("fault %d tripped below threshold", i+1)
+		}
+		if err := b.allow(d); err != nil {
+			t.Fatalf("fault %d: allow = %v, want nil below threshold", i+1, err)
+		}
+	}
+	if !b.recordFault(d) {
+		t.Fatal("threshold fault did not trip the breaker")
+	}
+	err := b.allow(d)
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("allow after trip = %v", err)
+	}
+	if qe.Faults != 3 || qe.RetryAfter != 10*time.Second {
+		t.Fatalf("quarantine error = %+v", qe)
+	}
+	if b.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", b.OpenCount())
+	}
+	// An unrelated digest is unaffected.
+	if err := b.allow("digest-b"); err != nil {
+		t.Fatalf("unrelated digest: allow = %v", err)
+	}
+}
+
+func TestBreakerRetryAfterShrinks(t *testing.T) {
+	b, now := testBreaker()
+	const d = "digest-a"
+	for i := 0; i < 3; i++ {
+		b.recordFault(d)
+	}
+	*now = now.Add(7 * time.Second)
+	var qe *QuarantineError
+	if err := b.allow(d); !errors.As(err, &qe) || qe.RetryAfter != 3*time.Second {
+		t.Fatalf("allow at t+7s = %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, now := testBreaker()
+	const d = "digest-a"
+	for i := 0; i < 3; i++ {
+		b.recordFault(d)
+	}
+	*now = now.Add(11 * time.Second)
+	// First post-cooldown submission wins the probe slot...
+	if err := b.allow(d); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	// ...and concurrent submissions do not stack probes.
+	if err := b.allow(d); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+	if b.OpenCount() != 1 {
+		t.Fatalf("OpenCount during probe = %d, want 1", b.OpenCount())
+	}
+
+	// Probe succeeds: history is wiped, faults count from zero again.
+	b.recordSuccess(d)
+	if err := b.allow(d); err != nil {
+		t.Fatalf("allow after recovery = %v", err)
+	}
+	if b.OpenCount() != 0 {
+		t.Fatalf("OpenCount after recovery = %d, want 0", b.OpenCount())
+	}
+	if b.recordFault(d) {
+		t.Fatal("first fault after recovery re-tripped immediately")
+	}
+}
+
+func TestBreakerProbeFaultReopens(t *testing.T) {
+	b, now := testBreaker()
+	const d = "digest-a"
+	for i := 0; i < 3; i++ {
+		b.recordFault(d)
+	}
+	*now = now.Add(11 * time.Second)
+	if err := b.allow(d); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	// Probe hard-faults: re-open for a fresh cooldown from now.
+	if !b.recordFault(d) {
+		t.Fatal("probe fault did not re-trip the breaker")
+	}
+	var qe *QuarantineError
+	if err := b.allow(d); !errors.As(err, &qe) || qe.RetryAfter != 10*time.Second {
+		t.Fatalf("allow after probe fault = %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsBelowThreshold(t *testing.T) {
+	b, _ := testBreaker()
+	const d = "digest-a"
+	b.recordFault(d)
+	b.recordFault(d)
+	b.recordSuccess(d)
+	// Two more faults stay below the threshold: the success cleared history.
+	b.recordFault(d)
+	if b.recordFault(d) {
+		t.Fatal("breaker tripped despite an intervening success")
+	}
+	if err := b.allow(d); err != nil {
+		t.Fatalf("allow = %v", err)
+	}
+}

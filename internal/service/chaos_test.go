@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -25,22 +26,27 @@ func chaosAnalyzer() core.Config {
 
 // runSuiteThroughEngine submits every instance (retrying transient
 // admission rejections, as an HTTP client would on 429) and returns the
-// terminal verdict per instance name.
-func runSuiteThroughEngine(t *testing.T, insts []bench.Instance) map[string]string {
+// terminal verdict per instance name. mod, when non-nil, adjusts the engine
+// configuration before New (sandbox runner, different store tier).
+func runSuiteThroughEngine(t *testing.T, insts []bench.Instance, mod func(*Config)) map[string]string {
 	t.Helper()
 	m := obs.NewMetrics()
 	st, err := store.Open(store.Options{Metrics: m})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := New(Config{
+	cfg := Config{
 		Analyzer:   chaosAnalyzer(),
 		Workers:    2,
 		QueueDepth: 8,
 		Store:      st,
 		Library:    bench.Library(),
 		Metrics:    m,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	e := New(cfg)
 	defer e.Close()
 	jobs := map[string]*Job{}
 	out := map[string]string{}
@@ -87,7 +93,7 @@ func TestChaosServiceFaultSites(t *testing.T) {
 	before := runtime.NumGoroutine()
 	insts := bench.Suite()[:16]
 
-	clean := runSuiteThroughEngine(t, insts)
+	clean := runSuiteThroughEngine(t, insts, nil)
 
 	faultinject.Enable(&faultinject.Plan{Seed: 7, Rules: []faultinject.Rule{
 		{Site: "service.enqueue", Kind: faultinject.KindError, Rate: 0.25},
@@ -96,7 +102,7 @@ func TestChaosServiceFaultSites(t *testing.T) {
 		{Site: "core.query", Kind: faultinject.KindPanic, Rate: 0.02},
 	}})
 	defer faultinject.Disable()
-	faulty := runSuiteThroughEngine(t, insts)
+	faulty := runSuiteThroughEngine(t, insts, nil)
 	hits := faultinject.Hits()
 	faultinject.Disable()
 
@@ -114,6 +120,65 @@ func TestChaosServiceFaultSites(t *testing.T) {
 		fv := faulty[name]
 		if decided(cv) && decided(fv) && cv != fv {
 			t.Errorf("%s: verdict flipped under faults: clean=%s faulty=%s", name, cv, fv)
+		}
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestChaosSandboxFaultSites runs the suite through a sandboxed engine with
+// the hard-fault sites armed — worker.kill (child SIGKILLs itself
+// mid-analysis), worker.hang (child wedges until the wall watchdog fires),
+// and store.corrupt (disk-tier reads see flipped bytes) — under the same
+// contract as the soft-fault chaos run: outcomes may degrade to unknown,
+// decided verdicts never flip, nothing leaks or wedges.
+func TestChaosSandboxFaultSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run spawns worker processes; skipped in -short")
+	}
+	before := runtime.NumGoroutine()
+	insts := bench.Suite()[:12]
+	dir := t.TempDir()
+
+	sandboxed := func(wall time.Duration) func(*Config) {
+		return func(cfg *Config) {
+			m := cfg.Metrics
+			st, err := store.Open(store.Options{Dir: dir, Stamp: Stamp(cfg.Analyzer), Metrics: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Store = st
+			sb := &Sandbox{Binary: os.Args[0], Wall: wall, Metrics: m}
+			cfg.Runner = sb.Run
+			// Quarantine is covered by its own tests; an effectively
+			// unreachable threshold keeps every resubmission admissible here.
+			cfg.QuarantineThreshold = 1 << 20
+		}
+	}
+
+	clean := runSuiteThroughEngine(t, insts, sandboxed(60*time.Second))
+
+	faultinject.Enable(&faultinject.Plan{Seed: 11, Rules: []faultinject.Rule{
+		{Site: "worker.kill", Kind: faultinject.KindError, Rate: 0.2},
+		{Site: "worker.hang", Kind: faultinject.KindError, Rate: 0.15},
+		{Site: "store.corrupt", Kind: faultinject.KindError, Rate: 0.3},
+	}})
+	defer faultinject.Disable()
+	faulty := runSuiteThroughEngine(t, insts, sandboxed(2*time.Second))
+	hits := faultinject.Hits()
+	faultinject.Disable()
+
+	for _, site := range []string{"worker.kill", "worker.hang", "store.corrupt"} {
+		if hits[site] == 0 {
+			t.Errorf("site %s never exercised (hits=%v)", site, hits)
+		}
+	}
+	if len(faulty) != len(insts) {
+		t.Fatalf("faulty run produced %d outcomes for %d instances", len(faulty), len(insts))
+	}
+	for name, cv := range clean {
+		fv := faulty[name]
+		if decided(cv) && decided(fv) && cv != fv {
+			t.Errorf("%s: verdict flipped under hard faults: clean=%s faulty=%s", name, cv, fv)
 		}
 	}
 	assertNoGoroutineLeak(t, before)

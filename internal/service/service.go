@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"qed2/internal/circom"
 	"qed2/internal/core"
@@ -75,6 +76,18 @@ type Config struct {
 	// CheckpointPath, when non-empty, is where Drain persists interrupted
 	// jobs and Resume reloads them from.
 	CheckpointPath string
+	// Runner, when non-nil, replaces the in-process core.AnalyzeContext
+	// call for every job — qed2d -sandbox plugs in Sandbox.Run here. A
+	// *HardFaultError from the runner becomes a hard-fault degraded job and
+	// feeds the quarantine breaker; in-process mode has no hard faults (a
+	// panic is contained as internal-error) and never trips it.
+	Runner JobRunner
+	// QuarantineThreshold is the consecutive hard-fault count that trips a
+	// digest's breaker (default 3). Only meaningful with a Runner.
+	QuarantineThreshold int
+	// QuarantineCooldown is how long a tripped digest stays quarantined
+	// before a half-open probe is admitted (default 30s).
+	QuarantineCooldown time.Duration
 }
 
 // Engine is the multi-tenant job engine. Safe for concurrent use.
@@ -99,9 +112,12 @@ type Engine struct {
 
 	wg sync.WaitGroup
 
+	breaker *breaker // nil without a Runner
+
 	submitted, cached, deduped *obs.Counter
 	rejected, analyzed         *obs.Counter
 	failed, canceled           *obs.Counter
+	hardFaults, quarantined    *obs.Counter
 }
 
 // New starts an engine with Config.Workers analysis workers.
@@ -130,6 +146,12 @@ func New(cfg Config) *Engine {
 		analyzed:  cfg.Metrics.Counter("service.jobs.analyzed"),
 		failed:    cfg.Metrics.Counter("service.jobs.failed"),
 		canceled:  cfg.Metrics.Counter("service.jobs.canceled"),
+
+		hardFaults:  cfg.Metrics.Counter("service.jobs.hard_faults"),
+		quarantined: cfg.Metrics.Counter("service.jobs.quarantined"),
+	}
+	if cfg.Runner != nil {
+		e.breaker = newBreaker(cfg.QuarantineThreshold, cfg.QuarantineCooldown)
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -200,6 +222,16 @@ func (e *Engine) Submit(tenant string, sys *r1cs.System) (*Job, error) {
 		e.deduped.Inc()
 		return j, nil
 	}
+	if e.breaker != nil {
+		// After the store and dedup checks: a cached verdict always serves,
+		// and a resubmission of an in-flight half-open probe attaches to it
+		// instead of stacking probes. Only a genuinely new run is gated.
+		if err := e.breaker.allow(digest); err != nil {
+			e.rejected.Inc()
+			e.quarantined.Inc()
+			return nil, err
+		}
+	}
 	if e.queued >= e.cfg.QueueDepth {
 		e.rejected.Inc()
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
@@ -265,9 +297,10 @@ func (e *Engine) Jobs() []*Job {
 	return out
 }
 
-// QueueStats is a point-in-time queue summary for /healthz.
+// QueueStats is a point-in-time queue summary for /healthz and /readyz.
 type QueueStats struct {
 	Queued   int            `json:"queued"`
+	Depth    int            `json:"depth"` // admission bound (Config.QueueDepth)
 	Running  int            `json:"running"`
 	Draining bool           `json:"draining"`
 	Tenants  map[string]int `json:"tenants,omitempty"`
@@ -277,7 +310,7 @@ type QueueStats struct {
 func (e *Engine) Stats() QueueStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := QueueStats{Queued: e.queued, Draining: e.draining, Tenants: map[string]int{}}
+	st := QueueStats{Queued: e.queued, Depth: e.cfg.QueueDepth, Draining: e.draining, Tenants: map[string]int{}}
 	for t, q := range e.queues {
 		if len(q) > 0 {
 			st.Tenants[t] = len(q)
@@ -338,12 +371,68 @@ func (e *Engine) popLocked() *Job {
 
 // runJob analyzes one job under the fault boundaries the pipeline already
 // has: a per-job cancelable context and a panic boundary converting crashes
-// into failed jobs rather than dead workers.
+// into failed jobs rather than dead workers. With a Runner configured the
+// analysis instead happens in an isolated worker process, which adds the
+// hard-fault outcome (the worker died) on top of the soft ones.
 func (e *Engine) runJob(j *Job) {
 	jobCtx, cancel := context.WithCancel(e.ctx)
 	defer cancel()
 	j.setRunning(cancel)
 
+	var sr *store.Report
+	if e.cfg.Runner != nil {
+		sr = e.runSandboxed(jobCtx, j)
+	} else {
+		sr = e.runInProcess(jobCtx, j)
+	}
+
+	if e.cfg.Store != nil && store.Cacheable(sr) {
+		// A put failure (disk full, injected fault) only costs future cache
+		// hits; the job itself still completes with its fresh report.
+		_ = e.cfg.Store.Put(j.Digest, sr)
+	}
+
+	e.mu.Lock()
+	if e.active[j.Digest] == j {
+		delete(e.active, j.Digest)
+	}
+	e.mu.Unlock()
+
+	switch core.Degradation(sr.Degraded) {
+	case core.DegradedCanceled:
+		// Shut down mid-analysis (drain): shed as retriable so a client —
+		// or Resume — re-analyzes it.
+		if j.finish(StatusCanceled, nil, "canceled: server draining", true) {
+			e.canceled.Inc()
+		}
+	case core.DegradedInternal:
+		if j.finish(StatusFailed, sr, sr.Reason, false) {
+			e.failed.Inc()
+		}
+	case core.DegradedHardFault:
+		// The worker died without a verdict. Terminal and retriable — a
+		// transient fault (memory pressure) may succeed on resubmission;
+		// a genuinely poisonous one trips the quarantine breaker instead.
+		e.hardFaults.Inc()
+		if e.breaker != nil {
+			e.breaker.recordFault(j.Digest)
+		}
+		if j.finish(StatusFailed, sr, sr.Reason, true) {
+			e.failed.Inc()
+		}
+	default:
+		if e.breaker != nil {
+			e.breaker.recordSuccess(j.Digest)
+		}
+		if j.finish(StatusDone, sr, "", false) {
+			e.analyzed.Inc()
+		}
+	}
+}
+
+// runInProcess is the classic path: core.AnalyzeContext on this worker
+// goroutine behind a panic boundary.
+func (e *Engine) runInProcess(ctx context.Context, j *Job) *store.Report {
 	var rep *core.Report
 	func() {
 		defer func() {
@@ -358,38 +447,54 @@ func (e *Engine) runJob(j *Job) {
 		cfg := e.cfg.Analyzer
 		cfg.Metrics = e.cfg.Metrics
 		cfg.Progress = j.emitProgress
-		rep = core.AnalyzeContext(jobCtx, j.sys, &cfg)
+		rep = core.AnalyzeContext(ctx, j.sys, &cfg)
 	}()
+	return store.FromCore(rep, j.sys)
+}
 
-	sr := store.FromCore(rep, j.sys)
-	if e.cfg.Store != nil && store.Cacheable(sr) {
-		// A put failure (disk full, injected fault) only costs future cache
-		// hits; the job itself still completes with its fresh report.
-		_ = e.cfg.Store.Put(j.Digest, sr)
-	}
-
-	e.mu.Lock()
-	if e.active[j.Digest] == j {
-		delete(e.active, j.Digest)
-	}
-	e.mu.Unlock()
-
-	switch {
-	case rep.Degraded == core.DegradedCanceled:
-		// Shut down mid-analysis (drain): shed as retriable so a client —
-		// or Resume — re-analyzes it.
-		if j.finish(StatusCanceled, nil, "canceled: server draining", true) {
-			e.canceled.Inc()
+// runSandboxed delegates the analysis to the configured Runner (a worker
+// subprocess) and maps its error space onto the degradation vocabulary:
+// context cancellation → canceled (drain semantics, identical to
+// in-process), *HardFaultError → hard-fault, anything else → internal.
+func (e *Engine) runSandboxed(ctx context.Context, j *Job) *store.Report {
+	cfg := e.cfg.Analyzer
+	cfg.Progress = j.emitProgress
+	sr, err := e.cfg.Runner(ctx, j.sys, cfg)
+	switch hf := (*HardFaultError)(nil); {
+	case err == nil && sr != nil:
+		return sr
+	case ctx.Err() != nil:
+		return &store.Report{
+			Verdict:  core.VerdictUnknown.String(),
+			Reason:   "canceled",
+			Degraded: string(core.DegradedCanceled),
 		}
-	case rep.Degraded == core.DegradedInternal:
-		if j.finish(StatusFailed, sr, rep.Reason, false) {
-			e.failed.Inc()
+	case errors.As(err, &hf):
+		return &store.Report{
+			Verdict:  core.VerdictUnknown.String(),
+			Reason:   hf.Error(),
+			Degraded: string(core.DegradedHardFault),
 		}
 	default:
-		if j.finish(StatusDone, sr, "", false) {
-			e.analyzed.Inc()
+		reason := "internal error: runner returned no report"
+		if err != nil {
+			reason = "internal error: " + err.Error()
+		}
+		return &store.Report{
+			Verdict:  core.VerdictUnknown.String(),
+			Reason:   reason,
+			Degraded: string(core.DegradedInternal),
 		}
 	}
+}
+
+// QuarantineOpenCount reports how many digests are currently quarantined,
+// for /readyz; zero without a sandbox runner.
+func (e *Engine) QuarantineOpenCount() int {
+	if e.breaker == nil {
+		return 0
+	}
+	return e.breaker.OpenCount()
 }
 
 // sortedTenantsLocked returns the tenants with queued jobs, sorted, for

@@ -21,12 +21,17 @@
 package store
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"qed2/internal/buildinfo"
@@ -130,9 +135,14 @@ type Store struct {
 	lru     *list.List               // front = most recently used
 	dir     string
 
+	scrubMu   sync.Mutex
+	lastScrub *ScrubReport
+
 	hits, misses, puts     *obs.Counter
 	evictions, diskHits    *obs.Counter
 	rejectedPuts, putFails *obs.Counter
+	corruptQuarantined     *obs.Counter
+	scrubRepaired          *obs.Counter
 }
 
 type entry struct {
@@ -143,30 +153,68 @@ type entry struct {
 // stampFile is the disk-tier stamp marker inside Options.Dir.
 const stampFile = "store_stamp.json"
 
+// corruptDir is the quarantine sidecar directory inside Options.Dir:
+// entries that fail checksum or shape verification are moved here (for
+// postmortem inspection) instead of being served or left to fail every
+// future read.
+const corruptDir = ".corrupt"
+
+// diskFormat is the on-disk entry format version. Format 2 wraps the report
+// in a checksummed envelope; a stamp file recorded under an older format is
+// refused wholesale at Open (entries written without checksums cannot be
+// verified, so they cannot be trusted either).
+const diskFormat = 2
+
 // stampPayload is the JSON stored in stampFile: the configuration stamp
-// plus an informational format version and producing build.
+// plus the entry format version and producing build.
 type stampPayload struct {
 	Format  int    `json:"format"`
 	Stamp   string `json:"stamp"`
 	Version string `json:"version,omitempty"`
 }
 
+// diskEnvelope is the format-2 on-disk entry: the report JSON plus a
+// SHA-256 over its compact form (whitespace-insensitive, so re-indentation
+// by the envelope encoder does not perturb it). A torn write, a flipped
+// bit, or a hand-edited file fails verification and is treated as a miss
+// (and quarantined), never served and never fatal.
+type diskEnvelope struct {
+	Format int             `json:"format"`
+	SHA256 string          `json:"sha256"`
+	Report json.RawMessage `json:"report"`
+}
+
+// reportChecksum hashes the compact form of a report's JSON.
+func reportChecksum(raw json.RawMessage) (string, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Open creates a store. With a Dir, the disk tier's stamp is verified
 // (written on first use): reports cached under a different analyzer
-// configuration are refused wholesale rather than filtered per entry.
+// configuration are refused wholesale rather than filtered per entry, and a
+// startup scrub walks every entry, quarantining the ones that fail checksum
+// verification and sweeping orphaned temp files, so the tier a daemon
+// starts serving from is known-good (see Scrub).
 func Open(opts Options) (*Store, error) {
 	s := &Store{
-		cap:          opts.Capacity,
-		entries:      map[string]*list.Element{},
-		lru:          list.New(),
-		dir:          opts.Dir,
-		hits:         opts.Metrics.Counter("service.store.hits"),
-		misses:       opts.Metrics.Counter("service.store.misses"),
-		puts:         opts.Metrics.Counter("service.store.puts"),
-		evictions:    opts.Metrics.Counter("service.store.evictions"),
-		diskHits:     opts.Metrics.Counter("service.store.disk_hits"),
-		rejectedPuts: opts.Metrics.Counter("service.store.rejected_puts"),
-		putFails:     opts.Metrics.Counter("service.store.put_failures"),
+		cap:                opts.Capacity,
+		entries:            map[string]*list.Element{},
+		lru:                list.New(),
+		dir:                opts.Dir,
+		hits:               opts.Metrics.Counter("service.store.hits"),
+		misses:             opts.Metrics.Counter("service.store.misses"),
+		puts:               opts.Metrics.Counter("service.store.puts"),
+		evictions:          opts.Metrics.Counter("service.store.evictions"),
+		diskHits:           opts.Metrics.Counter("service.store.disk_hits"),
+		rejectedPuts:       opts.Metrics.Counter("service.store.rejected_puts"),
+		putFails:           opts.Metrics.Counter("service.store.put_failures"),
+		corruptQuarantined: opts.Metrics.Counter("service.store.corrupt_quarantined"),
+		scrubRepaired:      opts.Metrics.Counter("service.store.scrub_repaired"),
 	}
 	if s.cap <= 0 {
 		s.cap = 1024
@@ -181,7 +229,7 @@ func Open(opts Options) (*Store, error) {
 	b, err := os.ReadFile(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		payload, merr := json.Marshal(stampPayload{Format: 1, Stamp: opts.Stamp, Version: buildinfo.Get().String()})
+		payload, merr := json.Marshal(stampPayload{Format: diskFormat, Stamp: opts.Stamp, Version: buildinfo.Get().String()})
 		if merr == nil {
 			merr = os.WriteFile(path, append(payload, '\n'), 0o644)
 		}
@@ -198,7 +246,11 @@ func Open(opts Options) (*Store, error) {
 		if have.Stamp != opts.Stamp {
 			return nil, fmt.Errorf("store: %s was written under config stamp %s but this run uses %s — point -store-dir elsewhere or delete it", s.dir, have.Stamp, opts.Stamp)
 		}
+		if have.Format != diskFormat {
+			return nil, fmt.Errorf("store: %s uses entry format %d but this build writes format %d (checksummed envelopes) — delete the store directory to rebuild it", s.dir, have.Format, diskFormat)
+		}
 	}
+	s.Scrub()
 	return s, nil
 }
 
@@ -236,21 +288,80 @@ func (s *Store) diskGet(digest string) (*Report, bool) {
 	if s.dir == "" || !validDigest(digest) {
 		return nil, false
 	}
-	b, err := os.ReadFile(filepath.Join(s.dir, digest+".json"))
-	if err != nil {
+	path := filepath.Join(s.dir, digest+".json")
+	rep, err := s.loadEntry(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
 		return nil, false
-	}
-	rep := &Report{}
-	if err := json.Unmarshal(b, rep); err != nil {
+	case err != nil:
+		// Verification failure: the entry is structurally unsound (torn
+		// write that predates the fsync hardening, bit rot, hand edit). A
+		// corrupt entry is a miss, never an error — and it is moved aside so
+		// the next read of this digest goes straight to re-analysis instead
+		// of re-verifying a file known to be bad.
+		s.quarantineCorrupt(path)
 		return nil, false
 	}
 	// Hygiene is enforced on the read path too: a degraded or undecided
-	// report on disk (hand-edited, or written by a buggy older build) is
-	// treated as absent, mirroring the Put-side Cacheable gate.
+	// report on disk (written by a buggy older build) is treated as absent,
+	// mirroring the Put-side Cacheable gate. The entry is well-formed, so it
+	// is left in place, not quarantined.
 	if !Cacheable(rep) {
 		return nil, false
 	}
 	return rep, true
+}
+
+// loadEntry reads and verifies one disk-tier entry: envelope shape, format,
+// checksum over the raw report bytes, and report decodability. The
+// store.corrupt fault-injection site flips a byte of what was read, driving
+// the real verification failure path rather than simulating its outcome.
+func (s *Store) loadEntry(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if faultinject.Enabled() {
+		if f := faultinject.Check("store.corrupt"); (f.Err != "" || f.Deadline) && len(b) > 0 {
+			b[len(b)/2] ^= 0xff
+		}
+	}
+	var env diskEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("store: %s: undecodable envelope: %w", path, err)
+	}
+	if env.Format != diskFormat {
+		return nil, fmt.Errorf("store: %s: entry format %d, want %d", path, env.Format, diskFormat)
+	}
+	got, err := reportChecksum(env.Report)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: unhashable report: %w", path, err)
+	}
+	if got != env.SHA256 {
+		return nil, fmt.Errorf("store: %s: checksum mismatch (%s != %s)", path, got, env.SHA256)
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(env.Report, rep); err != nil {
+		return nil, fmt.Errorf("store: %s: undecodable report: %w", path, err)
+	}
+	return rep, nil
+}
+
+// quarantineCorrupt moves a verification-failed entry into the .corrupt/
+// sidecar directory (best effort — if even the move fails, the file is
+// removed so it cannot keep failing every read).
+func (s *Store) quarantineCorrupt(path string) {
+	dst := filepath.Join(s.dir, corruptDir, filepath.Base(path))
+	if err := os.MkdirAll(filepath.Join(s.dir, corruptDir), 0o755); err == nil {
+		err = os.Rename(path, dst)
+		if err == nil {
+			s.corruptQuarantined.Inc()
+			return
+		}
+	}
+	if os.Remove(path) == nil {
+		s.corruptQuarantined.Inc()
+	}
 }
 
 // Put caches a report under a digest. Uncacheable reports (any Unknown, or
@@ -276,22 +387,45 @@ func (s *Store) Put(digest string, rep *Report) error {
 	if !validDigest(digest) {
 		return fmt.Errorf("store: refusing to write non-hex digest %q to disk", digest)
 	}
-	b, err := json.MarshalIndent(rep, "", "  ")
+	raw, err := json.Marshal(rep)
 	if err != nil {
 		s.putFails.Inc()
 		return fmt.Errorf("store: marshaling report: %w", err)
 	}
-	// Atomic publish: never expose a torn report file to a concurrent Get
-	// or a restarted daemon.
+	sum, err := reportChecksum(raw)
+	if err != nil {
+		s.putFails.Inc()
+		return fmt.Errorf("store: hashing report: %w", err)
+	}
+	b, err := json.MarshalIndent(diskEnvelope{
+		Format: diskFormat,
+		SHA256: sum,
+		Report: raw,
+	}, "", "  ")
+	if err != nil {
+		s.putFails.Inc()
+		return fmt.Errorf("store: marshaling envelope: %w", err)
+	}
+	// Durable atomic publish: the temp file is fsynced before the rename
+	// and the directory after it, so neither a concurrent Get nor a daemon
+	// restarted after a power cut can observe a torn or vanished entry. Even
+	// if the fsyncs are skipped by a hostile filesystem, the checksum turns
+	// a torn entry into a quarantined miss rather than a served lie.
 	final := filepath.Join(s.dir, digest+".json")
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err == nil {
 		_, err = tmp.Write(append(b, '\n'))
+		if err == nil {
+			err = tmp.Sync()
+		}
 		if cerr := tmp.Close(); err == nil {
 			err = cerr
 		}
 		if err == nil {
 			err = os.Rename(tmp.Name(), final)
+		}
+		if err == nil {
+			err = syncDir(s.dir)
 		}
 		if err != nil {
 			os.Remove(tmp.Name())
@@ -302,6 +436,19 @@ func (s *Store) Put(digest string, rep *Report) error {
 		return fmt.Errorf("store: writing %s: %w", final, err)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func (s *Store) installMemory(digest string, rep *Report) {
@@ -326,6 +473,89 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lru.Len()
+}
+
+// ScrubReport summarizes one integrity pass over the disk tier.
+type ScrubReport struct {
+	// Scanned counts the entry files examined; Valid the ones that passed
+	// checksum verification; Corrupt the ones quarantined to .corrupt/.
+	Scanned int `json:"scanned"`
+	Valid   int `json:"valid"`
+	Corrupt int `json:"corrupt"`
+	// TempRemoved counts orphaned put-*.tmp files swept (a Put interrupted
+	// before its rename).
+	TempRemoved int `json:"temp_removed"`
+	// Foreign counts files that are neither entries, temp files, nor the
+	// stamp marker; they are left untouched.
+	Foreign int `json:"foreign"`
+	// Err is the walk-level failure, if any (per-entry corruption is not an
+	// error — it is the condition the scrub exists to absorb). A non-empty
+	// Err flips /readyz to not-ready: the tier's health is unknown.
+	Err string `json:"error,omitempty"`
+}
+
+// Scrub walks the disk tier, verifying every entry's checksum envelope:
+// corrupt entries are quarantined to the .corrupt/ sidecar, orphaned temp
+// files are removed, and the resulting counts are retained for LastScrub
+// (surfaced by qed2d's /healthz). Open runs one scrub at startup so the
+// index a daemon serves from only contains verified entries; it may also be
+// called on a live store — concurrent Gets racing a quarantine simply miss.
+// A store without a disk tier scrubs vacuously.
+func (s *Store) Scrub() ScrubReport {
+	var rep ScrubReport
+	defer func() {
+		s.scrubMu.Lock()
+		s.lastScrub = &rep
+		s.scrubMu.Unlock()
+	}()
+	if s.dir == "" {
+		return rep
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		switch {
+		case name == stampFile:
+		case strings.HasPrefix(name, "put-") && strings.HasSuffix(name, ".tmp"):
+			if os.Remove(path) == nil {
+				rep.TempRemoved++
+			}
+		case strings.HasSuffix(name, ".json") && validDigest(strings.TrimSuffix(name, ".json")):
+			rep.Scanned++
+			if _, err := s.loadEntry(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+				s.quarantineCorrupt(path)
+				s.scrubRepaired.Inc()
+				rep.Corrupt++
+			} else if err == nil {
+				rep.Valid++
+			}
+		default:
+			rep.Foreign++
+		}
+	}
+	return rep
+}
+
+// LastScrub returns the most recent scrub summary (ok=false before any
+// scrub ran, i.e. on a memory-only store opened without a Dir).
+func (s *Store) LastScrub() (ScrubReport, bool) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	if s.lastScrub == nil {
+		return ScrubReport{}, false
+	}
+	return *s.lastScrub, true
 }
 
 // validDigest accepts exactly the lowercase-hex SHA-256 shape Digest

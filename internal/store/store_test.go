@@ -128,20 +128,177 @@ func TestStoreDiskHygieneOnReadPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A degraded report planted directly in the disk tier (bypassing Put)
-	// must be treated as absent.
+	// A bare (unenveloped) report planted directly in the disk tier fails
+	// envelope verification and must be treated as absent — and moved to
+	// quarantine rather than re-verified on every read.
 	planted := filepath.Join(dir, digestN(7)+".json")
 	if err := os.WriteFile(planted, []byte(`{"verdict":"unknown","degraded":"canceled"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(digestN(7)); ok {
-		t.Fatal("degraded report served from disk")
+		t.Fatal("unverifiable report served from disk")
 	}
-	if err := os.WriteFile(planted, []byte(`{"verdict":"safe"`), 0o644); err != nil {
+	if _, err := os.Stat(planted); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unverifiable entry left in place: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".corrupt", digestN(7)+".json")); err != nil {
+		t.Fatalf("unverifiable entry not quarantined: %v", err)
+	}
+	// A torn write (file truncated mid-entry) likewise reads as a miss.
+	if err := os.WriteFile(planted, []byte(`{"format":2,"sha256":"ab`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(digestN(7)); ok {
 		t.Fatal("torn report file served from disk")
+	}
+}
+
+// TestStoreCorruptEntryScrubbedToMiss is the acceptance check for store
+// integrity: flipping bytes of a disk entry turns the next Get into a miss
+// with the damaged file quarantined — never a served lie, never a fatal
+// error — and a fresh Put heals the digest.
+func TestStoreCorruptEntryScrubbedToMiss(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	s, err := Open(Options{Dir: dir, Stamp: "x", Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestN(9), safeReport("good")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, digestN(9)+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the report payload (past the envelope preamble).
+	mut := append([]byte(nil), b...)
+	mut[len(mut)/2] ^= 0x01
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same dir reads from disk (its memory tier is
+	// empty): the flipped entry must verify-fail into a miss.
+	s2, err := Open(Options{Dir: dir, Stamp: "x", Metrics: obs.NewMetrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, ok := s2.Get(digestN(9)); ok {
+		t.Fatalf("corrupt entry served: %+v", rep)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".corrupt", digestN(9)+".json")); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	// The digest heals on the next Put + Get cycle.
+	if err := s2.Put(digestN(9), safeReport("healed")); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Options{Dir: dir, Stamp: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep, ok := s3.Get(digestN(9)); !ok || rep.Reason != "healed" {
+		t.Fatalf("healed entry not served: %+v ok=%v", rep, ok)
+	}
+}
+
+// TestStoreStartupScrub verifies the Open-time integrity pass: corrupt
+// entries are quarantined, orphaned temp files swept, valid entries
+// retained, and the counts surfaced through LastScrub.
+func TestStoreStartupScrub(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Stamp: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestN(1), safeReport("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestN(2), safeReport("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt entry 2, plant an orphaned temp file and a foreign file.
+	path2 := filepath.Join(dir, digestN(2)+".json")
+	b, _ := os.ReadFile(path2)
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path2, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "put-orphan.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := obs.NewMetrics()
+	s2, err := Open(Options{Dir: dir, Stamp: "x", Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := s2.LastScrub()
+	if !ok {
+		t.Fatal("no scrub recorded after Open with a disk tier")
+	}
+	if rep.Scanned != 2 || rep.Valid != 1 || rep.Corrupt != 1 || rep.TempRemoved != 1 || rep.Foreign != 1 || rep.Err != "" {
+		t.Fatalf("scrub = %+v", rep)
+	}
+	if c := m.Counters(); c["service.store.corrupt_quarantined"] != 1 || c["service.store.scrub_repaired"] != 1 {
+		t.Fatalf("counters = %v", c)
+	}
+	if _, ok := s2.Get(digestN(1)); !ok {
+		t.Fatal("valid entry lost to scrub")
+	}
+	if _, ok := s2.Get(digestN(2)); ok {
+		t.Fatal("quarantined entry still served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "put-orphan.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan temp file survived the scrub")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatal("foreign file removed by the scrub")
+	}
+}
+
+// TestStoreRefusesOldEntryFormat: a disk tier stamped with the pre-checksum
+// entry format is refused wholesale at Open (its entries cannot be
+// verified), with a message telling the operator what to do.
+func TestStoreRefusesOldEntryFormat(t *testing.T) {
+	dir := t.TempDir()
+	stamp := `{"format":1,"stamp":"x"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "store_stamp.json"), []byte(stamp), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Options{Dir: dir, Stamp: "x"})
+	if err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("old-format tier accepted: %v", err)
+	}
+}
+
+// TestStoreCorruptFaultInjection: the store.corrupt chaos site flips a byte
+// of what diskGet read, driving the genuine verification-failure path.
+func TestStoreCorruptFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Stamp: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digestN(3), safeReport("r")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(&faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+		{Site: "store.corrupt", Kind: faultinject.KindError, Every: 1},
+	}})
+	defer faultinject.Disable()
+	// Fresh store: memory tier empty, so the Get goes to disk and the
+	// injected bit flip must degrade it to a miss.
+	s2, err := Open(Options{Dir: dir, Stamp: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(digestN(3)); ok {
+		t.Fatal("injected corruption did not degrade to a miss")
 	}
 }
 
