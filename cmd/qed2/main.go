@@ -72,6 +72,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dumpR1CS    = fs.Bool("r1cs", false, "dump the compiled constraint system and exit")
 		statsOnly   = fs.Bool("stats", false, "print circuit statistics and exit")
 		lint        = fs.Bool("lint", false, "run only the static-analysis pass and print its findings, then exit")
+		lintFormat  = fs.String("format", "", "lint output format: text | json | sarif (default text; -json implies json)")
 		noInc       = fs.Bool("no-incremental", false, "disable incremental slice solving (shared base states, learned facts); every query solved from scratch")
 		quiet       = fs.Bool("q", false, "print only the verdict")
 		jsonOut     = fs.Bool("json", false, "emit the analysis report as JSON")
@@ -169,7 +170,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runWitness(stdout, stderr, prog, *witness)
 	}
 	if *lint {
-		return runLint(stdout, stderr, path, prog, *jsonOut, *quiet)
+		format := *lintFormat
+		if format == "" {
+			if *jsonOut {
+				format = "json"
+			} else {
+				format = "text"
+			}
+		}
+		return runLint(stdout, stderr, path, prog, format, *quiet)
+	}
+	if *lintFormat != "" {
+		fmt.Fprintln(stderr, "qed2: -format only applies with -lint")
+		return 3
 	}
 	if *dumpR1CS {
 		if _, err := sys.WriteTo(stdout); err != nil {
@@ -257,9 +270,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			report.Stats.SolverSteps, report.Stats.Workers)
 		fmt.Fprintf(stdout, "uniqueness:   %d/%d signals proven unique (%d by propagation, %d by SMT)\n",
 			report.Stats.UniqueTotal, st.Signals, report.Stats.PropagationUnique, report.Stats.SMTUnique)
-		if s := report.Stats; s.StaticUnique > 0 || s.StaticQueriesAvoided > 0 {
-			fmt.Fprintf(stdout, "static pass:  %d extra signals proven determined, %d SMT queries avoided\n",
-				s.StaticUnique, s.StaticQueriesAvoided)
+		if s := report.Stats; s.StaticUnique > 0 || s.StaticRangeUnique > 0 || s.StaticQueriesAvoided > 0 {
+			fmt.Fprintf(stdout, "static pass:  %d extra signals proven determined (%d by range domains), %d SMT queries avoided (%d range-pruned)\n",
+				s.StaticUnique+s.StaticRangeUnique, s.StaticRangeUnique,
+				s.StaticQueriesAvoided+s.StaticRangePruned, s.StaticRangePruned)
 		}
 		if s := report.Stats; s.BatchGroups > 0 || s.IncrementalFallbacks > 0 {
 			fmt.Fprintf(stdout, "incremental:  %d batch groups, %d reused queries, %d extends, %d fallbacks, %d base steps, %d facts learned\n",
@@ -281,11 +295,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // runLint executes only the static-analysis pass and prints its findings:
-// one "loc: severity[detector]: message" line each, or a JSON document with
-// -json. Exit status: 0 when no error-severity finding, 1 otherwise. A lint
-// error is a strong under-constraint candidate, but only the full analysis
-// (without -lint) can confirm it with a witness pair.
-func runLint(stdout, stderr io.Writer, path string, prog *circom.Program, asJSON, quiet bool) int {
+// one "loc: severity[detector]: message" line each (format "text"), a JSON
+// document (format "json", also selected by -json), or a SARIF 2.1.0 log
+// (format "sarif"). Exit status: 0 when no error-severity finding, 1
+// otherwise. A lint error is a strong under-constraint candidate, but only
+// the full analysis (without -lint) can confirm it with a witness pair.
+func runLint(stdout, stderr io.Writer, path string, prog *circom.Program, format string, quiet bool) int {
 	res := sa.AnalyzeProgram(prog, nil)
 	errs, warns, infos := 0, 0, 0
 	for _, f := range res.Findings {
@@ -298,7 +313,13 @@ func runLint(stdout, stderr io.Writer, path string, prog *circom.Program, asJSON
 			infos++
 		}
 	}
-	if asJSON {
+	switch format {
+	case "sarif":
+		if err := writeSARIF(stdout, path, res.Findings); err != nil {
+			fmt.Fprintln(stderr, "qed2:", err)
+			return 3
+		}
+	case "json":
 		out := jsonLint{
 			Circuit:  path,
 			Main:     prog.MainTemplate,
@@ -316,7 +337,7 @@ func runLint(stdout, stderr io.Writer, path string, prog *circom.Program, asJSON
 			fmt.Fprintln(stderr, "qed2:", err)
 			return 3
 		}
-	} else {
+	case "text":
 		for _, f := range res.Findings {
 			if quiet && f.Severity < sa.SeverityWarning {
 				continue
@@ -327,6 +348,9 @@ func runLint(stdout, stderr io.Writer, path string, prog *circom.Program, asJSON
 			fmt.Fprintf(stdout, "%d findings (%d errors, %d warnings, %d infos)\n",
 				len(res.Findings), errs, warns, infos)
 		}
+	default:
+		fmt.Fprintf(stderr, "qed2: unknown lint format %q (want text, json, or sarif)\n", format)
+		return 3
 	}
 	if errs > 0 {
 		return 1
@@ -424,10 +448,13 @@ type jsonStats struct {
 	SolverSteps       int64 `json:"solver_steps"`
 	Workers           int   `json:"workers"`
 	DurationMS        int64 `json:"duration_ms"`
-	// StaticUnique and StaticQueriesAvoided report the static pre-pass's
-	// contribution (zero when the pass is disabled or not in qed2 mode).
+	// The static pre-pass's contribution (zero when the pass is disabled or
+	// not in qed2 mode): classic-rule facts, range-domain facts, queries
+	// avoided by component pruning, and queries pruned by range facts.
 	StaticUnique         int `json:"static_unique"`
+	StaticRangeUnique    int `json:"static_range_unique"`
 	StaticQueriesAvoided int `json:"static_queries_avoided"`
+	StaticRangePruned    int `json:"static_range_pruned"`
 	// Incremental-solving attribution (all zero with -no-incremental).
 	BatchGroups          int   `json:"batch_groups"`
 	IncrementalReuses    int   `json:"incremental_reuses"`
@@ -467,7 +494,9 @@ func writeJSONReport(w io.Writer, path string, prog *circom.Program, report *cor
 			Workers:              report.Stats.Workers,
 			DurationMS:           report.Stats.Duration.Milliseconds(),
 			StaticUnique:         report.Stats.StaticUnique,
+			StaticRangeUnique:    report.Stats.StaticRangeUnique,
 			StaticQueriesAvoided: report.Stats.StaticQueriesAvoided,
+			StaticRangePruned:    report.Stats.StaticRangePruned,
 			BatchGroups:          report.Stats.BatchGroups,
 			IncrementalReuses:    report.Stats.IncrementalReuses,
 			IncrementalExtends:   report.Stats.IncrementalExtends,

@@ -355,3 +355,91 @@ func TestCLIVersionFlag(t *testing.T) {
 		t.Fatalf("unexpected -version output %q", out)
 	}
 }
+
+func TestCLILintSARIF(t *testing.T) {
+	path := writeCircuit(t, "free.circom", freeOutputSrc)
+	code, out, _ := runCLI(t, "-lint", "-format", "sarif", path)
+	if code != 1 {
+		t.Fatalf("sarif lint exit = %d, want 1 (error finding)\n%s", code, out)
+	}
+	// Decode into untyped maps so the assertions pin the exact JSON field
+	// spelling the SARIF 2.1.0 schema requires, not our Go struct tags.
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v\n%s", err, out)
+	}
+	if s, _ := doc["$schema"].(string); !strings.Contains(s, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", s)
+	}
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver, _ := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name != "qed2" {
+		t.Errorf("tool.driver.name = %q, want qed2", name)
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) == 0 {
+		t.Fatal("tool.driver.rules is empty")
+	}
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		ruleIDs[i], _ = r.(map[string]any)["id"].(string)
+	}
+	results, _ := run["results"].([]any)
+	if len(results) == 0 {
+		t.Fatal("results is empty")
+	}
+	sawHint := false
+	for _, raw := range results {
+		res := raw.(map[string]any)
+		id, _ := res["ruleId"].(string)
+		if id == "" {
+			t.Fatalf("result missing ruleId: %v", res)
+		}
+		if id == "unconstrained-hint" {
+			sawHint = true
+		}
+		idx, ok := res["ruleIndex"].(float64)
+		if !ok || int(idx) < 0 || int(idx) >= len(ruleIDs) || ruleIDs[int(idx)] != id {
+			t.Errorf("ruleIndex %v does not point at rule %q in %v", res["ruleIndex"], id, ruleIDs)
+		}
+		switch lvl, _ := res["level"].(string); lvl {
+		case "error", "warning", "note":
+		default:
+			t.Errorf("result level = %q, want error|warning|note", lvl)
+		}
+		if msg, _ := res["message"].(map[string]any)["text"].(string); msg == "" {
+			t.Errorf("result %q has empty message.text", id)
+		}
+		locs, _ := res["locations"].([]any)
+		if len(locs) == 0 {
+			t.Fatalf("result %q has no locations", id)
+		}
+		phys, _ := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		if uri, _ := phys["artifactLocation"].(map[string]any)["uri"].(string); uri != path {
+			t.Errorf("artifactLocation.uri = %q, want %q", uri, path)
+		}
+	}
+	if !sawHint {
+		t.Errorf("no unconstrained-hint result in SARIF output: %v", ruleIDs)
+	}
+	// Determinism: a second run renders byte-identical SARIF.
+	_, again, _ := runCLI(t, "-lint", "-format", "sarif", path)
+	if again != out {
+		t.Error("SARIF output not deterministic across runs")
+	}
+	// -format without -lint is a usage error.
+	if code, _, _ := runCLI(t, "-format", "sarif", path); code != 3 {
+		t.Errorf("-format without -lint exit = %d, want 3", code)
+	}
+	// Unknown formats are rejected.
+	if code, _, _ := runCLI(t, "-lint", "-format", "yaml", path); code != 3 {
+		t.Errorf("unknown format exit = %d, want 3", code)
+	}
+}

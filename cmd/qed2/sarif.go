@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"qed2/internal/buildinfo"
+	"qed2/internal/sa"
+)
+
+// SARIF 2.1.0 rendering of lint findings (`qed2 -lint -format sarif`), the
+// static-analysis interchange format GitHub code scanning and most editors
+// ingest. Only the schema-required skeleton plus the fields those consumers
+// key on is emitted: tool.driver with a rule table, and one result per
+// finding with ruleId, level, message, and a physical location pointing at
+// the analyzed file (region filled in when the compiler recorded source
+// positions, logical location naming the template).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical  `json:"physicalLocation"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifLogical struct {
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"`
+}
+
+// ruleDescriptions gives each detector its SARIF rule shortDescription.
+// Detectors absent from the map still get a rule entry (the id doubles as
+// the description) so the rule table always covers every emitted result.
+var ruleDescriptions = map[string]string{
+	"unreachable-output":          "Output with no constraint path from any input",
+	"unconstrained-hint":          "Witness-only (<--) signal mentioned by no constraint",
+	"hinted-signal":               "Witness-only (<--) signal: constraints must pin its value",
+	"unused-signal":               "Signal that appears in no constraint",
+	"dangling-constraint":         "Constraint disconnected from the circuit interface",
+	"non-binary-selector":         "Branch selector not constrained to {0,1}",
+	"non-binary-in-decomposition": "Decomposition bit not constrained to {0,1}",
+	"possibly-zero-divisor":       "Witness hint divides by a possibly-zero expression",
+	"nonzero-divisor-proved":      "Divisor proven nonzero by the range analysis",
+	"range-violation":             "Constraint unsatisfiable under the derived value ranges",
+	"overflow-prone-sum":          "Range-bounded sum can wrap past the field modulus",
+}
+
+// sarifLevel maps finding severities onto the SARIF level enum.
+func sarifLevel(s sa.Severity) string {
+	switch s {
+	case sa.SeverityError:
+		return "error"
+	case sa.SeverityWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// writeSARIF renders the findings as one SARIF run over the analyzed file.
+func writeSARIF(w io.Writer, path string, findings []sa.Finding) error {
+	ruleIndex := map[string]int{}
+	var rules []sarifRule
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Detector]
+		if !ok {
+			idx = len(rules)
+			ruleIndex[f.Detector] = idx
+			desc := ruleDescriptions[f.Detector]
+			if desc == "" {
+				desc = f.Detector
+			}
+			rules = append(rules, sarifRule{ID: f.Detector, ShortDescription: sarifMessage{Text: desc}})
+		}
+		loc := sarifLocation{PhysicalLocation: sarifPhysical{ArtifactLocation: sarifArtifact{URI: path}}}
+		if tmpl, line, col, ok := splitLoc(f.Loc); ok {
+			loc.PhysicalLocation.Region = &sarifRegion{StartLine: line, StartColumn: col}
+			loc.LogicalLocations = []sarifLogical{{Name: tmpl, Kind: "type"}}
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Detector,
+			RuleIndex: idx,
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{loc},
+		})
+	}
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "qed2", Version: buildinfo.Get().Version, Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// splitLoc parses a rendered "Template:line:col" finding location.
+func splitLoc(loc string) (tmpl string, line, col int, ok bool) {
+	i := strings.LastIndexByte(loc, ':')
+	if i < 0 {
+		return "", 0, 0, false
+	}
+	j := strings.LastIndexByte(loc[:i], ':')
+	if j < 0 {
+		return "", 0, 0, false
+	}
+	line, err1 := strconv.Atoi(loc[j+1 : i])
+	col, err2 := strconv.Atoi(loc[i+1:])
+	if err1 != nil || err2 != nil || line <= 0 {
+		return "", 0, 0, false
+	}
+	return loc[:j], line, col, true
+}

@@ -11,7 +11,8 @@
 //	qed2bench -table 2 -json r.json  # also write a machine-readable run record
 //	qed2bench -trace run.jsonl    # also write a JSONL trace of the pipeline
 //	qed2bench -golden testdata/golden_verdicts.json  # CI verdict-regression gate
-//	qed2bench -findings-golden testdata/golden_findings.json  # CI lint-findings gate (no SMT, fast)
+//	qed2bench -corpus testdata/corpus/manifest.json -findings-corpus 100 \
+//	  -findings-golden testdata/golden_findings.json  # CI lint-findings gate (no SMT, fast)
 //	qed2bench -checkpoint ck.jsonl           # persist per-instance results as they complete
 //	qed2bench -checkpoint ck.jsonl -resume   # skip instances the checkpoint already decided
 //
@@ -86,6 +87,7 @@ func main() {
 		goldenOut      = flag.String("golden-out", "", "write the full-run per-instance verdicts to this golden file")
 		findingsGolden = flag.String("findings-golden", "", "diff the static-analysis findings of every suite instance against this golden file; exit 1 on any change (solver-free, no full run)")
 		findingsOut    = flag.String("findings-out", "", "write the static-analysis findings of every suite instance to this golden file")
+		findingsCorpus = flag.Int("findings-corpus", 0, "truncate the -corpus run list to its first N instances (the findings gate pins a fixed corpus slice rather than the whole corpus)")
 		baseline       = flag.String("baseline", "", "compare run:full analysis time against this earlier -json run record")
 		maxSlowdown    = flag.Float64("max-slowdown", 2.0, "fail when run:full analysis time exceeds the -baseline record by this factor")
 		noIncremental  = flag.Bool("no-incremental", false, "disable incremental slice solving (shared base states, learned facts); every query solved from scratch")
@@ -147,11 +149,18 @@ func main() {
 		// generator label the verdicts are checked against after the run.
 		insts = bench.CorpusInstances(m)
 	}
+	if *findingsCorpus > 0 && *corpus == "" {
+		fmt.Fprintln(os.Stderr, "qed2bench: -findings-corpus requires -corpus")
+		os.Exit(1)
+	}
 	if *corpus != "" {
 		cinsts, err := bench.LoadCorpus(*corpus)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qed2bench:", err)
 			os.Exit(1)
+		}
+		if *findingsCorpus > 0 && len(cinsts) > *findingsCorpus {
+			cinsts = cinsts[:*findingsCorpus]
 		}
 		insts = append(insts, cinsts...)
 	}

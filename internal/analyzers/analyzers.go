@@ -5,7 +5,7 @@
 // information — which keeps cmd/qed2vet dependency-free: it speaks the
 // go vet unitchecker protocol with nothing but the standard library.
 //
-// Two checks are implemented:
+// Three checks are implemented:
 //
 //   - nobig: the solver hot path (ff, poly, smt) must not import math/big.
 //     Heap-allocating bignums on the propagation/solving path is the exact
@@ -20,6 +20,17 @@
 //     that cannot observe cancellation silently breaks that guarantee. A
 //     deliberate exception is annotated `//qed2:allow-unpolled-loop` on the
 //     loop's line or the line above.
+//
+//   - rangefact: inside qed2/internal/sa, the abstract-domain fact arrays on
+//     AbsState (isConst, isBool, isDet, constVal, ival, cong, nonzero,
+//     rangeDet) may only be written by the recording helpers (setConst,
+//     promoteSingleton, and the record* methods). Those helpers are where
+//     the soundness discipline lives — generation bumps, conflict checks,
+//     budget accounting, domain-closure meets, and range-rule attribution.
+//     A rule function that pokes a fact array directly bypasses all of it
+//     and silently corrupts Verify/Stats. A deliberate exception is
+//     annotated `//qed2:allow-rangefact` on the assignment's line or the
+//     line above.
 package analyzers
 
 import (
@@ -43,10 +54,27 @@ var CtxLoopPackages = map[string]bool{
 	"qed2/internal/core": true,
 }
 
+// RangeFactPackage is the import path where the rangefact check applies.
+const RangeFactPackage = "qed2/internal/sa"
+
+// rangeFactArrays are the AbsState per-signal fact arrays guarded by the
+// rangefact check.
+var rangeFactArrays = map[string]bool{
+	"isConst":  true,
+	"isBool":   true,
+	"isDet":    true,
+	"constVal": true,
+	"ival":     true,
+	"cong":     true,
+	"nonzero":  true,
+	"rangeDet": true,
+}
+
 // Directives recognized in comments.
 const (
 	AllowMathBig      = "qed2:allow-mathbig"
 	AllowUnpolledLoop = "qed2:allow-unpolled-loop"
+	AllowRangeFact    = "qed2:allow-rangefact"
 )
 
 // pollTokens are the substrings (case-insensitive) that mark a loop body as
@@ -63,7 +91,7 @@ type Diagnostic struct {
 // Needed reports whether any check applies to the package, letting the vet
 // driver skip parsing packages it has nothing to say about.
 func Needed(importPath string) bool {
-	return NoBigPackages[importPath] || CtxLoopPackages[importPath]
+	return NoBigPackages[importPath] || CtxLoopPackages[importPath] || importPath == RangeFactPackage
 }
 
 // CheckFile runs every applicable check on one parsed file (which must have
@@ -81,6 +109,9 @@ func CheckFile(importPath string, fset *token.FileSet, f *ast.File) []Diagnostic
 	}
 	if CtxLoopPackages[importPath] {
 		diags = append(diags, checkCtxLoop(fset, f)...)
+	}
+	if importPath == RangeFactPackage {
+		diags = append(diags, checkRangeFact(fset, f)...)
 	}
 	return diags
 }
@@ -135,6 +166,68 @@ func checkCtxLoop(fset *token.FileSet, f *ast.File) []Diagnostic {
 		return true
 	})
 	return diags
+}
+
+// rangeFactRecorder reports whether a function is one of the sanctioned
+// AbsState recording helpers.
+func rangeFactRecorder(name string) bool {
+	return name == "setConst" || name == "promoteSingleton" || strings.HasPrefix(name, "record")
+}
+
+// checkRangeFact flags direct writes to AbsState fact arrays outside the
+// recording helpers: assignments (including compound ones) whose left-hand
+// side indexes a selector field named after a guarded array, e.g.
+// `st.isDet[id] = true` inside a rule function.
+func checkRangeFact(fset *token.FileSet, f *ast.File) []Diagnostic {
+	allowed := directiveLines(fset, f, AllowRangeFact)
+	var diags []Diagnostic
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || rangeFactRecorder(fn.Name.Name) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			// Writes inside a nested function literal are still writes in
+			// this (non-recorder) function; keep walking into everything.
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				field, ok := indexedFactArray(lhs)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(lhs.Pos())
+				if allowed[pos.Line] || allowed[pos.Line-1] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   pos,
+					Check: "rangefact",
+					Message: fmt.Sprintf("direct write to AbsState fact array %q outside the recording helpers "+
+						"bypasses generation/conflict/budget bookkeeping; call the record* helper "+
+						"(or annotate //%s)", field, AllowRangeFact),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// indexedFactArray matches `<expr>.<factArray>[<index>]` and returns the
+// array's field name.
+func indexedFactArray(e ast.Expr) (string, bool) {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := idx.X.(*ast.SelectorExpr)
+	if !ok || !rangeFactArrays[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }
 
 // bodyPolls reports whether any identifier in the loop body mentions a poll

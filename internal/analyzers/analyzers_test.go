@@ -154,6 +154,103 @@ func g() {}
 	}
 }
 
+func TestRangeFactFlagsDirectWrite(t *testing.T) {
+	_, _, check := parse(t, `package sa
+func (st *AbsState) ruleBogus(id int) bool {
+	st.isDet[id] = true
+	st.ival[id] = nil
+	return true
+}
+`)
+	diags := check("qed2/internal/sa")
+	if len(diags) != 2 {
+		t.Fatalf("diags = %+v, want two rangefact", diags)
+	}
+	for _, d := range diags {
+		if d.Check != "rangefact" {
+			t.Errorf("check = %q, want rangefact", d.Check)
+		}
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 4 {
+		t.Errorf("positions = %v, %v; want lines 3 and 4", diags[0].Pos, diags[1].Pos)
+	}
+}
+
+func TestRangeFactAllowsRecorders(t *testing.T) {
+	_, _, check := parse(t, `package sa
+func (st *AbsState) recordDet(id int) bool {
+	st.isDet[id] = true
+	return true
+}
+func (st *AbsState) setConst(id int, v int) bool {
+	st.isConst[id] = true
+	st.constVal[id] = v
+	return true
+}
+func (st *AbsState) promoteSingleton(id int) {
+	st.rangeDet[id] = true
+}
+`)
+	if diags := check("qed2/internal/sa"); len(diags) != 0 {
+		t.Fatalf("recorders flagged: %+v", diags)
+	}
+}
+
+func TestRangeFactIgnoresNonFactArrays(t *testing.T) {
+	// scanGen is bookkeeping, not a fact array; reads of fact arrays and
+	// writes to locals must also pass.
+	_, _, check := parse(t, `package sa
+func (st *AbsState) visit(ci int) bool {
+	st.scanGen[ci] = st.constGen
+	seen := map[int]bool{}
+	seen[ci] = st.isDet[ci]
+	return seen[ci]
+}
+`)
+	if diags := check("qed2/internal/sa"); len(diags) != 0 {
+		t.Fatalf("non-fact writes flagged: %+v", diags)
+	}
+}
+
+func TestRangeFactScopedToSA(t *testing.T) {
+	_, _, check := parse(t, `package other
+func f(st *AbsState, id int) {
+	st.isDet[id] = true
+}
+`)
+	if diags := check("qed2/internal/other"); len(diags) != 0 {
+		t.Fatalf("rangefact fired outside internal/sa: %+v", diags)
+	}
+}
+
+func TestRangeFactRespectsDirective(t *testing.T) {
+	_, _, check := parse(t, `package sa
+func (st *AbsState) ruleSpecial(id int) {
+	//qed2:allow-rangefact — documented invariant: no bookkeeping applies here
+	st.nonzero[id] = true
+	st.isBool[id] = true //qed2:allow-rangefact
+}
+`)
+	if diags := check("qed2/internal/sa"); len(diags) != 0 {
+		t.Fatalf("directive ignored: %+v", diags)
+	}
+}
+
+func TestRangeFactFlagsWritesInClosures(t *testing.T) {
+	_, _, check := parse(t, `package sa
+func (st *AbsState) ruleClosure(ids []int) {
+	walk(func(id int) {
+		st.cong[id] = nil
+	})
+}
+func walk(f func(int)) {}
+`)
+	diags := check("qed2/internal/sa")
+	if len(diags) != 1 || diags[0].Check != "rangefact" {
+		t.Fatalf("diags = %+v, want one rangefact inside the closure", diags)
+	}
+}
+
 func TestChecksSkipTestFiles(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "x_test.go", `package ff
@@ -176,6 +273,7 @@ func TestRepoIsVetClean(t *testing.T) {
 		"qed2/internal/poly": filepath.Join("..", "poly"),
 		"qed2/internal/smt":  filepath.Join("..", "smt"),
 		"qed2/internal/core": filepath.Join("..", "core"),
+		"qed2/internal/sa":   filepath.Join("..", "sa"),
 	}
 	for importPath, dir := range dirs {
 		entries, err := os.ReadDir(dir)

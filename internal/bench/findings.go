@@ -10,12 +10,20 @@ import (
 )
 
 // The golden-findings regression gate: a checked-in snapshot of the static
-// analysis pass's findings for every suite instance, diffed against a fresh
+// analysis pass's findings for every suite instance plus the first
+// FindingsCorpusSlice generated-corpus instances, diffed against a fresh
 // run in CI (testdata/golden_findings.json). The static pass is solver-free
 // and deterministic, so unlike the verdict gate this one needs no pinned
 // budgets — any change in detectors, the abstract interpretation, or the
 // compiler's source-location plumbing shows up as a findings diff and must
 // be acknowledged by regenerating the file (qed2bench -findings-out).
+
+// FindingsCorpusSlice is how many corpus instances (in manifest order) the
+// findings gate pins alongside the hand-written suite. A fixed prefix keeps
+// the gate fast and its golden file reviewable while still exercising the
+// detectors on generator-shaped circuits; the full corpus is covered by the
+// (budgeted, sharded) verdict gate instead.
+const FindingsCorpusSlice = 100
 
 // InstanceFindings is one instance's pinned lint output.
 type InstanceFindings struct {

@@ -83,9 +83,13 @@ func TestLoadFindingsErrors(t *testing.T) {
 }
 
 // TestCheckedInFindingsMatchSuite is the gate itself: the static pass over
-// the current suite must reproduce testdata/golden_findings.json exactly.
-// On a legitimate detector change, regenerate with
-// `go run ./cmd/qed2bench -findings-out testdata/golden_findings.json`
+// the current suite plus the first FindingsCorpusSlice corpus instances
+// must reproduce testdata/golden_findings.json exactly. On a legitimate
+// detector change, regenerate with
+//
+//	go run ./cmd/qed2bench -corpus testdata/corpus/manifest.json \
+//	  -findings-corpus 100 -findings-out testdata/golden_findings.json
+//
 // and review the diff like any other code change.
 func TestCheckedInFindingsMatchSuite(t *testing.T) {
 	if testing.Short() {
@@ -95,7 +99,12 @@ func TestCheckedInFindingsMatchSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := CollectFindings(Suite())
+	corpus, err := LoadCorpus(filepath.Join("..", "..", "testdata", "corpus", "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := append(Suite(), corpus[:FindingsCorpusSlice]...)
+	fresh, err := CollectFindings(insts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -254,13 +254,22 @@ type Stats struct {
 	QueryPanics  int
 	QueryRetries int
 	// StaticUnique counts signals the static-analysis pre-pass proved
-	// determined beyond what propagation derives on its own (provenance
-	// RuleStatic), and StaticQueriesAvoided counts slice queries skipped
-	// because the pre-pass proved the target lives in a component no output
-	// verdict can observe. Both are zero when the pre-pass is disabled or
-	// its replay check failed — see DESIGN.md §12.
+	// determined by its classic rules (const/solve/bits propagation) beyond
+	// what uniqueness propagation derives on its own (provenance
+	// RuleStatic); StaticRangeUnique counts those proven only by the range
+	// domains (interval/congruence singleton promotion — facts the classic
+	// rules cannot derive, see DESIGN.md §17). Their sum is the total
+	// number of injected static facts. StaticQueriesAvoided counts slice
+	// queries skipped because the pre-pass proved the target lives in a
+	// component no output verdict can observe, and StaticRangePruned counts
+	// solver queries (the round-1 slice query, plus the final whole-circuit
+	// query for outputs) never issued because a range-domain fact had
+	// already decided the target's uniqueness. All are zero when the
+	// pre-pass is disabled or its replay check failed — see DESIGN.md §12.
 	StaticUnique         int
+	StaticRangeUnique    int
 	StaticQueriesAvoided int
+	StaticRangePruned    int
 	// Incremental-solving effort attribution (all zero when
 	// Config.DisableIncremental is set). BatchGroups counts sibling-query
 	// groups that shared one incremental base state; IncrementalReuses

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"qed2/internal/obs"
+	"qed2/internal/r1cs"
 	"qed2/internal/sa"
 )
 
@@ -51,19 +52,44 @@ func (a *analysis) runStaticPrePass() {
 		a.cfg.Metrics.Counter("core.static.verify_failures").Inc()
 		return
 	}
-	injected := 0
+	rangeAttr := make(map[int]bool, len(res.RangeDetermined))
+	for _, id := range res.RangeDetermined {
+		rangeAttr[id] = true
+	}
+	injected, rangeInjected, rangePruned := 0, 0, 0
 	for _, id := range res.DeterminedSignals {
-		if a.prop.AddUniqueStatic(id) {
-			injected++
+		if !a.prop.AddUniqueStatic(id) {
+			continue
+		}
+		injected++
+		if !rangeAttr[id] {
+			continue
+		}
+		// A range-domain singleton pins the signal to one value in every
+		// satisfying assignment, so both copies of the two-copy encoding
+		// agree on it — its uniqueness is decided without the round-1 slice
+		// query, and a determined output also skips its final whole-circuit
+		// query (same counterexample-preservation argument as the classic
+		// facts, DESIGN.md §17).
+		rangeInjected++
+		rangePruned++
+		if a.sys.Signal(id).Kind == r1cs.KindOutput {
+			rangePruned++
 		}
 	}
 	a.staticPruned = res.PrunedSet()
 	a.staticUnreachable = res.UnreachableOutputs
-	a.report.Stats.StaticUnique = injected
+	a.report.Stats.StaticUnique = injected - rangeInjected
+	a.report.Stats.StaticRangeUnique = rangeInjected
+	a.report.Stats.StaticRangePruned = rangePruned
 	a.cfg.Metrics.Counter("core.static.facts_injected").Add(int64(injected))
+	a.cfg.Metrics.Counter("core.static.range_facts_injected").Add(int64(rangeInjected))
+	a.cfg.Metrics.Counter("core.static.range_queries_pruned").Add(int64(rangePruned))
 	a.cfg.Metrics.Counter("core.static.outputs_discharged").Add(int64(len(res.DeterminedOutputs)))
 	a.cfg.Obs.Event(a.span, "core.static.hints",
 		obs.KV("injected", injected),
+		obs.KV("range_injected", rangeInjected),
+		obs.KV("range_pruned", rangePruned),
 		obs.KV("outputs_discharged", len(res.DeterminedOutputs)),
 		obs.KV("pruned", len(res.PrunedSignals)),
 		obs.KV("unreachable_outputs", len(res.UnreachableOutputs)),

@@ -11,7 +11,7 @@ import (
 )
 
 // AbsState is the result of an abstract interpretation of the constraint
-// system over F_p. Three interacting domains are tracked per signal:
+// system over F_p. Six interacting domains are tracked per signal:
 //
 //   - Const: the signal provably takes one fixed value in every satisfying
 //     assignment (derived by constant propagation through constraints).
@@ -21,11 +21,19 @@ import (
 //     every pair of satisfying assignments agreeing on the inputs agrees on
 //     it. Inputs and constants seed the domain; linear chains of determined
 //     signals and binary decompositions extend it.
+//   - Interval: the signed representative lies in [Lo, Hi] (interval.go).
+//   - Congruence: the signed representative is ≡ R (mod M) (congruence.go).
+//   - Nonzero: no satisfying assignment gives the signal the value 0.
 //
 // Every fact is a theorem about the constraint set, derived by rules whose
-// soundness arguments live in DESIGN.md §12; Verify replays the constant
+// soundness arguments live in DESIGN.md §12 and §17; Verify replays the
 // facts against the original constraints as an independent consistency
 // check before anything downstream is allowed to act on them.
+//
+// All fact writes flow through the recording helpers (setConst, recordBool,
+// recordDet, recordInterval, recordCongruence, recordNonzero) so the
+// cross-domain meets fire on every update and Verify sees a coherent state;
+// the `rangefact` vet check enforces this mechanically.
 type AbsState struct {
 	sys *r1cs.System
 	// constVal[id] is the proven constant (valid iff isConst[id]).
@@ -36,31 +44,112 @@ type AbsState struct {
 	// residual[ci] is constraint ci's Quad with every proven constant
 	// substituted.
 	residual []*poly.Quad
+
+	// ival[id]/cong[id] are the interval and congruence facts (nil = Top);
+	// nonzero[id] marks signals proven ≠ 0.
+	ival    []*Interval
+	cong    []*Congruence
+	nonzero []bool
+	// rangeDet[id] marks signals whose determinedness was FIRST established
+	// by a range-domain rule (singleton interval promotion) rather than a
+	// classic const/solve/bits rule — the attribution behind core's
+	// Stats.StaticRangeUnique.
+	rangeDet []bool
+	// budget[id] is the remaining number of interval/congruence refinements
+	// allowed for the signal; when it reaches 0 the signal's range facts
+	// freeze, bounding the fixpoint ascent.
+	budget []int
+
+	// conflicts lists constraints whose abstract sets admit no solution —
+	// proofs of unsatisfiability surfaced as range-violation findings.
+	// conflictAt dedupes per constraint.
+	conflicts  []Conflict
+	conflictAt []bool
+
+	// guards[s] lists the selector-guard facts s·(x−k) = 0 feeding the
+	// relational one-hot rule; guardSeen/onehotAt dedupe extraction and
+	// firing per constraint.
+	guards    map[int][]guardFact
+	guardSeen []bool
+	onehotAt  []bool
+
+	// constGen counts constant facts; scanGen[ci] is the constGen at which
+	// residual[ci] was last scanned. Equal generations mean no new constant
+	// can occur in the residual, so applyConsts returns the cached pointer
+	// without rescanning (and without allocating).
+	constGen int
+	scanGen  []int
+	// rangeGen counts range-domain facts (intervals, congruences, bools,
+	// consts); projGen[ci] gates the projection rule the same way.
+	rangeGen int
+	projGen  []int
+
+	// loLim/hiLim bound every signed representative: loLim < v ≤ hiLim.
+	// full is the shared Top interval [loLim, hiLim].
+	loLim, hiLim *big.Int
+	full         *Interval
+	pMod         *big.Int
 }
 
+// Conflict records a constraint whose abstract value sets admit no
+// satisfying assignment: the range-domain analogue of a nonzero constant
+// residual. Signal is the projected signal when the empty set arose from a
+// per-signal meet, or -1 for a whole-constraint admissibility failure.
+type Conflict struct {
+	Constraint int
+	Signal     int
+	Msg        string
+}
+
+// maxRangeRefinements is the per-signal interval/congruence update budget.
+// 16 refinements accommodate the deepest real chains (bool seed → ladder
+// projection → congruence meet → …) while keeping the fixpoint short.
+const maxRangeRefinements = 16
+
 // Interpret runs the abstract interpretation to fixpoint. The iteration
-// order is deterministic (ascending constraint index per round), so equal
-// systems produce identical states.
+// order is deterministic (ascending constraint index per round, rules in
+// fixed order per visit), so equal systems produce identical states.
 func Interpret(sys *r1cs.System, g *Graph) *AbsState {
 	n := sys.NumSignals()
 	st := &AbsState{
-		sys:      sys,
-		constVal: make([]ff.Element, n),
-		isConst:  make([]bool, n),
-		isBool:   make([]bool, n),
-		isDet:    make([]bool, n),
-		residual: make([]*poly.Quad, sys.NumConstraints()),
+		sys:       sys,
+		constVal:  make([]ff.Element, n),
+		isConst:   make([]bool, n),
+		isBool:    make([]bool, n),
+		isDet:     make([]bool, n),
+		residual:  make([]*poly.Quad, sys.NumConstraints()),
+		ival:      make([]*Interval, n),
+		cong:      make([]*Congruence, n),
+		nonzero:   make([]bool, n),
+		rangeDet:  make([]bool, n),
+		budget:    make([]int, n),
+		scanGen:   make([]int, sys.NumConstraints()),
+		projGen:   make([]int, sys.NumConstraints()),
+		guards:    make(map[int][]guardFact),
+		guardSeen: make([]bool, sys.NumConstraints()),
+		onehotAt:  make([]bool, sys.NumConstraints()),
+		pMod:      sys.Field().Modulus(),
+	}
+	st.loLim, st.hiLim = signedBounds(sys.Field())
+	st.full = newInterval(st.loLim, st.hiLim)
+	for i := range st.budget {
+		st.budget[i] = maxRangeRefinements
+	}
+	for i := range st.scanGen {
+		st.scanGen[i] = -1
+		st.projGen[i] = -1
 	}
 	st.setConst(r1cs.OneID, sys.Field().One())
 	for _, in := range sys.Inputs() {
-		st.isDet[in] = true
+		st.recordDet(in)
 	}
 	for ci := 0; ci < sys.NumConstraints(); ci++ {
 		st.residual[ci] = sys.Constraint(ci).Quad()
 	}
 	// Round-based fixpoint: scan all constraints in index order until a
-	// full round derives nothing new. The domains are finite and facts are
-	// never retracted, so this terminates in O(signals) rounds.
+	// full round derives nothing new. The boolean domains are monotone and
+	// finite, and interval/congruence refinements are budgeted per signal,
+	// so this terminates in a bounded number of rounds.
 	for changed := true; changed; {
 		changed = false
 		for ci := range st.residual {
@@ -85,63 +174,692 @@ func (st *AbsState) visit(ci int) bool {
 		}
 	}
 	// Rule B-Range: residual k·(x² − x) = 0 forces x ∈ {0,1}.
-	if x, ok := booleanOf(q); ok && !st.isBool[x] {
-		st.isBool[x] = true
-		changed = true
+	if x, ok := booleanOf(q); ok {
+		if st.recordBool(x, ci) {
+			changed = true
+		}
 	}
 	// Rule D-Solve: if exactly one variable x of the residual is not yet
 	// determined, x occurs only linearly with a constant nonzero
 	// coefficient, then x = f(determined signals) is determined.
-	if x, ok := st.detSolve(q); ok && !st.isDet[x] {
-		st.isDet[x] = true
-		changed = true
+	if x, ok := st.detSolve(q); ok {
+		if st.recordDet(x) {
+			changed = true
+		}
 	}
 	// Rule D-Bits: a linear residual whose undetermined variables are all
 	// boolean with super-increasing coefficient magnitudes summing below
 	// the modulus has at most one {0,1}-solution per value of the
 	// determined part — every bit becomes determined.
 	for _, x := range st.detBits(q) {
-		if !st.isDet[x] {
-			st.isDet[x] = true
+		if st.recordDet(x) {
+			changed = true
+		}
+	}
+	// Rule R-Proj: HC4-style interval projection with a congruence
+	// piggyback (see ruleProject).
+	if st.ruleProject(ci, q) {
+		changed = true
+	}
+	// Rules N-Inv / N-Mul: nonzero propagation through products.
+	if st.ruleNonzeroProduct(ci, q) {
+		changed = true
+	}
+	// Rule R-OneHot, part 1: index selector guards s·(x−k) = 0.
+	if st.ruleGuard(ci, q) {
+		changed = true
+	}
+	// Rule R-OneHot, part 2: fire on guarded nonzero-constant sums.
+	if st.ruleOneHot(ci, q) {
+		changed = true
+	}
+	return changed
+}
+
+// applyConsts substitutes newly-proven constants into a residual, caching
+// the result. The scan is generation-gated: when no constant fact has been
+// recorded since the last scan of this constraint, the cached pointer is
+// returned immediately, and when a scan finds nothing to substitute the
+// original residual pointer is returned unchanged — repeated visits of a
+// constant-free constraint allocate nothing.
+func (st *AbsState) applyConsts(ci int) *poly.Quad {
+	if st.scanGen[ci] == st.constGen {
+		return st.residual[ci]
+	}
+	q := st.residual[ci]
+	for {
+		// The constant-one signal is itself a constant fact (value 1), so
+		// an explicit var-0 occurrence folds away here like any other
+		// constant. The unordered visits are a pure existence scan (the
+		// minimum matching variable), so the fold is order-independent.
+		found := -1
+		q.Lin().VisitTermsUnordered(func(x int, _ ff.Element) {
+			if st.isConst[x] && (found < 0 || x < found) {
+				found = x
+			}
+		})
+		q.VisitQuadTermsUnordered(func(p poly.VarPair, _ ff.Element) {
+			if st.isConst[p.X] && (found < 0 || p.X < found) {
+				found = p.X
+			}
+			if st.isConst[p.Y] && (found < 0 || p.Y < found) {
+				found = p.Y
+			}
+		})
+		if found < 0 {
+			break
+		}
+		q = q.SubstituteValue(found, st.constVal[found])
+	}
+	st.residual[ci] = q
+	st.scanGen[ci] = st.constGen
+	return q
+}
+
+// --- recording helpers -------------------------------------------------------
+//
+// Every fact write goes through exactly one of the helpers below so that
+// (a) the cross-domain meets fire on every update, (b) the generation
+// counters driving the incremental scans stay coherent, and (c) Verify can
+// assume the stored state is closed under the meets. Direct writes to the
+// fact arrays outside these helpers are rejected by the `rangefact` vet
+// analyzer.
+
+// setConst records a constant fact (constants are also determined, have a
+// singleton interval, and are nonzero when the value is).
+func (st *AbsState) setConst(id int, v ff.Element) bool {
+	if st.isConst[id] {
+		return false
+	}
+	s := st.sys.Field().Signed(v)
+	if iv := st.ival[id]; iv != nil && !iv.Contains(s) {
+		st.recordConflict(-1, id,
+			fmt.Sprintf("signal %s is pinned to %v but its established range is %s", st.sys.Name(id), s, iv))
+	}
+	if cg := st.cong[id]; cg != nil && !cg.Admits(s) {
+		st.recordConflict(-1, id,
+			fmt.Sprintf("signal %s is pinned to %v but its established congruence is %s", st.sys.Name(id), s, cg))
+	}
+	if st.nonzero[id] && v.IsZero() {
+		st.recordConflict(-1, id,
+			fmt.Sprintf("signal %s is pinned to 0 but was proven nonzero", st.sys.Name(id)))
+	}
+	st.isConst[id] = true
+	st.constVal[id] = v
+	st.isDet[id] = true
+	st.constGen++
+	st.rangeGen++
+	st.ival[id] = intervalOfConst(st.sys.Field(), v)
+	if !v.IsZero() {
+		st.nonzero[id] = true
+	}
+	return true
+}
+
+// promoteSingleton records the constant fact implied by a singleton
+// abstract set derived in the range domains; the determinedness it implies
+// is attributed to the range rules when no classic rule got there first.
+func (st *AbsState) promoteSingleton(id int, v *big.Int) bool {
+	wasDet := st.isDet[id]
+	if !st.setConst(id, st.sys.Field().FromBig(v)) {
+		return false
+	}
+	if !wasDet {
+		st.rangeDet[id] = true
+	}
+	return true
+}
+
+// recordBool records a booleanness fact and seeds the interval domain with
+// [0, 1].
+func (st *AbsState) recordBool(id, ci int) bool {
+	if st.isBool[id] {
+		return false
+	}
+	st.isBool[id] = true
+	st.rangeGen++
+	st.recordInterval(id, boolInterval(), ci)
+	return true
+}
+
+// recordDet records a classic determinedness fact.
+func (st *AbsState) recordDet(id int) bool {
+	if st.isDet[id] {
+		return false
+	}
+	st.isDet[id] = true
+	return true
+}
+
+// recordRelDet records a determinedness fact derived by a range/relational
+// rule, attributed to the range engine when no classic rule got there first
+// (the provenance behind core's Stats.StaticRangeUnique).
+func (st *AbsState) recordRelDet(id int) bool {
+	if st.isDet[id] {
+		return false
+	}
+	st.isDet[id] = true
+	st.rangeDet[id] = true
+	return true
+}
+
+// recordNonzero records that no satisfying assignment zeroes the signal.
+func (st *AbsState) recordNonzero(id int) bool {
+	if st.nonzero[id] {
+		return false
+	}
+	st.nonzero[id] = true
+	st.rangeGen++
+	return true
+}
+
+// recordConflict records a proof of unsatisfiability (at most one per
+// constraint); reports whether the conflict is new.
+func (st *AbsState) recordConflict(ci, id int, msg string) bool {
+	if ci >= 0 && st.conflictAt[ci] {
+		return false
+	}
+	if ci >= 0 {
+		st.conflictAt[ci] = true
+	}
+	st.conflicts = append(st.conflicts, Conflict{Constraint: ci, Signal: id, Msg: msg})
+	return true
+}
+
+// recordInterval meets a derived interval fact into the state. The update
+// is applied only when it strictly tightens the stored interval and the
+// signal's refinement budget is not exhausted; an empty meet records a
+// conflict instead. Cross-domain closure: the result is tightened against
+// the congruence fact, a singleton promotes to a constant, and an interval
+// excluding 0 implies nonzero.
+func (st *AbsState) recordInterval(id int, iv *Interval, ci int) bool {
+	if st.budget[id] <= 0 || st.isConst[id] {
+		return false
+	}
+	cur := st.ival[id]
+	if cur == nil {
+		cur = st.full
+	}
+	m, ok := cur.meet(iv)
+	if !ok {
+		return st.recordConflict(ci, id,
+			fmt.Sprintf("derived range %s for signal %s contradicts its established range %s", iv, st.sys.Name(id), cur))
+	}
+	if !cur.tightens(m) {
+		return false
+	}
+	if c := st.cong[id]; c != nil {
+		t, ok := meetIntervalCongruence(m, c)
+		if !ok {
+			return st.recordConflict(ci, id,
+				fmt.Sprintf("derived range %s for signal %s contradicts its congruence %s", m, st.sys.Name(id), c))
+		}
+		m = t
+	}
+	st.ival[id] = m
+	st.budget[id]--
+	st.rangeGen++
+	if m.IsSingleton() {
+		st.promoteSingleton(id, m.Lo)
+	} else if !m.ContainsZero() {
+		st.recordNonzero(id)
+	}
+	return true
+}
+
+// recordCongruence meets a derived congruence fact into the state, under
+// the same budget/conflict/closure discipline as recordInterval.
+func (st *AbsState) recordCongruence(id int, c *Congruence, ci int) bool {
+	if c == nil || st.budget[id] <= 0 || st.isConst[id] {
+		return false
+	}
+	if cur := st.cong[id]; cur != nil {
+		m, ok := cur.meet(c)
+		if !ok {
+			return st.recordConflict(ci, id,
+				fmt.Sprintf("derived congruence %s for signal %s contradicts its established %s", c, st.sys.Name(id), cur))
+		}
+		if m.M.Cmp(cur.M) == 0 && m.R.Cmp(cur.R) == 0 {
+			return false
+		}
+		c = m
+	}
+	if iv := st.ival[id]; iv != nil {
+		t, ok := meetIntervalCongruence(iv, c)
+		if !ok {
+			return st.recordConflict(ci, id,
+				fmt.Sprintf("derived congruence %s for signal %s contradicts its range %s", c, st.sys.Name(id), iv))
+		}
+		if iv.tightens(t) {
+			st.ival[id] = t
+		}
+	}
+	st.cong[id] = c
+	st.budget[id]--
+	st.rangeGen++
+	if iv := st.ival[id]; iv != nil && iv.IsSingleton() {
+		st.promoteSingleton(id, iv.Lo)
+	} else if c.NonzeroByResidue() {
+		st.recordNonzero(id)
+	}
+	return true
+}
+
+// ivOf returns the signal's interval, falling back to the full signed range
+// (the trivially-true interval every signal satisfies).
+func (st *AbsState) ivOf(id int) *Interval {
+	if iv := st.ival[id]; iv != nil {
+		return iv
+	}
+	return st.full
+}
+
+// --- range rules -------------------------------------------------------------
+
+// ruleProject is Rule R-Proj, the HC4-style interval projection.
+//
+// Over signed representatives the residual q = Σ qᵢⱼ·xᵢ·xⱼ + Σ cᵢ·xᵢ + c₀
+// satisfies q ≡ 0 (mod p), i.e. the exact integer value V of q (coefficients
+// taken signed, variables ranging over their intervals) is a multiple of p.
+// Summing the exact term ranges gives V ∈ [T_lo, T_hi]; when exactly one
+// multiple k·p lies in that window, the field equation collapses to the
+// *integer* equation V = k·p — the no-wraparound condition — and solving it
+// for each linear-only term cᵥ·xᵥ projects a sound interval onto xᵥ:
+//
+//	cᵥ·xᵥ = k·p − (V − cᵥ·xᵥ) ∈ [k·p − (T_hi − tᵥ_lo), k·p − (T_lo − tᵥ_hi)]
+//
+// When NO multiple of p lies in the window the abstract sets admit no
+// solution at all and a conflict is recorded (range-violation). When two or
+// more multiples fit, nothing fires: the wraparound is not resolved.
+//
+// The same integer equation V = k·p carries the congruence transfer: every
+// term is a member of a known residue class (cᵥ·xᵥ ≡ cᵥ·Rᵥ mod |cᵥ|·Mᵥ for
+// signals with a congruence fact, ≡ 0 mod |c| otherwise), so the target
+// term is congruent to k·p minus the sum of the classes modulo their gcd,
+// and dividing by its coefficient projects a congruence onto the signal.
+//
+// The rule is generation-gated: it reruns only when some range fact changed
+// since the last evaluation on this constraint.
+func (st *AbsState) ruleProject(ci int, q *poly.Quad) bool {
+	if st.projGen[ci] == st.rangeGen {
+		return false
+	}
+	st.projGen[ci] = st.rangeGen
+
+	// Quick reject: with no informative interval anywhere in the
+	// constraint the window spans many multiples of p.
+	info := false
+	q.Lin().VisitTermsUnordered(func(x int, _ ff.Element) {
+		if st.ival[x] != nil {
+			info = true
+		}
+	})
+	q.VisitQuadTermsUnordered(func(p poly.VarPair, _ ff.Element) {
+		if st.ival[p.X] != nil || st.ival[p.Y] != nil {
+			info = true
+		}
+	})
+	if !info {
+		return false
+	}
+
+	f := st.sys.Field()
+	var (
+		terms    []projTerm
+		quadMods []*big.Int
+		inQuad   map[int]bool
+	)
+	tLo := f.Signed(q.Lin().Constant())
+	tHi := new(big.Int).Set(tLo)
+	konst := new(big.Int).Set(tLo)
+	q.VisitQuadTerms(func(p poly.VarPair, coeff ff.Element) {
+		c := f.Signed(coeff)
+		lo, hi := prodRange(c, st.ivOf(p.X), st.ivOf(p.Y))
+		tLo.Add(tLo, lo)
+		tHi.Add(tHi, hi)
+		quadMods = append(quadMods, new(big.Int).Abs(c))
+		if inQuad == nil {
+			inQuad = make(map[int]bool, 2*q.NumQuadTerms())
+		}
+		inQuad[p.X] = true
+		inQuad[p.Y] = true
+	})
+	q.Lin().VisitTerms(func(v int, coeff ff.Element) {
+		c := f.Signed(coeff)
+		lo, hi := termRange(c, st.ivOf(v))
+		tLo.Add(tLo, lo)
+		tHi.Add(tHi, hi)
+		terms = append(terms, projTerm{v: v, c: c, lo: lo, hi: hi})
+	})
+
+	kLo := ceilDiv(tLo, st.pMod)
+	kHi := floorDiv(tHi, st.pMod)
+	switch kHi.Cmp(kLo) {
+	case -1:
+		// No multiple of p fits: the established ranges exclude every
+		// solution of this constraint.
+		return st.recordConflict(ci, -1,
+			fmt.Sprintf("constraint #%d cannot hold for any values in the established ranges (residual value window [%v, %v] contains no multiple of the field modulus)", ci, tLo, tHi))
+	case 0:
+		// Exactly one multiple: integer equation established, project.
+	default:
+		return false
+	}
+	kp := new(big.Int).Mul(kLo, st.pMod)
+
+	changed := false
+	for _, t := range terms {
+		if inQuad[t.v] {
+			continue
+		}
+		// rest = V − t ∈ [tLo − t.hi, tHi − t.lo]; c·x = kp − rest.
+		pLo := new(big.Int).Sub(kp, new(big.Int).Sub(tHi, t.lo))
+		pHi := new(big.Int).Sub(kp, new(big.Int).Sub(tLo, t.hi))
+		iv, ok := divProject(pLo, pHi, t.c)
+		if !ok {
+			if st.recordConflict(ci, t.v,
+				fmt.Sprintf("constraint #%d admits no integer value for signal %s within the established ranges", ci, st.sys.Name(t.v))) {
+				changed = true
+			}
+			continue
+		}
+		if st.recordInterval(t.v, iv, ci) {
+			changed = true
+		}
+		if st.congruenceTransfer(ci, terms, quadMods, konst, t.v, t.c, kp) {
 			changed = true
 		}
 	}
 	return changed
 }
 
-// applyConsts substitutes newly-proven constants into a residual, caching
-// the result.
-func (st *AbsState) applyConsts(ci int) *poly.Quad {
-	q := st.residual[ci]
-	// The constant-one signal is itself a constant fact (value 1), so an
-	// explicit var-0 occurrence folds away here like any other constant.
-	for {
-		substituted := false
-		for _, v := range q.Vars() {
-			if st.isConst[v] {
-				q = q.SubstituteValue(v, st.constVal[v])
-				substituted = true
+// projTerm is one linear term cᵥ·xᵥ of a residual with its exact signed
+// value range, as collected by ruleProject.
+type projTerm struct {
+	v      int
+	c      *big.Int
+	lo, hi *big.Int
+}
+
+// congruenceTransfer projects a congruence onto target from the integer
+// equation  c·x + Σ other terms + konst = kp  established by ruleProject
+// (only then is the modular constraint an integer one, which is what makes
+// residue reasoning over signed representatives sound). Every other term is
+// a member of a known residue class: cᵤ·xᵤ ≡ cᵤ·Rᵤ (mod |cᵤ|·Mᵤ) when xᵤ
+// carries a congruence fact, and ≡ 0 (mod |cᵤ|) otherwise (a multiple of
+// its own coefficient); a quadratic term is ≡ 0 (mod |coeff|). With G the
+// gcd of those moduli and ρ the residue sum,
+//
+//	c·x ≡ kp − konst − ρ (mod G),
+//
+// which has solutions iff g = gcd(c, G) divides the right-hand side —
+// otherwise the constraint is unsatisfiable under the established facts
+// (conflict) — and then x ≡ (rhs/g)·(c/g)⁻¹ (mod G/g).
+func (st *AbsState) congruenceTransfer(ci int, terms []projTerm, quadMods []*big.Int, konst *big.Int, target int, c, kp *big.Int) bool {
+	if len(terms)+len(quadMods) < 2 {
+		// No other variable term: the exact case, fully handled by the
+		// interval projection.
+		return false
+	}
+	if st.budget[target] <= 0 || st.isConst[target] {
+		return false
+	}
+	var g *big.Int
+	rho := new(big.Int)
+	gcdIn := func(m *big.Int) {
+		if g == nil {
+			g = new(big.Int).Set(m)
+		} else {
+			g.GCD(nil, nil, g, m)
+		}
+	}
+	for _, t := range terms {
+		if t.v == target {
+			continue
+		}
+		if cg := st.cong[t.v]; cg != nil {
+			gcdIn(new(big.Int).Abs(new(big.Int).Mul(t.c, cg.M)))
+			rho.Add(rho, new(big.Int).Mul(t.c, cg.R))
+		} else {
+			gcdIn(new(big.Int).Abs(t.c))
+		}
+	}
+	for _, m := range quadMods {
+		gcdIn(m)
+	}
+	if g == nil || g.Cmp(bigTwo) < 0 {
+		return false
+	}
+	rhs := new(big.Int).Sub(kp, konst)
+	rhs.Sub(rhs, rho)
+	rhs.Mod(rhs, g)
+	cg := new(big.Int).Mod(c, g)
+	gg := new(big.Int).GCD(nil, nil, g, new(big.Int).Abs(cg))
+	if new(big.Int).Mod(rhs, gg).Sign() != 0 {
+		return st.recordConflict(ci, target,
+			fmt.Sprintf("constraint #%d admits no residue class for signal %s consistent with the established congruences", ci, st.sys.Name(target)))
+	}
+	m := new(big.Int).Div(g, gg)
+	if m.Cmp(bigTwo) < 0 {
+		return false
+	}
+	inv := new(big.Int).ModInverse(new(big.Int).Div(cg, gg), m)
+	if inv == nil {
+		return false
+	}
+	r := new(big.Int).Mul(new(big.Int).Div(rhs, gg), inv)
+	return st.recordCongruence(target, newCongruence(m, r), ci)
+}
+
+// ruleNonzeroProduct covers the nonzero product rules:
+//
+//   - N-Inv: residual c·x·y + c₀ = 0 with c₀ ≠ 0 forces x·y = −c₀/c ≠ 0,
+//     so both factors are nonzero in every satisfying assignment (the
+//     x·inv = 1 inverse-witness pattern).
+//   - N-Mul: residual c·x·y + d·z = 0 defines z = −(c/d)·x·y, so z ≠ 0
+//     exactly when both x ≠ 0 and y ≠ 0; nonzero flows both ways.
+func (st *AbsState) ruleNonzeroProduct(ci int, q *poly.Quad) bool {
+	if q.NumQuadTerms() != 1 {
+		return false
+	}
+	var px, py int
+	q.VisitQuadTermsUnordered(func(p poly.VarPair, _ ff.Element) { px, py = p.X, p.Y })
+	lin := q.Lin()
+	changed := false
+	switch {
+	case lin.IsConst() && !lin.Constant().IsZero():
+		// N-Inv.
+		if st.recordNonzero(px) {
+			changed = true
+		}
+		if st.recordNonzero(py) {
+			changed = true
+		}
+	case lin.Constant().IsZero() && lin.NumTerms() == 1:
+		// N-Mul: the single linear variable is z.
+		z, _ := lin.IsSingleVar()
+		if z == px || z == py {
+			return false
+		}
+		if st.nonzero[px] && st.nonzero[py] && st.recordNonzero(z) {
+			changed = true
+		}
+		if st.nonzero[z] {
+			if st.recordNonzero(px) {
+				changed = true
+			}
+			if st.recordNonzero(py) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// guardFact records a selector-guard constraint s·(x−k) = 0 for signal s:
+// in every satisfying assignment, s ≠ 0 forces x = k.
+type guardFact struct {
+	x  int
+	k  ff.Element
+	ci int
+}
+
+// ruleGuard extracts selector guards, part 1 of Rule R-OneHot. A residual of
+// the shape c·a·b + d·s = 0 with s ∈ {a, b} (or no linear part at all)
+// factors as s·(c·x + d) = 0, i.e. s·(x − k) = 0 with k = −d/c: whenever
+// s ≠ 0 the co-factor x is pinned to k. Guards are indexed once per
+// constraint; they are derived from the residual, which agrees with the
+// original constraint on every satisfying assignment, so a guard stays valid
+// even if the residual is later folded further.
+func (st *AbsState) ruleGuard(ci int, q *poly.Quad) bool {
+	if st.guardSeen[ci] || q.NumQuadTerms() != 1 {
+		return false
+	}
+	var a, b int
+	var cq ff.Element
+	q.VisitQuadTermsUnordered(func(p poly.VarPair, c ff.Element) { a, b, cq = p.X, p.Y, c })
+	if a == b || cq.IsZero() {
+		return false
+	}
+	lin := q.Lin()
+	if !lin.Constant().IsZero() {
+		return false
+	}
+	f := q.Field()
+	changed := false
+	add := func(s, x int, k ff.Element) {
+		st.guards[s] = append(st.guards[s], guardFact{x: x, k: k, ci: ci})
+		changed = true
+	}
+	switch lin.NumTerms() {
+	case 0:
+		// s·x = 0: both factors guard each other with k = 0.
+		add(a, b, f.Zero())
+		add(b, a, f.Zero())
+	case 1:
+		s, _ := lin.IsSingleVar()
+		if s != a && s != b {
+			return false
+		}
+		x := a + b - s
+		add(s, x, f.Mul(f.Neg(lin.Coeff(s)), f.MustInv(cq)))
+	default:
+		return false
+	}
+	st.guardSeen[ci] = true
+	return changed
+}
+
+// ruleOneHot is part 2 of Rule R-OneHot, the relational one-hot selector
+// rule (the Decoder-with-success pattern of circomlib's Multiplexer).
+//
+// Preconditions on a linear residual Σ cᵢ·sᵢ + C = 0 with C ≠ 0:
+//
+//   - every summand sᵢ has a selector guard sᵢ·(x − kᵢ) = 0 against one
+//     common signal x, with the kᵢ pairwise distinct;
+//   - x is determined and does not itself appear in the sum.
+//
+// Then in any satisfying assignment at most one sᵢ is nonzero (two nonzero
+// summands would pin x to two different kᵢ), and all-zero contradicts
+// C ≠ 0; so x = kᵢ for exactly one i, sᵢ = −C/cᵢ, and every other summand
+// is 0. Each sᵢ is therefore a two-valued function of x alone: determined
+// (x is), with value set {0, −C/cᵢ} — an interval fact, and a booleanness
+// fact when −C/cᵢ = 1. Additional constraints can only shrink the solution
+// set, so deriving from this subset is sound for the full system.
+func (st *AbsState) ruleOneHot(ci int, q *poly.Quad) bool {
+	if st.onehotAt[ci] || !q.IsLinear() {
+		return false
+	}
+	lin := q.Lin()
+	if lin.Constant().IsZero() || lin.NumTerms() < 2 {
+		return false
+	}
+	// Cheap bail: every summand needs at least one guard.
+	missing := false
+	lin.VisitTermsUnordered(func(v int, _ ff.Element) {
+		if len(st.guards[v]) == 0 {
+			missing = true
+		}
+	})
+	if missing {
+		return false
+	}
+	type summand struct {
+		v int
+		c ff.Element
+	}
+	var terms []summand
+	lin.VisitTerms(func(v int, c ff.Element) {
+		terms = append(terms, summand{v: v, c: c})
+	})
+	// Candidate common selectors: the determined guard signals of the first
+	// summand, in guard-recording order (deterministic).
+	f := q.Field()
+	for _, g0 := range st.guards[terms[0].v] {
+		x := g0.x
+		if !st.isDet[x] {
+			continue
+		}
+		ks := make([]ff.Element, len(terms))
+		ok := true
+		for i, t := range terms {
+			if t.v == x {
+				ok = false
+				break
+			}
+			found := false
+			for _, g := range st.guards[t.v] {
+				if g.x == x {
+					ks[i] = g.k
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
 				break
 			}
 		}
-		if !substituted {
-			break
+		if !ok {
+			continue
 		}
+		for i := 0; i < len(ks) && ok; i++ {
+			for j := i + 1; j < len(ks); j++ {
+				if ks[i] == ks[j] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		st.onehotAt[ci] = true
+		changed := false
+		negC := f.Neg(lin.Constant())
+		for _, t := range terms {
+			val := f.Mul(negC, f.MustInv(t.c))
+			if st.recordRelDet(t.v) {
+				changed = true
+			}
+			if val == f.One() && st.recordBool(t.v, ci) {
+				changed = true
+			}
+			s := f.Signed(val)
+			lo, hi := new(big.Int), s
+			if s.Sign() < 0 {
+				lo, hi = s, new(big.Int)
+			}
+			if st.recordInterval(t.v, newInterval(lo, hi), ci) {
+				changed = true
+			}
+		}
+		return changed
 	}
-	st.residual[ci] = q
-	return q
+	return false
 }
 
-// setConst records a constant fact (constants are also determined).
-func (st *AbsState) setConst(id int, v ff.Element) bool {
-	if st.isConst[id] {
-		return false
-	}
-	st.isConst[id] = true
-	st.constVal[id] = v
-	st.isDet[id] = true
-	return true
-}
+// --- classic rule recognizers ------------------------------------------------
 
 // constOf recognizes a single-variable linear residual k·x + c = 0.
 func constOf(q *poly.Quad) (x int, v ff.Element, ok bool) {
@@ -250,6 +968,8 @@ func (st *AbsState) detBits(q *poly.Quad) []int {
 	return unknowns
 }
 
+// --- accessors ---------------------------------------------------------------
+
 // Determined reports whether a signal is proven uniquely determined by the
 // inputs.
 func (st *AbsState) Determined(id int) bool { return st.isDet[id] }
@@ -262,6 +982,26 @@ func (st *AbsState) Const(id int) (ff.Element, bool) {
 	return st.constVal[id], st.isConst[id]
 }
 
+// Interval returns a signal's proven signed-representative range (nil when
+// unknown). The result must not be mutated.
+func (st *AbsState) Interval(id int) *Interval { return st.ival[id] }
+
+// Congruence returns a signal's proven residue class (nil when unknown).
+// The result must not be mutated.
+func (st *AbsState) Congruence(id int) *Congruence { return st.cong[id] }
+
+// Nonzero reports whether a signal is proven ≠ 0 in every satisfying
+// assignment.
+func (st *AbsState) Nonzero(id int) bool { return st.nonzero[id] }
+
+// RangeDetermined reports whether a signal's determinedness was first
+// established by a range-domain rule rather than a classic rule.
+func (st *AbsState) RangeDetermined(id int) bool { return st.rangeDet[id] }
+
+// Conflicts returns the recorded unsatisfiability proofs. The result
+// aliases internal state and must not be mutated.
+func (st *AbsState) Conflicts() []Conflict { return st.conflicts }
+
 // NumConst counts constant facts (excluding the constant-one signal).
 func (st *AbsState) NumConst() int { return st.count(st.isConst) - 1 }
 
@@ -272,6 +1012,21 @@ func (st *AbsState) NumBool() int { return st.count(st.isBool) }
 // the constant-one signal excluded).
 func (st *AbsState) NumDetermined() int { return st.count(st.isDet) - 1 }
 
+// NumInterval counts signals with a non-trivial interval fact (excluding
+// the constant-one signal).
+func (st *AbsState) NumInterval() int {
+	n := 0
+	for id, iv := range st.ival {
+		if id != r1cs.OneID && iv != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// NumNonzero counts nonzero facts (excluding the constant-one signal).
+func (st *AbsState) NumNonzero() int { return st.count(st.nonzero) - 1 }
+
 func (st *AbsState) count(bits []bool) int {
 	n := 0
 	for _, b := range bits {
@@ -280,26 +1035,4 @@ func (st *AbsState) count(bits []bool) int {
 		}
 	}
 	return n
-}
-
-// Verify replays the constant facts against the original constraints: with
-// every proven constant substituted, no constraint may reduce to a nonzero
-// constant (which would mean a derivation produced a value no satisfying
-// assignment can take — i.e. an absint bug, or an unsatisfiable system).
-// Downstream consumers (core's pre-phase) refuse to inject facts when the
-// replay fails, keeping the soundness contract "hints may only skip work
-// when the proof is replayed" mechanical rather than aspirational.
-func (st *AbsState) Verify() error {
-	for ci := 0; ci < st.sys.NumConstraints(); ci++ {
-		q := st.sys.Constraint(ci).Quad()
-		for _, v := range q.Vars() {
-			if st.isConst[v] {
-				q = q.SubstituteValue(v, st.constVal[v])
-			}
-		}
-		if c, isConst := q.IsConst(); isConst && !c.IsZero() {
-			return fmt.Errorf("sa: constant replay failed on constraint #%d: residual %s ≠ 0", ci, st.sys.Field().String(c))
-		}
-	}
-	return nil
 }

@@ -1,0 +1,132 @@
+package sa
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// The congruence domain: per-signal residue classes x ≡ R (mod M) of the
+// signed representative, capturing shift-and-mask and even/odd structure
+// the interval domain cannot see (x = 4·y says nothing about x's range,
+// but pins x ≡ 0 mod 4 once y is bounded).
+//
+// Like intervals, a congruence fact is a theorem about the *integer* value
+// of the signed representative, so a derivation may only record one when
+// the underlying arithmetic provably did not wrap around the modulus; the
+// congruence transfer function therefore piggybacks on the interval
+// projection, which establishes exactly that no-wrap bound. Top is a nil
+// Congruence (equivalently M = 1, which carries no information and is
+// never stored).
+
+// Congruence is the fact "signed(x) ≡ R (mod M)" with M ≥ 2, 0 ≤ R < M.
+type Congruence struct {
+	M, R *big.Int
+}
+
+// newCongruence normalizes (m, r) into a stored fact; it returns nil when
+// m < 2 (no information).
+func newCongruence(m, r *big.Int) *Congruence {
+	if m.Cmp(bigTwo) < 0 {
+		return nil
+	}
+	rr := new(big.Int).Mod(r, m) // big.Int.Mod is Euclidean: 0 ≤ rr < m
+	return &Congruence{M: new(big.Int).Set(m), R: rr}
+}
+
+// congruenceOfConst embeds a constant v as v mod 2^k for a generous fixed
+// k: constants participate in gcd-combinations of the transfer function via
+// their exact value, so the stored class is only used for meets.
+func congruenceOfConst(v *big.Int) *Congruence {
+	return newCongruence(constCongruenceMod, v)
+}
+
+var (
+	bigTwo = big.NewInt(2)
+	// constCongruenceMod is the modulus used to embed constants
+	// (2^64 — larger than any mask/shift stride a circuit gadget uses).
+	constCongruenceMod = new(big.Int).Lsh(bigOne, 64)
+)
+
+// Admits reports whether integer v is in the residue class.
+func (c *Congruence) Admits(v *big.Int) bool {
+	return new(big.Int).Mod(v, c.M).Cmp(c.R) == 0
+}
+
+// meet intersects two congruence facts. By CRT the intersection of
+// r1 + m1·Z and r2 + m2·Z is either empty (when gcd(m1,m2) ∤ r1−r2) or a
+// single class mod lcm(m1,m2). ok=false reports the empty case — a range
+// conflict. To keep the state small the lcm is capped: when it exceeds
+// congruenceModCap the meet keeps the stronger (larger-modulus) operand,
+// which is always sound (a weaker theorem).
+func (c *Congruence) meet(other *Congruence) (*Congruence, bool) {
+	g := new(big.Int).GCD(nil, nil, c.M, other.M)
+	diff := new(big.Int).Sub(c.R, other.R)
+	if new(big.Int).Mod(diff, g).Sign() != 0 {
+		return nil, false
+	}
+	lcm := new(big.Int).Div(new(big.Int).Mul(c.M, other.M), g)
+	if lcm.Cmp(congruenceModCap) > 0 {
+		if c.M.Cmp(other.M) >= 0 {
+			return c, true
+		}
+		return other, true
+	}
+	// Solve x ≡ c.R (mod c.M), x ≡ other.R (mod other.M) by the extended
+	// gcd: x = c.R + c.M·t with t ≡ (other.R − c.R)/g · inv(c.M/g) (mod
+	// other.M/g).
+	m1g := new(big.Int).Div(c.M, g)
+	m2g := new(big.Int).Div(other.M, g)
+	dg := new(big.Int).Div(new(big.Int).Neg(diff), g)
+	inv := new(big.Int).ModInverse(new(big.Int).Mod(m1g, m2g), m2g)
+	if inv == nil {
+		// m2g == 1: the classes are nested; keep the stronger one.
+		if c.M.Cmp(other.M) >= 0 {
+			return c, true
+		}
+		return other, true
+	}
+	t := new(big.Int).Mod(new(big.Int).Mul(dg, inv), m2g)
+	x := new(big.Int).Add(c.R, new(big.Int).Mul(c.M, t))
+	return newCongruence(lcm, x), true
+}
+
+// congruenceModCap bounds stored moduli (2^128): large enough for every
+// limb/mask stride in practice, small enough that meets stay cheap and the
+// fixpoint ascent is short.
+var congruenceModCap = new(big.Int).Lsh(bigOne, 128)
+
+// tightens reports whether other carries strictly more information than c
+// (its classes are a proper subset).
+func (c *Congruence) tightens(other *Congruence) bool {
+	if new(big.Int).Mod(other.M, c.M).Sign() != 0 {
+		// Incomparable moduli: the meet will decide; treat as progress.
+		return true
+	}
+	return other.M.Cmp(c.M) > 0
+}
+
+// NonzeroByResidue reports whether the class excludes 0 (R ≢ 0 mod M):
+// every member is a nonzero integer, hence a nonzero field element.
+func (c *Congruence) NonzeroByResidue() bool { return c.R.Sign() != 0 }
+
+// String renders the fact for findings and debugging.
+func (c *Congruence) String() string { return fmt.Sprintf("≡ %v (mod %v)", c.R, c.M) }
+
+// meetIntervalCongruence tightens an interval to the residue class: the
+// smallest member ≥ Lo and the largest ≤ Hi. ok=false when the class has no
+// member in the interval (a range conflict). When the result pins a single
+// integer the caller has derived a constant no single domain could see.
+func meetIntervalCongruence(iv *Interval, c *Congruence) (*Interval, bool) {
+	// lo' = Lo + ((R − Lo) mod M)
+	adj := new(big.Int).Sub(c.R, iv.Lo)
+	adj.Mod(adj, c.M)
+	lo := new(big.Int).Add(iv.Lo, adj)
+	// hi' = Hi − ((Hi − R) mod M)
+	adj2 := new(big.Int).Sub(iv.Hi, c.R)
+	adj2.Mod(adj2, c.M)
+	hi := new(big.Int).Sub(iv.Hi, adj2)
+	if lo.Cmp(hi) > 0 {
+		return nil, false
+	}
+	return newInterval(lo, hi), true
+}

@@ -1,0 +1,77 @@
+package sa
+
+import (
+	"math/big"
+	"testing"
+)
+
+func cg(m, r int64) *Congruence { return newCongruence(bi(m), bi(r)) }
+
+func TestCongruenceNormalization(t *testing.T) {
+	if newCongruence(bi(1), bi(0)) != nil || newCongruence(bi(0), bi(3)) != nil {
+		t.Error("modulus < 2 must yield the trivial (nil) congruence")
+	}
+	c := cg(5, -3) // ≡ 2 (mod 5) after Euclidean reduction
+	if c.R.Cmp(bi(2)) != 0 {
+		t.Errorf("residue = %v, want 2", c.R)
+	}
+	if !c.Admits(bi(7)) || !c.Admits(bi(-3)) || c.Admits(bi(5)) {
+		t.Error("Admits wrong")
+	}
+}
+
+func TestCongruenceMeet(t *testing.T) {
+	// x ≡ 2 (mod 3) ∧ x ≡ 3 (mod 5) → x ≡ 8 (mod 15).
+	m, ok := cg(3, 2).meet(cg(5, 3))
+	if !ok || m.M.Cmp(bi(15)) != 0 || m.R.Cmp(bi(8)) != 0 {
+		t.Errorf("meet = %v, %v", m, ok)
+	}
+	// x ≡ 1 (mod 4) ∧ x ≡ 3 (mod 4): incompatible.
+	if _, ok := cg(4, 1).meet(cg(4, 3)); ok {
+		t.Error("contradictory congruences should meet to empty")
+	}
+	// x ≡ 1 (mod 6) ∧ x ≡ 3 (mod 4): gcd 2 divides neither difference… 1−3 = −2, divisible → CRT solves mod 12: x ≡ 7.
+	m, ok = cg(6, 1).meet(cg(4, 3))
+	if !ok || m.M.Cmp(bi(12)) != 0 || m.R.Cmp(bi(7)) != 0 {
+		t.Errorf("meet = %v, %v", m, ok)
+	}
+}
+
+func TestCongruenceMeetCap(t *testing.T) {
+	// Two coprime moduli whose lcm overflows the cap: the stronger operand
+	// is kept rather than materializing a huge modulus.
+	big1 := new(big.Int).Lsh(bigOne, 80)
+	big2 := new(big.Int).Add(new(big.Int).Lsh(bigOne, 80), bigOne)
+	a, b := newCongruence(big1, bi(1)), newCongruence(big2, bi(1))
+	m, ok := a.meet(b)
+	if !ok || m.M.Cmp(congruenceModCap) > 0 {
+		t.Errorf("capped meet = %v, %v", m, ok)
+	}
+}
+
+func TestCongruenceTightens(t *testing.T) {
+	if !cg(3, 1).tightens(cg(6, 1)) {
+		t.Error("finer modulus should tighten")
+	}
+	if cg(6, 1).tightens(cg(6, 1)) {
+		t.Error("equal congruence must not tighten")
+	}
+}
+
+func TestCongruenceNonzeroByResidue(t *testing.T) {
+	if !cg(4, 3).NonzeroByResidue() || cg(4, 0).NonzeroByResidue() {
+		t.Error("NonzeroByResidue wrong")
+	}
+}
+
+func TestMeetIntervalCongruence(t *testing.T) {
+	// x ∈ [0, 10] ∧ x ≡ 3 (mod 4) → x ∈ [3, 7].
+	m, ok := meetIntervalCongruence(iv(0, 10), cg(4, 3))
+	if !ok || m.Lo.Cmp(bi(3)) != 0 || m.Hi.Cmp(bi(7)) != 0 {
+		t.Errorf("meet = %v, %v", m, ok)
+	}
+	// x ∈ [4, 6] ∧ x ≡ 3 (mod 4): empty.
+	if _, ok := meetIntervalCongruence(iv(4, 6), cg(4, 3)); ok {
+		t.Error("empty meet not detected")
+	}
+}

@@ -21,6 +21,70 @@ func runDetectors(sys *r1cs.System, g *Graph, abs *AbsState, res *Result) {
 	detectDangling(sys, g, res)
 	detectNonBinarySelector(sys, abs, res)
 	detectNonBinaryDecomposition(sys, abs, res)
+	detectRangeViolation(sys, abs, res)
+	detectOverflowProneSum(sys, abs, res)
+}
+
+// detectRangeViolation surfaces the abstract interpreter's range conflicts:
+// a constraint (or a per-signal meet) whose established value sets admit no
+// solution. Since every range fact is a theorem about satisfying
+// assignments, a conflict proves the system unsatisfiable — either a
+// constraint forces a signal outside its decomposition/tag range (the
+// array-bounds-style defect) or the circuit admits no witness at all.
+func detectRangeViolation(sys *r1cs.System, abs *AbsState, res *Result) {
+	for _, c := range abs.Conflicts() {
+		loc := r1cs.SourceLoc{}
+		if c.Constraint >= 0 {
+			loc = sys.Constraint(c.Constraint).Loc
+		} else if c.Signal > 0 {
+			loc = sys.Signal(c.Signal).Loc
+		}
+		sig := 0
+		if c.Signal > 0 {
+			sig = c.Signal
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "range-violation", SeverityError, sig, c.Constraint, loc, c.Msg))
+	}
+}
+
+// detectOverflowProneSum flags linear constraints whose range-bounded terms
+// span at least the field modulus: two distinct in-range assignments can
+// then alias the same field value, so the equation no longer pins the
+// bounded signals' integer interpretation (the Num2Bits(254)/AliasCheck
+// wraparound class). Constraints whose bounded span stays below p are
+// wrap-free by the same window argument ruleProject uses.
+func detectOverflowProneSum(sys *r1cs.System, abs *AbsState, res *Result) {
+	f := sys.Field()
+	p := f.Modulus()
+	for ci := 0; ci < sys.NumConstraints(); ci++ {
+		c := sys.Constraint(ci)
+		q := c.Quad()
+		if !q.IsLinear() {
+			continue
+		}
+		extent := new(big.Int)
+		bounded := 0
+		q.Lin().VisitTerms(func(v int, coeff ff.Element) {
+			if v == r1cs.OneID {
+				return
+			}
+			iv := abs.Interval(v)
+			if iv == nil || iv.IsSingleton() {
+				return
+			}
+			lo, hi := termRange(f.Signed(coeff), iv)
+			extent.Add(extent, new(big.Int).Sub(hi, lo))
+			bounded++
+		})
+		if bounded < 2 || extent.Cmp(p) < 0 {
+			continue
+		}
+		res.Findings = append(res.Findings,
+			newFinding(sys, "overflow-prone-sum", SeverityWarning, 0, ci, c.Loc,
+				fmt.Sprintf("constraint #%d sums %d range-bounded signals whose combined span (%d bits) reaches the field modulus (%d bits): distinct in-range assignments can alias the same field value%s",
+					ci, bounded, extent.BitLen(), f.BitLen(), tagSuffix(c.Tag))))
+	}
 }
 
 // detectReachability flags outputs with no constraint path from any input.

@@ -40,6 +40,15 @@ func detectZeroDivisors(prog *circom.Program, res *Result) {
 			loc = r1cs.SourceLoc{Template: prog.MainTemplate, Line: a.Pos.Line, Col: a.Pos.Col}
 		}
 		walkDivisors(a.Expr, false, func(div circom.WExpr, op circom.TokKind, guarded bool) {
+			if id, ok := divisorSignal(div); ok && res.Abs.Nonzero(id) {
+				// The range/nonzero domains prove the denominator cannot be
+				// zero in any satisfying assignment, discharging the warning.
+				res.Findings = append(res.Findings,
+					newFinding(sys, "nonzero-divisor-proved", SeverityInfo, a.Target, -1, loc,
+						fmt.Sprintf("hint for signal %s divides by signal %s, which the range analysis proves nonzero in every satisfying assignment%s",
+							sys.Name(a.Target), sys.Name(id), tagNote(res.Abs, id))))
+				return
+			}
 			sev := SeverityWarning
 			note := "if the denominator is zero, witness generation fails or the hint silently takes an arbitrary value"
 			if guarded {
@@ -52,6 +61,30 @@ func detectZeroDivisors(prog *circom.Program, res *Result) {
 						sys.Name(a.Target), div.String(), tokenText(op), note)))
 		})
 	}
+}
+
+// divisorSignal extracts the signal read by a divisor expression when it is
+// a bare (possibly scaled) signal: a WSig node, or a single-term linear
+// combination with no constant — the only shapes whose zero-ness coincides
+// with a single signal's.
+func divisorSignal(e circom.WExpr) (int, bool) {
+	switch w := e.(type) {
+	case *circom.WSig:
+		return w.ID, true
+	case *circom.WLin:
+		if x, ok := w.LC.IsSingleVar(); ok && w.LC.Constant().IsZero() {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// tagNote renders a signal's tag set as a message suffix.
+func tagNote(abs *AbsState, id int) string {
+	if ts := abs.TagString(id); ts != "" {
+		return " " + ts
+	}
+	return ""
 }
 
 // walkDivisors visits every division/modulo node of a witness expression

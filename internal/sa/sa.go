@@ -111,6 +111,11 @@ type Result struct {
 	// DeterminedSignals lists every signal proven determined (sorted;
 	// includes inputs, constants, and DeterminedOutputs).
 	DeterminedSignals []int
+	// RangeDetermined lists the subset of DeterminedSignals whose
+	// determinedness was first established by a range-domain rule (interval
+	// singleton promotion) rather than a classic const/solve/bits rule —
+	// facts the pre-PR analysis could not derive at all.
+	RangeDetermined []int
 	// UnreachableOutputs lists outputs with no constraint path from any
 	// input that the abstract interpretation could not discharge either:
 	// candidates for definite under-constraint. core treats these as
@@ -170,7 +175,9 @@ func Analyze(sys *r1cs.System, opts *Options) *Result {
 	as := o.Obs.Start(span, "sa.absint")
 	abs := Interpret(sys, g)
 	as.End(obs.KV("consts", abs.NumConst()), obs.KV("bools", abs.NumBool()),
-		obs.KV("determined", abs.NumDetermined()))
+		obs.KV("determined", abs.NumDetermined()),
+		obs.KV("intervals", abs.NumInterval()), obs.KV("nonzero", abs.NumNonzero()),
+		obs.KV("conflicts", len(abs.Conflicts())))
 
 	ds := o.Obs.Start(span, "sa.detect")
 	res := &Result{Graph: g, Abs: abs}
@@ -180,6 +187,9 @@ func Analyze(sys *r1cs.System, opts *Options) *Result {
 	for id := 1; id < sys.NumSignals(); id++ {
 		if abs.Determined(id) {
 			res.DeterminedSignals = append(res.DeterminedSignals, id)
+			if abs.RangeDetermined(id) {
+				res.RangeDetermined = append(res.RangeDetermined, id)
+			}
 		}
 	}
 	for _, out := range sys.Outputs() {

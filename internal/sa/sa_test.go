@@ -405,9 +405,14 @@ component main = Inv();
 `
 	p := compile(t, src)
 	res := AnalyzeProgram(p, nil)
-	fs := findingsOf(res, "possibly-zero-divisor")
-	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+	// out·in = 1 proves in ≠ 0 (rule N-Inv), so the divisor warning is
+	// discharged down to the nonzero-divisor-proved info finding.
+	if fs := findingsOf(res, "possibly-zero-divisor"); len(fs) != 0 {
 		t.Fatalf("possibly-zero-divisor findings = %+v", fs)
+	}
+	fs := findingsOf(res, "nonzero-divisor-proved")
+	if len(fs) != 1 || fs[0].Severity != SeverityInfo {
+		t.Fatalf("nonzero-divisor-proved findings = %+v", fs)
 	}
 	// A guarded division is advisory only.
 	guarded := `
@@ -486,4 +491,60 @@ func signalByName(t *testing.T, sys *r1cs.System, name string) int {
 	}
 	t.Fatalf("no signal named %s", name)
 	return -1
+}
+
+func TestDetectOverflowProneSum(t *testing.T) {
+	// Two 253-bit ladders summed in one constraint: the bounded terms span
+	// 2·(2^253−1) ≥ p, so two distinct in-range bit assignments can alias
+	// the same field value for out — the AliasCheck wraparound class.
+	src := `
+template WideSum() {
+    signal input a;
+    signal input b;
+    signal output out;
+    signal abits[253];
+    signal bbits[253];
+    var la = 0;
+    var lb = 0;
+    for (var i = 0; i < 253; i++) {
+        abits[i] <-- (a >> i) & 1;
+        abits[i] * (abits[i] - 1) === 0;
+        la += abits[i] * (2 ** i);
+        bbits[i] <-- (b >> i) & 1;
+        bbits[i] * (bbits[i] - 1) === 0;
+        lb += bbits[i] * (2 ** i);
+    }
+    la === a;
+    lb === b;
+    out <== la + lb;
+}
+component main = WideSum();
+`
+	res := AnalyzeProgram(compile(t, src), nil)
+	fs := findingsOf(res, "overflow-prone-sum")
+	if len(fs) != 1 || fs[0].Severity != SeverityWarning {
+		t.Fatalf("overflow-prone-sum findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Message, "254 bits") {
+		t.Errorf("message lacks the span bit-width: %s", fs[0].Message)
+	}
+	// A single ladder is exact — its signed span is p−1 < p — and must
+	// stay silent no matter how many bits it has.
+	single := `
+template N2B() {
+    signal input in;
+    signal output out[254];
+    var lc = 0;
+    for (var i = 0; i < 254; i++) {
+        out[i] <-- (in >> i) & 1;
+        out[i] * (out[i] - 1) === 0;
+        lc += out[i] * (2 ** i);
+    }
+    lc === in;
+}
+component main = N2B();
+`
+	if fs := findingsOf(AnalyzeProgram(compile(t, single), nil), "overflow-prone-sum"); len(fs) != 0 {
+		t.Fatalf("single ladder flagged: %+v", fs)
+	}
 }
